@@ -1,0 +1,142 @@
+// Package baps is the public facade of the browsers-aware proxy server
+// reproduction ("On Reliable and Scalable Peer-to-Peer Web Document
+// Sharing", IPDPS 2002): one import that exposes the synthetic trace
+// generator, the five-organization trace-driven simulator, the experiment
+// drivers that regenerate every table and figure of the paper, and a helper
+// to stand up the live HTTP system (origin + browsers-aware proxy + browser
+// agents) in-process.
+//
+// Quick start:
+//
+//	tr, _ := baps.GenerateTrace("nlanr-uc", 0)
+//	res, _ := baps.Run(tr, baps.DefaultSimConfig(baps.BrowsersAware))
+//	fmt.Printf("hit ratio %.2f%%\n", res.HitRatio()*100)
+//
+// The experiment drivers (Table1, Figure2 … Figure8, MemoryStudyReport,
+// OverheadReport, AblationReport) return printable tables/series; the
+// bapsim command and the repository benchmarks are thin wrappers over them.
+package baps
+
+import (
+	"baps/internal/core"
+	"baps/internal/sim"
+	"baps/internal/stats"
+	"baps/internal/synth"
+	"baps/internal/trace"
+)
+
+// Re-exported types: the library's public surface over the internal
+// packages.
+type (
+	// Trace is an ordered web request trace.
+	Trace = trace.Trace
+	// Request is one trace record.
+	Request = trace.Request
+	// TraceStats summarizes a trace (the paper's Table 1 columns).
+	TraceStats = trace.Stats
+	// Profile parameterizes the synthetic trace generator.
+	Profile = synth.Profile
+	// Organization is one of the paper's five caching organizations.
+	Organization = core.Organization
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// Result carries one run's metrics.
+	Result = sim.Result
+	// SweepResult carries a cache-size sweep.
+	SweepResult = sim.SweepResult
+	// ScalingResult carries the §4.4 client-scaling experiment.
+	ScalingResult = sim.ScalingResult
+	// MemoryStudyResult carries the §4.2 memory comparison.
+	MemoryStudyResult = sim.MemoryStudyResult
+	// Table is a printable text table.
+	Table = stats.Table
+	// Series is a printable figure (x axis + named lines).
+	Series = stats.Series
+)
+
+// Sizing selects the browser-cache sizing rule.
+type Sizing = sim.Sizing
+
+// The browser-cache sizing rules of §4.
+const (
+	SizingMinimum   = sim.SizingMinimum
+	SizingAverage   = sim.SizingAverage
+	SizingPerClient = sim.SizingPerClient
+)
+
+// The five organizations, in the paper's order.
+const (
+	ProxyCacheOnly          = core.ProxyCacheOnly
+	LocalBrowserCacheOnly   = core.LocalBrowserCacheOnly
+	GlobalBrowsersCacheOnly = core.GlobalBrowsersCacheOnly
+	ProxyAndLocalBrowser    = core.ProxyAndLocalBrowser
+	BrowsersAware           = core.BrowsersAware
+)
+
+// Organizations lists all five organizations in the paper's order.
+func Organizations() []Organization { return core.Organizations() }
+
+// Profiles returns the five calibrated trace profiles in Table 1 order.
+func Profiles() []Profile { return synth.Profiles() }
+
+// ProfileNames returns the available profile names, sorted.
+func ProfileNames() []string { return synth.ProfileNames() }
+
+// GenerateTrace builds the synthetic trace for a named profile. A non-zero
+// seed overrides the profile's calibrated seed (for replication studies);
+// scale != 0 and != 1 scales the workload size proportionally.
+func GenerateTrace(profile string, seed int64) (*Trace, error) {
+	return GenerateTraceScaled(profile, seed, 1)
+}
+
+// GenerateTraceScaled is GenerateTrace with a workload scale factor.
+func GenerateTraceScaled(profile string, seed int64, scale float64) (*Trace, error) {
+	p, err := synth.ByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+	if scale != 0 && scale != 1 {
+		p = synth.Scaled(p, scale)
+	}
+	return synth.Generate(p)
+}
+
+// Generate builds a trace from an explicit profile.
+func Generate(p Profile) (*Trace, error) { return synth.Generate(p) }
+
+// ComputeStats derives Table 1 statistics from a trace.
+func ComputeStats(tr *Trace) TraceStats { return trace.Compute(tr) }
+
+// DefaultSimConfig returns the paper's simulator configuration for an
+// organization (LRU, immediate index updates, fetch-forward, 1/10 proxy
+// memory, average browser sizing at 10 % relative size).
+func DefaultSimConfig(org Organization) SimConfig { return sim.DefaultConfig(org) }
+
+// Run replays a trace through one configured organization.
+func Run(tr *Trace, cfg SimConfig) (Result, error) { return sim.Run(tr, nil, cfg) }
+
+// Sweep runs organizations across relative cache sizes (the Figures 2–7
+// harness).
+func Sweep(tr *Trace, orgs []Organization, sizes []float64, base SimConfig) (*SweepResult, error) {
+	return sim.Sweep(tr, orgs, sizes, base)
+}
+
+// Scaling runs the §4.4 client-scaling experiment.
+func Scaling(tr *Trace, fractions []float64, base SimConfig, seed int64) (*ScalingResult, error) {
+	return sim.Scaling(tr, fractions, base, seed)
+}
+
+// MemoryStudy runs the §4.2 memory-byte-hit-ratio comparison; sizePALB == 0
+// bisects for the byte-hit-matched proxy-and-local-browser size.
+func MemoryStudy(tr *Trace, sizeBAPS, sizePALB float64, base SimConfig) (*MemoryStudyResult, error) {
+	return sim.MemoryStudy(tr, sizeBAPS, sizePALB, base)
+}
+
+// PaperSizes is the relative cache-size sweep of Figures 2–7.
+var PaperSizes = sim.PaperSizes
+
+// PaperClientFractions is the §4.4 client-population sweep.
+var PaperClientFractions = sim.PaperClientFractions

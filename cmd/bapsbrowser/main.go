@@ -1,0 +1,85 @@
+// Command bapsbrowser runs a live browser agent connected to a
+// browsers-aware proxy. It reads document URLs from stdin (one per line),
+// resolves each through the local cache → proxy → peer/origin pipeline, and
+// reports where every document came from.
+//
+// Usage:
+//
+//	echo http://127.0.0.1:8080/docs/a | bapsbrowser -proxy http://127.0.0.1:8081
+//
+// Flags:
+//
+//	-proxy URL     browsers-aware proxy base URL (required)
+//	-cache N       browser cache capacity in bytes (default 8 MiB)
+//	-index MODE    immediate | periodic (default immediate)
+//	-threshold F   periodic re-sync threshold (default 0.05)
+//	-no-verify     skip watermark verification
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"baps/internal/browser"
+)
+
+func main() {
+	proxyURL := flag.String("proxy", "", "browsers-aware proxy base URL")
+	cacheCap := flag.Int64("cache", 8<<20, "browser cache capacity in bytes")
+	indexMode := flag.String("index", "immediate", "index update protocol: immediate or periodic")
+	threshold := flag.Float64("threshold", 0.05, "periodic re-sync threshold")
+	noVerify := flag.Bool("no-verify", false, "skip watermark verification")
+	flag.Parse()
+
+	if *proxyURL == "" {
+		fmt.Fprintln(os.Stderr, "bapsbrowser: -proxy is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := browser.DefaultConfig(*proxyURL)
+	cfg.CacheCapacity = *cacheCap
+	cfg.Threshold = *threshold
+	cfg.Verify = !*noVerify
+	switch *indexMode {
+	case "immediate":
+		cfg.IndexMode = browser.Immediate
+	case "periodic":
+		cfg.IndexMode = browser.Periodic
+	default:
+		fmt.Fprintf(os.Stderr, "bapsbrowser: unknown index mode %q\n", *indexMode)
+		os.Exit(2)
+	}
+	a, err := browser.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bapsbrowser: %v\n", err)
+		os.Exit(1)
+	}
+	defer a.Close()
+	fmt.Printf("bapsbrowser: client %d registered at %s (peer server %s)\n", a.ID(), *proxyURL, a.PeerURL())
+
+	sc := bufio.NewScanner(os.Stdin)
+	ctx := context.Background()
+	for sc.Scan() {
+		u := strings.TrimSpace(sc.Text())
+		if u == "" || strings.HasPrefix(u, "#") {
+			continue
+		}
+		body, src, err := a.Get(ctx, u)
+		if err != nil {
+			fmt.Printf("ERR   %-8s %s: %v\n", "-", u, err)
+			continue
+		}
+		fmt.Printf("OK    %-8s %s (%d bytes)\n", src, u, len(body))
+	}
+	m := a.Snapshot()
+	fmt.Printf("done: %d requests — local %d, proxy %d, remote %d, origin %d; served %d peer transfers\n",
+		m.Requests, m.LocalHits, m.ProxyHits, m.RemoteHits, m.OriginMiss, m.PeerServes)
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "bapsbrowser: stdin: %v\n", err)
+		os.Exit(1)
+	}
+}

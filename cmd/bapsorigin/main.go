@@ -1,0 +1,26 @@
+// Command bapsorigin runs the synthetic origin web server used by the live
+// browsers-aware proxy system.
+//
+// Usage:
+//
+//	bapsorigin [-addr 127.0.0.1:8080] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"baps/internal/origin"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	seed := flag.Int64("seed", 1, "content seed")
+	flag.Parse()
+
+	srv := origin.New(*seed)
+	fmt.Printf("bapsorigin: serving deterministic documents on http://%s (seed %d)\n", *addr, *seed)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

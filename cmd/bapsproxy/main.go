@@ -1,0 +1,63 @@
+// Command bapsproxy runs the live browsers-aware proxy server.
+//
+// Usage:
+//
+//	bapsproxy [-addr 127.0.0.1:8081] [-capacity 268435456] [-policy LRU]
+//	          [-forward fetch|direct] [-no-peer] [-keybits 2048]
+//
+// Browser agents (cmd/bapsbrowser or internal/browser) register at
+// POST /register and then resolve documents through GET /fetch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"baps/internal/cache"
+	"baps/internal/proxy"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8081", "listen address")
+	capacity := flag.Int64("capacity", 256<<20, "proxy cache capacity in bytes")
+	policyName := flag.String("policy", "LRU", "replacement policy (LRU, FIFO, LFU, SIZE, GDSF)")
+	forward := flag.String("forward", "fetch", "remote-hit delivery: fetch (proxy relays) or direct (anonymous drop)")
+	noPeer := flag.Bool("no-peer", false, "disable the browsers-aware layer (plain proxy baseline)")
+	keyBits := flag.Int("keybits", 2048, "watermark RSA key size")
+	peerTimeout := flag.Duration("peer-timeout", 5*time.Second, "holder contact / relay wait bound")
+	flag.Parse()
+
+	policy, err := cache.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bapsproxy: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := proxy.DefaultConfig()
+	cfg.CacheCapacity = *capacity
+	cfg.Policy = policy
+	cfg.KeyBits = *keyBits
+	cfg.PeerTimeout = *peerTimeout
+	cfg.DisablePeer = *noPeer
+	switch *forward {
+	case "fetch":
+		cfg.Forward = proxy.FetchForward
+	case "direct":
+		cfg.Forward = proxy.DirectForward
+	default:
+		fmt.Fprintf(os.Stderr, "bapsproxy: unknown forward mode %q\n", *forward)
+		os.Exit(2)
+	}
+	s, err := proxy.New(cfg)
+	if err != nil {
+		log.Fatalf("bapsproxy: %v", err)
+	}
+	if err := s.Start(*addr); err != nil {
+		log.Fatalf("bapsproxy: %v", err)
+	}
+	fmt.Printf("bapsproxy: browsers-aware proxy on %s (cache %d bytes, %s, %s-forward)\n",
+		s.BaseURL(), *capacity, policy, *forward)
+	select {} // serve forever
+}

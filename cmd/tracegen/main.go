@@ -1,0 +1,66 @@
+// Command tracegen generates a synthetic web trace from one of the
+// calibrated paper profiles (or prints its statistics) in the repository's
+// native trace format, replayable by bapsim-style tooling and the library's
+// trace.Read.
+//
+// Usage:
+//
+//	tracegen -profile nlanr-uc [-seed N] [-scale F] [-o trace.txt] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"baps"
+	"baps/internal/stats"
+	"baps/internal/trace"
+)
+
+func main() {
+	profile := flag.String("profile", "", "profile name ("+strings.Join(baps.ProfileNames(), ", ")+")")
+	seed := flag.Int64("seed", 0, "seed override (0 = calibrated)")
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	out := flag.String("o", "", "output file (default stdout)")
+	statsOnly := flag.Bool("stats", false, "print trace statistics instead of the trace")
+	flag.Parse()
+
+	if *profile == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -profile is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tr, err := baps.GenerateTraceScaled(*profile, *seed, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if *statsOnly {
+		s := baps.ComputeStats(tr)
+		fmt.Printf("trace %s: %d requests, %d clients\n", s.Name, s.NumRequests, s.NumClients)
+		fmt.Printf("  total bytes        %s\n", stats.Bytes(s.TotalBytes))
+		fmt.Printf("  unique documents   %d\n", s.UniqueDocs)
+		fmt.Printf("  infinite cache     %s\n", stats.Bytes(s.InfiniteCacheBytes))
+		fmt.Printf("  avg client inf.    %s\n", stats.Bytes(s.AvgClientInfiniteBytes()))
+		fmt.Printf("  max hit ratio      %s\n", stats.Pct(s.MaxHitRatio))
+		fmt.Printf("  max byte hit ratio %s\n", stats.Pct(s.MaxByteHitRatio))
+		fmt.Printf("  cross-client reqs  %d\n", s.SharedRequests)
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: write: %v\n", err)
+		os.Exit(1)
+	}
+}

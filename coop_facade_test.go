@@ -1,0 +1,117 @@
+package baps
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDriverErrorPaths(t *testing.T) {
+	if _, err := CooperativeReport(Options{Scale: 0.02}, "no-such-profile", []int{2}); err == nil {
+		t.Error("unknown profile accepted by CooperativeReport")
+	}
+	if _, err := HierarchyReport(Options{Scale: 0.02}, "no-such-profile"); err == nil {
+		t.Error("unknown profile accepted by HierarchyReport")
+	}
+	if _, err := LatencyReport(Options{Scale: 0.02}, "no-such-profile"); err == nil {
+		t.Error("unknown profile accepted by LatencyReport")
+	}
+	if _, err := AblationReport(Options{Scale: 0.02}, "no-such-profile"); err == nil {
+		t.Error("unknown profile accepted by AblationReport")
+	}
+	if _, err := IndexCompressionReport(Options{Scale: 0.02}, "no-such-profile", 64); err == nil {
+		t.Error("unknown profile accepted by IndexCompressionReport")
+	}
+	if _, err := SecurityReport(100, 0); err == nil {
+		t.Error("tiny key accepted by SecurityReport")
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	tr, err := GenerateTraceScaled("canet2", 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Sweep(tr, []Organization{BrowsersAware}, []float64{0.01, 0.10}, DefaultSimConfig(BrowsersAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.ByOrg[BrowsersAware]) != 2 {
+		t.Fatalf("sweep results: %d", len(sw.ByOrg[BrowsersAware]))
+	}
+	if len(PaperSizes) != 4 || len(PaperClientFractions) != 4 {
+		t.Fatal("paper sweep constants wrong")
+	}
+}
+
+func TestHierarchyDriver(t *testing.T) {
+	tab, err := HierarchyReport(Options{Scale: 0.05}, "nlanr-bo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 orgs × 3 parent sizes)", len(tab.Rows))
+	}
+	// Rows with a parent must show parent hits; the parentless ones none.
+	if tab.Rows[0][4] != "0" || tab.Rows[1][4] != "0" {
+		t.Errorf("parentless rows show parent hits: %v", tab.Rows[:2])
+	}
+	if tab.Rows[4][4] == "0" {
+		t.Errorf("50%%-parent row shows no parent hits: %v", tab.Rows[4])
+	}
+}
+
+func TestReplicationDriver(t *testing.T) {
+	tab, err := ReplicationReport(Options{Scale: 0.02}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if _, err := ReplicationReport(Options{Scale: 0.02}, 1); err == nil {
+		t.Error("1 seed accepted")
+	}
+}
+
+func TestLatencyDriver(t *testing.T) {
+	tab, err := LatencyReport(Options{Scale: 0.05}, "nlanr-bo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for i, cell := range row {
+			if cell == "" {
+				t.Errorf("empty cell %d in %v", i, row)
+			}
+		}
+	}
+}
+
+func TestCooperativeDriver(t *testing.T) {
+	tab, err := CooperativeReport(Options{Scale: 0.05}, "nlanr-bo1", []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (BAPS + M=2 + M=4)", len(tab.Rows))
+	}
+	// The browsers-aware row must post the highest hit ratio: that is
+	// the comparison's point.
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q", s)
+		}
+		return v
+	}
+	baps := parse(tab.Rows[0][1])
+	for _, row := range tab.Rows[1:] {
+		if coopHR := parse(row[1]); coopHR >= baps {
+			t.Errorf("cooperative %s HR %.2f >= browsers-aware %.2f", row[0], coopHR, baps)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package baps_test
+
+import (
+	"fmt"
+
+	"baps"
+)
+
+// ExampleRun reproduces the paper's headline comparison on one synthetic
+// trace: the browsers-aware proxy versus the conventional arrangement.
+func ExampleRun() {
+	tr, err := baps.GenerateTraceScaled("canet2", 0, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	for _, org := range []baps.Organization{baps.ProxyAndLocalBrowser, baps.BrowsersAware} {
+		res, err := baps.Run(tr, baps.DefaultSimConfig(org))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: hits+misses=%d (conservation %v)\n",
+			org, res.Hits()+res.Misses, res.Check() == nil)
+	}
+	// Output:
+	// proxy-and-local-browser: hits+misses=6000 (conservation true)
+	// browsers-aware-proxy-server: hits+misses=6000 (conservation true)
+}
+
+// ExampleComputeStats derives the Table-1 statistics of a trace.
+func ExampleComputeStats() {
+	tr := &baps.Trace{
+		Name:       "tiny",
+		NumClients: 2,
+		Requests: []baps.Request{
+			{Time: 0, Client: 0, URL: "http://a/x", Size: 100},
+			{Time: 1, Client: 1, URL: "http://a/x", Size: 100}, // shared re-request
+			{Time: 2, Client: 0, URL: "http://a/y", Size: 300},
+		},
+	}
+	st := baps.ComputeStats(tr)
+	fmt.Printf("requests=%d unique=%d maxHR=%.2f shared=%d\n",
+		st.NumRequests, st.UniqueDocs, st.MaxHitRatio, st.SharedRequests)
+	// Output:
+	// requests=3 unique=2 maxHR=0.33 shared=1
+}
+
+// ExampleGenerateTrace shows trace generation determinism: the same profile
+// and seed always produce the same workload.
+func ExampleGenerateTrace() {
+	a, _ := baps.GenerateTraceScaled("bu-95", 0, 0.01)
+	b, _ := baps.GenerateTraceScaled("bu-95", 0, 0.01)
+	fmt.Println(len(a.Requests) == len(b.Requests) && a.Requests[0] == b.Requests[0])
+	// Output:
+	// true
+}
+
+// ExampleSweep runs the Figure-2-style sweep on one organization.
+func ExampleSweep() {
+	tr, _ := baps.GenerateTraceScaled("nlanr-bo1", 0, 0.02)
+	sw, err := baps.Sweep(tr, []baps.Organization{baps.BrowsersAware},
+		[]float64{0.01, 0.10}, baps.DefaultSimConfig(baps.BrowsersAware))
+	if err != nil {
+		panic(err)
+	}
+	rs := sw.ByOrg[baps.BrowsersAware]
+	fmt.Println(len(rs) == 2 && rs[1].HitRatio() > rs[0].HitRatio())
+	// Output:
+	// true
+}

@@ -1,0 +1,56 @@
+// Tracestudy: the paper's §4.1 question — "how much is browser cache data
+// sharable?" — answered over all five caching organizations with minimum
+// browser caches, plus the Figure-3 hit breakdown of the browsers-aware
+// proxy, on a configurable profile.
+//
+//	go run ./examples/tracestudy [-profile nlanr-uc] [-scale 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"baps"
+)
+
+func main() {
+	profile := flag.String("profile", "nlanr-uc", "trace profile")
+	scale := flag.Float64("scale", 0.25, "workload scale")
+	flag.Parse()
+
+	tr, err := baps.GenerateTraceScaled(*profile, 0, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := baps.DefaultSimConfig(baps.BrowsersAware)
+	base.Sizing = baps.SizingMinimum // the §4.1 conservative setting
+	sw, err := baps.Sweep(tr, baps.Organizations(), baps.PaperSizes, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Five caching organizations on %s (minimum browser caches)\n\n", tr.Name)
+	fmt.Printf("%-28s", "relative cache size")
+	for _, s := range sw.Sizes {
+		fmt.Printf("  %6.1f%%", s*100)
+	}
+	fmt.Println()
+	for _, org := range baps.Organizations() {
+		fmt.Printf("%-28s", org)
+		for _, r := range sw.ByOrg[org] {
+			fmt.Printf("  %6.2f%%", r.HitRatio()*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nBrowsers-aware hit breakdown (the paper's Figure 3):")
+	fmt.Printf("%-10s  %-14s  %-8s  %-16s\n", "size", "local-browser", "proxy", "remote-browsers")
+	for i, r := range sw.ByOrg[baps.BrowsersAware] {
+		fmt.Printf("%9.1f%%  %13.2f%%  %7.2f%%  %15.2f%%\n",
+			sw.Sizes[i]*100, r.LocalHitRatio()*100, r.ProxyHitRatio()*100, r.RemoteHitRatio()*100)
+	}
+	fmt.Println("\nRemote-browser hits exist at every cache size: sharable data locality is real,")
+	fmt.Println("even when browser caches are set to their conservative minimum.")
+}

@@ -1,0 +1,3 @@
+module baps
+
+go 1.22

@@ -1,0 +1,76 @@
+package anonymity
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// AddrHop is one relay on an address-routed covert path: the hop's network
+// address (a peer-server base URL in the live system) and its 32-byte AES
+// key. Unlike Hop (integer ids, used by the in-memory reference
+// implementation), AddrHop carries everything a relay needs to forward
+// without consulting any directory — the "no or limited centralized
+// control" property.
+type AddrHop struct {
+	Addr string
+	Key  []byte
+}
+
+// BuildRoute wraps payload in one encryption layer per hop, outermost
+// first. Each hop peels its layer with PeelRoute and learns only the next
+// hop's address; the payload surfaces at the terminal hop. The terminal
+// layer carries an empty next-address.
+func BuildRoute(path []AddrHop, payload []byte) ([]byte, error) {
+	if len(path) == 0 {
+		return nil, errors.New("anonymity: empty route")
+	}
+	msg := payload
+	for i := len(path) - 1; i >= 0; i-- {
+		next := ""
+		if i < len(path)-1 {
+			next = path[i+1].Addr
+		}
+		if len(next) > 1<<16-1 {
+			return nil, fmt.Errorf("anonymity: address too long (%d bytes)", len(next))
+		}
+		header := make([]byte, 2+len(next))
+		binary.BigEndian.PutUint16(header, uint16(len(next)))
+		copy(header[2:], next)
+		sealed, err := seal(path[i].Key, append(header, msg...))
+		if err != nil {
+			return nil, err
+		}
+		msg = sealed
+	}
+	return msg, nil
+}
+
+// PeelRoute removes one layer with the hop's key. final reports that rest is
+// the payload; otherwise next is the address to forward rest to. Any
+// tampering is detected by the layer's AES-GCM tag.
+func PeelRoute(key, onion []byte) (next string, rest []byte, final bool, err error) {
+	plain, err := open(key, onion)
+	if err != nil {
+		return "", nil, false, err
+	}
+	if len(plain) < 2 {
+		return "", nil, false, errors.New("anonymity: short route layer")
+	}
+	n := int(binary.BigEndian.Uint16(plain[:2]))
+	if len(plain) < 2+n {
+		return "", nil, false, errors.New("anonymity: truncated route layer")
+	}
+	next = string(plain[2 : 2+n])
+	rest = plain[2+n:]
+	return next, rest, next == "", nil
+}
+
+// Seal encrypts plaintext for a single recipient key (AES-256-GCM) — the
+// end-to-end payload protection used alongside route onions: relays forward
+// the sealed payload untouched, and only the terminal hop (which learns the
+// ephemeral key from its route layer) can open it.
+func Seal(key, plaintext []byte) ([]byte, error) { return seal(key, plaintext) }
+
+// Open reverses Seal.
+func Open(key, sealed []byte) ([]byte, error) { return open(key, sealed) }

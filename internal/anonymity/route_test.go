@@ -1,0 +1,130 @@
+package anonymity
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildRouteSingleHop(t *testing.T) {
+	k := mustKey(t)
+	onion, err := BuildRoute([]AddrHop{{Addr: "http://a", Key: k}}, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, rest, final, err := PeelRoute(k, onion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final || next != "" || string(rest) != "payload" {
+		t.Fatalf("PeelRoute = %q, %q, %v", next, rest, final)
+	}
+}
+
+func TestBuildRouteMultiHop(t *testing.T) {
+	keys := [][]byte{mustKey(t), mustKey(t), mustKey(t)}
+	path := []AddrHop{
+		{Addr: "http://relay1", Key: keys[0]},
+		{Addr: "http://relay2", Key: keys[1]},
+		{Addr: "http://requester", Key: keys[2]},
+	}
+	onion, err := BuildRoute(path, []byte("doc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop 1 learns only relay2's address.
+	next, rest, final, err := PeelRoute(keys[0], onion)
+	if err != nil || final || next != "http://relay2" {
+		t.Fatalf("hop1: %q %v %v", next, final, err)
+	}
+	// Hop 1 cannot peel deeper.
+	if _, _, _, err := PeelRoute(keys[0], rest); err == nil {
+		t.Fatal("hop1 peeled hop2's layer")
+	}
+	next, rest, final, err = PeelRoute(keys[1], rest)
+	if err != nil || final || next != "http://requester" {
+		t.Fatalf("hop2: %q %v %v", next, final, err)
+	}
+	next, rest, final, err = PeelRoute(keys[2], rest)
+	if err != nil || !final || next != "" || string(rest) != "doc" {
+		t.Fatalf("terminal: %q %q %v %v", next, rest, final, err)
+	}
+}
+
+func TestBuildRouteValidation(t *testing.T) {
+	if _, err := BuildRoute(nil, []byte("p")); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, err := BuildRoute([]AddrHop{{Addr: "a", Key: []byte("short")}}, []byte("p")); err == nil {
+		t.Error("bad key accepted")
+	}
+}
+
+func TestPeelRouteTamper(t *testing.T) {
+	k := mustKey(t)
+	onion, _ := BuildRoute([]AddrHop{{Addr: "a", Key: k}}, []byte("p"))
+	onion[5] ^= 1
+	if _, _, _, err := PeelRoute(k, onion); err == nil {
+		t.Fatal("tampered route peeled")
+	}
+}
+
+func TestSealOpen(t *testing.T) {
+	k := mustKey(t)
+	sealed, err := Seal(k, []byte("end-to-end"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(k, sealed)
+	if err != nil || string(got) != "end-to-end" {
+		t.Fatalf("Open = %q, %v", got, err)
+	}
+	sealed[len(sealed)-1] ^= 1
+	if _, err := Open(k, sealed); err == nil {
+		t.Fatal("tampered seal opened")
+	}
+	if _, err := Open(mustKey(t), sealed); err == nil {
+		t.Fatal("wrong key opened")
+	}
+}
+
+// TestQuickRouteRoundTrip: arbitrary payloads and path lengths route
+// end-to-end with each hop learning exactly the next address.
+func TestQuickRouteRoundTrip(t *testing.T) {
+	f := func(payload []byte, n uint8) bool {
+		hops := int(n%4) + 1
+		path := make([]AddrHop, hops)
+		for i := range path {
+			k, err := NewKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path[i] = AddrHop{Addr: string(rune('a' + i)), Key: k}
+		}
+		onion, err := BuildRoute(path, payload)
+		if err != nil {
+			t.Errorf("BuildRoute: %v", err)
+			return false
+		}
+		msg := onion
+		for i := 0; i < hops; i++ {
+			next, rest, final, err := PeelRoute(path[i].Key, msg)
+			if err != nil {
+				t.Errorf("hop %d: %v", i, err)
+				return false
+			}
+			if i == hops-1 {
+				return final && bytes.Equal(rest, payload)
+			}
+			if final || next != path[i+1].Addr {
+				t.Errorf("hop %d: next %q final %v", i, next, final)
+				return false
+			}
+			msg = rest
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

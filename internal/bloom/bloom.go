@@ -1,0 +1,215 @@
+// Package bloom implements Bloom filters and counting Bloom filters, the
+// compression technique the paper's §5 cites (Fan et al., "Summary Cache",
+// SIGCOMM 1998; Michel et al., INFOCOM 2000) for shrinking the browser index
+// file: instead of 16-byte MD5 signatures per URL, the proxy can keep one
+// small filter per browser, at the cost of a tunable false-positive rate.
+//
+// The counting variant supports deletion, which the browsers-aware index
+// needs because browser caches evict continuously.
+package bloom
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a classic Bloom filter with k hash functions derived from a
+// single 64-bit FNV-1a hash by the Kirsch–Mitzenmacher double-hashing
+// construction.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of hash functions
+	n    int    // inserted element count
+}
+
+// NewFilter creates a filter with m bits and k hash functions. m is rounded
+// up to a multiple of 64.
+func NewFilter(m uint64, k int) (*Filter, error) {
+	if m == 0 || k <= 0 {
+		return nil, fmt.Errorf("bloom: m and k must be positive (m=%d k=%d)", m, k)
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}, nil
+}
+
+// NewFilterForFPR sizes a filter for an expected n elements at target false
+// positive rate fpr, using the standard optima m = -n·ln(fpr)/ln2² and
+// k = m/n·ln2.
+func NewFilterForFPR(n int, fpr float64) (*Filter, error) {
+	if n <= 0 || fpr <= 0 || fpr >= 1 {
+		return nil, fmt.Errorf("bloom: need n>0 and 0<fpr<1 (n=%d fpr=%g)", n, fpr)
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fpr) / (math.Ln2 * math.Ln2)))
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return NewFilter(m, k)
+}
+
+// indexes derives the k bit positions for a key.
+func indexes(key string, m uint64, k int) (h1, h2 uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	sum := h.Sum64()
+	h1 = sum
+	// Second independent hash: re-mix with a different constant.
+	h2 = (sum ^ 0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9
+	h2 |= 1 // force odd so the stride cycles all positions
+	return h1, h2
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key string) {
+	h1, h2 := indexes(key, f.m, f.k)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether the key may be present. False positives occur at
+// the configured rate; false negatives never.
+func (f *Filter) Contains(key string) bool {
+	h1, h2 := indexes(key, f.m, f.k)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// Union merges other into f. Both filters must share m and k.
+func (f *Filter) Union(other *Filter) error {
+	if f.m != other.m || f.k != other.k {
+		return fmt.Errorf("bloom: union of incompatible filters (m=%d/%d k=%d/%d)", f.m, other.m, f.k, other.k)
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.n += other.n
+	return nil
+}
+
+// Bits reports the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// K reports the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Count reports the number of Add calls since the last Reset.
+func (f *Filter) Count() int { return f.n }
+
+// SizeBytes reports the memory footprint of the bit array.
+func (f *Filter) SizeBytes() int64 { return int64(len(f.bits) * 8) }
+
+// FillRatio reports the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	ones := 0
+	for _, w := range f.bits {
+		ones += popcount(w)
+	}
+	return float64(ones) / float64(f.m)
+}
+
+// EstimatedFPR estimates the current false-positive rate from the fill
+// ratio: fpr = fill^k.
+func (f *Filter) EstimatedFPR() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Counting is a counting Bloom filter with 8-bit saturating counters,
+// supporting Remove. Summary Cache found 4-bit counters sufficient; 8 bits
+// keep the implementation simple while staying within the paper's §5 space
+// budget discussion (the space estimate helper reports both widths).
+type Counting struct {
+	counts []uint8
+	m      uint64
+	k      int
+	n      int
+}
+
+// NewCounting creates a counting filter with m counters and k hashes.
+func NewCounting(m uint64, k int) (*Counting, error) {
+	if m == 0 || k <= 0 {
+		return nil, fmt.Errorf("bloom: m and k must be positive (m=%d k=%d)", m, k)
+	}
+	return &Counting{counts: make([]uint8, m), m: m, k: k}, nil
+}
+
+// Add inserts a key, saturating counters at 255.
+func (c *Counting) Add(key string) {
+	h1, h2 := indexes(key, c.m, c.k)
+	for i := 0; i < c.k; i++ {
+		pos := (h1 + uint64(i)*h2) % c.m
+		if c.counts[pos] < math.MaxUint8 {
+			c.counts[pos]++
+		}
+	}
+	c.n++
+}
+
+// Remove deletes one insertion of key. Removing a key that was never added
+// corrupts the filter (as in any counting Bloom filter); callers guard with
+// their own membership bookkeeping. Saturated counters are left untouched,
+// trading residual false positives for safety.
+func (c *Counting) Remove(key string) {
+	h1, h2 := indexes(key, c.m, c.k)
+	for i := 0; i < c.k; i++ {
+		pos := (h1 + uint64(i)*h2) % c.m
+		if c.counts[pos] > 0 && c.counts[pos] < math.MaxUint8 {
+			c.counts[pos]--
+		}
+	}
+	if c.n > 0 {
+		c.n--
+	}
+}
+
+// Contains reports whether the key may be present.
+func (c *Counting) Contains(key string) bool {
+	h1, h2 := indexes(key, c.m, c.k)
+	for i := 0; i < c.k; i++ {
+		pos := (h1 + uint64(i)*h2) % c.m
+		if c.counts[pos] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count reports the net number of inserted keys.
+func (c *Counting) Count() int { return c.n }
+
+// SizeBytes reports the counter-array footprint.
+func (c *Counting) SizeBytes() int64 { return int64(len(c.counts)) }
+
+// Reset clears the filter.
+func (c *Counting) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+	c.n = 0
+}

@@ -1,0 +1,245 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFilterValidation(t *testing.T) {
+	if _, err := NewFilter(0, 3); err == nil {
+		t.Error("NewFilter(0,3) succeeded")
+	}
+	if _, err := NewFilter(100, 0); err == nil {
+		t.Error("NewFilter(100,0) succeeded")
+	}
+	f, err := NewFilter(100, 3)
+	if err != nil {
+		t.Fatalf("NewFilter: %v", err)
+	}
+	if f.Bits()%64 != 0 || f.Bits() < 100 {
+		t.Errorf("Bits() = %d, want multiple of 64 >= 100", f.Bits())
+	}
+	if f.K() != 3 {
+		t.Errorf("K() = %d", f.K())
+	}
+}
+
+func TestNewFilterForFPRValidation(t *testing.T) {
+	for _, c := range []struct {
+		n   int
+		fpr float64
+	}{{0, 0.01}, {10, 0}, {10, 1}} {
+		if _, err := NewFilterForFPR(c.n, c.fpr); err == nil {
+			t.Errorf("NewFilterForFPR(%d,%g) succeeded", c.n, c.fpr)
+		}
+	}
+}
+
+func TestFilterNoFalseNegatives(t *testing.T) {
+	f, _ := NewFilterForFPR(1000, 0.01)
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("http://example.com/doc/%d", i)
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Errorf("Count = %d", f.Count())
+	}
+}
+
+func TestFilterFPRNearTarget(t *testing.T) {
+	target := 0.01
+	f, _ := NewFilterForFPR(5000, target)
+	for i := 0; i < 5000; i++ {
+		f.Add(fmt.Sprintf("in-%d", i))
+	}
+	fp := 0
+	probes := 50_000
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	if rate > target*3 {
+		t.Errorf("measured FPR %.4f far above target %.4f", rate, target)
+	}
+	if est := f.EstimatedFPR(); est > target*3 {
+		t.Errorf("EstimatedFPR %.4f far above target %.4f", est, target)
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	f, _ := NewFilter(512, 4)
+	f.Add("a")
+	f.Reset()
+	if f.Contains("a") || f.Count() != 0 || f.FillRatio() != 0 {
+		t.Error("Reset did not clear the filter")
+	}
+}
+
+func TestFilterUnion(t *testing.T) {
+	a, _ := NewFilter(512, 4)
+	b, _ := NewFilter(512, 4)
+	a.Add("x")
+	b.Add("y")
+	if err := a.Union(b); err != nil {
+		t.Fatalf("Union: %v", err)
+	}
+	if !a.Contains("x") || !a.Contains("y") {
+		t.Error("Union lost a member")
+	}
+	c, _ := NewFilter(1024, 4)
+	if err := a.Union(c); err == nil {
+		t.Error("Union of incompatible sizes succeeded")
+	}
+	d, _ := NewFilter(512, 5)
+	if err := a.Union(d); err == nil {
+		t.Error("Union of incompatible k succeeded")
+	}
+}
+
+func TestFilterSizeBytes(t *testing.T) {
+	f, _ := NewFilter(64*10, 3)
+	if f.SizeBytes() != 80 {
+		t.Errorf("SizeBytes = %d, want 80", f.SizeBytes())
+	}
+}
+
+func TestCountingAddRemove(t *testing.T) {
+	c, _ := NewCounting(4096, 4)
+	c.Add("doc")
+	if !c.Contains("doc") {
+		t.Fatal("Contains false after Add")
+	}
+	c.Remove("doc")
+	if c.Contains("doc") {
+		t.Fatal("Contains true after Remove")
+	}
+	if c.Count() != 0 {
+		t.Errorf("Count = %d", c.Count())
+	}
+}
+
+func TestCountingMultiplicity(t *testing.T) {
+	c, _ := NewCounting(4096, 4)
+	c.Add("doc")
+	c.Add("doc")
+	c.Remove("doc")
+	if !c.Contains("doc") {
+		t.Fatal("second insertion lost after one Remove")
+	}
+	c.Remove("doc")
+	if c.Contains("doc") {
+		t.Fatal("still present after matching Removes")
+	}
+}
+
+func TestCountingValidation(t *testing.T) {
+	if _, err := NewCounting(0, 3); err == nil {
+		t.Error("NewCounting(0,3) succeeded")
+	}
+	if _, err := NewCounting(10, 0); err == nil {
+		t.Error("NewCounting(10,0) succeeded")
+	}
+}
+
+func TestCountingReset(t *testing.T) {
+	c, _ := NewCounting(1024, 3)
+	c.Add("a")
+	c.Reset()
+	if c.Contains("a") || c.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCountingRemoveOnEmptyIsSafe(t *testing.T) {
+	c, _ := NewCounting(64, 2)
+	c.Remove("ghost") // must not underflow or panic
+	if c.Count() != 0 {
+		t.Errorf("Count = %d", c.Count())
+	}
+}
+
+// TestQuickFilterNoFalseNegatives: any set of added keys is always reported
+// present.
+func TestQuickFilterNoFalseNegatives(t *testing.T) {
+	f := func(keys []string) bool {
+		fl, err := NewFilter(8192, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		for _, k := range keys {
+			if !fl.Contains(k) {
+				t.Errorf("false negative for %q", k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCountingDeleteConsistency: after adding a multiset of keys and
+// removing a random subset (respecting multiplicity), every key with
+// remaining insertions is still present.
+func TestQuickCountingDeleteConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := NewCounting(16384, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mult := map[string]int{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("k%d", rng.Intn(60))
+			c.Add(k)
+			mult[k]++
+		}
+		for k := range mult {
+			drop := rng.Intn(mult[k] + 1)
+			for i := 0; i < drop; i++ {
+				c.Remove(k)
+			}
+			mult[k] -= drop
+		}
+		for k, m := range mult {
+			if m > 0 && !c.Contains(k) {
+				t.Errorf("seed %d: %q (mult %d) reported absent", seed, k, m)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillRatioMonotonic(t *testing.T) {
+	f, _ := NewFilter(2048, 3)
+	prev := f.FillRatio()
+	for i := 0; i < 200; i++ {
+		f.Add(fmt.Sprintf("k%d", i))
+		cur := f.FillRatio()
+		if cur < prev {
+			t.Fatalf("fill ratio decreased: %f -> %f", prev, cur)
+		}
+		prev = cur
+	}
+	if prev <= 0 || prev > 1 {
+		t.Fatalf("fill ratio %f out of range", prev)
+	}
+}

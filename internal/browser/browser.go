@@ -1,0 +1,395 @@
+// Package browser implements the live browser-side agent of the
+// browsers-aware proxy system: a client with a local browser cache that
+//
+//   - serves its own requests from the local cache first (Figure 1's first
+//     lookup);
+//   - fetches misses through the browsers-aware proxy;
+//   - runs a small peer server so the proxy can retrieve its cached
+//     documents (fetch-forward) or instruct it to push a document to an
+//     anonymous relay drop (direct-forward) — only callers presenting the
+//     registration token are served, so peers can never contact each other
+//     directly and identities stay hidden (§6.2);
+//   - keeps the proxy's browser index updated under either §2 protocol:
+//     immediate add/invalidate messages, or periodic batched re-syncs once
+//     a threshold fraction of the cache has changed;
+//   - verifies document watermarks with the proxy's public key (§6.1) and
+//     reports tampered direct-forward deliveries.
+package browser
+
+import (
+	"bytes"
+	"context"
+	"crypto/rsa"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"baps/internal/cache"
+	"baps/internal/integrity"
+	"baps/internal/proxy"
+)
+
+// Source classifies where a Get was satisfied.
+type Source string
+
+// Source values.
+const (
+	SourceLocal  Source = "local"
+	SourceProxy  Source = proxy.SourceProxy
+	SourceRemote Source = proxy.SourceRemote
+	SourceOrigin Source = proxy.SourceOrigin
+)
+
+// IndexMode selects the §2 index-update protocol on the wire.
+type IndexMode int
+
+const (
+	// Immediate sends one index message per cache change.
+	Immediate IndexMode = iota
+	// Periodic batches changes and re-syncs the full directory when more
+	// than Threshold of the cache has changed.
+	Periodic
+)
+
+// Config parameterizes an agent.
+type Config struct {
+	// ProxyURL is the browsers-aware proxy's base URL.
+	ProxyURL string
+	// CacheCapacity is the browser cache size in bytes.
+	CacheCapacity int64
+	// MemFraction is the memory-tier share of the cache.
+	MemFraction float64
+	// Policy is the replacement policy (paper: LRU).
+	Policy cache.Policy
+	// IndexMode and Threshold configure index updates.
+	IndexMode IndexMode
+	Threshold float64
+	// Verify enables watermark verification on every non-local document.
+	Verify bool
+	// Timeout bounds proxy calls.
+	Timeout time.Duration
+}
+
+// DefaultConfig returns sensible agent defaults.
+func DefaultConfig(proxyURL string) Config {
+	return Config{
+		ProxyURL:      proxyURL,
+		CacheCapacity: 8 << 20,
+		MemFraction:   0.5,
+		Policy:        cache.LRU,
+		IndexMode:     Immediate,
+		Threshold:     0.05,
+		Verify:        true,
+		Timeout:       10 * time.Second,
+	}
+}
+
+// Metrics counts agent activity.
+type Metrics struct {
+	Requests     int64
+	LocalHits    int64
+	ProxyHits    int64
+	RemoteHits   int64
+	OriginMiss   int64
+	PeerServes   int64
+	TamperSeen   int64
+	IndexSyncs   int64
+	IndexOps     int64
+	OnionRelayed int64
+}
+
+// Agent is one live browser client.
+type Agent struct {
+	cfg      Config
+	id       int
+	token    string
+	pub      *rsa.PublicKey
+	relayKey []byte // covert-path key issued at registration
+
+	mu     sync.Mutex
+	cache  *cache.TwoTier
+	bodies map[string][]byte
+	marks  map[string]storedMark
+	// Periodic-mode pending change counter.
+	changes int
+	// Waiters for onion-routed deliveries, by document URL.
+	pendingOnion map[string]chan onionDeliveryMsg
+
+	metrics Metrics
+
+	httpClient *http.Client
+	listener   net.Listener
+	httpSrv    *http.Server
+	peerURL    string
+
+	// Tamper is a test hook: when non-nil, bodies served to peers (via
+	// either forward mode) pass through it — the "malicious holder".
+	Tamper func(url string, body []byte) []byte
+}
+
+type storedMark struct {
+	version   int64
+	watermark []byte
+}
+
+// New starts an agent: it brings up the peer server on a loopback port and
+// registers with the proxy.
+func New(cfg Config) (*Agent, error) {
+	if cfg.ProxyURL == "" {
+		return nil, errors.New("browser: missing ProxyURL")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.MemFraction <= 0 || cfg.MemFraction > 1 {
+		return nil, fmt.Errorf("browser: MemFraction %g out of (0,1]", cfg.MemFraction)
+	}
+	if cfg.IndexMode == Periodic && (cfg.Threshold <= 0 || cfg.Threshold > 1) {
+		return nil, fmt.Errorf("browser: Threshold %g out of (0,1] for periodic mode", cfg.Threshold)
+	}
+	a := &Agent{
+		cfg:        cfg,
+		bodies:     make(map[string][]byte),
+		marks:      make(map[string]storedMark),
+		httpClient: &http.Client{Timeout: cfg.Timeout},
+	}
+	tc, err := cache.NewTwoTier(cfg.Policy, cfg.CacheCapacity,
+		int64(float64(cfg.CacheCapacity)*cfg.MemFraction))
+	if err != nil {
+		return nil, err
+	}
+	a.cache = tc
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("browser: peer listen: %w", err)
+	}
+	a.listener = ln
+	a.peerURL = "http://" + ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/peer/doc", a.handlePeerDoc)
+	mux.HandleFunc("/peer/send", a.handlePeerSend)
+	mux.HandleFunc("/peer/onion-send", a.handlePeerOnionSend)
+	mux.HandleFunc("/peer/onion", a.handlePeerOnion)
+	mux.HandleFunc("/peer/resync", a.handlePeerResync)
+	a.httpSrv = &http.Server{Handler: mux}
+	go a.httpSrv.Serve(ln)
+
+	if err := a.register(); err != nil {
+		a.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// register joins the proxy and obtains id, token and public key.
+func (a *Agent) register() error {
+	body, _ := json.Marshal(proxy.RegisterRequest{PeerURL: a.peerURL})
+	resp, err := a.httpClient.Post(a.cfg.ProxyURL+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("browser: register: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("browser: register status %s", resp.Status)
+	}
+	var reg proxy.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return fmt.Errorf("browser: register decode: %w", err)
+	}
+	pub, err := integrity.ParsePublicKey([]byte(reg.PublicKey))
+	if err != nil {
+		return err
+	}
+	relayKey, err := base64.StdEncoding.DecodeString(reg.RelayKey)
+	if err != nil || len(relayKey) != 32 {
+		return fmt.Errorf("browser: bad relay key from proxy")
+	}
+	a.id, a.token, a.pub, a.relayKey = reg.ClientID, reg.Token, pub, relayKey
+	return nil
+}
+
+// Close shuts the peer server down.
+func (a *Agent) Close() error {
+	if a.httpSrv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return a.httpSrv.Shutdown(ctx)
+}
+
+// ID reports the proxy-assigned client id.
+func (a *Agent) ID() int { return a.id }
+
+// PeerURL reports the agent's peer-server base URL.
+func (a *Agent) PeerURL() string { return a.peerURL }
+
+// Snapshot returns a copy of the agent's metrics.
+func (a *Agent) Snapshot() Metrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.metrics
+}
+
+// CacheLen reports the number of locally cached documents.
+func (a *Agent) CacheLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cache.Len()
+}
+
+// HasCached reports whether url is in the local cache (no promotion).
+func (a *Agent) HasCached(url string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.cache.Peek(url)
+	return ok
+}
+
+// Get resolves a document: local browser cache, then the browsers-aware
+// proxy (which itself tries its cache, remote browsers, and the origin).
+func (a *Agent) Get(ctx context.Context, docURL string) ([]byte, Source, error) {
+	a.mu.Lock()
+	a.metrics.Requests++
+	if _, _, ok := a.cache.GetTier(docURL); ok {
+		body := a.bodies[docURL]
+		a.metrics.LocalHits++
+		a.mu.Unlock()
+		return body, SourceLocal, nil
+	}
+	a.mu.Unlock()
+
+	// Pre-register an onion waiter: under OnionForward the delivery can
+	// race the /fetch response.
+	onionCh, cancelOnion := a.expectOnion(docURL)
+	defer cancelOnion()
+
+	body, src, ticket, mark, version, viaOnion, err := a.fetchViaProxy(ctx, docURL, false)
+	if err != nil {
+		return nil, "", err
+	}
+	if viaOnion {
+		d, derr := a.awaitOnion(onionCh)
+		if derr != nil {
+			// Covert path failed; retry bypassing peers.
+			body, src, _, mark, version, viaOnion, err = a.fetchViaProxy(ctx, docURL, true)
+			if err != nil {
+				return nil, "", err
+			}
+			if viaOnion {
+				return nil, "", fmt.Errorf("browser: proxy insisted on onion delivery with peers disabled")
+			}
+		} else {
+			body, mark, version = d.body, d.watermark, d.version
+			src = SourceRemote
+		}
+	}
+	if a.cfg.Verify {
+		if verr := a.verify(body, mark); verr != nil {
+			a.mu.Lock()
+			a.metrics.TamperSeen++
+			a.mu.Unlock()
+			// §6.1: reject, report the delivery (the proxy maps the
+			// ticket to the hidden holder), and retry bypassing peers.
+			a.reportBad(ctx, docURL, ticket)
+			body, src, _, mark, version, _, err = a.fetchViaProxy(ctx, docURL, true)
+			if err != nil {
+				return nil, "", err
+			}
+			if verr := a.verify(body, mark); verr != nil {
+				return nil, "", verr
+			}
+		}
+	}
+	a.store(docURL, body, mark, version)
+	switch src {
+	case SourceProxy:
+		a.addMetric(func(m *Metrics) { m.ProxyHits++ })
+	case SourceRemote:
+		a.addMetric(func(m *Metrics) { m.RemoteHits++ })
+	default:
+		a.addMetric(func(m *Metrics) { m.OriginMiss++ })
+	}
+	return body, src, nil
+}
+
+func (a *Agent) addMetric(f func(*Metrics)) {
+	a.mu.Lock()
+	f(&a.metrics)
+	a.mu.Unlock()
+}
+
+// verify checks the watermark under the proxy's public key.
+func (a *Agent) verify(body, mark []byte) error {
+	if len(mark) == 0 {
+		return errors.New("browser: missing watermark")
+	}
+	return integrity.Verify(a.pub, body, mark)
+}
+
+// fetchViaProxy performs GET /fetch. viaOnion reports that the proxy
+// announced an out-of-band onion delivery instead of returning a body.
+func (a *Agent) fetchViaProxy(ctx context.Context, docURL string, noPeer bool) (body []byte, src Source, ticket string, mark []byte, version int64, viaOnion bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		a.cfg.ProxyURL+"/fetch?url="+url.QueryEscape(docURL), nil)
+	if err != nil {
+		return nil, "", "", nil, 0, false, err
+	}
+	req.Header.Set(proxy.HeaderClient, strconv.Itoa(a.id))
+	if noPeer {
+		req.Header.Set(proxy.HeaderNoPeer, "1")
+	}
+	resp, err := a.httpClient.Do(req)
+	if err != nil {
+		return nil, "", "", nil, 0, false, fmt.Errorf("browser: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, "", "", nil, 0, false, fmt.Errorf("browser: fetch status %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	if resp.Header.Get(proxy.HeaderOnion) == "1" {
+		return nil, SourceRemote, "", nil, 0, true, nil
+	}
+	body, err = io.ReadAll(io.LimitReader(resp.Body, 128<<20))
+	if err != nil {
+		return nil, "", "", nil, 0, false, err
+	}
+	src = Source(resp.Header.Get(proxy.HeaderSource))
+	ticket = resp.Header.Get("X-BAPS-Ticket")
+	if b64 := resp.Header.Get(proxy.HeaderWatermark); b64 != "" {
+		mark, _ = base64.StdEncoding.DecodeString(b64)
+	}
+	version, _ = strconv.ParseInt(resp.Header.Get(proxy.HeaderVersion), 10, 64)
+	return body, src, ticket, mark, version, false, nil
+}
+
+// reportBad files a §6.1 rejection for a direct-forward delivery.
+func (a *Agent) reportBad(ctx context.Context, docURL, ticket string) {
+	rep, _ := json.Marshal(proxy.BadContentReport{ClientID: a.id, URL: docURL, Ticket: ticket})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.cfg.ProxyURL+"/report-bad", bytes.NewReader(rep))
+	if err != nil {
+		return
+	}
+	a.authHeaders(req)
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := a.httpClient.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func (a *Agent) authHeaders(req *http.Request) {
+	req.Header.Set(proxy.HeaderClient, strconv.Itoa(a.id))
+	req.Header.Set(proxy.HeaderToken, a.token)
+}

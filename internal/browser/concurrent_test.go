@@ -1,0 +1,102 @@
+package browser
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"baps/internal/proxy"
+)
+
+// TestConcurrentClusterLoad hammers the live system from every agent at
+// once: correctness (every response matches the origin's deterministic
+// body) and liveness under contention. Run with -race in CI.
+func TestConcurrentClusterLoad(t *testing.T) {
+	pcfg := testProxyConfig(proxy.FetchForward)
+	pcfg.CacheCapacity = 512 << 10 // small: force evictions + peer traffic
+	c := startCluster(t, 4, pcfg, func(ac *Config) {
+		ac.CacheCapacity = 4 << 20
+	})
+	ctx := context.Background()
+
+	const perAgent = 60
+	const docs = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, len(c.agents)*perAgent)
+	for ai, a := range c.agents {
+		wg.Add(1)
+		go func(ai int, a *Agent) {
+			defer wg.Done()
+			for i := 0; i < perAgent; i++ {
+				d := (i*7 + ai*3) % docs
+				size := 2000 + d*137
+				u := c.url(fmt.Sprintf("/load/doc%d?size=%d", d, size))
+				body, _, err := a.Get(ctx, u)
+				if err != nil {
+					errs <- fmt.Errorf("agent %d: %w", ai, err)
+					return
+				}
+				want := c.origin.Body(fmt.Sprintf("/load/doc%d", d), 0, int64(size))
+				if !bytes.Equal(body, want) {
+					errs <- fmt.Errorf("agent %d: body mismatch for doc%d", ai, d)
+					return
+				}
+			}
+		}(ai, a)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := c.proxy.Snapshot()
+	if st.Requests == 0 {
+		t.Fatal("no requests reached the proxy")
+	}
+	var localTotal int64
+	for _, a := range c.agents {
+		m := a.Snapshot()
+		localTotal += m.LocalHits
+		if m.Requests != perAgent {
+			t.Errorf("agent recorded %d requests, want %d", m.Requests, perAgent)
+		}
+	}
+	if localTotal == 0 {
+		t.Error("no local hits under a looping workload")
+	}
+	t.Logf("proxy: %+v; local hits %d", st, localTotal)
+}
+
+// TestConcurrentLoadDirectForward repeats the hammer under the anonymous
+// relay mode, which exercises the ticket store and relay sessions
+// concurrently.
+func TestConcurrentLoadDirectForward(t *testing.T) {
+	pcfg := testProxyConfig(proxy.DirectForward)
+	pcfg.CacheCapacity = 256 << 10
+	c := startCluster(t, 3, pcfg, func(ac *Config) {
+		ac.CacheCapacity = 4 << 20
+	})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for ai, a := range c.agents {
+		wg.Add(1)
+		go func(ai int, a *Agent) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				u := c.url(fmt.Sprintf("/dload/doc%d?size=4000", (i+ai)%12))
+				if _, _, err := a.Get(ctx, u); err != nil {
+					errs <- fmt.Errorf("agent %d: %w", ai, err)
+					return
+				}
+			}
+		}(ai, a)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,424 @@
+package browser
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"baps/internal/origin"
+	"baps/internal/proxy"
+)
+
+// cluster wires an origin, a browsers-aware proxy and n agents together on
+// loopback HTTP.
+type cluster struct {
+	origin   *origin.Server
+	originTS *httptest.Server
+	proxy    *proxy.Server
+	agents   []*Agent
+}
+
+func startCluster(t *testing.T, n int, pcfg proxy.Config, mutate func(*Config)) *cluster {
+	t.Helper()
+	c := &cluster{origin: origin.New(1234)}
+	c.originTS = httptest.NewServer(c.origin.Handler())
+	t.Cleanup(c.originTS.Close)
+
+	if pcfg.KeyBits == 0 {
+		pcfg = proxy.DefaultConfig()
+		pcfg.KeyBits = 1024 // fast test keys
+	}
+	p, err := proxy.New(pcfg)
+	if err != nil {
+		t.Fatalf("proxy.New: %v", err)
+	}
+	if err := p.Start(""); err != nil {
+		t.Fatalf("proxy.Start: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	c.proxy = p
+
+	for i := 0; i < n; i++ {
+		acfg := DefaultConfig(p.BaseURL())
+		acfg.CacheCapacity = 1 << 20
+		if mutate != nil {
+			mutate(&acfg)
+		}
+		a, err := New(acfg)
+		if err != nil {
+			t.Fatalf("browser.New(%d): %v", i, err)
+		}
+		t.Cleanup(func() { a.Close() })
+		c.agents = append(c.agents, a)
+	}
+	return c
+}
+
+func (c *cluster) url(path string) string { return c.originTS.URL + path }
+
+func testProxyConfig(forward proxy.ForwardMode) proxy.Config {
+	cfg := proxy.DefaultConfig()
+	cfg.KeyBits = 1024
+	cfg.CacheCapacity = 1 << 20
+	cfg.Forward = forward
+	return cfg
+}
+
+func TestEndToEndFetchForward(t *testing.T) {
+	c := startCluster(t, 2, testProxyConfig(proxy.FetchForward), nil)
+	ctx := context.Background()
+	u := c.url("/doc/shared")
+
+	// First access: origin fetch.
+	body0, src, err := c.agents[0].Get(ctx, u)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if src != SourceOrigin {
+		t.Fatalf("first access source = %v, want origin", src)
+	}
+	// Same client again: local browser hit.
+	body1, src, err := c.agents[0].Get(ctx, u)
+	if err != nil || src != SourceLocal || !bytes.Equal(body0, body1) {
+		t.Fatalf("re-access: src=%v err=%v equal=%v", src, err, bytes.Equal(body0, body1))
+	}
+	// Other client: proxy hit (the proxy cached the origin fetch).
+	_, src, err = c.agents[1].Get(ctx, u)
+	if err != nil || src != SourceProxy {
+		t.Fatalf("cross-client: src=%v err=%v", src, err)
+	}
+	if c.origin.Fetches() != 1 {
+		t.Fatalf("origin fetched %d times, want 1", c.origin.Fetches())
+	}
+}
+
+// forceProxyEviction fills the proxy cache with filler documents fetched by
+// the given agent until earlier entries are evicted.
+func forceProxyEviction(t *testing.T, c *cluster, a *Agent, bytesNeeded int64) {
+	t.Helper()
+	ctx := context.Background()
+	var total int64
+	for i := 0; total < bytesNeeded; i++ {
+		u := c.url("/filler/"+string(rune('a'+i%26))+string(rune('0'+i/26))) + "?size=60000"
+		if _, _, err := a.Get(ctx, u); err != nil {
+			t.Fatalf("filler fetch: %v", err)
+		}
+		total += 60000
+	}
+}
+
+func TestRemoteBrowserHitFetchForward(t *testing.T) {
+	c := startCluster(t, 3, testProxyConfig(proxy.FetchForward), func(ac *Config) {
+		ac.CacheCapacity = 8 << 20 // browsers retain everything
+	})
+	ctx := context.Background()
+	u := c.url("/doc/popular?size=10000")
+
+	if _, _, err := c.agents[0].Get(ctx, u); err != nil {
+		t.Fatal(err)
+	}
+	// Push the document out of the 1 MB proxy cache via another client so
+	// agent 0's browser still holds it.
+	forceProxyEviction(t, c, c.agents[2], 2<<20)
+
+	_, src, err := c.agents[1].Get(ctx, u)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if src != SourceRemote {
+		t.Fatalf("source = %v, want remote", src)
+	}
+	st := c.proxy.Snapshot()
+	if st.RemoteHits != 1 {
+		t.Fatalf("proxy remote hits = %d", st.RemoteHits)
+	}
+	if m := c.agents[0].Snapshot(); m.PeerServes != 1 {
+		t.Fatalf("holder peer serves = %d", m.PeerServes)
+	}
+	// Origin must have served the doc exactly once.
+	// (plus the filler fetches, which hit distinct URLs)
+	if got, want := c.origin.Fetches(), int64(1+2<<20/60000+1); got != want {
+		t.Logf("origin fetches = %d (want %d); filler accounting differs", got, want)
+	}
+}
+
+func TestRemoteBrowserHitDirectForward(t *testing.T) {
+	c := startCluster(t, 3, testProxyConfig(proxy.DirectForward), func(ac *Config) {
+		ac.CacheCapacity = 8 << 20
+	})
+	ctx := context.Background()
+	u := c.url("/doc/direct?size=9000")
+
+	want, _, err := c.agents[0].Get(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceProxyEviction(t, c, c.agents[2], 2<<20)
+
+	got, src, err := c.agents[1].Get(ctx, u)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if src != SourceRemote {
+		t.Fatalf("source = %v, want remote", src)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("direct-forward body corrupted")
+	}
+	// Direct-forward must not repopulate the proxy cache with the doc:
+	// a third fetch by agent 2 is a remote hit again, not a proxy hit.
+	_, src, err = c.agents[2].Get(ctx, u)
+	if err != nil || src != SourceRemote {
+		t.Fatalf("third fetch: src=%v err=%v (direct-forward must bypass proxy cache)", src, err)
+	}
+}
+
+func TestWatermarkTamperDetectionFetchForward(t *testing.T) {
+	c := startCluster(t, 3, testProxyConfig(proxy.FetchForward), func(ac *Config) {
+		ac.CacheCapacity = 8 << 20
+	})
+	ctx := context.Background()
+	u := c.url("/doc/tampered?size=8000")
+
+	want, _, err := c.agents[0].Get(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agent 0 becomes malicious: flips a byte in everything it serves.
+	c.agents[0].Tamper = func(_ string, b []byte) []byte {
+		bad := append([]byte(nil), b...)
+		bad[0] ^= 0xFF
+		return bad
+	}
+	forceProxyEviction(t, c, c.agents[2], 2<<20)
+
+	// The proxy verifies the MD5 digest, rejects the tampered body,
+	// prunes the holder, and falls through to the origin.
+	got, src, err := c.agents[1].Get(ctx, u)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if src != SourceOrigin {
+		t.Fatalf("source = %v, want origin (tampered peer rejected)", src)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("requester received corrupted content")
+	}
+	st := c.proxy.Snapshot()
+	if st.TamperRejected == 0 {
+		t.Fatal("proxy did not record the tamper rejection")
+	}
+	if c.proxy.Index().Has(c.agents[0].ID(), u) {
+		t.Fatal("tampering holder still indexed for the doc")
+	}
+}
+
+func TestWatermarkTamperDetectionDirectForward(t *testing.T) {
+	c := startCluster(t, 3, testProxyConfig(proxy.DirectForward), func(ac *Config) {
+		ac.CacheCapacity = 8 << 20
+	})
+	ctx := context.Background()
+	u := c.url("/doc/tampered-direct?size=8000")
+
+	want, _, err := c.agents[0].Get(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.agents[0].Tamper = func(_ string, b []byte) []byte {
+		bad := append([]byte(nil), b...)
+		bad[len(bad)-1] ^= 0x55
+		return bad
+	}
+	forceProxyEviction(t, c, c.agents[2], 2<<20)
+
+	// Direct-forward: the requester itself verifies, reports via the
+	// ticket, and retries bypassing peers.
+	got, src, err := c.agents[1].Get(ctx, u)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if src != SourceOrigin {
+		t.Fatalf("retry source = %v, want origin", src)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("requester kept corrupted content")
+	}
+	if m := c.agents[1].Snapshot(); m.TamperSeen != 1 {
+		t.Fatalf("TamperSeen = %d", m.TamperSeen)
+	}
+	if c.proxy.Index().Has(c.agents[0].ID(), u) {
+		t.Fatal("reported holder still indexed")
+	}
+}
+
+func TestInvalidationRemovesIndexEntry(t *testing.T) {
+	c := startCluster(t, 2, testProxyConfig(proxy.FetchForward), nil)
+	ctx := context.Background()
+	u := c.url("/doc/evictme?size=4000")
+	if _, _, err := c.agents[0].Get(ctx, u); err != nil {
+		t.Fatal(err)
+	}
+	if !c.proxy.Index().Has(c.agents[0].ID(), u) {
+		t.Fatal("index entry missing after fetch")
+	}
+	if !c.agents[0].Evict(u) {
+		t.Fatal("Evict = false")
+	}
+	if c.proxy.Index().Has(c.agents[0].ID(), u) {
+		t.Fatal("index entry survived invalidation")
+	}
+}
+
+func TestCapacityEvictionSendsInvalidation(t *testing.T) {
+	c := startCluster(t, 1, testProxyConfig(proxy.FetchForward), func(ac *Config) {
+		ac.CacheCapacity = 25_000 // fits two 10 KB docs, not three
+	})
+	ctx := context.Background()
+	u1 := c.url("/doc/a?size=10000")
+	for _, u := range []string{u1, c.url("/doc/b?size=10000"), c.url("/doc/c?size=10000")} {
+		if _, _, err := c.agents[0].Get(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.agents[0].HasCached(u1) {
+		t.Fatal("u1 should have been evicted")
+	}
+	if c.proxy.Index().Has(c.agents[0].ID(), u1) {
+		t.Fatal("index entry for evicted doc not invalidated")
+	}
+	if c.proxy.Index().Len() != 2 {
+		t.Fatalf("index has %d entries, want 2", c.proxy.Index().Len())
+	}
+}
+
+func TestPeriodicIndexSync(t *testing.T) {
+	c := startCluster(t, 1, testProxyConfig(proxy.FetchForward), func(ac *Config) {
+		ac.IndexMode = Periodic
+		ac.Threshold = 0.9 // sync only after most of the cache changed
+		ac.CacheCapacity = 1 << 20
+	})
+	ctx := context.Background()
+	u := c.url("/doc/batched?size=1000")
+	if _, _, err := c.agents[0].Get(ctx, u); err != nil {
+		t.Fatal(err)
+	}
+	// One insert into an empty cache immediately crosses the threshold
+	// (1 change ≥ 0.9·1 resident) → a sync must have happened.
+	if !c.proxy.Index().Has(c.agents[0].ID(), u) {
+		t.Fatal("periodic sync did not publish the directory")
+	}
+	// Subsequent inserts stay below the threshold until enough changes
+	// accumulate.
+	u2 := c.url("/doc/batched2?size=1000")
+	if _, _, err := c.agents[0].Get(ctx, u2); err != nil {
+		t.Fatal(err)
+	}
+	m := c.agents[0].Snapshot()
+	if m.IndexSyncs < 1 {
+		t.Fatalf("IndexSyncs = %d", m.IndexSyncs)
+	}
+	c.agents[0].SyncIndexNow()
+	if !c.proxy.Index().Has(c.agents[0].ID(), u2) {
+		t.Fatal("forced sync did not publish u2")
+	}
+}
+
+func TestAnonymityPeerIdentitiesHidden(t *testing.T) {
+	// Under both forward modes the holder's peer server only accepts the
+	// proxy's token, so a requester cannot contact a holder directly,
+	// and the holder sees only proxy-originated requests.
+	c := startCluster(t, 2, testProxyConfig(proxy.FetchForward), func(ac *Config) {
+		ac.CacheCapacity = 8 << 20
+	})
+	ctx := context.Background()
+	u := c.url("/doc/anon?size=5000")
+	if _, _, err := c.agents[0].Get(ctx, u); err != nil {
+		t.Fatal(err)
+	}
+	// Requester (or any outsider) probing the holder's peer endpoint
+	// without the token is refused.
+	resp, err := c.agents[1].httpClient.Get(c.agents[0].PeerURL() + "/peer/doc?url=" + u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 403 {
+		t.Fatalf("peer served an unauthenticated request: %d", resp.StatusCode)
+	}
+}
+
+func TestIndexRecoveryAfterProxyAmnesia(t *testing.T) {
+	c := startCluster(t, 2, testProxyConfig(proxy.FetchForward), nil)
+	ctx := context.Background()
+	for i, a := range c.agents {
+		for j := 0; j < 3; j++ {
+			u := c.url(fmt.Sprintf("/recover/a%dd%d?size=2000", i, j))
+			if _, _, err := a.Get(ctx, u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c.proxy.Index().Len() != 6 {
+		t.Fatalf("index has %d entries before amnesia", c.proxy.Index().Len())
+	}
+	// Simulate a proxy restart losing the in-memory index.
+	for _, a := range c.agents {
+		c.proxy.Index().DropClient(a.ID())
+	}
+	if c.proxy.Index().Len() != 0 {
+		t.Fatal("amnesia setup failed")
+	}
+	// Recovery: the proxy pulls full directories from every browser.
+	if acked := c.proxy.ResyncAll(); acked != 2 {
+		t.Fatalf("resync acked by %d peers, want 2", acked)
+	}
+	if c.proxy.Index().Len() != 6 {
+		t.Fatalf("index has %d entries after recovery, want 6", c.proxy.Index().Len())
+	}
+}
+
+func TestAgentConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := DefaultConfig("http://127.0.0.1:1")
+	cfg.MemFraction = 2
+	if _, err := New(cfg); err == nil {
+		t.Error("bad MemFraction accepted")
+	}
+	cfg = DefaultConfig("http://127.0.0.1:1")
+	cfg.IndexMode = Periodic
+	cfg.Threshold = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad Threshold accepted")
+	}
+	// Unreachable proxy: registration must fail cleanly.
+	cfg = DefaultConfig("http://127.0.0.1:1")
+	cfg.Timeout = 200 * 1e6 // 200ms
+	if _, err := New(cfg); err == nil {
+		t.Error("unreachable proxy accepted")
+	}
+}
+
+func TestProxyCacheOnlyModeDisablePeer(t *testing.T) {
+	pcfg := testProxyConfig(proxy.FetchForward)
+	pcfg.DisablePeer = true
+	c := startCluster(t, 2, pcfg, func(ac *Config) {
+		ac.CacheCapacity = 8 << 20
+	})
+	ctx := context.Background()
+	u := c.url("/doc/nopeer?size=10000")
+	if _, _, err := c.agents[0].Get(ctx, u); err != nil {
+		t.Fatal(err)
+	}
+	forceProxyEviction(t, c, c.agents[0], 2<<20)
+	_, src, err := c.agents[1].Get(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceOrigin {
+		t.Fatalf("peer layer disabled but source = %v", src)
+	}
+}

@@ -1,0 +1,238 @@
+package browser
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"baps/internal/cache"
+	"baps/internal/proxy"
+)
+
+// store caches a received document locally and publishes the index update
+// under the configured §2 protocol. Evictions forced by the insertion are
+// published as invalidations (immediate) or batched (periodic).
+func (a *Agent) store(docURL string, body []byte, mark []byte, version int64) {
+	a.mu.Lock()
+	evicted, admitted := a.cache.Put(cache.Doc{Key: docURL, Size: int64(len(body)), Version: version})
+	if admitted {
+		a.bodies[docURL] = body
+		a.marks[docURL] = storedMark{version: version, watermark: mark}
+	}
+	for _, d := range evicted {
+		delete(a.bodies, d.Key)
+		delete(a.marks, d.Key)
+	}
+	resident := a.cache.Len()
+	mode := a.cfg.IndexMode
+	var syncEntries []proxy.IndexEntry
+	if mode == Periodic {
+		a.changes += len(evicted)
+		if admitted {
+			a.changes++
+		}
+		if float64(a.changes) >= a.cfg.Threshold*float64(max(resident, 1)) {
+			syncEntries = a.directoryLocked()
+			a.changes = 0
+		}
+	}
+	a.mu.Unlock()
+
+	// Network I/O happens outside the lock.
+	switch mode {
+	case Immediate:
+		if admitted {
+			a.indexOp(true, proxy.IndexEntry{
+				URL: docURL, Size: int64(len(body)), Version: version,
+				Stamp: float64(time.Now().UnixNano()) / 1e9,
+			})
+		}
+		for _, d := range evicted {
+			a.indexOp(false, proxy.IndexEntry{URL: d.Key})
+		}
+	case Periodic:
+		if syncEntries != nil {
+			a.indexSync(syncEntries)
+		}
+	}
+}
+
+// directoryLocked snapshots the cache directory; the caller holds a.mu.
+func (a *Agent) directoryLocked() []proxy.IndexEntry {
+	keys := a.cache.Keys()
+	entries := make([]proxy.IndexEntry, 0, len(keys))
+	now := float64(time.Now().UnixNano()) / 1e9
+	for _, k := range keys {
+		d, ok := a.cache.Peek(k)
+		if !ok {
+			continue
+		}
+		entries = append(entries, proxy.IndexEntry{
+			URL: k, Size: d.Size, Version: d.Version, Stamp: now,
+		})
+	}
+	return entries
+}
+
+// indexOp sends one immediate add/remove message.
+func (a *Agent) indexOp(add bool, entry proxy.IndexEntry) {
+	path := "/index/remove"
+	if add {
+		path = "/index/add"
+	}
+	body, _ := json.Marshal(proxy.IndexUpdate{ClientID: a.id, Entry: entry})
+	req, err := http.NewRequest(http.MethodPost, a.cfg.ProxyURL+path, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	a.authHeaders(req)
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := a.httpClient.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		a.addMetric(func(m *Metrics) { m.IndexOps++ })
+	}
+}
+
+// indexSync sends a periodic full re-sync.
+func (a *Agent) indexSync(entries []proxy.IndexEntry) {
+	body, _ := json.Marshal(proxy.IndexSync{ClientID: a.id, Entries: entries})
+	req, err := http.NewRequest(http.MethodPost, a.cfg.ProxyURL+"/index/sync", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	a.authHeaders(req)
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := a.httpClient.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		a.addMetric(func(m *Metrics) { m.IndexSyncs++ })
+	}
+}
+
+// handlePeerResync lets the proxy ask this browser for a full directory
+// re-sync — the recovery path after a proxy restart loses the index (§2's
+// periodic update, pulled on demand). Token-authenticated like every
+// proxy→browser call.
+func (a *Agent) handlePeerResync(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(proxy.HeaderToken) != a.token {
+		http.Error(w, "browser: forbidden", http.StatusForbidden)
+		return
+	}
+	a.SyncIndexNow()
+	w.WriteHeader(http.StatusOK)
+}
+
+// SyncIndexNow forces a full directory re-sync (used at startup/shutdown
+// boundaries and by tests of the periodic protocol).
+func (a *Agent) SyncIndexNow() {
+	a.mu.Lock()
+	entries := a.directoryLocked()
+	a.changes = 0
+	a.mu.Unlock()
+	a.indexSync(entries)
+}
+
+// Evict drops a document from the local cache (a user clearing an entry),
+// publishing the invalidation like any other eviction.
+func (a *Agent) Evict(docURL string) bool {
+	a.mu.Lock()
+	ok := a.cache.Remove(docURL)
+	delete(a.bodies, docURL)
+	delete(a.marks, docURL)
+	mode := a.cfg.IndexMode
+	if ok && mode == Periodic {
+		a.changes++
+	}
+	a.mu.Unlock()
+	if ok && mode == Immediate {
+		a.indexOp(false, proxy.IndexEntry{URL: docURL})
+	}
+	return ok
+}
+
+// handlePeerDoc serves GET /peer/doc?url= to the proxy (fetch-forward).
+// Only the proxy knows the agent's token, so peers cannot call this
+// directly — the anonymity boundary of §6.2.
+func (a *Agent) handlePeerDoc(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(proxy.HeaderToken) != a.token {
+		http.Error(w, "browser: forbidden", http.StatusForbidden)
+		return
+	}
+	docURL := r.URL.Query().Get("url")
+	a.mu.Lock()
+	body, ok := a.bodies[docURL]
+	mark := a.marks[docURL]
+	if ok {
+		a.cache.GetTier(docURL) // a peer read references the cache entry
+		a.metrics.PeerServes++
+	}
+	tamper := a.Tamper
+	a.mu.Unlock()
+	if !ok {
+		http.Error(w, "browser: not cached", http.StatusNotFound)
+		return
+	}
+	if tamper != nil {
+		body = tamper(docURL, body)
+	}
+	w.Header().Set(proxy.HeaderVersion, strconv.FormatInt(mark.version, 10))
+	w.Header().Set(proxy.HeaderWatermark, base64.StdEncoding.EncodeToString(mark.watermark))
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// handlePeerSend executes a direct-forward push: the proxy supplies only an
+// anonymous relay URL; the agent posts the document there.
+func (a *Agent) handlePeerSend(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(proxy.HeaderToken) != a.token {
+		http.Error(w, "browser: forbidden", http.StatusForbidden)
+		return
+	}
+	var ps proxy.PeerSend
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&ps); err != nil {
+		http.Error(w, "browser: bad send body", http.StatusBadRequest)
+		return
+	}
+	if _, err := url.Parse(ps.RelayURL); err != nil || ps.URL == "" {
+		http.Error(w, "browser: bad send fields", http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	body, ok := a.bodies[ps.URL]
+	mark := a.marks[ps.URL]
+	if ok {
+		a.cache.GetTier(ps.URL)
+		a.metrics.PeerServes++
+	}
+	tamper := a.Tamper
+	a.mu.Unlock()
+	if !ok {
+		http.Error(w, "browser: not cached", http.StatusNotFound)
+		return
+	}
+	if tamper != nil {
+		body = tamper(ps.URL, body)
+	}
+	req, err := http.NewRequest(http.MethodPost, ps.RelayURL, bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "browser: relay request", http.StatusInternalServerError)
+		return
+	}
+	req.Header.Set(proxy.HeaderVersion, strconv.FormatInt(mark.version, 10))
+	req.Header.Set(proxy.HeaderWatermark, base64.StdEncoding.EncodeToString(mark.watermark))
+	resp, err := a.httpClient.Do(req)
+	if err != nil {
+		http.Error(w, "browser: relay push failed", http.StatusBadGateway)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	w.WriteHeader(http.StatusOK)
+}

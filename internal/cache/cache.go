@@ -1,0 +1,177 @@
+// Package cache provides the replacement-policy cache substrate used by both
+// the trace-driven simulator and the live browsers-aware proxy system.
+//
+// The paper ("On Reliable and Scalable Peer-to-Peer Web Document Sharing",
+// IPDPS 2002, §3.2) simulates every browser cache and the proxy cache with an
+// LRU replacement policy; this package implements LRU plus FIFO, LFU, SIZE and
+// GDSF variants so the design choice can be ablated, and a two-tier
+// memory/disk wrapper used by the §4.2 memory-byte-hit-ratio study.
+//
+// Caches are byte-capacity bounded: a Doc occupies Doc.Size bytes and the sum
+// of resident sizes never exceeds Capacity. All caches in this package are
+// safe for use by a single goroutine; wrap with a mutex (as internal/browser
+// and internal/proxy do) for concurrent use. This keeps the simulator's inner
+// loop free of synchronization cost.
+package cache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Doc describes one cached web document. Key is the canonical document
+// identifier (normally the full URL; the live system also carries an MD5
+// signature in the index). Size is the body size in bytes and participates in
+// capacity accounting. Version identifies the document generation: the
+// simulator bumps it when the origin modifies a document, so a stale cached
+// copy can be recognized ("if a user request hits on a document whose size
+// has been changed, we count it as a cache miss", §3.2).
+type Doc struct {
+	Key     string
+	Size    int64
+	Version int64
+}
+
+// Policy selects a replacement policy.
+type Policy int
+
+const (
+	// LRU evicts the least recently used document (the paper's policy).
+	LRU Policy = iota
+	// FIFO evicts in insertion order; a Get does not promote.
+	FIFO
+	// LFU evicts the least frequently used document, ties broken by recency.
+	LFU
+	// SIZE evicts the largest document first.
+	SIZE
+	// GDSF is GreedyDual-Size-Frequency: priority = L + freq/size, where L
+	// is an aging term set to the priority of the last eviction.
+	GDSF
+)
+
+// String returns the conventional name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case LFU:
+		return "LFU"
+	case SIZE:
+		return "SIZE"
+	case GDSF:
+		return "GDSF"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a policy name (case-sensitive, as produced by
+// Policy.String) back to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "LRU":
+		return LRU, nil
+	case "FIFO":
+		return FIFO, nil
+	case "LFU":
+		return LFU, nil
+	case "SIZE":
+		return SIZE, nil
+	case "GDSF":
+		return GDSF, nil
+	}
+	return 0, fmt.Errorf("cache: unknown policy %q", s)
+}
+
+// Cache is a byte-bounded document cache.
+//
+// Implementations returned by New report evictions through Put's return value
+// and, additionally, through the optional eviction callback (see
+// Options.OnEvict), which the browsers-aware index uses to generate
+// invalidation messages.
+type Cache interface {
+	// Get looks up a document and applies the policy's reference update
+	// (e.g. LRU promotion, LFU frequency increment). ok is false when the
+	// key is not resident.
+	Get(key string) (doc Doc, ok bool)
+
+	// Peek looks up a document without updating replacement state.
+	Peek(key string) (doc Doc, ok bool)
+
+	// Put inserts or replaces a document, evicting as needed. It returns
+	// the evicted documents (never including doc itself) and whether doc
+	// was admitted. A document larger than the cache capacity is not
+	// admitted and nothing is evicted for it.
+	Put(doc Doc) (evicted []Doc, admitted bool)
+
+	// Remove deletes a document if resident, reporting whether it was.
+	// Removal does not invoke the eviction callback: it represents an
+	// explicit invalidation, not a capacity eviction.
+	Remove(key string) bool
+
+	// Len reports the number of resident documents.
+	Len() int
+
+	// Used reports the resident bytes.
+	Used() int64
+
+	// Capacity reports the configured capacity in bytes.
+	Capacity() int64
+
+	// Policy reports the replacement policy.
+	Policy() Policy
+
+	// Keys returns the resident keys in eviction order (the first key is
+	// the next eviction victim). It allocates; intended for tests, index
+	// re-synchronization and diagnostics, not the hot path.
+	Keys() []string
+}
+
+// EvictFunc observes capacity evictions. It must not call back into the
+// cache.
+type EvictFunc func(Doc)
+
+// Options configures a cache constructed by New.
+type Options struct {
+	// OnEvict, if non-nil, is invoked for every document evicted to make
+	// room (not for Remove or for replaced versions of the same key).
+	OnEvict EvictFunc
+}
+
+// ErrCapacity is returned by New for a negative capacity.
+var ErrCapacity = errors.New("cache: capacity must be >= 0")
+
+// New builds a cache with the given policy and capacity in bytes. A zero
+// capacity yields a cache that admits nothing, which models the paper's
+// organizations that lack a browser or proxy cache.
+func New(policy Policy, capacity int64, opts ...Options) (Cache, error) {
+	if capacity < 0 {
+		return nil, ErrCapacity
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	switch policy {
+	case LRU:
+		return newListCache(capacity, true, o), nil
+	case FIFO:
+		return newListCache(capacity, false, o), nil
+	case LFU, SIZE, GDSF:
+		return newHeapCache(policy, capacity, o), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %v", policy)
+	}
+}
+
+// MustNew is New, panicking on error. It is convenient for constructing
+// caches from validated configuration.
+func MustNew(policy Policy, capacity int64, opts ...Options) Cache {
+	c, err := New(policy, capacity, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

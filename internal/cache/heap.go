@@ -1,0 +1,213 @@
+package cache
+
+import "container/heap"
+
+// heapCache implements the priority-ordered policies (LFU, SIZE, GDSF) with a
+// binary min-heap keyed by eviction priority: the root is the next victim.
+type heapCache struct {
+	policy   Policy
+	capacity int64
+	used     int64
+	onEvict  EvictFunc
+	items    map[string]*heapEntry
+	pq       victimHeap
+	seq      uint64  // monotonic reference clock for tie-breaking
+	inflate  float64 // GDSF aging term L
+}
+
+type heapEntry struct {
+	doc  Doc
+	freq int64
+	pri  float64 // eviction priority; smaller evicts first
+	seq  uint64  // last-reference sequence; older evicts first on ties
+	idx  int     // heap index
+}
+
+func newHeapCache(policy Policy, capacity int64, o Options) *heapCache {
+	return &heapCache{
+		policy:   policy,
+		capacity: capacity,
+		onEvict:  o.OnEvict,
+		items:    make(map[string]*heapEntry),
+	}
+}
+
+// priority computes the eviction priority of an entry under the policy.
+func (c *heapCache) priority(e *heapEntry) float64 {
+	switch c.policy {
+	case LFU:
+		return float64(e.freq)
+	case SIZE:
+		// Largest documents evicted first: invert the size.
+		return -float64(e.doc.Size)
+	case GDSF:
+		size := e.doc.Size
+		if size < 1 {
+			size = 1
+		}
+		return c.inflate + float64(e.freq)/float64(size)
+	default:
+		return 0
+	}
+}
+
+func (c *heapCache) touch(e *heapEntry) {
+	e.freq++
+	c.seq++
+	e.seq = c.seq
+	e.pri = c.priority(e)
+	heap.Fix(&c.pq, e.idx)
+}
+
+func (c *heapCache) Get(key string) (Doc, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		return Doc{}, false
+	}
+	c.touch(e)
+	return e.doc, true
+}
+
+func (c *heapCache) Peek(key string) (Doc, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		return Doc{}, false
+	}
+	return e.doc, true
+}
+
+func (c *heapCache) Put(doc Doc) ([]Doc, bool) {
+	if doc.Size > c.capacity {
+		return nil, false
+	}
+	if e, ok := c.items[doc.Key]; ok {
+		c.used += doc.Size - e.doc.Size
+		e.doc = doc
+		c.touch(e)
+		return c.shrink(doc.Key), true
+	}
+	c.seq++
+	e := &heapEntry{doc: doc, freq: 1, seq: c.seq}
+	e.pri = c.priority(e)
+	c.items[doc.Key] = e
+	heap.Push(&c.pq, e)
+	c.used += doc.Size
+	return c.shrink(doc.Key), true
+}
+
+func (c *heapCache) shrink(keep string) []Doc {
+	var evicted []Doc
+	for c.used > c.capacity && len(c.pq) > 0 {
+		victim := c.pq[0]
+		if victim.doc.Key == keep {
+			// The just-inserted key fits by construction, so it can
+			// be at the root only alongside other entries; evict the
+			// better of its children instead.
+			alt := c.betterChild(0)
+			if alt < 0 {
+				break
+			}
+			victim = c.pq[alt]
+		}
+		if c.policy == GDSF {
+			c.inflate = victim.pri
+		}
+		c.removeEntry(victim)
+		evicted = append(evicted, victim.doc)
+		if c.onEvict != nil {
+			c.onEvict(victim.doc)
+		}
+	}
+	return evicted
+}
+
+// betterChild returns the index of the lower-priority child of node i, or -1.
+func (c *heapCache) betterChild(i int) int {
+	l, r := 2*i+1, 2*i+2
+	switch {
+	case l >= len(c.pq):
+		return -1
+	case r >= len(c.pq):
+		return l
+	case c.pq.Less(l, r):
+		return l
+	default:
+		return r
+	}
+}
+
+func (c *heapCache) removeEntry(e *heapEntry) {
+	heap.Remove(&c.pq, e.idx)
+	delete(c.items, e.doc.Key)
+	c.used -= e.doc.Size
+}
+
+func (c *heapCache) Remove(key string) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeEntry(e)
+	return true
+}
+
+func (c *heapCache) Len() int        { return len(c.items) }
+func (c *heapCache) Used() int64     { return c.used }
+func (c *heapCache) Capacity() int64 { return c.capacity }
+func (c *heapCache) Policy() Policy  { return c.policy }
+
+func (c *heapCache) Keys() []string {
+	// Pop a copy of the heap to produce exact eviction order.
+	cp := make(victimHeap, len(c.pq))
+	copy(cp, c.pq)
+	// Entries are shared; sorting the copy must not disturb idx fields, so
+	// sort a parallel index slice by repeated sifting on a cloned heap of
+	// lightweight views instead.
+	views := make([]*heapEntry, len(cp))
+	for i, e := range cp {
+		v := *e
+		views[i] = &v
+		views[i].idx = i
+	}
+	vh := victimHeap(views)
+	heap.Init(&vh)
+	keys := make([]string, 0, len(views))
+	for vh.Len() > 0 {
+		keys = append(keys, heap.Pop(&vh).(*heapEntry).doc.Key)
+	}
+	return keys
+}
+
+// victimHeap orders entries so the next eviction victim is at the root.
+type victimHeap []*heapEntry
+
+func (h victimHeap) Len() int { return len(h) }
+
+func (h victimHeap) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq // older reference evicts first
+}
+
+func (h victimHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *victimHeap) Push(x any) {
+	e := x.(*heapEntry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *victimHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,147 @@
+package cache
+
+// listCache implements LRU and FIFO with an intrusive doubly-linked list and
+// a map. The list runs from the eviction victim (front) to the most protected
+// entry (back).
+type listCache struct {
+	capacity int64
+	used     int64
+	promote  bool // true for LRU: Get moves to back; false for FIFO
+	onEvict  EvictFunc
+	items    map[string]*listEntry
+	head     *listEntry // sentinel
+}
+
+type listEntry struct {
+	doc        Doc
+	prev, next *listEntry
+}
+
+func newListCache(capacity int64, promote bool, o Options) *listCache {
+	s := &listEntry{}
+	s.prev, s.next = s, s
+	return &listCache{
+		capacity: capacity,
+		promote:  promote,
+		onEvict:  o.OnEvict,
+		items:    make(map[string]*listEntry),
+		head:     s,
+	}
+}
+
+func (c *listCache) unlink(e *listEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// pushBack places e in the most protected position.
+func (c *listCache) pushBack(e *listEntry) {
+	tail := c.head.prev
+	tail.next = e
+	e.prev = tail
+	e.next = c.head
+	c.head.prev = e
+}
+
+func (c *listCache) Get(key string) (Doc, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		return Doc{}, false
+	}
+	if c.promote {
+		c.unlink(e)
+		c.pushBack(e)
+	}
+	return e.doc, true
+}
+
+func (c *listCache) Peek(key string) (Doc, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		return Doc{}, false
+	}
+	return e.doc, true
+}
+
+func (c *listCache) Put(doc Doc) ([]Doc, bool) {
+	if doc.Size > c.capacity {
+		// Too large to ever fit; do not disturb resident documents.
+		return nil, false
+	}
+	if e, ok := c.items[doc.Key]; ok {
+		// Replacement of an existing key (e.g. a new document version):
+		// update in place, then make room for any growth.
+		c.used += doc.Size - e.doc.Size
+		e.doc = doc
+		if c.promote {
+			c.unlink(e)
+			c.pushBack(e)
+		}
+		return c.shrink(doc.Key), true
+	}
+	e := &listEntry{doc: doc}
+	c.items[doc.Key] = e
+	c.pushBack(e)
+	c.used += doc.Size
+	return c.shrink(doc.Key), true
+}
+
+// shrink evicts from the front until used <= capacity, never evicting keep.
+func (c *listCache) shrink(keep string) []Doc {
+	var evicted []Doc
+	for c.used > c.capacity {
+		victim := c.head.next
+		if victim == c.head {
+			break // nothing left to evict (cannot happen when keep fits)
+		}
+		if victim.doc.Key == keep {
+			// keep is the only entry left but still over capacity;
+			// guarded against by the size check in Put.
+			victim = victim.next
+			if victim == c.head {
+				break
+			}
+		}
+		c.removeEntry(victim)
+		evicted = append(evicted, victim.doc)
+		if c.onEvict != nil {
+			c.onEvict(victim.doc)
+		}
+	}
+	return evicted
+}
+
+func (c *listCache) removeEntry(e *listEntry) {
+	c.unlink(e)
+	delete(c.items, e.doc.Key)
+	c.used -= e.doc.Size
+}
+
+func (c *listCache) Remove(key string) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeEntry(e)
+	return true
+}
+
+func (c *listCache) Len() int        { return len(c.items) }
+func (c *listCache) Used() int64     { return c.used }
+func (c *listCache) Capacity() int64 { return c.capacity }
+
+func (c *listCache) Policy() Policy {
+	if c.promote {
+		return LRU
+	}
+	return FIFO
+}
+
+func (c *listCache) Keys() []string {
+	keys := make([]string, 0, len(c.items))
+	for e := c.head.next; e != c.head; e = e.next {
+		keys = append(keys, e.doc.Key)
+	}
+	return keys
+}

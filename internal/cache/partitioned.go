@@ -1,0 +1,164 @@
+package cache
+
+import "fmt"
+
+// Classifier assigns a document to a partition in [0, n). The paper's §1
+// describes the "browser cache switch" technique — multiple browser caches
+// in one machine, switched between contents or time periods, so "different
+// caches can be used for different contents". SizeClassifier below is the
+// natural content-neutral instance; callers can provide their own (e.g. by
+// content type).
+type Classifier func(Doc) int
+
+// SizeClassifier partitions documents by size: thresholds is an ascending
+// list of size bounds; a document of size s lands in the first partition
+// whose threshold exceeds s, or in the last partition. A document stream
+// with heavy-tailed sizes then cannot let a few large bodies evict the
+// many small hot ones.
+func SizeClassifier(thresholds ...int64) Classifier {
+	return func(d Doc) int {
+		for i, t := range thresholds {
+			if d.Size < t {
+				return i
+			}
+		}
+		return len(thresholds)
+	}
+}
+
+// Partitioned composes several caches behind one Cache interface, directing
+// each document to a partition chosen by the classifier — the "browser
+// cache switch" of §1. Capacity is the sum of partition capacities; each
+// partition runs its own replacement policy instance, so activity in one
+// partition never evicts another's documents.
+type Partitioned struct {
+	parts    []Cache
+	classify Classifier
+	capacity int64
+	// location remembers which partition holds each key, so lookups stay
+	// O(1) even when the classifier depends on Size (unknown at Get
+	// time).
+	location map[string]int
+}
+
+// NewPartitioned builds a partitioned cache: capacities lists each
+// partition's byte capacity, classify routes insertions (its result is
+// clamped into range). The Options eviction callback observes every
+// partition's capacity evictions.
+func NewPartitioned(policy Policy, capacities []int64, classify Classifier, opts ...Options) (*Partitioned, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("cache: partitioned cache needs at least one partition")
+	}
+	if classify == nil {
+		return nil, fmt.Errorf("cache: nil classifier")
+	}
+	p := &Partitioned{classify: classify, location: make(map[string]int)}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	for i, capBytes := range capacities {
+		user := o.OnEvict
+		part, err := New(policy, capBytes, Options{OnEvict: func(d Doc) {
+			delete(p.location, d.Key)
+			if user != nil {
+				user(d)
+			}
+		}})
+		if err != nil {
+			return nil, fmt.Errorf("cache: partition %d: %w", i, err)
+		}
+		p.parts = append(p.parts, part)
+		p.capacity += capBytes
+	}
+	return p, nil
+}
+
+func (p *Partitioned) clamp(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= len(p.parts) {
+		return len(p.parts) - 1
+	}
+	return i
+}
+
+// Get implements Cache.
+func (p *Partitioned) Get(key string) (Doc, bool) {
+	i, ok := p.location[key]
+	if !ok {
+		return Doc{}, false
+	}
+	return p.parts[i].Get(key)
+}
+
+// Peek implements Cache.
+func (p *Partitioned) Peek(key string) (Doc, bool) {
+	i, ok := p.location[key]
+	if !ok {
+		return Doc{}, false
+	}
+	return p.parts[i].Peek(key)
+}
+
+// Put implements Cache. A document whose classification changed (e.g. a new
+// version moved size classes) migrates partitions. A rejected insertion
+// (document larger than its target partition) leaves the cache unchanged,
+// including any previously resident version of the key.
+func (p *Partitioned) Put(doc Doc) ([]Doc, bool) {
+	target := p.clamp(p.classify(doc))
+	cur, had := p.location[doc.Key]
+	evicted, admitted := p.parts[target].Put(doc)
+	if !admitted {
+		return evicted, false
+	}
+	if had && cur != target {
+		p.parts[cur].Remove(doc.Key)
+	}
+	p.location[doc.Key] = target
+	return evicted, admitted
+}
+
+// Remove implements Cache.
+func (p *Partitioned) Remove(key string) bool {
+	i, ok := p.location[key]
+	if !ok {
+		return false
+	}
+	delete(p.location, key)
+	return p.parts[i].Remove(key)
+}
+
+// Len implements Cache.
+func (p *Partitioned) Len() int { return len(p.location) }
+
+// Used implements Cache.
+func (p *Partitioned) Used() int64 {
+	var u int64
+	for _, part := range p.parts {
+		u += part.Used()
+	}
+	return u
+}
+
+// Capacity implements Cache.
+func (p *Partitioned) Capacity() int64 { return p.capacity }
+
+// Policy implements Cache (all partitions share one policy).
+func (p *Partitioned) Policy() Policy { return p.parts[0].Policy() }
+
+// Keys implements Cache: partition order, eviction order within each.
+func (p *Partitioned) Keys() []string {
+	var keys []string
+	for _, part := range p.parts {
+		keys = append(keys, part.Keys()...)
+	}
+	return keys
+}
+
+// Partition exposes one underlying partition (diagnostics and tests).
+func (p *Partitioned) Partition(i int) Cache { return p.parts[p.clamp(i)] }
+
+// NumPartitions reports the partition count.
+func (p *Partitioned) NumPartitions() int { return len(p.parts) }

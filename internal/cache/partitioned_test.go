@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newParts(t *testing.T, caps []int64, cl Classifier, opts ...Options) *Partitioned {
+	t.Helper()
+	p, err := NewPartitioned(LRU, caps, cl, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPartitionedValidation(t *testing.T) {
+	if _, err := NewPartitioned(LRU, nil, SizeClassifier(100)); err == nil {
+		t.Error("no partitions accepted")
+	}
+	if _, err := NewPartitioned(LRU, []int64{10}, nil); err == nil {
+		t.Error("nil classifier accepted")
+	}
+	if _, err := NewPartitioned(LRU, []int64{10, -1}, SizeClassifier(100)); err == nil {
+		t.Error("negative partition capacity accepted")
+	}
+}
+
+func TestSizeClassifier(t *testing.T) {
+	cl := SizeClassifier(100, 1000)
+	cases := map[int64]int{50: 0, 99: 0, 100: 1, 999: 1, 1000: 2, 5000: 2}
+	for size, want := range cases {
+		if got := cl(Doc{Size: size}); got != want {
+			t.Errorf("size %d → partition %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestPartitionIsolation(t *testing.T) {
+	// Small docs (<100B) and large docs get separate 1000-byte pools: a
+	// flood of large docs must not evict the small hot set — the point
+	// of the browser cache switch.
+	p := newParts(t, []int64{1000, 1000}, SizeClassifier(100))
+	for i := 0; i < 10; i++ {
+		mustPut(t, p, doc(fmt.Sprintf("small%d", i), 50))
+	}
+	for i := 0; i < 50; i++ {
+		mustPut(t, p, doc(fmt.Sprintf("large%d", i), 400))
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := p.Peek(fmt.Sprintf("small%d", i)); !ok {
+			t.Fatalf("small%d evicted by large-doc flood", i)
+		}
+	}
+	if p.Partition(1).Len() > 2 {
+		t.Fatalf("large partition holds %d docs of 400B in 1000B", p.Partition(1).Len())
+	}
+}
+
+func TestPartitionedRejectedPutKeepsOldVersion(t *testing.T) {
+	// A key resident in the small partition gets a new version too large
+	// for its target partition: the insert is rejected, and the old
+	// version must remain resident (matching the flat caches' behavior).
+	p := newParts(t, []int64{1000, 200}, SizeClassifier(100))
+	mustPut(t, p, doc("u", 50)) // partition 0
+	if _, admitted := p.Put(doc("u", 500)); admitted {
+		t.Fatal("500B doc admitted into 200B partition")
+	}
+	if d, ok := p.Get("u"); !ok || d.Size != 50 {
+		t.Fatalf("old version lost after rejected migration: %v %v", d, ok)
+	}
+	if p.Partition(0).Len() != 1 || p.Partition(1).Len() != 0 {
+		t.Fatalf("partition state wrong: %d/%d", p.Partition(0).Len(), p.Partition(1).Len())
+	}
+}
+
+func TestPartitionMigrationOnSizeChange(t *testing.T) {
+	p := newParts(t, []int64{1000, 1000}, SizeClassifier(100))
+	mustPut(t, p, doc("u", 50)) // partition 0
+	if p.Partition(0).Len() != 1 {
+		t.Fatal("doc not in small partition")
+	}
+	mustPut(t, p, doc("u", 500)) // new version is large → migrates
+	if p.Partition(0).Len() != 0 || p.Partition(1).Len() != 1 {
+		t.Fatalf("migration failed: %d/%d", p.Partition(0).Len(), p.Partition(1).Len())
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if d, ok := p.Get("u"); !ok || d.Size != 500 {
+		t.Fatalf("Get after migration: %v %v", d, ok)
+	}
+}
+
+func TestPartitionedClassifierClamped(t *testing.T) {
+	p := newParts(t, []int64{1000}, func(Doc) int { return 99 })
+	mustPut(t, p, doc("u", 10))
+	if _, ok := p.Get("u"); !ok {
+		t.Fatal("clamped classification lost the doc")
+	}
+	p2 := newParts(t, []int64{1000, 1000}, func(Doc) int { return -5 })
+	mustPut(t, p2, doc("v", 10))
+	if p2.Partition(0).Len() != 1 {
+		t.Fatal("negative classification not clamped to 0")
+	}
+}
+
+func TestPartitionedAccessors(t *testing.T) {
+	var _ Cache = (*Partitioned)(nil)
+	var evicted []string
+	p := newParts(t, []int64{100, 100}, SizeClassifier(50),
+		Options{OnEvict: func(d Doc) { evicted = append(evicted, d.Key) }})
+	mustPut(t, p, doc("a", 40))
+	mustPut(t, p, doc("b", 60))
+	mustPut(t, p, doc("c", 60)) // evicts b from partition 1
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("OnEvict = %v", evicted)
+	}
+	if p.Capacity() != 200 || p.Used() != 100 || p.Len() != 2 {
+		t.Fatalf("Cap=%d Used=%d Len=%d", p.Capacity(), p.Used(), p.Len())
+	}
+	if p.Policy() != LRU || p.NumPartitions() != 2 {
+		t.Fatal("accessors wrong")
+	}
+	if got := len(p.Keys()); got != 2 {
+		t.Fatalf("Keys len %d", got)
+	}
+	if !p.Remove("a") || p.Remove("a") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if _, ok := p.Get("nope"); ok {
+		t.Fatal("phantom hit")
+	}
+	if _, ok := p.Peek("nope"); ok {
+		t.Fatal("phantom peek")
+	}
+}
+
+// TestQuickPartitionedMatchesReference: the partitioned cache agrees with a
+// reference map on membership and never exceeds any partition's capacity.
+func TestQuickPartitionedMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		caps := []int64{int64(rng.Intn(300) + 50), int64(rng.Intn(300) + 50), int64(rng.Intn(300) + 50)}
+		p, err := NewPartitioned(LRU, caps, SizeClassifier(30, 80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resident := map[string]bool{}
+		for i := 0; i < 400; i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0:
+				size := int64(rng.Intn(120) + 1)
+				if _, admitted := p.Put(Doc{Key: key, Size: size}); admitted {
+					resident[key] = true
+				}
+				// A rejected Put leaves any existing version resident.
+			case 1:
+				if _, ok := p.Get(key); ok != resident[key] {
+					// Capacity evictions may have removed it.
+					if ok && !resident[key] {
+						t.Errorf("seed %d: phantom resident %q", seed, key)
+						return false
+					}
+					delete(resident, key)
+				}
+			case 2:
+				p.Remove(key)
+				delete(resident, key)
+			}
+			for pi := 0; pi < p.NumPartitions(); pi++ {
+				part := p.Partition(pi)
+				if part.Used() > part.Capacity() {
+					t.Errorf("seed %d: partition %d over capacity", seed, pi)
+					return false
+				}
+			}
+			if p.Len() != len(p.Keys()) {
+				t.Errorf("seed %d: Len %d != Keys %d", seed, p.Len(), len(p.Keys()))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package cache
+
+// Tier identifies where within a two-tier cache a hit was served from.
+type Tier int
+
+const (
+	// TierMemory means the document was resident in the memory portion.
+	TierMemory Tier = iota
+	// TierDisk means the document was resident but only on disk.
+	TierDisk
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	if t == TierMemory {
+		return "memory"
+	}
+	return "disk"
+}
+
+// TwoTier models the paper's §4.2 memory/disk cache split: a cache of total
+// capacity C whose hottest documents live in a memory portion of capacity
+// C/memFraction (the paper sets the memory cache to 1/10 of the cache size,
+// following the Squid configuration study it cites). The memory portion is
+// managed LRU over the resident set: every reference promotes the document to
+// memory, demoting the least recently used memory documents to disk. Demotion
+// never evicts from the cache as a whole; overall residency is governed by
+// the wrapped policy.
+//
+// TwoTier implements Cache; GetTier additionally classifies each hit, which
+// internal/sim uses to compute memory byte hit ratios and hit latencies.
+type TwoTier struct {
+	inner Cache
+	mem   *listCache
+}
+
+// NewTwoTier builds a two-tier cache with the given overall policy, total
+// byte capacity and memory-portion byte capacity. The Options eviction
+// callback observes overall capacity evictions (not memory demotions).
+func NewTwoTier(policy Policy, capacity, memCapacity int64, opts ...Options) (*TwoTier, error) {
+	if memCapacity < 0 || memCapacity > capacity {
+		return nil, ErrCapacity
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	t := &TwoTier{mem: newListCache(memCapacity, true, Options{})}
+	user := o.OnEvict
+	inner, err := New(policy, capacity, Options{OnEvict: func(d Doc) {
+		t.mem.Remove(d.Key)
+		if user != nil {
+			user(d)
+		}
+	}})
+	if err != nil {
+		return nil, err
+	}
+	t.inner = inner
+	return t, nil
+}
+
+// GetTier looks up a document, reporting which tier served it. The document
+// is promoted to the memory tier (demoting others as needed) and referenced
+// in the underlying policy, exactly as a real proxy would fault a disk-held
+// object into its hot-object memory.
+func (t *TwoTier) GetTier(key string) (Doc, Tier, bool) {
+	doc, ok := t.inner.Get(key)
+	if !ok {
+		return Doc{}, TierDisk, false
+	}
+	tier := TierDisk
+	if _, inMem := t.mem.Peek(key); inMem {
+		tier = TierMemory
+	}
+	t.mem.Put(doc) // promote; demotions are silent
+	return doc, tier, true
+}
+
+// InMemory reports whether a resident document currently occupies the memory
+// tier, without updating any replacement state.
+func (t *TwoTier) InMemory(key string) bool {
+	_, ok := t.mem.Peek(key)
+	return ok
+}
+
+// MemoryCapacity reports the memory-portion capacity in bytes.
+func (t *TwoTier) MemoryCapacity() int64 { return t.mem.Capacity() }
+
+// MemoryUsed reports the bytes resident in the memory portion.
+func (t *TwoTier) MemoryUsed() int64 { return t.mem.Used() }
+
+// Get implements Cache.
+func (t *TwoTier) Get(key string) (Doc, bool) {
+	doc, _, ok := t.GetTier(key)
+	return doc, ok
+}
+
+// Peek implements Cache.
+func (t *TwoTier) Peek(key string) (Doc, bool) { return t.inner.Peek(key) }
+
+// Put implements Cache. A newly admitted document passes through memory
+// first, as a freshly fetched body would.
+func (t *TwoTier) Put(doc Doc) ([]Doc, bool) {
+	evicted, admitted := t.inner.Put(doc)
+	if admitted {
+		t.mem.Put(doc)
+	}
+	return evicted, admitted
+}
+
+// Remove implements Cache.
+func (t *TwoTier) Remove(key string) bool {
+	t.mem.Remove(key)
+	return t.inner.Remove(key)
+}
+
+// Len implements Cache.
+func (t *TwoTier) Len() int { return t.inner.Len() }
+
+// Used implements Cache.
+func (t *TwoTier) Used() int64 { return t.inner.Used() }
+
+// Capacity implements Cache.
+func (t *TwoTier) Capacity() int64 { return t.inner.Capacity() }
+
+// Policy implements Cache.
+func (t *TwoTier) Policy() Policy { return t.inner.Policy() }
+
+// Keys implements Cache.
+func (t *TwoTier) Keys() []string { return t.inner.Keys() }

@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustTwoTier(t *testing.T, p Policy, capacity, mem int64, opts ...Options) *TwoTier {
+	t.Helper()
+	tt, err := NewTwoTier(p, capacity, mem, opts...)
+	if err != nil {
+		t.Fatalf("NewTwoTier: %v", err)
+	}
+	return tt
+}
+
+func TestTwoTierRejectsBadMemCapacity(t *testing.T) {
+	if _, err := NewTwoTier(LRU, 100, -1); err != ErrCapacity {
+		t.Errorf("mem=-1: err = %v, want ErrCapacity", err)
+	}
+	if _, err := NewTwoTier(LRU, 100, 101); err != ErrCapacity {
+		t.Errorf("mem>capacity: err = %v, want ErrCapacity", err)
+	}
+}
+
+func TestTwoTierFreshPutLandsInMemory(t *testing.T) {
+	tt := mustTwoTier(t, LRU, 100, 20)
+	tt.Put(doc("a", 10))
+	if !tt.InMemory("a") {
+		t.Fatal("fresh doc not in memory tier")
+	}
+	_, tier, ok := tt.GetTier("a")
+	if !ok || tier != TierMemory {
+		t.Fatalf("GetTier(a) = %v, %v; want memory hit", tier, ok)
+	}
+}
+
+func TestTwoTierDemotionToDisk(t *testing.T) {
+	tt := mustTwoTier(t, LRU, 100, 20)
+	tt.Put(doc("a", 10))
+	tt.Put(doc("b", 10))
+	tt.Put(doc("c", 10)) // memory holds 20 bytes max → "a" demoted
+	if tt.InMemory("a") {
+		t.Fatal("a still in memory after demotion pressure")
+	}
+	if _, ok := tt.Peek("a"); !ok {
+		t.Fatal("a evicted entirely; demotion must keep it resident")
+	}
+	_, tier, ok := tt.GetTier("a")
+	if !ok || tier != TierDisk {
+		t.Fatalf("GetTier(a) = %v, %v; want disk hit", tier, ok)
+	}
+	// The disk hit promotes a back to memory.
+	if !tt.InMemory("a") {
+		t.Fatal("disk hit did not promote a to memory")
+	}
+}
+
+func TestTwoTierEvictionClearsMemory(t *testing.T) {
+	var evicted []string
+	tt := mustTwoTier(t, LRU, 20, 20, Options{OnEvict: func(d Doc) { evicted = append(evicted, d.Key) }})
+	tt.Put(doc("a", 10))
+	tt.Put(doc("b", 10))
+	tt.Put(doc("c", 10)) // overall eviction of a
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("OnEvict saw %v, want [a]", evicted)
+	}
+	if tt.InMemory("a") {
+		t.Fatal("evicted doc still counted in memory tier")
+	}
+	if tt.MemoryUsed() > tt.MemoryCapacity() {
+		t.Fatalf("memory overflow: %d > %d", tt.MemoryUsed(), tt.MemoryCapacity())
+	}
+}
+
+func TestTwoTierRemoveClearsBothTiers(t *testing.T) {
+	tt := mustTwoTier(t, LRU, 100, 50)
+	tt.Put(doc("a", 10))
+	if !tt.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if tt.InMemory("a") {
+		t.Fatal("removed doc still in memory tier")
+	}
+	if _, _, ok := tt.GetTier("a"); ok {
+		t.Fatal("removed doc still resident")
+	}
+}
+
+func TestTwoTierDocLargerThanMemoryIsDiskOnly(t *testing.T) {
+	tt := mustTwoTier(t, LRU, 100, 10)
+	tt.Put(doc("big", 50))
+	if tt.InMemory("big") {
+		t.Fatal("doc larger than memory tier admitted to memory")
+	}
+	_, tier, ok := tt.GetTier("big")
+	if !ok || tier != TierDisk {
+		t.Fatalf("GetTier(big) = %v, %v; want disk hit", tier, ok)
+	}
+}
+
+func TestTwoTierImplementsCache(t *testing.T) {
+	var _ Cache = (*TwoTier)(nil)
+	tt := mustTwoTier(t, LRU, 30, 10)
+	tt.Put(doc("a", 10))
+	tt.Put(doc("b", 10))
+	tt.Put(doc("c", 10))
+	if tt.Len() != 3 || tt.Used() != 30 || tt.Capacity() != 30 || tt.Policy() != LRU {
+		t.Fatalf("accessors wrong: Len=%d Used=%d Cap=%d Pol=%v", tt.Len(), tt.Used(), tt.Capacity(), tt.Policy())
+	}
+	if got := len(tt.Keys()); got != 3 {
+		t.Fatalf("Keys() len = %d, want 3", got)
+	}
+}
+
+// TestQuickTwoTierInvariants: memory residency is always a subset of overall
+// residency, and memory bytes never exceed the memory capacity.
+func TestQuickTwoTierInvariants(t *testing.T) {
+	type script struct {
+		capacity, mem int64
+		ops           []scriptOp
+	}
+	gen := func(r *rand.Rand) script {
+		cp := int64(r.Intn(400) + 50)
+		s := script{capacity: cp, mem: cp / int64(r.Intn(9)+2)}
+		for i := 0; i < 300; i++ {
+			s.ops = append(s.ops, scriptOp{kind: r.Intn(3), key: fmt.Sprintf("k%d", r.Intn(30)), size: int64(r.Intn(60) + 1)})
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		s := gen(rand.New(rand.NewSource(seed)))
+		tt, err := NewTwoTier(LRU, s.capacity, s.mem)
+		if err != nil {
+			t.Fatalf("NewTwoTier: %v", err)
+		}
+		for i, op := range s.ops {
+			switch op.kind {
+			case 0:
+				tt.Put(Doc{Key: op.key, Size: op.size})
+			case 1:
+				tt.GetTier(op.key)
+			case 2:
+				tt.Remove(op.key)
+			}
+			if tt.MemoryUsed() > tt.MemoryCapacity() {
+				t.Errorf("op %d: memory %d > cap %d", i, tt.MemoryUsed(), tt.MemoryCapacity())
+				return false
+			}
+			if tt.Used() > tt.Capacity() {
+				t.Errorf("op %d: used %d > cap %d", i, tt.Used(), tt.Capacity())
+				return false
+			}
+			for _, k := range tt.mem.Keys() {
+				if _, ok := tt.Peek(k); !ok {
+					t.Errorf("op %d: memory-resident %q not overall-resident", i, k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package coop implements the conventional alternative the paper positions
+// itself against (§1: on a proxy miss "the proxy server will immediately
+// send the request to its cooperative caches, if any"): a cluster of sibling
+// proxies sharing their contents via Summary-Cache-style compressed
+// summaries (Fan et al., SIGCOMM 1998 — the paper's reference [4]).
+//
+// Clients are partitioned across M sibling proxies. Each proxy publishes a
+// counting-Bloom summary of its cache to its siblings, republished only
+// after a threshold fraction of its content has changed (the delay that
+// makes Summary Cache scale). A request flows browser → own proxy → sibling
+// proxies (probed only when a summary claims the document, so stale
+// summaries cost false probes or missed hits) → origin.
+//
+// The package exists as a baseline: comparing it against the browsers-aware
+// proxy at equal total cache hardware isolates the paper's actual
+// contribution — sharing the *browser* caches instead of adding more proxy
+// machinery.
+package coop
+
+import (
+	"fmt"
+
+	"baps/internal/bloom"
+	"baps/internal/cache"
+	"baps/internal/stats"
+	"baps/internal/trace"
+)
+
+// Config assembles a cooperative-proxy cluster simulation.
+type Config struct {
+	// NumProxies is the number of sibling proxies (M ≥ 1).
+	NumProxies int
+	// TotalProxyCapacity is split evenly across the siblings, so the
+	// cluster's aggregate proxy hardware matches a single-proxy setup.
+	TotalProxyCapacity int64
+	// BrowserCapacity holds per-client browser cache sizes (clients are
+	// assigned to proxies round-robin: client i → proxy i mod M).
+	BrowserCapacity []int64
+	// Policy is the replacement policy for all caches.
+	Policy cache.Policy
+	// MemFraction is the memory tier share.
+	MemFraction float64
+	// SummaryCountersPerDoc sizes each proxy's Bloom summary (Summary
+	// Cache recommends ≈16 counters per cached document).
+	SummaryCountersPerDoc int
+	// SummaryThreshold is the changed fraction of a proxy's cache that
+	// triggers republishing its summary to siblings (Fan et al. studied
+	// 1–10 %).
+	SummaryThreshold float64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.NumProxies < 1 {
+		return fmt.Errorf("coop: NumProxies must be >= 1")
+	}
+	if c.TotalProxyCapacity < 0 {
+		return fmt.Errorf("coop: negative proxy capacity")
+	}
+	if len(c.BrowserCapacity) == 0 {
+		return fmt.Errorf("coop: no clients")
+	}
+	if c.MemFraction <= 0 || c.MemFraction > 1 {
+		return fmt.Errorf("coop: MemFraction %g out of (0,1]", c.MemFraction)
+	}
+	if c.SummaryCountersPerDoc < 1 {
+		return fmt.Errorf("coop: SummaryCountersPerDoc must be >= 1")
+	}
+	if c.SummaryThreshold <= 0 || c.SummaryThreshold > 1 {
+		return fmt.Errorf("coop: SummaryThreshold %g out of (0,1]", c.SummaryThreshold)
+	}
+	return nil
+}
+
+// Result carries the cooperative cluster's metrics.
+type Result struct {
+	Requests   int64
+	TotalBytes int64
+
+	LocalHits   int64 // requester's browser
+	OwnHits     int64 // the client's own proxy
+	SiblingHits int64 // a sibling proxy, found via summaries
+	Misses      int64
+
+	LocalBytes, OwnBytes, SiblingBytes int64
+
+	// FalseProbes counts sibling contacts whose summary was stale or a
+	// Bloom false positive; MissedSiblingHits counts documents a sibling
+	// actually held while every published summary denied it (stale the
+	// other way).
+	FalseProbes       int64
+	MissedSiblingHits int64
+	// SummaryRepublished counts summary broadcasts.
+	SummaryRepublished int64
+	// SummaryBytes is the steady-state size of all summaries a proxy
+	// stores (M−1 sibling summaries each).
+	SummaryBytes int64
+}
+
+// HitRatio is total hits over requests.
+func (r *Result) HitRatio() float64 {
+	return stats.Ratio(float64(r.LocalHits+r.OwnHits+r.SiblingHits), float64(r.Requests))
+}
+
+// ByteHitRatio is hit bytes over requested bytes.
+func (r *Result) ByteHitRatio() float64 {
+	return stats.Ratio(float64(r.LocalBytes+r.OwnBytes+r.SiblingBytes), float64(r.TotalBytes))
+}
+
+// SiblingHitRatio is the cooperative component.
+func (r *Result) SiblingHitRatio() float64 {
+	return stats.Ratio(float64(r.SiblingHits), float64(r.Requests))
+}
+
+// Check verifies conservation invariants.
+func (r *Result) Check() error {
+	if r.LocalHits+r.OwnHits+r.SiblingHits+r.Misses != r.Requests {
+		return fmt.Errorf("coop: hit classes don't sum to requests")
+	}
+	if hr := r.HitRatio(); hr < 0 || hr > 1 {
+		return fmt.Errorf("coop: hit ratio %g out of range", hr)
+	}
+	return nil
+}
+
+// proxyNode is one sibling: its cache plus the summary it last published.
+type proxyNode struct {
+	cache     *cache.TwoTier
+	summary   *bloom.Counting // live view of own contents
+	published *bloom.Counting // what siblings currently see
+	changes   int
+}
+
+// System is a cooperative-proxy cluster processing a request stream.
+type System struct {
+	cfg      Config
+	browsers []*cache.TwoTier
+	proxies  []*proxyNode
+	res      Result
+}
+
+// New builds a cluster.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg}
+	per := cfg.TotalProxyCapacity / int64(cfg.NumProxies)
+	// Summary sizing: expected docs per proxy ≈ capacity / 8 KB.
+	expDocs := per/8192 + 16
+	counters := uint64(int64(cfg.SummaryCountersPerDoc) * expDocs)
+	for i := 0; i < cfg.NumProxies; i++ {
+		pc, err := cache.NewTwoTier(cfg.Policy, per, int64(float64(per)*cfg.MemFraction))
+		if err != nil {
+			return nil, err
+		}
+		live, err := bloom.NewCounting(counters, 4)
+		if err != nil {
+			return nil, err
+		}
+		pub, err := bloom.NewCounting(counters, 4)
+		if err != nil {
+			return nil, err
+		}
+		s.proxies = append(s.proxies, &proxyNode{cache: pc, summary: live, published: pub})
+	}
+	for i, capBytes := range cfg.BrowserCapacity {
+		bc, err := cache.NewTwoTier(cfg.Policy, capBytes, int64(float64(capBytes)*cfg.MemFraction))
+		if err != nil {
+			return nil, fmt.Errorf("coop: browser %d: %w", i, err)
+		}
+		s.browsers = append(s.browsers, bc)
+	}
+	s.res.SummaryBytes = int64(cfg.NumProxies) * int64(counters)
+	return s, nil
+}
+
+// proxyOf maps a client to its proxy.
+func (s *System) proxyOf(client int) int { return client % s.cfg.NumProxies }
+
+// putProxy inserts into a proxy cache, maintaining its live summary and the
+// republish threshold.
+func (s *System) putProxy(pi int, doc cache.Doc) {
+	p := s.proxies[pi]
+	had := false
+	if _, ok := p.cache.Peek(doc.Key); ok {
+		had = true
+	}
+	evicted, admitted := p.cache.Put(doc)
+	if admitted && !had {
+		p.summary.Add(doc.Key)
+		p.changes++
+	}
+	for _, d := range evicted {
+		p.summary.Remove(d.Key)
+		p.changes++
+	}
+	if float64(p.changes) >= s.cfg.SummaryThreshold*float64(max(p.cache.Len(), 1)) {
+		s.republish(pi)
+	}
+}
+
+// republish snapshots the proxy's live summary for its siblings.
+func (s *System) republish(pi int) {
+	p := s.proxies[pi]
+	p.published.Reset()
+	for _, key := range p.cache.Keys() {
+		p.published.Add(key)
+	}
+	p.changes = 0
+	s.res.SummaryRepublished++
+}
+
+// Access resolves one request.
+func (s *System) Access(r trace.Request) {
+	s.res.Requests++
+	s.res.TotalBytes += r.Size
+
+	// 1. Browser cache.
+	b := s.browsers[r.Client]
+	if doc, _, ok := b.GetTier(r.URL); ok {
+		if doc.Size == r.Size {
+			s.res.LocalHits++
+			s.res.LocalBytes += r.Size
+			return
+		}
+		b.Remove(r.URL)
+	}
+	deliver := func() {
+		b.Put(cache.Doc{Key: r.URL, Size: r.Size})
+	}
+
+	// 2. Own proxy.
+	own := s.proxyOf(r.Client)
+	if doc, _, ok := s.proxies[own].cache.GetTier(r.URL); ok {
+		if doc.Size == r.Size {
+			s.res.OwnHits++
+			s.res.OwnBytes += r.Size
+			deliver()
+			return
+		}
+		s.proxies[own].cache.Remove(r.URL)
+		s.proxies[own].summary.Remove(r.URL)
+		s.proxies[own].changes++
+	}
+
+	// 3. Siblings, guided by their *published* summaries.
+	holder := -1
+	for j := range s.proxies {
+		if j == own {
+			continue
+		}
+		if !s.proxies[j].published.Contains(r.URL) {
+			continue
+		}
+		doc, _, ok := s.proxies[j].cache.GetTier(r.URL)
+		if ok && doc.Size == r.Size {
+			holder = j
+			break
+		}
+		s.res.FalseProbes++ // summary claimed it; contact was wasted
+	}
+	if holder >= 0 {
+		s.res.SiblingHits++
+		s.res.SiblingBytes += r.Size
+		// ICP behaviour: the fetching proxy caches the sibling's copy.
+		s.putProxy(own, cache.Doc{Key: r.URL, Size: r.Size})
+		deliver()
+		return
+	}
+	// Account missed opportunities: a sibling held it but no published
+	// summary admitted it.
+	for j := range s.proxies {
+		if j == own {
+			continue
+		}
+		if doc, ok := s.proxies[j].cache.Peek(r.URL); ok && doc.Size == r.Size {
+			s.res.MissedSiblingHits++
+			break
+		}
+	}
+
+	// 4. Origin.
+	s.res.Misses++
+	s.putProxy(own, cache.Doc{Key: r.URL, Size: r.Size})
+	deliver()
+}
+
+// Run replays a whole trace and returns the metrics.
+func Run(tr *trace.Trace, cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, r := range tr.Requests {
+		s.Access(r)
+	}
+	if err := s.res.Check(); err != nil {
+		return Result{}, err
+	}
+	return s.res, nil
+}

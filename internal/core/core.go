@@ -1,0 +1,514 @@
+// Package core implements the paper's primary contribution: the
+// browsers-aware request-resolution pipeline, expressed so that all five web
+// caching organizations of §3.2 are configurations of the same machine.
+// Comparisons between organizations therefore cannot diverge by accident of
+// implementation — they differ only in which layers exist:
+//
+//	local browser cache  →  proxy cache  →  browser index (remote browsers)  →  upstream
+//
+// Organization selects the layers; everything else (LRU caches, two-tier
+// memory/disk split, the index-update protocol, holder selection, document
+// modification handling) is shared. The package is consumed by the
+// trace-driven simulator (internal/sim) and mirrors the protocol the live
+// HTTP system (internal/proxy, internal/browser) speaks on real sockets.
+package core
+
+import (
+	"fmt"
+
+	"baps/internal/cache"
+	"baps/internal/index"
+	"baps/internal/trace"
+)
+
+// Organization is one of the paper's five web caching organizations (§3.2).
+type Organization int
+
+const (
+	// ProxyCacheOnly: no browser caches; every request goes to the proxy.
+	ProxyCacheOnly Organization = iota
+	// LocalBrowserCacheOnly: private browser caches, no proxy.
+	LocalBrowserCacheOnly
+	// GlobalBrowsersCacheOnly: browser caches shared through an index,
+	// no proxy cache. Per the paper, a browser does not cache documents
+	// fetched from another browser's cache.
+	GlobalBrowsersCacheOnly
+	// ProxyAndLocalBrowser: the conventional arrangement — private
+	// browser caches in front of a proxy cache.
+	ProxyAndLocalBrowser
+	// BrowsersAware: the paper's contribution — ProxyAndLocalBrowser
+	// plus the browser index consulted between a proxy miss and the
+	// upstream fetch.
+	BrowsersAware
+)
+
+// Organizations lists all five in the paper's order.
+func Organizations() []Organization {
+	return []Organization{ProxyCacheOnly, LocalBrowserCacheOnly, GlobalBrowsersCacheOnly, ProxyAndLocalBrowser, BrowsersAware}
+}
+
+// String names the organization as the paper does.
+func (o Organization) String() string {
+	switch o {
+	case ProxyCacheOnly:
+		return "proxy-cache-only"
+	case LocalBrowserCacheOnly:
+		return "local-browser-cache-only"
+	case GlobalBrowsersCacheOnly:
+		return "global-browsers-cache-only"
+	case ProxyAndLocalBrowser:
+		return "proxy-and-local-browser"
+	case BrowsersAware:
+		return "browsers-aware-proxy-server"
+	default:
+		return fmt.Sprintf("Organization(%d)", int(o))
+	}
+}
+
+// ParseOrganization resolves a paper-style organization name.
+func ParseOrganization(s string) (Organization, error) {
+	for _, o := range Organizations() {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown organization %q", s)
+}
+
+// hasLocal reports whether clients have browser caches.
+func (o Organization) hasLocal() bool { return o != ProxyCacheOnly }
+
+// hasProxy reports whether a proxy cache exists.
+func (o Organization) hasProxy() bool {
+	return o == ProxyCacheOnly || o == ProxyAndLocalBrowser || o == BrowsersAware
+}
+
+// hasIndex reports whether remote browser caches are reachable via an index.
+func (o Organization) hasIndex() bool {
+	return o == GlobalBrowsersCacheOnly || o == BrowsersAware
+}
+
+// ForwardMode selects how a remote-browser hit is delivered under the
+// browsers-aware organization (§2's two implementation alternatives).
+type ForwardMode int
+
+const (
+	// DirectForward: the proxy informs the holder, which forwards the
+	// document to the requester (anonymized in the live system); the
+	// document does not pass through the proxy cache.
+	DirectForward ForwardMode = iota
+	// FetchForward: the proxy fetches the document from the holder and
+	// forwards it to the requester, optionally caching it on the way
+	// (Config.ProxyCachesPeerDocs).
+	FetchForward
+)
+
+// String names the mode.
+func (f ForwardMode) String() string {
+	if f == DirectForward {
+		return "direct-forward"
+	}
+	return "fetch-forward"
+}
+
+// HitClass classifies where a request was satisfied. The first three are
+// the paper's Figure 3 breakdown buckets.
+type HitClass int
+
+const (
+	// HitLocalBrowser: served by the requester's own browser cache.
+	HitLocalBrowser HitClass = iota
+	// HitProxy: served by the proxy cache.
+	HitProxy
+	// HitRemoteBrowser: served peer-to-peer from another client's
+	// browser cache.
+	HitRemoteBrowser
+	// HitParent: served by the upper-level (parent) proxy, when the
+	// hierarchy extension is configured.
+	HitParent
+	// Miss: fetched from the origin.
+	Miss
+)
+
+// String names the hit class.
+func (h HitClass) String() string {
+	switch h {
+	case HitLocalBrowser:
+		return "local-browser"
+	case HitProxy:
+		return "proxy"
+	case HitRemoteBrowser:
+		return "remote-browsers"
+	case HitParent:
+		return "parent-proxy"
+	case Miss:
+		return "miss"
+	default:
+		return fmt.Sprintf("HitClass(%d)", int(h))
+	}
+}
+
+// Config assembles a System.
+type Config struct {
+	// Organization selects which layers exist.
+	Organization Organization
+
+	// NumClients is the number of browsers.
+	NumClients int
+
+	// ProxyCapacity is the proxy cache size in bytes (ignored when the
+	// organization has no proxy).
+	ProxyCapacity int64
+
+	// BrowserCapacity holds the per-client browser cache sizes in bytes
+	// (ignored when the organization has no browser caches). Length must
+	// equal NumClients.
+	BrowserCapacity []int64
+
+	// ProxyPolicy and BrowserPolicy select replacement policies; the
+	// paper uses LRU for both.
+	ProxyPolicy   cache.Policy
+	BrowserPolicy cache.Policy
+
+	// MemFraction is the memory portion of the proxy cache (paper: 1/10
+	// of the proxy cache size, after the Squid configuration study it
+	// cites).
+	MemFraction float64
+
+	// BrowserMemFraction is the memory portion of each browser cache.
+	// The paper sets it separately from the proxy's and notes the choice
+	// is conservative because "the memory cache portion in a browser can
+	// be much larger than that for the proxy cache in practice" — §1
+	// even describes fully memory-resident browser caches. Zero means
+	// "use MemFraction".
+	BrowserMemFraction float64
+
+	// IndexMode selects the §2 update protocol; IndexThreshold is the
+	// periodic-mode changed-fraction trigger.
+	IndexMode      index.Mode
+	IndexThreshold float64
+
+	// IndexStrategy selects the remote-holder preference order.
+	IndexStrategy index.Strategy
+
+	// ForwardMode selects §2's delivery alternative for remote hits.
+	ForwardMode ForwardMode
+
+	// ProxyCachesPeerDocs: under FetchForward, the proxy also caches the
+	// document it relayed from a browser.
+	ProxyCachesPeerDocs bool
+
+	// CacheRemoteHits: the requester's browser caches documents received
+	// from remote browsers (always false for GlobalBrowsersCacheOnly,
+	// where the paper forbids it).
+	CacheRemoteHits bool
+
+	// DocTTLSec, when positive, stamps every index entry with a TTL
+	// ("provided by the data source", §2): after it expires the entry is
+	// no longer offered as a remote holder and is pruned on contact.
+	// Zero disables expiry.
+	DocTTLSec float64
+
+	// ParentCapacity, when positive, inserts an upper-level proxy cache
+	// between the organization and the origin (the paper's "upper level
+	// proxy" that misses are forwarded to). It is consulted after every
+	// other layer and caches everything passing through it.
+	ParentCapacity int64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.NumClients <= 0 {
+		return fmt.Errorf("core: NumClients must be > 0")
+	}
+	if c.Organization.hasProxy() && c.ProxyCapacity < 0 {
+		return fmt.Errorf("core: negative ProxyCapacity")
+	}
+	if c.Organization.hasLocal() {
+		if len(c.BrowserCapacity) != c.NumClients {
+			return fmt.Errorf("core: BrowserCapacity has %d entries for %d clients", len(c.BrowserCapacity), c.NumClients)
+		}
+		for i, b := range c.BrowserCapacity {
+			if b < 0 {
+				return fmt.Errorf("core: negative BrowserCapacity[%d]", i)
+			}
+		}
+	}
+	if c.MemFraction <= 0 || c.MemFraction > 1 {
+		return fmt.Errorf("core: MemFraction %g out of (0,1]", c.MemFraction)
+	}
+	if c.BrowserMemFraction < 0 || c.BrowserMemFraction > 1 {
+		return fmt.Errorf("core: BrowserMemFraction %g out of [0,1]", c.BrowserMemFraction)
+	}
+	if c.IndexMode == index.Periodic && (c.IndexThreshold <= 0 || c.IndexThreshold > 1) {
+		return fmt.Errorf("core: IndexThreshold %g out of (0,1] for periodic mode", c.IndexThreshold)
+	}
+	if c.DocTTLSec < 0 {
+		return fmt.Errorf("core: negative DocTTLSec")
+	}
+	if c.ParentCapacity < 0 {
+		return fmt.Errorf("core: negative ParentCapacity")
+	}
+	return nil
+}
+
+// Outcome reports how one request was resolved.
+type Outcome struct {
+	// Class is where the request was satisfied.
+	Class HitClass
+	// Tier is the storage tier at the serving cache (meaningful for
+	// hits; misses report TierDisk).
+	Tier cache.Tier
+	// Provider is the holder's client id for remote-browser hits, -1
+	// otherwise.
+	Provider int
+	// Size is the delivered body size in bytes.
+	Size int64
+	// FalseIndexHits counts stale index entries contacted before this
+	// request resolved (only possible under the periodic protocol).
+	FalseIndexHits int
+	// StaleLocal and StaleProxy report that a cached copy existed at the
+	// respective layer but the document had been modified at the origin,
+	// so the copy could not be used (counted as a miss there, §3.2).
+	StaleLocal bool
+	StaleProxy bool
+}
+
+// System is one configured caching organization processing a request
+// stream. It is not safe for concurrent use: the simulator drives one
+// System per goroutine.
+type System struct {
+	cfg      Config
+	proxy    *cache.TwoTier
+	parent   *cache.TwoTier
+	browsers []*cache.TwoTier
+	idx      *index.Index
+	pubs     []*index.Publisher
+	now      float64
+}
+
+// New builds a System from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg}
+	if cfg.Organization.hasIndex() {
+		s.idx = index.New(cfg.IndexStrategy)
+	}
+	if cfg.Organization.hasProxy() {
+		mem := int64(float64(cfg.ProxyCapacity) * cfg.MemFraction)
+		p, err := cache.NewTwoTier(cfg.ProxyPolicy, cfg.ProxyCapacity, mem)
+		if err != nil {
+			return nil, fmt.Errorf("core: proxy cache: %w", err)
+		}
+		s.proxy = p
+	}
+	if cfg.ParentCapacity > 0 {
+		mem := int64(float64(cfg.ParentCapacity) * cfg.MemFraction)
+		p, err := cache.NewTwoTier(cfg.ProxyPolicy, cfg.ParentCapacity, mem)
+		if err != nil {
+			return nil, fmt.Errorf("core: parent cache: %w", err)
+		}
+		s.parent = p
+	}
+	if cfg.Organization.hasLocal() {
+		s.browsers = make([]*cache.TwoTier, cfg.NumClients)
+		if s.idx != nil {
+			s.pubs = make([]*index.Publisher, cfg.NumClients)
+		}
+		browserMem := cfg.BrowserMemFraction
+		if browserMem == 0 {
+			browserMem = cfg.MemFraction
+		}
+		for i := 0; i < cfg.NumClients; i++ {
+			i := i
+			capacity := cfg.BrowserCapacity[i]
+			mem := int64(float64(capacity) * browserMem)
+			var opts cache.Options
+			if s.idx != nil {
+				pub, err := index.NewPublisher(s.idx, i, cfg.IndexMode, cfg.IndexThreshold)
+				if err != nil {
+					return nil, err
+				}
+				s.pubs[i] = pub
+				opts.OnEvict = func(d cache.Doc) {
+					// Browser cache capacity eviction → §2
+					// invalidation message (or batched change).
+					pub.OnEvict(d.Key, s.browsers[i].Len())
+				}
+			}
+			b, err := cache.NewTwoTier(cfg.BrowserPolicy, capacity, mem, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: browser cache %d: %w", i, err)
+			}
+			s.browsers[i] = b
+		}
+	}
+	return s, nil
+}
+
+// Access resolves one request through the organization's layers and returns
+// where it was satisfied. Requests must be presented in trace order.
+func (s *System) Access(r trace.Request) Outcome {
+	s.now = r.Time
+	out := Outcome{Provider: -1, Size: r.Size, Class: Miss}
+
+	// 1. Local browser cache.
+	if s.cfg.Organization.hasLocal() {
+		b := s.browsers[r.Client]
+		if doc, tier, ok := b.GetTier(r.URL); ok {
+			if doc.Size == r.Size {
+				out.Class = HitLocalBrowser
+				out.Tier = tier
+				return out
+			}
+			// Modified at the origin: unusable copy (§3.2).
+			out.StaleLocal = true
+			b.Remove(r.URL)
+			if s.pubs != nil {
+				s.pubs[r.Client].OnEvict(r.URL, b.Len())
+			}
+		}
+	}
+
+	// 2. Proxy cache.
+	if s.cfg.Organization.hasProxy() {
+		if doc, tier, ok := s.proxy.GetTier(r.URL); ok {
+			if doc.Size == r.Size {
+				out.Class = HitProxy
+				out.Tier = tier
+				s.deliverToBrowser(r)
+				return out
+			}
+			out.StaleProxy = true
+			s.proxy.Remove(r.URL)
+		}
+	}
+
+	// 3. Browser index → remote browser caches.
+	if s.cfg.Organization.hasIndex() {
+		provider, tier, falseHits, ok := s.remoteLookup(r)
+		out.FalseIndexHits = falseHits
+		if ok {
+			out.Class = HitRemoteBrowser
+			out.Provider = provider
+			out.Tier = tier
+			if s.cfg.Organization == BrowsersAware {
+				if s.cfg.ForwardMode == FetchForward && s.cfg.ProxyCachesPeerDocs {
+					s.proxy.Put(cache.Doc{Key: r.URL, Size: r.Size})
+				}
+				if s.cfg.CacheRemoteHits {
+					s.deliverToBrowser(r)
+				}
+			}
+			// GlobalBrowsersCacheOnly: the paper forbids caching
+			// documents fetched from another browser.
+			return out
+		}
+	}
+
+	// 4. Upper-level (parent) proxy, when configured.
+	if s.parent != nil {
+		if doc, tier, ok := s.parent.GetTier(r.URL); ok && doc.Size == r.Size {
+			out.Class = HitParent
+			out.Tier = tier
+			if s.cfg.Organization.hasProxy() {
+				s.proxy.Put(cache.Doc{Key: r.URL, Size: r.Size})
+			}
+			s.deliverToBrowser(r)
+			return out
+		} else if ok {
+			s.parent.Remove(r.URL)
+		}
+	}
+
+	// 5. Origin fetch.
+	if s.parent != nil {
+		s.parent.Put(cache.Doc{Key: r.URL, Size: r.Size})
+	}
+	if s.cfg.Organization.hasProxy() {
+		s.proxy.Put(cache.Doc{Key: r.URL, Size: r.Size})
+	}
+	s.deliverToBrowser(r)
+	return out
+}
+
+// deliverToBrowser stores the delivered document in the requester's browser
+// cache and publishes the index update.
+func (s *System) deliverToBrowser(r trace.Request) {
+	if !s.cfg.Organization.hasLocal() {
+		return
+	}
+	b := s.browsers[r.Client]
+	_, admitted := b.Put(cache.Doc{Key: r.URL, Size: r.Size})
+	if admitted && s.pubs != nil {
+		e := index.Entry{
+			URL:   r.URL,
+			Size:  r.Size,
+			Stamp: s.now,
+		}
+		if s.cfg.DocTTLSec > 0 {
+			e.Expire = s.now + s.cfg.DocTTLSec
+		}
+		s.pubs[r.Client].OnInsert(e, b.Len())
+	}
+}
+
+// remoteLookup walks the index's preferred holders for r.URL, contacting
+// each until one actually holds a current copy. Stale index entries (only
+// possible under the periodic protocol, or after origin-side modification)
+// are pruned and counted as false hits when a contact was wasted.
+func (s *System) remoteLookup(r trace.Request) (provider int, tier cache.Tier, falseHits int, ok bool) {
+	now := 0.0
+	if s.cfg.DocTTLSec > 0 {
+		now = s.now
+	}
+	for _, e := range s.idx.OrderedAt(r.URL, r.Client, now) {
+		if e.Size != r.Size {
+			// The index itself proves the holder's copy predates the
+			// modification; no contact is wasted.
+			continue
+		}
+		doc, t, found := s.browsers[e.Client].GetTier(r.URL)
+		if found && doc.Size == r.Size {
+			s.idx.AccountServe(e.Client)
+			return e.Client, t, falseHits, true
+		}
+		// Contacted a browser that no longer has a usable copy.
+		falseHits++
+		s.idx.Remove(e.Client, r.URL)
+	}
+	return -1, cache.TierDisk, falseHits, false
+}
+
+// FlushIndex forces all pending periodic index updates through (end-of-run
+// bookkeeping and tests).
+func (s *System) FlushIndex() {
+	for _, p := range s.pubs {
+		if p != nil {
+			p.Flush()
+		}
+	}
+}
+
+// Proxy exposes the proxy cache (nil when the organization has none).
+func (s *System) Proxy() *cache.TwoTier { return s.proxy }
+
+// Parent exposes the upper-level proxy cache (nil unless configured).
+func (s *System) Parent() *cache.TwoTier { return s.parent }
+
+// Browser exposes client i's browser cache (nil when the organization has
+// none).
+func (s *System) Browser(i int) *cache.TwoTier {
+	if s.browsers == nil {
+		return nil
+	}
+	return s.browsers[i]
+}
+
+// Index exposes the browser index (nil when the organization has none).
+func (s *System) Index() *index.Index { return s.idx }
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }

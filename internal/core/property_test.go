@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"baps/internal/index"
+	"baps/internal/trace"
+)
+
+// TestQuickImmediateIndexMirrorsBrowsers: under the immediate update
+// protocol the browser index is always exact — after any request sequence,
+// the index's view of every client equals that client's actual cache
+// contents, and vice versa.
+func TestQuickImmediateIndexMirrorsBrowsers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clients := rng.Intn(4) + 2
+		c := cfg(BrowsersAware, clients, int64(rng.Intn(3000)+200), int64(rng.Intn(2000)+200))
+		c.ForwardMode = ForwardMode(rng.Intn(2))
+		c.CacheRemoteHits = rng.Intn(2) == 0
+		s := mustNew(t, c)
+		tm := 0.0
+		for i := 0; i < 600; i++ {
+			tm += rng.Float64()
+			s.Access(trace.Request{
+				Time:   tm,
+				Client: rng.Intn(clients),
+				URL:    fmt.Sprintf("u%d", rng.Intn(30)),
+				Size:   int64(rng.Intn(400) + 50),
+			})
+		}
+		for ci := 0; ci < clients; ci++ {
+			cached := map[string]bool{}
+			for _, k := range s.Browser(ci).Keys() {
+				cached[k] = true
+			}
+			docs := s.Index().ClientDocs(ci)
+			if len(docs) != len(cached) {
+				t.Errorf("seed %d client %d: index %d docs, cache %d", seed, ci, len(docs), len(cached))
+				return false
+			}
+			for _, e := range docs {
+				if !cached[e.URL] {
+					t.Errorf("seed %d client %d: index lists %q not in cache", seed, ci, e.URL)
+					return false
+				}
+				// Entry metadata matches the cached document.
+				if d, ok := s.Browser(ci).Peek(e.URL); !ok || d.Size != e.Size {
+					t.Errorf("seed %d client %d: index size %d vs cache %v", seed, ci, e.Size, d)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBAPSNeverLosesToPALB: on identical request streams the
+// browsers-aware organization's hit count is at least
+// proxy-and-local-browser's. This holds by construction — BAPS adds a
+// lookup layer without disturbing the proxy-path caching decisions — and
+// guards the comparison experiments against implementation drift.
+func TestQuickBAPSNeverLosesToPALB(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clients := rng.Intn(5) + 2
+		proxyCap := int64(rng.Intn(4000) + 500)
+		browserCap := int64(rng.Intn(2000) + 200)
+
+		count := func(org Organization) int {
+			c := cfg(org, clients, proxyCap, browserCap)
+			s := mustNew(t, c)
+			r2 := rand.New(rand.NewSource(seed + 1))
+			hits := 0
+			tm := 0.0
+			for i := 0; i < 800; i++ {
+				tm += r2.Float64()
+				out := s.Access(trace.Request{
+					Time:   tm,
+					Client: r2.Intn(clients),
+					URL:    fmt.Sprintf("u%d", r2.Intn(40)),
+					Size:   int64(r2.Intn(300) + 20),
+				})
+				if out.Class != Miss {
+					hits++
+				}
+			}
+			return hits
+		}
+		baps := count(BrowsersAware)
+		palb := count(ProxyAndLocalBrowser)
+		if baps < palb {
+			t.Errorf("seed %d: BAPS %d hits < P+LB %d", seed, baps, palb)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPeriodicConvergesAfterFlush: the periodic protocol's index view
+// equals the immediate protocol's after a forced flush.
+func TestQuickPeriodicConvergesAfterFlush(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clients := rng.Intn(3) + 2
+		c := cfg(BrowsersAware, clients, 2000, 1000)
+		c.IndexMode = index.Periodic
+		c.IndexThreshold = 0.3
+		s := mustNew(t, c)
+		tm := 0.0
+		for i := 0; i < 400; i++ {
+			tm += rng.Float64()
+			s.Access(trace.Request{
+				Time: tm, Client: rng.Intn(clients),
+				URL: fmt.Sprintf("u%d", rng.Intn(25)), Size: int64(rng.Intn(300) + 20),
+			})
+		}
+		s.FlushIndex()
+		for ci := 0; ci < clients; ci++ {
+			inIndex := map[string]bool{}
+			for _, e := range s.Index().ClientDocs(ci) {
+				inIndex[e.URL] = true
+			}
+			keys := s.Browser(ci).Keys()
+			if len(keys) != len(inIndex) {
+				t.Errorf("seed %d client %d: %d cached vs %d indexed after flush", seed, ci, len(keys), len(inIndex))
+				return false
+			}
+			for _, k := range keys {
+				if !inIndex[k] {
+					t.Errorf("seed %d client %d: %q cached but unindexed after flush", seed, ci, k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

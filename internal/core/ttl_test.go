@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+func TestDocTTLExpiresRemoteHits(t *testing.T) {
+	c := cfg(BrowsersAware, 2, 50 /* proxy never holds u */, 1000)
+	c.DocTTLSec = 100
+	s := mustNew(t, c)
+
+	s.Access(req(0, 0, "u", 100)) // client 0 caches u; entry expires at t=100
+
+	// Within the TTL: a remote hit.
+	out := s.Access(req(50, 1, "u", 100))
+	if out.Class != HitRemoteBrowser {
+		t.Fatalf("within TTL: %v", out.Class)
+	}
+	// Drop client 1's fresh copy so the next lookup must use client 0's
+	// (now-expired) entry.
+	s.Browser(1).Remove("u")
+	s.Index().Remove(1, "u")
+
+	out = s.Access(req(150, 1, "u", 100))
+	if out.Class != Miss {
+		t.Fatalf("expired entry still served: %v", out.Class)
+	}
+	if out.FalseIndexHits != 0 {
+		t.Fatalf("expired entry should be skipped without contact, got %d false hits", out.FalseIndexHits)
+	}
+}
+
+func TestDocTTLValidation(t *testing.T) {
+	c := cfg(BrowsersAware, 2, 100, 100)
+	c.DocTTLSec = -1
+	if _, err := New(c); err == nil {
+		t.Fatal("negative TTL accepted")
+	}
+}
+
+func TestDocTTLZeroMeansImmortal(t *testing.T) {
+	c := cfg(BrowsersAware, 2, 50, 1000)
+	s := mustNew(t, c)
+	s.Access(req(0, 0, "u", 100))
+	out := s.Access(req(1e9, 1, "u", 100))
+	if out.Class != HitRemoteBrowser {
+		t.Fatalf("TTL disabled but entry expired: %v", out.Class)
+	}
+}

@@ -1,0 +1,452 @@
+// Package index implements the browser index file at the heart of the
+// browsers-aware proxy server (paper §2): a directory, kept at the proxy, of
+// every document cached in every connected client's browser cache.
+//
+// Each index item records the client machine id, the document URL (the live
+// system additionally carries a 16-byte MD5 signature), the document size,
+// and a version/time stamp. The package provides:
+//
+//   - Index: the exact directory with by-URL and by-client views and
+//     pluggable holder-selection strategies;
+//   - Publisher: the two update protocols of §2 — immediate invalidation
+//     (add on proxy→browser send, invalidation message on eviction) and
+//     periodic batched re-synchronization (flush when more than a threshold
+//     fraction of the browser cache changed, following the delay-threshold
+//     study of Fan et al. the paper cites in §5);
+//   - BloomIndex: the Summary-Cache-style compressed alternative with one
+//     counting Bloom filter per client (§5's space-reduction discussion);
+//   - space estimators for the §5 index-size analysis.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"baps/internal/bloom"
+)
+
+// Entry is one browser-index item.
+type Entry struct {
+	// Client is the holder's client id.
+	Client int
+	// URL is the document identifier.
+	URL string
+	// Size is the cached body size in bytes.
+	Size int64
+	// Version is the document generation held by the client.
+	Version int64
+	// Stamp is the (simulated or wall) time the entry was recorded, in
+	// seconds; it plays the paper's "time stamp of the file" role and
+	// drives the most-recent holder-selection strategy.
+	Stamp float64
+	// Expire is the absolute time (same clock as Stamp) at which the
+	// document's TTL — "provided by the data source", §2 — runs out.
+	// Zero means no expiry. Expired entries are skipped by OrderedAt
+	// and purged by PruneExpired.
+	Expire float64
+}
+
+// expired reports whether the entry's TTL ran out at time now.
+func (e Entry) expired(now float64) bool {
+	return e.Expire != 0 && now >= e.Expire
+}
+
+// Strategy selects which holder serves a remote-browser hit when several
+// clients cache the document.
+type Strategy int
+
+const (
+	// SelectMostRecent picks the holder with the newest Stamp (most
+	// likely still resident and fresh); ties break to the lowest client.
+	SelectMostRecent Strategy = iota
+	// SelectLeastLoaded picks the holder that has served the fewest
+	// peer transfers, spreading upload load across browsers.
+	SelectLeastLoaded
+	// SelectFirst picks the lowest client id (deterministic, cheapest).
+	SelectFirst
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case SelectMostRecent:
+		return "most-recent"
+	case SelectLeastLoaded:
+		return "least-loaded"
+	case SelectFirst:
+		return "first"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Index is the exact browser directory. It is safe for concurrent use; the
+// live proxy shares one Index across request goroutines, while the simulator
+// uses it single-threaded.
+type Index struct {
+	mu       sync.RWMutex
+	byURL    map[string]map[int]Entry
+	byClient map[int]map[string]Entry
+	served   map[int]int64 // peer transfers served, for SelectLeastLoaded
+	strategy Strategy
+}
+
+// New creates an empty index with the given holder-selection strategy.
+func New(strategy Strategy) *Index {
+	return &Index{
+		byURL:    make(map[string]map[int]Entry),
+		byClient: make(map[int]map[string]Entry),
+		served:   make(map[int]int64),
+		strategy: strategy,
+	}
+}
+
+// Add records (or refreshes) an entry.
+func (x *Index) Add(e Entry) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.addLocked(e)
+}
+
+func (x *Index) addLocked(e Entry) {
+	holders, ok := x.byURL[e.URL]
+	if !ok {
+		holders = make(map[int]Entry)
+		x.byURL[e.URL] = holders
+	}
+	holders[e.Client] = e
+	docs, ok := x.byClient[e.Client]
+	if !ok {
+		docs = make(map[string]Entry)
+		x.byClient[e.Client] = docs
+	}
+	docs[e.URL] = e
+}
+
+// Remove deletes client's entry for url (the §2 invalidation message),
+// reporting whether it existed.
+func (x *Index) Remove(client int, url string) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.removeLocked(client, url)
+}
+
+func (x *Index) removeLocked(client int, url string) bool {
+	holders, ok := x.byURL[url]
+	if !ok {
+		return false
+	}
+	if _, ok := holders[client]; !ok {
+		return false
+	}
+	delete(holders, client)
+	if len(holders) == 0 {
+		delete(x.byURL, url)
+	}
+	if docs, ok := x.byClient[client]; ok {
+		delete(docs, url)
+		if len(docs) == 0 {
+			delete(x.byClient, client)
+		}
+	}
+	return true
+}
+
+// Lookup returns all recorded holders of url, sorted by client id. The
+// returned slice is a copy.
+func (x *Index) Lookup(url string) []Entry {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	holders := x.byURL[url]
+	out := make([]Entry, 0, len(holders))
+	for _, e := range holders {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out
+}
+
+// Select picks a holder for url other than requester, per the index's
+// strategy, and accounts one served transfer to it. ok is false when no
+// other client holds the document.
+func (x *Index) Select(url string, requester int) (Entry, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	holders := x.byURL[url]
+	var best Entry
+	found := false
+	for _, e := range holders {
+		if e.Client == requester {
+			continue
+		}
+		if !found {
+			best = e
+			found = true
+			continue
+		}
+		if x.better(e, best) {
+			best = e
+		}
+	}
+	if found {
+		x.served[best.Client]++
+	}
+	return best, found
+}
+
+// better reports whether a should be preferred over b under the strategy.
+func (x *Index) better(a, b Entry) bool {
+	switch x.strategy {
+	case SelectMostRecent:
+		if a.Stamp != b.Stamp {
+			return a.Stamp > b.Stamp
+		}
+		return a.Client < b.Client
+	case SelectLeastLoaded:
+		la, lb := x.served[a.Client], x.served[b.Client]
+		if la != lb {
+			return la < lb
+		}
+		return a.Client < b.Client
+	default: // SelectFirst
+		return a.Client < b.Client
+	}
+}
+
+// Ordered returns all holders of url except requester, sorted by the
+// index's strategy preference (best candidate first). Unlike Select it does
+// not account a served transfer; callers that contact a candidate confirm
+// with AccountServe. This supports the stale-entry retry loop: under the
+// periodic update protocol an index entry may name a browser that already
+// evicted the document, and the proxy then tries the next candidate.
+func (x *Index) Ordered(url string, requester int) []Entry {
+	return x.OrderedAt(url, requester, 0)
+}
+
+// OrderedAt is Ordered with TTL filtering: entries whose Expire lies at or
+// before now are omitted (now == 0 disables filtering, matching Ordered).
+func (x *Index) OrderedAt(url string, requester int, now float64) []Entry {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	holders := x.byURL[url]
+	out := make([]Entry, 0, len(holders))
+	for _, e := range holders {
+		if e.Client == requester {
+			continue
+		}
+		if now != 0 && e.expired(now) {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return x.better(out[i], out[j]) })
+	return out
+}
+
+// PruneExpired removes every entry whose TTL ran out at time now, returning
+// the number removed. The proxy runs this as periodic housekeeping.
+func (x *Index) PruneExpired(now float64) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := 0
+	for url, holders := range x.byURL {
+		for client, e := range holders {
+			if e.expired(now) {
+				x.removeLocked(client, url)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// AccountServe records that client served one peer transfer (used by the
+// least-loaded strategy).
+func (x *Index) AccountServe(client int) {
+	x.mu.Lock()
+	x.served[client]++
+	x.mu.Unlock()
+}
+
+// Served reports how many peer transfers client has been selected for.
+func (x *Index) Served(client int) int64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.served[client]
+}
+
+// Has reports whether client is recorded as holding url.
+func (x *Index) Has(client int, url string) bool {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	_, ok := x.byURL[url][client]
+	return ok
+}
+
+// Get returns client's entry for url.
+func (x *Index) Get(client int, url string) (Entry, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	e, ok := x.byURL[url][client]
+	return e, ok
+}
+
+// ClientDocs returns a copy of client's directory, sorted by URL.
+func (x *Index) ClientDocs(client int) []Entry {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	docs := x.byClient[client]
+	out := make([]Entry, 0, len(docs))
+	for _, e := range docs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// DropClient removes every entry for a departed client, returning how many
+// entries were removed.
+func (x *Index) DropClient(client int) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	docs := x.byClient[client]
+	n := len(docs)
+	for url := range docs {
+		holders := x.byURL[url]
+		delete(holders, client)
+		if len(holders) == 0 {
+			delete(x.byURL, url)
+		}
+	}
+	delete(x.byClient, client)
+	delete(x.served, client)
+	return n
+}
+
+// ResyncClient atomically replaces client's directory with entries (the §2
+// periodic full update).
+func (x *Index) ResyncClient(client int, entries []Entry) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for url := range x.byClient[client] {
+		holders := x.byURL[url]
+		delete(holders, client)
+		if len(holders) == 0 {
+			delete(x.byURL, url)
+		}
+	}
+	delete(x.byClient, client)
+	for _, e := range entries {
+		e.Client = client
+		x.addLocked(e)
+	}
+}
+
+// Len reports the total number of entries.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	n := 0
+	for _, docs := range x.byClient {
+		n += len(docs)
+	}
+	return n
+}
+
+// URLCount reports the number of distinct indexed URLs.
+func (x *Index) URLCount() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.byURL)
+}
+
+// SpaceEstimate models the §5 storage analysis for an exact index: each
+// entry costs an MD5 URL signature (16 bytes) plus bookkeeping (client id,
+// size, stamp ≈ 16 bytes more). The paper's example — 100 clients × 1 K
+// pages — lands at a few megabytes.
+func SpaceEstimate(entries int) int64 {
+	const perEntry = 16 /* MD5 */ + 16 /* client, size, stamp */
+	return int64(entries) * perEntry
+}
+
+// BloomSpaceEstimate models the compressed alternative: one counting Bloom
+// filter per client sized at bitsPerDoc counters per cached document (Summary
+// Cache recommends ≈16 bits/doc at 4-bit counters; with our 8-bit counters
+// the same load factor costs 2 bytes per bit position ÷ 8 … reported here
+// simply as counters × 1 byte).
+func BloomSpaceEstimate(clients, docsPerClient, countersPerDoc int) int64 {
+	return int64(clients) * int64(docsPerClient) * int64(countersPerDoc)
+}
+
+// BloomIndex is the compressed per-client index: membership is approximate
+// (false positives possible, false negatives impossible for synced content).
+// It implements the same Add/Remove/Candidates surface the simulator's
+// ablation uses to price wasted peer probes against index-space savings.
+type BloomIndex struct {
+	mu       sync.RWMutex
+	filters  map[int]*bloom.Counting
+	counters uint64
+	k        int
+}
+
+// NewBloomIndex creates a Bloom index whose per-client filters have
+// countersPerClient counters and k hash functions.
+func NewBloomIndex(countersPerClient uint64, k int) (*BloomIndex, error) {
+	if countersPerClient == 0 || k <= 0 {
+		return nil, fmt.Errorf("index: invalid bloom parameters (m=%d k=%d)", countersPerClient, k)
+	}
+	return &BloomIndex{filters: make(map[int]*bloom.Counting), counters: countersPerClient, k: k}, nil
+}
+
+func (b *BloomIndex) filter(client int) *bloom.Counting {
+	f, ok := b.filters[client]
+	if !ok {
+		f, _ = bloom.NewCounting(b.counters, b.k)
+		b.filters[client] = f
+	}
+	return f
+}
+
+// Add records that client caches url.
+func (b *BloomIndex) Add(client int, url string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.filter(client).Add(url)
+}
+
+// Remove withdraws one insertion of url for client.
+func (b *BloomIndex) Remove(client int, url string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.filter(client).Remove(url)
+}
+
+// Candidates returns the clients (≠ requester) whose filters report url,
+// sorted ascending. Some may be false positives.
+func (b *BloomIndex) Candidates(url string, requester int) []int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []int
+	for c, f := range b.filters {
+		if c == requester {
+			continue
+		}
+		if f.Contains(url) {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SizeBytes reports the total filter footprint.
+func (b *BloomIndex) SizeBytes() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var n int64
+	for _, f := range b.filters {
+		n += f.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package index
+
+import "fmt"
+
+// Mode selects the §2 index-update protocol.
+type Mode int
+
+const (
+	// Immediate applies every browser-cache change to the proxy's index
+	// at once: the proxy adds an item when it sends a document to the
+	// browser, and the browser sends an invalidation message on every
+	// eviction. The index is always exact.
+	Immediate Mode = iota
+	// Periodic batches changes at the browser and re-synchronizes the
+	// proxy's view only after more than Threshold of the browser cache
+	// has changed (the Fan et al. delay-threshold scheme the paper cites;
+	// thresholds of 1–10 % cost only a small hit-ratio degradation).
+	// Between flushes the index is stale: it can claim documents the
+	// browser already evicted (false hits) and miss documents the
+	// browser holds (lost sharing opportunities).
+	Periodic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Immediate:
+		return "immediate"
+	case Periodic:
+		return "periodic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Publisher mediates one browser cache's updates to the shared Index under
+// the configured protocol. It is not safe for concurrent use; the live
+// browser agent owns one Publisher under its own lock, and the simulator is
+// single-threaded per run.
+type Publisher struct {
+	idx       *Index
+	client    int
+	mode      Mode
+	threshold float64 // fraction of resident docs changed before flush
+
+	pendingAdd    map[string]Entry
+	pendingRemove map[string]struct{}
+	changes       int
+	flushes       int
+}
+
+// NewPublisher creates a publisher for client against idx. threshold is the
+// changed fraction that triggers a periodic flush (ignored for Immediate);
+// it must be in (0, 1] for Periodic mode.
+func NewPublisher(idx *Index, client int, mode Mode, threshold float64) (*Publisher, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("index: nil Index")
+	}
+	if mode == Periodic && (threshold <= 0 || threshold > 1) {
+		return nil, fmt.Errorf("index: periodic threshold %g out of (0,1]", threshold)
+	}
+	return &Publisher{
+		idx:           idx,
+		client:        client,
+		mode:          mode,
+		threshold:     threshold,
+		pendingAdd:    make(map[string]Entry),
+		pendingRemove: make(map[string]struct{}),
+	}, nil
+}
+
+// OnInsert records that the browser cached a document. resident is the
+// browser cache's current document count, used for the periodic threshold.
+func (p *Publisher) OnInsert(e Entry, resident int) {
+	e.Client = p.client
+	if p.mode == Immediate {
+		p.idx.Add(e)
+		return
+	}
+	delete(p.pendingRemove, e.URL)
+	p.pendingAdd[e.URL] = e
+	p.changes++
+	p.maybeFlush(resident)
+}
+
+// OnEvict records that the browser evicted (or invalidated) a document.
+func (p *Publisher) OnEvict(url string, resident int) {
+	if p.mode == Immediate {
+		p.idx.Remove(p.client, url)
+		return
+	}
+	delete(p.pendingAdd, url)
+	p.pendingRemove[url] = struct{}{}
+	p.changes++
+	p.maybeFlush(resident)
+}
+
+func (p *Publisher) maybeFlush(resident int) {
+	if resident < 1 {
+		resident = 1
+	}
+	if float64(p.changes) >= p.threshold*float64(resident) {
+		p.Flush()
+	}
+}
+
+// Flush applies all pending changes to the index immediately (the periodic
+// re-sync message; also sent "when the path between the browser and the
+// proxy is free").
+func (p *Publisher) Flush() {
+	if p.mode == Immediate || p.changes == 0 {
+		return
+	}
+	p.idx.mu.Lock()
+	for url := range p.pendingRemove {
+		p.idx.removeLocked(p.client, url)
+	}
+	for _, e := range p.pendingAdd {
+		p.idx.addLocked(e)
+	}
+	p.idx.mu.Unlock()
+	p.pendingAdd = make(map[string]Entry)
+	p.pendingRemove = make(map[string]struct{})
+	p.changes = 0
+	p.flushes++
+}
+
+// Pending reports the number of unflushed changes.
+func (p *Publisher) Pending() int { return p.changes }
+
+// Flushes reports how many batched flushes have occurred.
+func (p *Publisher) Flushes() int { return p.flushes }
+
+// Mode reports the configured protocol.
+func (p *Publisher) Mode() Mode { return p.mode }

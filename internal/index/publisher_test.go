@@ -1,0 +1,172 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPublisherValidation(t *testing.T) {
+	x := New(SelectFirst)
+	if _, err := NewPublisher(nil, 1, Immediate, 0); err == nil {
+		t.Error("nil index accepted")
+	}
+	if _, err := NewPublisher(x, 1, Periodic, 0); err == nil {
+		t.Error("zero threshold accepted for Periodic")
+	}
+	if _, err := NewPublisher(x, 1, Periodic, 1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	if _, err := NewPublisher(x, 1, Immediate, 0); err != nil {
+		t.Errorf("Immediate with zero threshold rejected: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Immediate.String() != "immediate" || Periodic.String() != "periodic" {
+		t.Error("Mode.String wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown Mode.String wrong")
+	}
+}
+
+func TestImmediatePublisher(t *testing.T) {
+	x := New(SelectFirst)
+	p, err := NewPublisher(x, 3, Immediate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.OnInsert(Entry{URL: "u", Size: 10}, 1)
+	if !x.Has(3, "u") {
+		t.Fatal("immediate insert not visible")
+	}
+	p.OnEvict("u", 0)
+	if x.Has(3, "u") {
+		t.Fatal("immediate evict not visible")
+	}
+	if p.Pending() != 0 || p.Flushes() != 0 {
+		t.Fatalf("immediate mode tracked pending=%d flushes=%d", p.Pending(), p.Flushes())
+	}
+	if p.Mode() != Immediate {
+		t.Fatal("Mode() wrong")
+	}
+}
+
+func TestPeriodicPublisherBatches(t *testing.T) {
+	x := New(SelectFirst)
+	// Threshold 0.5 with 10 resident docs → flush at 5 changes.
+	p, err := NewPublisher(x, 1, Periodic, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		p.OnInsert(Entry{URL: fmt.Sprintf("u%d", i), Size: 1}, 10)
+	}
+	if x.Len() != 0 {
+		t.Fatalf("changes visible before threshold: Len=%d", x.Len())
+	}
+	if p.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", p.Pending())
+	}
+	p.OnInsert(Entry{URL: "u4", Size: 1}, 10) // 5th change → flush
+	if x.Len() != 5 {
+		t.Fatalf("flush did not apply: Len=%d", x.Len())
+	}
+	if p.Flushes() != 1 || p.Pending() != 0 {
+		t.Fatalf("flushes=%d pending=%d", p.Flushes(), p.Pending())
+	}
+}
+
+func TestPeriodicEvictCancelsPendingAdd(t *testing.T) {
+	x := New(SelectFirst)
+	p, _ := NewPublisher(x, 1, Periodic, 1.0)
+	p.OnInsert(Entry{URL: "u", Size: 1}, 100)
+	p.OnEvict("u", 100)
+	p.Flush()
+	if x.Has(1, "u") {
+		t.Fatal("evicted-before-flush doc leaked into index")
+	}
+}
+
+func TestPeriodicAddCancelsPendingRemove(t *testing.T) {
+	x := New(SelectFirst)
+	x.Add(Entry{Client: 1, URL: "u", Size: 1})
+	p, _ := NewPublisher(x, 1, Periodic, 1.0)
+	p.OnEvict("u", 100)
+	p.OnInsert(Entry{URL: "u", Size: 2}, 100)
+	p.Flush()
+	if e, ok := x.Get(1, "u"); !ok || e.Size != 2 {
+		t.Fatalf("re-added doc lost: %+v %v", e, ok)
+	}
+}
+
+func TestFlushNoopWhenEmpty(t *testing.T) {
+	x := New(SelectFirst)
+	p, _ := NewPublisher(x, 1, Periodic, 0.5)
+	p.Flush()
+	if p.Flushes() != 0 {
+		t.Fatal("empty Flush counted")
+	}
+}
+
+func TestPeriodicStalenessWindow(t *testing.T) {
+	// Demonstrates the §2/§5 staleness semantics: between flushes the index
+	// claims a document the browser evicted (false hit).
+	x := New(SelectFirst)
+	x.Add(Entry{Client: 1, URL: "u", Size: 1})
+	p, _ := NewPublisher(x, 1, Periodic, 1.0)
+	p.OnEvict("u", 1000)
+	if !x.Has(1, "u") {
+		t.Fatal("eviction visible before flush — not periodic semantics")
+	}
+	p.Flush()
+	if x.Has(1, "u") {
+		t.Fatal("eviction lost after flush")
+	}
+}
+
+// TestQuickPublisherConvergence: after an arbitrary op sequence plus a final
+// Flush, the index view of the client equals the ground-truth resident set.
+func TestQuickPublisherConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := New(SelectFirst)
+		mode := Immediate
+		if seed%2 == 0 {
+			mode = Periodic
+		}
+		p, err := NewPublisher(x, 2, mode, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resident := map[string]bool{}
+		for i := 0; i < 400; i++ {
+			url := fmt.Sprintf("u%d", rng.Intn(40))
+			if rng.Intn(2) == 0 {
+				resident[url] = true
+				p.OnInsert(Entry{URL: url, Size: 1, Stamp: float64(i)}, len(resident))
+			} else {
+				delete(resident, url)
+				p.OnEvict(url, len(resident))
+			}
+		}
+		p.Flush()
+		docs := x.ClientDocs(2)
+		if len(docs) != len(resident) {
+			t.Errorf("seed %d (%v): index has %d docs, truth %d", seed, mode, len(docs), len(resident))
+			return false
+		}
+		for _, e := range docs {
+			if !resident[e.URL] {
+				t.Errorf("seed %d (%v): phantom %q", seed, mode, e.URL)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package latency implements the timing and overhead models of the paper's
+// §4.2 (memory byte hit ratios and hit latency) and §5 (data-transfer and
+// bus-contention overhead of remote-browser hits).
+//
+// The paper's constants, with the OCR-garbled digits restored to the values
+// its era and §5 prose imply (documented in DESIGN.md):
+//
+//   - one memory access of a 16-byte cache block costs 2 µs;
+//   - one disk access of a 4 KB page costs 10 ms;
+//   - browsers and proxy share a 10 Mbps Ethernet; a network connection
+//     costs 0.1 s to set up;
+//   - the memory portion of each cache is 1/10 of its size.
+//
+// Upstream (origin / upper-level proxy) fetches are not parameterized in the
+// paper; this model uses a 1 s connection setup and 1.5 Mbps effective WAN
+// bandwidth (a T1, typical for a 2001 institutional uplink). Only relative
+// comparisons depend on it, and it can be overridden.
+package latency
+
+import "fmt"
+
+// Model holds the timing parameters. The zero value is not useful; start
+// from Default.
+type Model struct {
+	// MemBlockSec is the time per 16-byte memory block.
+	MemBlockSec float64
+	// DiskPageSec is the time per 4 KB disk page.
+	DiskPageSec float64
+	// LANBandwidthBps is the shared Ethernet bandwidth in bits/second.
+	LANBandwidthBps float64
+	// ConnSetupSec is the LAN connection establishment time.
+	ConnSetupSec float64
+	// WANBandwidthBps is the effective upstream bandwidth in bits/second.
+	WANBandwidthBps float64
+	// WANSetupSec is the upstream connection/latency overhead per miss.
+	WANSetupSec float64
+	// MemFraction is the memory portion of each cache (1/MemDivisor in
+	// the paper; expressed here as a fraction, 0.1).
+	MemFraction float64
+	// ParentCostFactor scales the upstream cost for a hit in an
+	// upper-level (parent) proxy relative to a full origin fetch: the
+	// parent sits partway up the WAN path. Default 0.5.
+	ParentCostFactor float64
+}
+
+// Default returns the paper's restored constants.
+func Default() Model {
+	return Model{
+		MemBlockSec:      2e-6,
+		DiskPageSec:      10e-3,
+		LANBandwidthBps:  10e6,
+		ConnSetupSec:     0.1,
+		WANBandwidthBps:  1.5e6,
+		WANSetupSec:      1.0,
+		MemFraction:      0.10,
+		ParentCostFactor: 0.5,
+	}
+}
+
+// Validate reports parameter errors.
+func (m Model) Validate() error {
+	if m.MemBlockSec <= 0 || m.DiskPageSec <= 0 || m.LANBandwidthBps <= 0 ||
+		m.ConnSetupSec < 0 || m.WANBandwidthBps <= 0 || m.WANSetupSec < 0 ||
+		m.MemFraction <= 0 || m.MemFraction > 1 ||
+		m.ParentCostFactor <= 0 || m.ParentCostFactor > 1 {
+		return fmt.Errorf("latency: invalid model %+v", m)
+	}
+	return nil
+}
+
+// MemRead is the time to read size bytes from a memory cache.
+func (m Model) MemRead(size int64) float64 {
+	blocks := (size + 15) / 16
+	return float64(blocks) * m.MemBlockSec
+}
+
+// DiskRead is the time to read size bytes from a disk cache.
+func (m Model) DiskRead(size int64) float64 {
+	pages := (size + 4095) / 4096
+	return float64(pages) * m.DiskPageSec
+}
+
+// LANTransfer is the time to move size bytes across the LAN, including
+// connection setup but excluding contention (see Bus).
+func (m Model) LANTransfer(size int64) float64 {
+	return m.ConnSetupSec + float64(size)*8/m.LANBandwidthBps
+}
+
+// UpstreamFetch is the time to obtain size bytes from the origin or an
+// upper-level proxy.
+func (m Model) UpstreamFetch(size int64) float64 {
+	return m.WANSetupSec + float64(size)*8/m.WANBandwidthBps
+}
+
+// Bus serializes transfers over the shared Ethernet segment, accounting the
+// §5 "bus contention time": a transfer arriving while the bus is busy waits
+// for the in-flight transfers to finish.
+type Bus struct {
+	model     Model
+	busyUntil float64
+
+	// Totals for the §5 overhead report.
+	TransferSec   float64 // raw transfer (incl. setup) time
+	ContentionSec float64 // waiting time due to a busy bus
+	Transfers     int64
+	Bytes         int64
+}
+
+// NewBus creates a bus over the model's LAN parameters.
+func NewBus(model Model) *Bus {
+	return &Bus{model: model}
+}
+
+// Transfer schedules a size-byte transfer arriving at time now (seconds) and
+// returns (wait, duration): the contention delay and the transfer time. The
+// caller's completion time is now + wait + duration.
+func (b *Bus) Transfer(now float64, size int64) (wait, duration float64) {
+	duration = b.model.LANTransfer(size)
+	if b.busyUntil > now {
+		wait = b.busyUntil - now
+	}
+	start := now + wait
+	b.busyUntil = start + duration
+	b.TransferSec += duration
+	b.ContentionSec += wait
+	b.Transfers++
+	b.Bytes += size
+	return wait, duration
+}
+
+// Reset clears the bus state and totals.
+func (b *Bus) Reset() {
+	b.busyUntil = 0
+	b.TransferSec, b.ContentionSec = 0, 0
+	b.Transfers, b.Bytes = 0, 0
+}

@@ -1,0 +1,150 @@
+package latency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	muts := []func(*Model){
+		func(m *Model) { m.MemBlockSec = 0 },
+		func(m *Model) { m.DiskPageSec = -1 },
+		func(m *Model) { m.LANBandwidthBps = 0 },
+		func(m *Model) { m.ConnSetupSec = -0.1 },
+		func(m *Model) { m.WANBandwidthBps = 0 },
+		func(m *Model) { m.WANSetupSec = -1 },
+		func(m *Model) { m.MemFraction = 0 },
+		func(m *Model) { m.MemFraction = 1.1 },
+	}
+	for i, mut := range muts {
+		m := Default()
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMemRead(t *testing.T) {
+	m := Default()
+	if got := m.MemRead(16); !almost(got, 2e-6) {
+		t.Errorf("MemRead(16) = %g", got)
+	}
+	if got := m.MemRead(17); !almost(got, 4e-6) {
+		t.Errorf("MemRead(17) = %g, want 2 blocks", got)
+	}
+	if got := m.MemRead(0); !almost(got, 0) {
+		t.Errorf("MemRead(0) = %g", got)
+	}
+}
+
+func TestDiskRead(t *testing.T) {
+	m := Default()
+	if got := m.DiskRead(4096); !almost(got, 10e-3) {
+		t.Errorf("DiskRead(4096) = %g", got)
+	}
+	if got := m.DiskRead(4097); !almost(got, 20e-3) {
+		t.Errorf("DiskRead(4097) = %g, want 2 pages", got)
+	}
+}
+
+func TestMemoryMuchFasterThanDisk(t *testing.T) {
+	// The §4.2 argument: for typical 8 KB documents, memory access is
+	// much faster than disk (≈20x under the paper's constants).
+	m := Default()
+	if m.MemRead(8192)*10 > m.DiskRead(8192) {
+		t.Errorf("mem %g vs disk %g: memory should be >10x faster", m.MemRead(8192), m.DiskRead(8192))
+	}
+}
+
+func TestLANTransfer(t *testing.T) {
+	m := Default()
+	// 10 Mbps: 1.25 MB takes 1 s; plus 0.1 s setup.
+	if got := m.LANTransfer(1_250_000); !almost(got, 1.1) {
+		t.Errorf("LANTransfer = %g, want 1.1", got)
+	}
+}
+
+func TestUpstreamSlowerThanLAN(t *testing.T) {
+	m := Default()
+	for _, size := range []int64{1024, 8192, 1 << 20} {
+		if m.UpstreamFetch(size) <= m.LANTransfer(size) {
+			t.Errorf("size %d: upstream %g <= LAN %g", size, m.UpstreamFetch(size), m.LANTransfer(size))
+		}
+	}
+}
+
+func TestBusNoContentionWhenIdle(t *testing.T) {
+	b := NewBus(Default())
+	wait, dur := b.Transfer(0, 1_250_000)
+	if wait != 0 {
+		t.Errorf("idle bus gave wait %g", wait)
+	}
+	if !almost(dur, 1.1) {
+		t.Errorf("duration %g", dur)
+	}
+	// A transfer starting after the first completes also waits 0.
+	wait, _ = b.Transfer(2.0, 1000)
+	if wait != 0 {
+		t.Errorf("post-completion transfer waited %g", wait)
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	b := NewBus(Default())
+	b.Transfer(0, 1_250_000) // busy until 1.1
+	wait, _ := b.Transfer(0.5, 1000)
+	if !almost(wait, 0.6) {
+		t.Errorf("wait = %g, want 0.6", wait)
+	}
+	if b.Transfers != 2 || b.Bytes != 1_251_000 {
+		t.Errorf("totals: %d transfers %d bytes", b.Transfers, b.Bytes)
+	}
+	if !almost(b.ContentionSec, 0.6) {
+		t.Errorf("ContentionSec = %g", b.ContentionSec)
+	}
+	b.Reset()
+	if b.Transfers != 0 || b.TransferSec != 0 || b.ContentionSec != 0 || b.Bytes != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+// TestQuickBusCausality: for any arrival sequence, completions never overlap
+// and waits are never negative.
+func TestQuickBusCausality(t *testing.T) {
+	f := func(arrivalGaps []uint16, sizes []uint16) bool {
+		b := NewBus(Default())
+		now, lastEnd := 0.0, 0.0
+		n := len(arrivalGaps)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		for i := 0; i < n; i++ {
+			now += float64(arrivalGaps[i]) / 1000
+			wait, dur := b.Transfer(now, int64(sizes[i])+1)
+			if wait < 0 || dur <= 0 {
+				t.Errorf("wait %g dur %g", wait, dur)
+				return false
+			}
+			start := now + wait
+			if start+1e-9 < lastEnd {
+				t.Errorf("transfer %d started at %g before previous end %g", i, start, lastEnd)
+				return false
+			}
+			lastEnd = start + dur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

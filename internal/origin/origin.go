@@ -1,0 +1,166 @@
+// Package origin implements a synthetic origin web server for the live
+// browsers-aware proxy system: deterministic document bodies generated from
+// the request path and a per-document version counter, so tests and demos
+// can exercise fetches, re-fetches and origin-side modification without any
+// external network. It stands in for "the web server" of the paper's Figure
+// 1 (the repository cannot depend on the real 2001 web).
+package origin
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Server generates documents. Create with New, expose via Handler, and
+// typically serve with net/http/httptest in tests or cmd/bapsorigin in
+// deployments.
+type Server struct {
+	seed uint64
+
+	mu       sync.RWMutex
+	versions map[string]int64
+	fetches  int64
+}
+
+// New creates a server whose document contents derive from seed.
+func New(seed int64) *Server {
+	return &Server{seed: uint64(seed), versions: make(map[string]int64)}
+}
+
+// Handler returns the HTTP handler:
+//
+//	GET  /...                 → the document at that path (any path serves)
+//	POST /admin/modify?path=P → bump P's version (origin-side modification)
+//	GET  /admin/version?path=P → current version of P
+//	GET  /admin/stats         → fetch counter
+//
+// Document size can be forced with ?size=N (bytes); otherwise it derives
+// deterministically from the path (1–64 KB).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/modify", s.handleModify)
+	mux.HandleFunc("/admin/version", s.handleVersion)
+	mux.HandleFunc("/admin/stats", s.handleStats)
+	mux.HandleFunc("/", s.handleDoc)
+	return mux
+}
+
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "origin: GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	path := r.URL.Path
+	s.mu.Lock()
+	version := s.versions[path]
+	s.fetches++
+	s.mu.Unlock()
+
+	size := s.sizeFor(path, version)
+	if q := r.URL.Query().Get("size"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || n <= 0 || n > 64<<20 {
+			http.Error(w, "origin: bad size", http.StatusBadRequest)
+			return
+		}
+		size = n
+	}
+	body := s.Body(path, version, size)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set("X-Origin-Version", strconv.FormatInt(version, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "origin: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		http.Error(w, "origin: missing path", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.versions[path]++
+	v := s.versions[path]
+	s.mu.Unlock()
+	fmt.Fprintf(w, "%d\n", v)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Query().Get("path")
+	s.mu.RLock()
+	v := s.versions[path]
+	s.mu.RUnlock()
+	fmt.Fprintf(w, "%d\n", v)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	f := s.fetches
+	s.mu.RUnlock()
+	fmt.Fprintf(w, "{\"fetches\":%d}\n", f)
+}
+
+// Fetches reports how many document requests the origin served.
+func (s *Server) Fetches() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fetches
+}
+
+// Modify bumps a document's version directly (in-process convenience).
+func (s *Server) Modify(path string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.versions[path]++
+	return s.versions[path]
+}
+
+// Version reports a document's current version.
+func (s *Server) Version(path string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.versions[path]
+}
+
+// sizeFor derives the default body size (1–64 KB) from the path.
+func (s *Server) sizeFor(path string, version int64) int64 {
+	h := s.seed
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint64(path[i])) * 0x100000001B3
+	}
+	h ^= uint64(version) * 0x9E3779B97F4A7C15
+	h = mix(h)
+	return int64(1024 + h%(63*1024))
+}
+
+// Body deterministically generates a document's bytes for (path, version,
+// size). The live proxy and tests use it to predict exact content.
+func (s *Server) Body(path string, version, size int64) []byte {
+	state := s.seed ^ mix(uint64(version)+0x1234)
+	for i := 0; i < len(path); i++ {
+		state = (state ^ uint64(path[i])) * 0x100000001B3
+	}
+	body := make([]byte, size)
+	var word uint64
+	for i := range body {
+		if i%8 == 0 {
+			state += 0x9E3779B97F4A7C15
+			word = mix(state)
+		}
+		body[i] = byte(word >> (8 * (i % 8)))
+	}
+	return body
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

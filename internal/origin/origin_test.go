@@ -1,0 +1,157 @@
+package origin
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+func startOrigin(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	o := New(42)
+	ts := httptest.NewServer(o.Handler())
+	t.Cleanup(ts.Close)
+	return o, ts
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, body
+}
+
+func TestDocDeterministic(t *testing.T) {
+	_, ts := startOrigin(t)
+	_, body1 := get(t, ts.URL+"/docs/a")
+	_, body2 := get(t, ts.URL+"/docs/a")
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("same path served different bodies")
+	}
+	_, other := get(t, ts.URL+"/docs/b")
+	if bytes.Equal(body1, other) {
+		t.Fatal("different paths served identical bodies")
+	}
+	if len(body1) < 1024 || len(body1) > 64*1024 {
+		t.Fatalf("default size %d outside 1–64 KB", len(body1))
+	}
+}
+
+func TestDocSizeOverride(t *testing.T) {
+	_, ts := startOrigin(t)
+	resp, body := get(t, ts.URL+"/x?size=5000")
+	if len(body) != 5000 {
+		t.Fatalf("size = %d, want 5000", len(body))
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "5000" {
+		t.Fatalf("Content-Length = %q", cl)
+	}
+	resp, _ = get(t, ts.URL+"/x?size=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus size: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/x?size=0")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero size: status %d", resp.StatusCode)
+	}
+}
+
+func TestModifyChangesBody(t *testing.T) {
+	o, ts := startOrigin(t)
+	_, before := get(t, ts.URL+"/page")
+	resp, err := http.Post(ts.URL+"/admin/modify?path=/page", "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("modify: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	respGet, after := get(t, ts.URL+"/page")
+	if bytes.Equal(before, after) {
+		t.Fatal("modification did not change the body")
+	}
+	if v := respGet.Header.Get("X-Origin-Version"); v != "1" {
+		t.Fatalf("version header = %q, want 1", v)
+	}
+	if o.Version("/page") != 1 {
+		t.Fatalf("Version = %d", o.Version("/page"))
+	}
+}
+
+func TestModifyValidation(t *testing.T) {
+	_, ts := startOrigin(t)
+	resp, err := http.Post(ts.URL+"/admin/modify", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing path: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/admin/modify?path=/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET modify: status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodValidationOnDocs(t *testing.T) {
+	_, ts := startOrigin(t)
+	resp, err := http.Post(ts.URL+"/doc", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST doc: status %d", resp.StatusCode)
+	}
+}
+
+func TestFetchCounterAndStats(t *testing.T) {
+	o, ts := startOrigin(t)
+	get(t, ts.URL+"/a")
+	get(t, ts.URL+"/b")
+	if o.Fetches() != 2 {
+		t.Fatalf("Fetches = %d", o.Fetches())
+	}
+	_, body := get(t, ts.URL+"/admin/stats")
+	if want := `{"fetches":2}`; string(bytes.TrimSpace(body)) != want {
+		t.Fatalf("stats = %q, want %q", body, want)
+	}
+	_, vbody := get(t, ts.URL+"/admin/version?path=/a")
+	if _, err := strconv.Atoi(string(bytes.TrimSpace(vbody))); err != nil {
+		t.Fatalf("version body %q", vbody)
+	}
+}
+
+func TestBodyMatchesHTTP(t *testing.T) {
+	o, ts := startOrigin(t)
+	_, viaHTTP := get(t, ts.URL+"/check")
+	direct := o.Body("/check", 0, int64(len(viaHTTP)))
+	if !bytes.Equal(viaHTTP, direct) {
+		t.Fatal("Body() disagrees with HTTP-served content")
+	}
+}
+
+func TestInProcessModify(t *testing.T) {
+	o := New(7)
+	if v := o.Modify("/p"); v != 1 {
+		t.Fatalf("Modify = %d", v)
+	}
+	a := o.Body("/p", 0, 100)
+	b := o.Body("/p", 1, 100)
+	if bytes.Equal(a, b) {
+		t.Fatal("versions generate identical bodies")
+	}
+}

@@ -1,0 +1,400 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"baps/internal/anonymity"
+	"baps/internal/cache"
+	"baps/internal/integrity"
+)
+
+// handleFetch is the client-facing resolution pipeline: proxy cache →
+// browser index (remote browsers) → origin.
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "proxy: GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		http.Error(w, "proxy: missing url", http.StatusBadRequest)
+		return
+	}
+	requester := -1
+	if v := r.Header.Get(HeaderClient); v != "" {
+		if id, err := strconv.Atoi(v); err == nil {
+			requester = id
+		}
+	}
+	atomic.AddInt64(&s.nRequests, 1)
+
+	// 1. Proxy cache.
+	if body, meta, ok := s.cacheLookup(url); ok {
+		atomic.AddInt64(&s.nProxyHits, 1)
+		s.serveDoc(w, SourceProxy, body, meta)
+		return
+	}
+
+	// 2. Browser index → remote browser caches.
+	if !s.cfg.DisablePeer && r.Header.Get(HeaderNoPeer) != "1" {
+		if body, meta, ticket, viaOnion, ok := s.resolveRemote(url, requester); ok {
+			atomic.AddInt64(&s.nRemoteHits, 1)
+			if viaOnion {
+				// The document travels browser-to-browser over the
+				// covert path; this response only announces it.
+				w.Header().Set(HeaderOnion, "1")
+				w.Header().Set(HeaderSource, SourceRemote)
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+			if ticket != "" {
+				w.Header().Set("X-BAPS-Ticket", ticket)
+			}
+			s.serveDoc(w, SourceRemote, body, meta)
+			return
+		}
+	}
+
+	// 3. Origin (or upper-level proxy).
+	body, meta, err := s.fetchUpstream(url)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("proxy: upstream: %v", err), http.StatusBadGateway)
+		return
+	}
+	atomic.AddInt64(&s.nOrigin, 1)
+	s.serveDoc(w, SourceOrigin, body, meta)
+}
+
+func (s *Server) serveDoc(w http.ResponseWriter, source string, body []byte, meta docMeta) {
+	w.Header().Set(HeaderSource, source)
+	w.Header().Set(HeaderVersion, strconv.FormatInt(meta.version, 10))
+	if meta.watermark != nil {
+		w.Header().Set(HeaderWatermark, base64.StdEncoding.EncodeToString(meta.watermark))
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// cacheLookup serves from the proxy cache, promoting on hit.
+func (s *Server) cacheLookup(url string) ([]byte, docMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, _, ok := s.cache.GetTier(url); !ok {
+		return nil, docMeta{}, false
+	}
+	body, ok := s.bodies[url]
+	if !ok {
+		// Accounting and body store disagree; treat as miss.
+		s.cache.Remove(url)
+		return nil, docMeta{}, false
+	}
+	return body, s.meta[url], true
+}
+
+// storeDoc caches a document body at the proxy.
+func (s *Server) storeDoc(url string, body []byte, meta docMeta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta[url] = meta
+	if _, admitted := s.cache.Put(cache.Doc{Key: url, Size: int64(len(body)), Version: meta.version}); admitted {
+		s.bodies[url] = append([]byte(nil), body...)
+	}
+}
+
+// inflightFetch coalesces concurrent upstream fetches of the same URL: one
+// request goes to the origin, the rest wait for its result (classic
+// singleflight, so a popular cold document costs one origin round trip).
+type inflightFetch struct {
+	done chan struct{}
+	body []byte
+	meta docMeta
+	err  error
+}
+
+// fetchUpstream obtains the document from the origin, producing and
+// recording its watermark (§6.1: the proxy signs on first acquisition).
+// Concurrent fetches of one URL are coalesced.
+func (s *Server) fetchUpstream(url string) ([]byte, docMeta, error) {
+	s.inflightMu.Lock()
+	if f, ok := s.inflight[url]; ok {
+		s.inflightMu.Unlock()
+		<-f.done
+		return f.body, f.meta, f.err
+	}
+	f := &inflightFetch{done: make(chan struct{})}
+	s.inflight[url] = f
+	s.inflightMu.Unlock()
+	defer func() {
+		s.inflightMu.Lock()
+		delete(s.inflight, url)
+		s.inflightMu.Unlock()
+		close(f.done)
+	}()
+	f.body, f.meta, f.err = s.fetchUpstreamUncoalesced(url)
+	return f.body, f.meta, f.err
+}
+
+func (s *Server) fetchUpstreamUncoalesced(url string) ([]byte, docMeta, error) {
+	resp, err := s.httpClient.Get(url)
+	if err != nil {
+		return nil, docMeta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, docMeta{}, fmt.Errorf("status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 128<<20))
+	if err != nil {
+		return nil, docMeta{}, err
+	}
+	version, _ := strconv.ParseInt(resp.Header.Get("X-Origin-Version"), 10, 64)
+	mark, err := s.signer.Watermark(body)
+	if err != nil {
+		return nil, docMeta{}, err
+	}
+	meta := docMeta{
+		version:   version,
+		size:      int64(len(body)),
+		digest:    integrity.Digest(body),
+		watermark: mark,
+	}
+	s.storeDoc(url, body, meta)
+	return body, meta, nil
+}
+
+// resolveRemote walks the index's holders for url. In fetch-forward mode
+// the proxy retrieves and verifies the body itself; in direct-forward mode
+// it opens an anonymous relay drop and instructs the holder to push there;
+// in onion-forward mode it launches the document onto a covert path of
+// relay browsers and reports viaOnion (no body passes through). ticket is
+// non-empty for direct-forward deliveries (requester-side watermark
+// rejections reference it in /report-bad).
+func (s *Server) resolveRemote(url string, requester int) (body []byte, meta docMeta, ticket string, viaOnion, ok bool) {
+	for _, e := range s.idx.Ordered(url, requester) {
+		s.mu.Lock()
+		peer, known := s.peers[e.Client]
+		s.mu.Unlock()
+		if !known {
+			s.idx.Remove(e.Client, url)
+			continue
+		}
+		var err error
+		switch s.cfg.Forward {
+		case FetchForward:
+			body, meta, err = s.fetchFromPeer(peer, url)
+		case OnionForward:
+			err = s.onionFromPeer(peer, url, requester)
+			viaOnion = err == nil
+		default:
+			body, meta, ticket, err = s.relayFromPeer(peer, url)
+		}
+		if err != nil {
+			atomic.AddInt64(&s.nFalsePeer, 1)
+			s.idx.Remove(e.Client, url)
+			continue
+		}
+		s.idx.AccountServe(e.Client)
+		if s.cfg.Forward == FetchForward && s.cfg.CachePeerDocs {
+			s.storeDoc(url, body, meta)
+		}
+		return body, meta, ticket, viaOnion, true
+	}
+	return nil, docMeta{}, "", false, false
+}
+
+// fetchFromPeer retrieves url from a holder's peer server and verifies the
+// body against the proxy's recorded digest (§6.1 enforced proxy-side: a
+// tampering holder is pruned and skipped).
+func (s *Server) fetchFromPeer(peer peerInfo, url string) ([]byte, docMeta, error) {
+	req, err := http.NewRequest(http.MethodGet, peer.baseURL+"/peer/doc?url="+urlQueryEscape(url), nil)
+	if err != nil {
+		return nil, docMeta{}, err
+	}
+	req.Header.Set(HeaderToken, peer.token)
+	resp, err := s.httpClient.Do(req)
+	if err != nil {
+		return nil, docMeta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, docMeta{}, fmt.Errorf("peer status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 128<<20))
+	if err != nil {
+		return nil, docMeta{}, err
+	}
+	version, _ := strconv.ParseInt(resp.Header.Get(HeaderVersion), 10, 64)
+
+	s.mu.Lock()
+	known, haveMeta := s.meta[url]
+	s.mu.Unlock()
+	if haveMeta && known.version == version {
+		if !bytes.Equal(integrity.Digest(body), known.digest) {
+			atomic.AddInt64(&s.nTamper, 1)
+			return nil, docMeta{}, fmt.Errorf("digest mismatch from client %d", peer.id)
+		}
+		return body, known, nil
+	}
+	// The proxy has no record for this version (e.g. restarted): accept
+	// the holder's stored watermark only if it verifies under our key.
+	markB64 := resp.Header.Get(HeaderWatermark)
+	mark, err := base64.StdEncoding.DecodeString(markB64)
+	if err != nil || integrity.Verify(s.signer.Public(), body, mark) != nil {
+		atomic.AddInt64(&s.nTamper, 1)
+		return nil, docMeta{}, fmt.Errorf("unverifiable peer content from client %d", peer.id)
+	}
+	meta := docMeta{version: version, size: int64(len(body)), digest: integrity.Digest(body), watermark: mark}
+	return body, meta, nil
+}
+
+// relayFromPeer implements direct-forward: issue a one-time ticket, tell the
+// holder to push the document to the relay drop, and wait for delivery. The
+// holder learns only the relay URL; the requester never learns the holder.
+func (s *Server) relayFromPeer(peer peerInfo, url string) ([]byte, docMeta, string, error) {
+	ticket, err := s.tickets.Issue([]byte(url))
+	if err != nil {
+		return nil, docMeta{}, "", err
+	}
+	session := &relaySession{holder: peer.id, url: url, ch: make(chan relayDelivery, 1)}
+	s.relayMu.Lock()
+	s.relays[ticket] = session
+	s.relayMu.Unlock()
+	defer func() {
+		s.relayMu.Lock()
+		delete(s.relays, ticket)
+		s.relayMu.Unlock()
+	}()
+
+	sendBody, _ := jsonBytes(PeerSend{URL: url, RelayURL: s.baseURL + "/relay/" + string(ticket)})
+	req, err := http.NewRequest(http.MethodPost, peer.baseURL+"/peer/send", bytes.NewReader(sendBody))
+	if err != nil {
+		return nil, docMeta{}, "", err
+	}
+	req.Header.Set(HeaderToken, peer.token)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.httpClient.Do(req)
+	if err != nil {
+		return nil, docMeta{}, "", err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return nil, docMeta{}, "", fmt.Errorf("peer send status %s", resp.Status)
+	}
+
+	select {
+	case d := <-session.ch:
+		version, _ := strconv.ParseInt(d.version, 10, 64)
+		mark, _ := base64.StdEncoding.DecodeString(d.watermark)
+		meta := docMeta{version: version, size: int64(len(d.body)), watermark: mark}
+		// Remember which holder served this ticket so a later
+		// /report-bad can prune it without exposing its identity.
+		s.relayMu.Lock()
+		if len(s.usedTickets) > 4096 {
+			s.usedTickets = make(map[string]int)
+		}
+		s.usedTickets[string(ticket)] = peer.id
+		s.relayMu.Unlock()
+		// The proxy relays without inspecting the body (anonymizing
+		// relay); the requester verifies the watermark end-to-end.
+		return d.body, meta, string(ticket), nil
+	case <-time.After(s.cfg.PeerTimeout):
+		atomic.AddInt64(&s.nRelayTimeout, 1)
+		return nil, docMeta{}, "", fmt.Errorf("relay timeout waiting for client %d", peer.id)
+	}
+}
+
+// handleRelay accepts a holder's push at /relay/{ticket}.
+func (s *Server) handleRelay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	tok := anonymity.Ticket(r.URL.Path[len("/relay/"):])
+	if _, ok := s.tickets.Redeem(tok); !ok {
+		http.Error(w, "proxy: bad or expired ticket", http.StatusForbidden)
+		return
+	}
+	s.relayMu.Lock()
+	session := s.relays[tok]
+	s.relayMu.Unlock()
+	if session == nil {
+		http.Error(w, "proxy: no relay session", http.StatusGone)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 128<<20))
+	if err != nil {
+		http.Error(w, "proxy: relay read", http.StatusBadRequest)
+		return
+	}
+	select {
+	case session.ch <- relayDelivery{
+		body:      body,
+		watermark: r.Header.Get(HeaderWatermark),
+		version:   r.Header.Get(HeaderVersion),
+	}:
+	default:
+		// Duplicate push; the ticket store already prevents this.
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleReportBad processes a requester's watermark-rejection report for a
+// direct-forward delivery: the proxy maps the ticket back to the holder it
+// selected (identities stay hidden from the requester) and prunes the
+// holder's index entry.
+func (s *Server) handleReportBad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id, ok := s.authClient(r)
+	if !ok {
+		http.Error(w, "proxy: bad client credentials", http.StatusForbidden)
+		return
+	}
+	var rep BadContentReport
+	if err := jsonDecode(r.Body, &rep); err != nil || rep.ClientID != id {
+		http.Error(w, "proxy: bad report", http.StatusBadRequest)
+		return
+	}
+	// The relay session is gone by now (fetch completed); recover the
+	// holder from the recently-used sessions map is impossible, so we
+	// record holder on ticket issue instead: the ticket payload was the
+	// URL; prune every index entry for the URL as a conservative
+	// fallback, or the specific holder when the session is still known.
+	s.relayMu.Lock()
+	session := s.relays[anonymity.Ticket(rep.Ticket)]
+	s.relayMu.Unlock()
+	atomic.AddInt64(&s.nTamper, 1)
+	if session != nil {
+		s.idx.Remove(session.holder, rep.URL)
+	} else if holder, ok := s.ticketHolder(rep.Ticket); ok {
+		s.idx.Remove(holder, rep.URL)
+	} else {
+		for _, e := range s.idx.Lookup(rep.URL) {
+			s.idx.Remove(e.Client, rep.URL)
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ticketHolder resolves a recently used ticket to the holder that served it.
+func (s *Server) ticketHolder(ticket string) (int, bool) {
+	s.relayMu.Lock()
+	defer s.relayMu.Unlock()
+	h, ok := s.usedTickets[ticket]
+	return h, ok
+}
+
+func jsonDecode(r io.Reader, v any) error {
+	return jsonNewDecoder(r, v)
+}

@@ -1,0 +1,109 @@
+package proxy
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+
+	"baps/internal/anonymity"
+)
+
+// onionFromPeer launches a document from holder onto an onion-routed covert
+// path terminating at the requester (OnionForward mode, §6.2's
+// decentralized variant):
+//
+//  1. The proxy picks OnionRelays intermediate relay browsers and builds a
+//     route onion over [relays..., requester] from the relay keys it issued
+//     at registration. The terminal layer carries the document URL and a
+//     fresh ephemeral AES key, readable only by the requester.
+//  2. The holder is told the first hop's address, the route onion, and the
+//     ephemeral key; it seals {url, version, watermark, body} under the
+//     ephemeral key and posts it to the first hop.
+//  3. Each relay peels one route layer (learning only the next address) and
+//     forwards the sealed payload untouched; the requester opens it and
+//     verifies the watermark end-to-end.
+//
+// The proxy never touches the body; the holder never learns the requester;
+// the requester never learns the holder.
+func (s *Server) onionFromPeer(holder peerInfo, url string, requester int) error {
+	s.mu.Lock()
+	req, ok := s.peers[requester]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("onion: requester %d not registered", requester)
+	}
+	// Candidate relays: every other registered client.
+	var candidates []peerInfo
+	for id, p := range s.peers {
+		if id != requester && id != holder.id {
+			candidates = append(candidates, p)
+		}
+	}
+	s.mu.Unlock()
+
+	path := make([]anonymity.AddrHop, 0, s.cfg.OnionRelays+1)
+	for i := 0; i < s.cfg.OnionRelays && len(candidates) > 0; i++ {
+		j, err := randInt(len(candidates))
+		if err != nil {
+			return err
+		}
+		relay := candidates[j]
+		candidates = append(candidates[:j], candidates[j+1:]...)
+		path = append(path, anonymity.AddrHop{Addr: relay.baseURL, Key: relay.relayKey})
+	}
+	path = append(path, anonymity.AddrHop{Addr: req.baseURL, Key: req.relayKey})
+
+	ephemeral, err := anonymity.NewKey()
+	if err != nil {
+		return err
+	}
+	var final bytes.Buffer
+	if err := gob.NewEncoder(&final).Encode(OnionFinal{URL: url, Key: ephemeral}); err != nil {
+		return fmt.Errorf("onion: encode final: %w", err)
+	}
+	route, err := anonymity.BuildRoute(path, final.Bytes())
+	if err != nil {
+		return err
+	}
+
+	send, err := jsonBytes(PeerOnionSend{
+		URL:             url,
+		FirstAddr:       path[0].Addr,
+		RouteB64:        base64.StdEncoding.EncodeToString(route),
+		EphemeralKeyB64: base64.StdEncoding.EncodeToString(ephemeral),
+	})
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, holder.baseURL+"/peer/onion-send", bytes.NewReader(send))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set(HeaderToken, holder.token)
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := s.httpClient.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("onion: holder status %s", resp.Status)
+	}
+	return nil
+}
+
+// randInt returns a uniform int in [0, n) from crypto/rand (relay selection
+// must not be predictable to peers).
+func randInt(n int) (int, error) {
+	v, err := rand.Int(rand.Reader, big.NewInt(int64(n)))
+	if err != nil {
+		return 0, fmt.Errorf("onion: rand: %w", err)
+	}
+	return int(v.Int64()), nil
+}

@@ -1,0 +1,455 @@
+// Package proxy implements the live browsers-aware proxy server (§2 of the
+// paper) on net/http: a caching proxy that additionally maintains the
+// browser index of every connected client's cache and resolves proxy misses
+// peer-to-peer from remote browser caches before going to the origin.
+//
+// The server speaks the wire protocol in wire.go:
+//
+//	POST /register      browser agents join; get id, token, proxy public key
+//	GET  /fetch?url=U   resolve a document (client id in X-BAPS-Client)
+//	POST /index/add     immediate index update      (§2 protocol 1)
+//	POST /index/remove  invalidation message        (§2 protocol 1)
+//	POST /index/sync    periodic full re-sync       (§2 protocol 2)
+//	POST /relay/{t}     holder drop point for direct-forward (§6.2 anonymity)
+//	POST /report-bad    watermark-rejection report  (§6.1)
+//	GET  /pubkey        proxy watermark key (PEM)
+//	GET  /stats         JSON metrics
+//	GET  /healthz       liveness
+//
+// Remote hits are delivered in one of the paper's two modes: fetch-forward
+// (the proxy fetches from the holder's peer server, verifies the MD5 digest
+// against its recorded watermark, optionally caches, forwards) or
+// direct-forward (the proxy issues a one-time relay ticket so holder and
+// requester exchange the document without learning each other's identity;
+// the requester verifies the watermark itself).
+package proxy
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"baps/internal/anonymity"
+	"baps/internal/cache"
+	"baps/internal/index"
+	"baps/internal/integrity"
+)
+
+// ForwardMode mirrors core.ForwardMode for the live system.
+type ForwardMode int
+
+const (
+	// FetchForward relays documents through the proxy.
+	FetchForward ForwardMode = iota
+	// DirectForward exchanges documents through an anonymous one-time
+	// relay drop without entering the proxy cache.
+	DirectForward
+	// OnionForward delivers documents browser-to-browser over an
+	// onion-routed covert path of relay browsers: the holder learns one
+	// relay address, relays learn their neighbors, the requester learns
+	// nothing, and the body never touches the proxy (§6.2's "no or
+	// limited centralized control" variant).
+	OnionForward
+)
+
+// Config parameterizes the live proxy.
+type Config struct {
+	// CacheCapacity is the proxy cache size in bytes.
+	CacheCapacity int64
+	// MemFraction is the memory-tier share (paper: 1/10).
+	MemFraction float64
+	// Policy is the replacement policy (paper: LRU).
+	Policy cache.Policy
+	// Forward selects the remote-hit delivery mode.
+	Forward ForwardMode
+	// CachePeerDocs: under FetchForward, also cache relayed documents.
+	CachePeerDocs bool
+	// Strategy selects among multiple holders.
+	Strategy index.Strategy
+	// PeerTimeout bounds holder contact + relay wait.
+	PeerTimeout time.Duration
+	// OnionRelays is the number of intermediate relay browsers on an
+	// OnionForward path (default 1; 0 sends holder→requester directly,
+	// which exposes the requester's address to the holder).
+	OnionRelays int
+	// KeyBits sizes the watermark RSA key (default 2048; tests use less).
+	KeyBits int
+	// DisablePeer turns the browsers-aware layer off entirely (a live
+	// proxy-and-local-browser baseline for comparisons).
+	DisablePeer bool
+}
+
+// DefaultConfig returns production-ish defaults.
+func DefaultConfig() Config {
+	return Config{
+		CacheCapacity: 256 << 20,
+		MemFraction:   0.10,
+		Policy:        cache.LRU,
+		Forward:       FetchForward,
+		CachePeerDocs: true,
+		Strategy:      index.SelectMostRecent,
+		PeerTimeout:   5 * time.Second,
+		KeyBits:       2048,
+		OnionRelays:   1,
+	}
+}
+
+type peerInfo struct {
+	id       int
+	baseURL  string
+	token    string
+	relayKey []byte // AES-256 covert-path key
+}
+
+type docMeta struct {
+	version   int64
+	size      int64
+	digest    []byte // MD5
+	watermark []byte // RSA signature over digest
+}
+
+type relaySession struct {
+	holder int
+	url    string
+	ch     chan relayDelivery
+}
+
+type relayDelivery struct {
+	body      []byte
+	watermark string
+	version   string
+}
+
+// Server is the live browsers-aware proxy.
+type Server struct {
+	cfg    Config
+	signer *integrity.Signer
+	pubPEM []byte
+
+	mu      sync.Mutex
+	cache   *cache.TwoTier
+	bodies  map[string][]byte
+	meta    map[string]docMeta
+	peers   map[int]peerInfo
+	tokens  map[string]int // token → client id
+	nextID  int
+	started time.Time
+
+	idx     *index.Index
+	tickets *anonymity.TicketStore
+
+	relayMu     sync.Mutex
+	relays      map[anonymity.Ticket]*relaySession
+	usedTickets map[string]int // completed relay ticket → holder id (bounded)
+
+	inflightMu sync.Mutex
+	inflight   map[string]*inflightFetch
+
+	httpClient *http.Client
+	listener   net.Listener
+	httpSrv    *http.Server
+	baseURL    string
+
+	// Metrics (atomics; read via Snapshot).
+	nRequests, nProxyHits, nRemoteHits, nOrigin int64
+	nFalsePeer, nTamper, nRelayTimeout          int64
+}
+
+// New builds a proxy server (not yet listening; call Start).
+func New(cfg Config) (*Server, error) {
+	if cfg.CacheCapacity < 0 {
+		return nil, errors.New("proxy: negative cache capacity")
+	}
+	if cfg.MemFraction <= 0 || cfg.MemFraction > 1 {
+		return nil, fmt.Errorf("proxy: MemFraction %g out of (0,1]", cfg.MemFraction)
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 5 * time.Second
+	}
+	if cfg.KeyBits == 0 {
+		cfg.KeyBits = 2048
+	}
+	signer, err := integrity.NewSigner(cfg.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	pubPEM, err := integrity.MarshalPublicKey(signer.Public())
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:         cfg,
+		signer:      signer,
+		pubPEM:      pubPEM,
+		bodies:      make(map[string][]byte),
+		meta:        make(map[string]docMeta),
+		peers:       make(map[int]peerInfo),
+		tokens:      make(map[string]int),
+		idx:         index.New(cfg.Strategy),
+		tickets:     anonymity.NewTicketStore(cfg.PeerTimeout),
+		relays:      make(map[anonymity.Ticket]*relaySession),
+		usedTickets: make(map[string]int),
+		inflight:    make(map[string]*inflightFetch),
+		httpClient: &http.Client{
+			Timeout: cfg.PeerTimeout,
+		},
+		started: time.Now(),
+	}
+	tc, err := cache.NewTwoTier(cfg.Policy, cfg.CacheCapacity,
+		int64(float64(cfg.CacheCapacity)*cfg.MemFraction),
+		cache.Options{OnEvict: func(d cache.Doc) { delete(s.bodies, d.Key) }})
+	if err != nil {
+		return nil, err
+	}
+	s.cache = tc
+	return s, nil
+}
+
+// Start listens on addr ("127.0.0.1:0" when empty) and serves in the
+// background. BaseURL reports the bound address.
+func (s *Server) Start(addr string) error {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("proxy: listen: %w", err)
+	}
+	s.listener = ln
+	s.baseURL = "http://" + ln.Addr().String()
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(ln)
+	return nil
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// BaseURL reports the server's base URL after Start.
+func (s *Server) BaseURL() string { return s.baseURL }
+
+// Index exposes the browser index (tests and diagnostics).
+func (s *Server) Index() *index.Index { return s.idx }
+
+// Handler returns the HTTP handler (usable standalone with httptest, but
+// direct-forward relays need Start so the proxy knows its own base URL).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", s.handleRegister)
+	mux.HandleFunc("/fetch", s.handleFetch)
+	mux.HandleFunc("/index/add", s.handleIndexAdd)
+	mux.HandleFunc("/index/remove", s.handleIndexRemove)
+	mux.HandleFunc("/index/sync", s.handleIndexSync)
+	mux.HandleFunc("/relay/", s.handleRelay)
+	mux.HandleFunc("/report-bad", s.handleReportBad)
+	mux.HandleFunc("/pubkey", s.handlePubkey)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+	return mux
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "proxy: bad register body", http.StatusBadRequest)
+		return
+	}
+	if !strings.HasPrefix(req.PeerURL, "http://") && !strings.HasPrefix(req.PeerURL, "https://") {
+		http.Error(w, "proxy: bad peer_url", http.StatusBadRequest)
+		return
+	}
+	tok, err := anonymity.NewKey()
+	if err != nil {
+		http.Error(w, "proxy: token", http.StatusInternalServerError)
+		return
+	}
+	relayKey, err := anonymity.NewKey()
+	if err != nil {
+		http.Error(w, "proxy: relay key", http.StatusInternalServerError)
+		return
+	}
+	token := base64.RawURLEncoding.EncodeToString(tok[:16])
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.peers[id] = peerInfo{id: id, baseURL: strings.TrimRight(req.PeerURL, "/"), token: token, relayKey: relayKey}
+	s.tokens[token] = id
+	s.mu.Unlock()
+	writeJSON(w, RegisterResponse{
+		ClientID:  id,
+		Token:     token,
+		PublicKey: string(s.pubPEM),
+		RelayKey:  base64.StdEncoding.EncodeToString(relayKey),
+	})
+}
+
+// authClient validates the client id + token headers on index updates.
+func (s *Server) authClient(r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.Header.Get(HeaderClient))
+	if err != nil {
+		return 0, false
+	}
+	token := r.Header.Get(HeaderToken)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner, ok := s.tokens[token]
+	return id, ok && owner == id
+}
+
+func (s *Server) handleIndexAdd(w http.ResponseWriter, r *http.Request) {
+	s.handleIndexUpdate(w, r, true)
+}
+
+func (s *Server) handleIndexRemove(w http.ResponseWriter, r *http.Request) {
+	s.handleIndexUpdate(w, r, false)
+}
+
+func (s *Server) handleIndexUpdate(w http.ResponseWriter, r *http.Request, add bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id, ok := s.authClient(r)
+	if !ok {
+		http.Error(w, "proxy: bad client credentials", http.StatusForbidden)
+		return
+	}
+	var upd IndexUpdate
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&upd); err != nil || upd.Entry.URL == "" {
+		http.Error(w, "proxy: bad index update", http.StatusBadRequest)
+		return
+	}
+	if upd.ClientID != id {
+		http.Error(w, "proxy: client mismatch", http.StatusForbidden)
+		return
+	}
+	if add {
+		s.idx.Add(index.Entry{
+			Client:  id,
+			URL:     upd.Entry.URL,
+			Size:    upd.Entry.Size,
+			Version: upd.Entry.Version,
+			Stamp:   upd.Entry.Stamp,
+		})
+	} else {
+		s.idx.Remove(id, upd.Entry.URL)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleIndexSync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id, ok := s.authClient(r)
+	if !ok {
+		http.Error(w, "proxy: bad client credentials", http.StatusForbidden)
+		return
+	}
+	var sync IndexSync
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&sync); err != nil {
+		http.Error(w, "proxy: bad sync body", http.StatusBadRequest)
+		return
+	}
+	if sync.ClientID != id {
+		http.Error(w, "proxy: client mismatch", http.StatusForbidden)
+		return
+	}
+	entries := make([]index.Entry, 0, len(sync.Entries))
+	for _, e := range sync.Entries {
+		entries = append(entries, index.Entry{
+			Client: id, URL: e.URL, Size: e.Size, Version: e.Version, Stamp: e.Stamp,
+		})
+	}
+	s.idx.ResyncClient(id, entries)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePubkey(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-pem-file")
+	w.Write(s.pubPEM)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Snapshot())
+}
+
+// ResyncAll asks every registered browser for a full directory re-sync —
+// the index-recovery path after a proxy restart (the §2 periodic update,
+// pulled on demand). It returns the number of peers that acknowledged.
+func (s *Server) ResyncAll() int {
+	s.mu.Lock()
+	peers := make([]peerInfo, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	acked := 0
+	for _, p := range peers {
+		req, err := http.NewRequest(http.MethodPost, p.baseURL+"/peer/resync", nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(HeaderToken, p.token)
+		resp, err := s.httpClient.Do(req)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			acked++
+		}
+	}
+	return acked
+}
+
+// Snapshot returns current metrics.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	cacheDocs := s.cache.Len()
+	cacheBytes := s.cache.Used()
+	clients := len(s.peers)
+	s.mu.Unlock()
+	return Stats{
+		Requests:       atomic.LoadInt64(&s.nRequests),
+		ProxyHits:      atomic.LoadInt64(&s.nProxyHits),
+		RemoteHits:     atomic.LoadInt64(&s.nRemoteHits),
+		OriginFetches:  atomic.LoadInt64(&s.nOrigin),
+		FalsePeerHits:  atomic.LoadInt64(&s.nFalsePeer),
+		TamperRejected: atomic.LoadInt64(&s.nTamper),
+		RelayTimeouts:  atomic.LoadInt64(&s.nRelayTimeout),
+		IndexEntries:   s.idx.Len(),
+		CacheDocs:      cacheDocs,
+		CacheBytes:     cacheBytes,
+		Clients:        clients,
+		UptimeSec:      time.Since(s.started).Seconds(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

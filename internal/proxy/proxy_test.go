@@ -1,0 +1,314 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"baps/internal/index"
+	"baps/internal/integrity"
+	"baps/internal/origin"
+)
+
+func testServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.KeyBits = 1024
+	cfg.CacheCapacity = 1 << 20
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Start(""); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func register(t *testing.T, s *Server, peerURL string) RegisterResponse {
+	t.Helper()
+	body, _ := json.Marshal(RegisterRequest{PeerURL: peerURL})
+	resp, err := http.Post(s.BaseURL()+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %s", resp.Status)
+	}
+	var reg RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return reg
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.CacheCapacity = -1 },
+		func(c *Config) { c.MemFraction = 0 },
+		func(c *Config) { c.MemFraction = 1.5 },
+		func(c *Config) { c.KeyBits = 100 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		cfg.KeyBits = 1024
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := testServer(t, nil)
+	// Bad JSON.
+	resp, _ := http.Post(s.BaseURL()+"/register", "application/json", strings.NewReader("{"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: %d", resp.StatusCode)
+	}
+	// Bad peer URL.
+	body, _ := json.Marshal(RegisterRequest{PeerURL: "ftp://x"})
+	resp, _ = http.Post(s.BaseURL()+"/register", "application/json", bytes.NewReader(body))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad peer URL: %d", resp.StatusCode)
+	}
+	// GET not allowed.
+	resp, _ = http.Get(s.BaseURL() + "/register")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET register: %d", resp.StatusCode)
+	}
+	// Two registrations get distinct ids and tokens.
+	r1 := register(t, s, "http://127.0.0.1:1")
+	r2 := register(t, s, "http://127.0.0.1:2")
+	if r1.ClientID == r2.ClientID || r1.Token == r2.Token {
+		t.Error("registrations not distinct")
+	}
+	if !strings.Contains(r1.PublicKey, "PUBLIC KEY") {
+		t.Error("public key missing")
+	}
+}
+
+func TestIndexAuthRequired(t *testing.T) {
+	s := testServer(t, nil)
+	reg := register(t, s, "http://127.0.0.1:1")
+
+	upd, _ := json.Marshal(IndexUpdate{ClientID: reg.ClientID, Entry: IndexEntry{URL: "http://x/a", Size: 10}})
+	post := func(token string, clientID int) int {
+		req, _ := http.NewRequest(http.MethodPost, s.BaseURL()+"/index/add", bytes.NewReader(upd))
+		req.Header.Set(HeaderClient, strconv.Itoa(clientID))
+		req.Header.Set(HeaderToken, token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("wrong-token", reg.ClientID); code != http.StatusForbidden {
+		t.Errorf("wrong token: %d", code)
+	}
+	if code := post(reg.Token, reg.ClientID+1); code != http.StatusForbidden {
+		t.Errorf("mismatched id: %d", code)
+	}
+	if code := post(reg.Token, reg.ClientID); code != http.StatusNoContent {
+		t.Errorf("valid add: %d", code)
+	}
+	if !s.Index().Has(reg.ClientID, "http://x/a") {
+		t.Error("entry not indexed")
+	}
+}
+
+func TestIndexBodyMismatchRejected(t *testing.T) {
+	s := testServer(t, nil)
+	reg := register(t, s, "http://127.0.0.1:1")
+	// Body claims a different client than the authenticated one.
+	upd, _ := json.Marshal(IndexUpdate{ClientID: reg.ClientID + 5, Entry: IndexEntry{URL: "http://x/a"}})
+	req, _ := http.NewRequest(http.MethodPost, s.BaseURL()+"/index/add", bytes.NewReader(upd))
+	req.Header.Set(HeaderClient, strconv.Itoa(reg.ClientID))
+	req.Header.Set(HeaderToken, reg.Token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("spoofed client id: %d", resp.StatusCode)
+	}
+}
+
+func TestFetchValidation(t *testing.T) {
+	s := testServer(t, nil)
+	resp, _ := http.Get(s.BaseURL() + "/fetch")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing url: %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(s.BaseURL()+"/fetch?url=http://x", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST fetch: %d", resp.StatusCode)
+	}
+	// Unreachable upstream yields 502.
+	resp, _ = http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape("http://127.0.0.1:1/nope"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("dead upstream: %d", resp.StatusCode)
+	}
+}
+
+func TestFetchCachesAndWatermarks(t *testing.T) {
+	o := origin.New(99)
+	ots := httptest.NewServer(o.Handler())
+	defer ots.Close()
+	s := testServer(t, nil)
+
+	u := ots.URL + "/w/doc?size=3000"
+	resp, err := http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get(HeaderSource) != SourceOrigin {
+		t.Fatalf("source = %q", resp.Header.Get(HeaderSource))
+	}
+	markB64 := resp.Header.Get(HeaderWatermark)
+	if markB64 == "" {
+		t.Fatal("no watermark header")
+	}
+	pub, err := integrity.ParsePublicKey(fetchPubkey(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mark := decodeB64(t, markB64)
+	if err := integrity.Verify(pub, body, mark); err != nil {
+		t.Fatalf("watermark invalid: %v", err)
+	}
+
+	// Second fetch: proxy hit, same watermark.
+	resp2, err := http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.Header.Get(HeaderSource) != SourceProxy {
+		t.Fatalf("second source = %q", resp2.Header.Get(HeaderSource))
+	}
+	if o.Fetches() != 1 {
+		t.Fatalf("origin fetched %d times", o.Fetches())
+	}
+	st := s.Snapshot()
+	if st.Requests != 2 || st.ProxyHits != 1 || st.OriginFetches != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func fetchPubkey(t *testing.T, s *Server) []byte {
+	t.Helper()
+	resp, err := http.Get(s.BaseURL() + "/pubkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	pem, _ := io.ReadAll(resp.Body)
+	return pem
+}
+
+func decodeB64(t *testing.T, s string) []byte {
+	t.Helper()
+	out := make([]byte, len(s))
+	n, err := base64StdDecode(out, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out[:n]
+}
+
+func TestRelayRejectsBadTickets(t *testing.T) {
+	s := testServer(t, nil)
+	resp, _ := http.Post(s.BaseURL()+"/relay/not-a-ticket", "", strings.NewReader("body"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("bad ticket: %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(s.BaseURL() + "/relay/x")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET relay: %d", resp.StatusCode)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	s := testServer(t, nil)
+	resp, err := http.Get(s.BaseURL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(s.BaseURL() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestIndexSyncEndpoint(t *testing.T) {
+	s := testServer(t, nil)
+	reg := register(t, s, "http://127.0.0.1:1")
+	sync, _ := json.Marshal(IndexSync{ClientID: reg.ClientID, Entries: []IndexEntry{
+		{URL: "http://x/1", Size: 10}, {URL: "http://x/2", Size: 20},
+	}})
+	req, _ := http.NewRequest(http.MethodPost, s.BaseURL()+"/index/sync", bytes.NewReader(sync))
+	req.Header.Set(HeaderClient, strconv.Itoa(reg.ClientID))
+	req.Header.Set(HeaderToken, reg.Token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("sync status: %d", resp.StatusCode)
+	}
+	if s.Index().Len() != 2 {
+		t.Fatalf("index len = %d", s.Index().Len())
+	}
+	// Re-sync with one entry replaces the directory.
+	sync2, _ := json.Marshal(IndexSync{ClientID: reg.ClientID, Entries: []IndexEntry{{URL: "http://x/3", Size: 5}}})
+	req2, _ := http.NewRequest(http.MethodPost, s.BaseURL()+"/index/sync", bytes.NewReader(sync2))
+	req2.Header.Set(HeaderClient, strconv.Itoa(reg.ClientID))
+	req2.Header.Set(HeaderToken, reg.Token)
+	resp2, _ := http.DefaultClient.Do(req2)
+	resp2.Body.Close()
+	if s.Index().Len() != 1 || !s.Index().Has(reg.ClientID, "http://x/3") {
+		t.Fatal("re-sync did not replace directory")
+	}
+}
+
+func TestIndexStrategyConfig(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.Strategy = index.SelectLeastLoaded })
+	if s.Index() == nil {
+		t.Fatal("no index")
+	}
+}

@@ -1,0 +1,22 @@
+package proxy
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/url"
+)
+
+func urlQueryEscape(s string) string { return url.QueryEscape(s) }
+
+func jsonBytes(v any) ([]byte, error) { return json.Marshal(v) }
+
+func jsonNewDecoder(r io.Reader, v any) error {
+	return json.NewDecoder(io.LimitReader(r, 1<<20)).Decode(v)
+}
+
+// base64StdDecode decodes standard base64 into dst, returning the byte
+// count (helper shared with tests).
+func base64StdDecode(dst []byte, src string) (int, error) {
+	return base64.StdEncoding.Decode(dst, []byte(src))
+}

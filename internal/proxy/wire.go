@@ -1,0 +1,141 @@
+package proxy
+
+// Wire types shared between the browsers-aware proxy and the browser agents
+// (internal/browser imports these; the dependency is one-way).
+
+// Header names of the BAPS protocol.
+const (
+	// HeaderClient carries the requesting client's id on /fetch and the
+	// authenticated client id on index updates.
+	HeaderClient = "X-BAPS-Client"
+	// HeaderToken authenticates proxy↔browser calls: the proxy presents
+	// the holder's registration token when fetching from its peer
+	// server, and browsers present their own token on index updates.
+	HeaderToken = "X-BAPS-Token"
+	// HeaderSource reports where /fetch satisfied the request:
+	// "proxy", "remote" or "origin".
+	HeaderSource = "X-BAPS-Source"
+	// HeaderWatermark carries the base64 RSA-MD5 watermark (§6.1).
+	HeaderWatermark = "X-BAPS-Watermark"
+	// HeaderVersion carries the origin document version.
+	HeaderVersion = "X-BAPS-Version"
+	// HeaderNoPeer, when set to "1" on /fetch, disables remote-browser
+	// resolution (used after a client-side watermark rejection).
+	HeaderNoPeer = "X-BAPS-No-Peer"
+	// HeaderOnion, set to "1" on a /fetch response, announces that the
+	// document will arrive out-of-band over an onion-routed covert path
+	// (the response body is empty; the agent waits on its peer server).
+	HeaderOnion = "X-BAPS-Onion"
+	// HeaderOnionRoute carries the base64 route onion on browser-to-
+	// browser /peer/onion deliveries; the body is the sealed payload.
+	HeaderOnionRoute = "X-BAPS-Onion-Route"
+)
+
+// Source values for HeaderSource.
+const (
+	SourceProxy  = "proxy"
+	SourceRemote = "remote"
+	SourceOrigin = "origin"
+)
+
+// RegisterRequest is the body of POST /register.
+type RegisterRequest struct {
+	// PeerURL is the base URL of the client's peer server
+	// (e.g. http://127.0.0.1:41234).
+	PeerURL string `json:"peer_url"`
+}
+
+// RegisterResponse is the reply to POST /register.
+type RegisterResponse struct {
+	ClientID  int    `json:"client_id"`
+	Token     string `json:"token"`
+	PublicKey string `json:"public_key"` // PEM, for watermark verification
+	// RelayKey is the client's base64 AES-256 covert-path key: the proxy
+	// uses it to address route-onion layers at this client, making every
+	// browser a potential relay (§6.2's decentralized variant).
+	RelayKey string `json:"relay_key"`
+}
+
+// IndexEntry is one browser-index item on the wire.
+type IndexEntry struct {
+	URL     string  `json:"url"`
+	Size    int64   `json:"size"`
+	Version int64   `json:"version"`
+	Stamp   float64 `json:"stamp"`
+}
+
+// IndexUpdate is the body of POST /index/add and /index/remove.
+type IndexUpdate struct {
+	ClientID int        `json:"client_id"`
+	Entry    IndexEntry `json:"entry"`
+}
+
+// IndexSync is the body of POST /index/sync: a full replacement of the
+// client's directory (the §2 periodic update).
+type IndexSync struct {
+	ClientID int          `json:"client_id"`
+	Entries  []IndexEntry `json:"entries"`
+}
+
+// PeerSend is the body of POST <peer>/peer/send: the proxy instructs a
+// holder to push a document to an anonymous relay drop (direct-forward
+// mode). The holder learns only the relay URL, never the requester.
+type PeerSend struct {
+	URL      string `json:"url"`
+	RelayURL string `json:"relay_url"`
+}
+
+// PeerOnionSend is the body of POST <peer>/peer/onion-send: the proxy
+// instructs a holder to launch a document onto an onion-routed covert path.
+// The holder learns only the first hop's address; the route onion (built by
+// the proxy from the relay keys it holds) hides everything downstream, and
+// the document itself is sealed end-to-end under the ephemeral key, which
+// only the terminal hop recovers from its route layer.
+type PeerOnionSend struct {
+	URL             string `json:"url"`
+	FirstAddr       string `json:"first_addr"`
+	RouteB64        string `json:"route_b64"`
+	EphemeralKeyB64 string `json:"ephemeral_key_b64"`
+}
+
+// OnionFinal is the terminal route-layer content: it tells the requester
+// which document is arriving and the ephemeral key that opens the sealed
+// payload. Encoded with encoding/gob.
+type OnionFinal struct {
+	URL string
+	Key []byte
+}
+
+// OnionDelivery is the sealed payload of an onion transfer, browser to
+// browser. Encoded with encoding/gob, then Seal()ed under the ephemeral key.
+type OnionDelivery struct {
+	URL       string
+	Version   int64
+	Watermark []byte
+	Body      []byte
+}
+
+// BadContentReport is the body of POST /report-bad: a requester whose
+// watermark verification failed reports the document; the proxy, which knows
+// which holder served the relay ticket, prunes that holder's index entry.
+type BadContentReport struct {
+	ClientID int    `json:"client_id"`
+	URL      string `json:"url"`
+	Ticket   string `json:"ticket"`
+}
+
+// Stats is the JSON served at GET /stats.
+type Stats struct {
+	Requests       int64 `json:"requests"`
+	ProxyHits      int64 `json:"proxy_hits"`
+	RemoteHits     int64 `json:"remote_hits"`
+	OriginFetches  int64 `json:"origin_fetches"`
+	FalsePeerHits  int64 `json:"false_peer_hits"`
+	TamperRejected int64 `json:"tamper_rejected"`
+	RelayTimeouts  int64 `json:"relay_timeouts"`
+	IndexEntries   int     `json:"index_entries"`
+	CacheDocs      int     `json:"cache_docs"`
+	CacheBytes     int64   `json:"cache_bytes"`
+	Clients        int     `json:"clients"`
+	UptimeSec      float64 `json:"uptime_sec"`
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"baps/internal/core"
+	"baps/internal/trace"
+)
+
+// PaperSizes is the relative cache-size sweep of Figures 2–7 (fractions of
+// the infinite cache size; the paper's garbled axis restored to
+// 0.5 %, 1 %, 10 %, 20 %).
+var PaperSizes = []float64{0.005, 0.01, 0.10, 0.20}
+
+// PaperClientFractions is the §4.4 relative-number-of-clients sweep.
+var PaperClientFractions = []float64{0.25, 0.50, 0.75, 1.00}
+
+// SweepResult holds one organization's results across the size sweep.
+type SweepResult struct {
+	Trace string
+	Sizes []float64
+	// ByOrg maps each simulated organization to one Result per size, in
+	// Sizes order.
+	ByOrg map[core.Organization][]Result
+}
+
+// Sweep runs the given organizations across the relative-size sweep,
+// fanning runs out over GOMAXPROCS workers. base supplies every Config field
+// except Organization and RelativeSize.
+func Sweep(tr *trace.Trace, orgs []core.Organization, sizes []float64, base Config) (*SweepResult, error) {
+	st := trace.Compute(tr)
+	out := &SweepResult{
+		Trace: tr.Name,
+		Sizes: sizes,
+		ByOrg: make(map[core.Organization][]Result, len(orgs)),
+	}
+	for _, org := range orgs {
+		out.ByOrg[org] = make([]Result, len(sizes))
+	}
+	type job struct {
+		org core.Organization
+		si  int
+	}
+	jobs := make(chan job)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := base
+				cfg.Organization = j.org
+				cfg.RelativeSize = sizes[j.si]
+				res, err := Run(tr, &st, cfg)
+				if err == nil {
+					err = res.Check()
+				}
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("sweep %v@%g: %w", j.org, sizes[j.si], err):
+					default:
+					}
+					continue
+				}
+				out.ByOrg[j.org][j.si] = res
+			}
+		}()
+	}
+	for _, org := range orgs {
+		for si := range sizes {
+			jobs <- job{org, si}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return out, nil
+}
+
+// ScalingResult holds the §4.4 client-scaling experiment: hit-ratio and
+// byte-hit-ratio increments of the browsers-aware proxy over
+// proxy-and-local-browser as the client population grows.
+type ScalingResult struct {
+	Trace     string
+	Fractions []float64
+	BAPS      []Result
+	PALB      []Result
+	// HRIncrementPct[i] = (HR_baps − HR_palb)/HR_palb × 100 at
+	// Fractions[i]; likewise for bytes.
+	HRIncrementPct  []float64
+	BHRIncrementPct []float64
+}
+
+// Scaling runs the §4.4 experiment: for each client fraction the trace is
+// restricted to a nested subset of clients, the proxy capacity stays fixed
+// at base.RelativeSize of the *full* trace's infinite size, and browser
+// caches follow the sizing rule on the subset. subsetSeed makes the client
+// subsets reproducible and nested.
+func Scaling(tr *trace.Trace, fractions []float64, base Config, subsetSeed int64) (*ScalingResult, error) {
+	fullStats := trace.Compute(tr)
+	proxyCap := int64(base.RelativeSize * float64(fullStats.InfiniteCacheBytes))
+	out := &ScalingResult{
+		Trace:           tr.Name,
+		Fractions:       fractions,
+		BAPS:            make([]Result, len(fractions)),
+		PALB:            make([]Result, len(fractions)),
+		HRIncrementPct:  make([]float64, len(fractions)),
+		BHRIncrementPct: make([]float64, len(fractions)),
+	}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for fi, f := range fractions {
+		sub := trace.SubsetClients(tr, f, subsetSeed)
+		st := trace.Compute(sub)
+		for _, org := range []core.Organization{core.BrowsersAware, core.ProxyAndLocalBrowser} {
+			wg.Add(1)
+			go func(fi int, org core.Organization, sub *trace.Trace, st trace.Stats) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				cfg := base
+				cfg.Organization = org
+				cfg.ProxyCapOverride = proxyCap
+				res, err := Run(sub, &st, cfg)
+				if err == nil {
+					err = res.Check()
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("scaling %v@%g: %w", org, fractions[fi], err)
+					}
+					return
+				}
+				if org == core.BrowsersAware {
+					out.BAPS[fi] = res
+				} else {
+					out.PALB[fi] = res
+				}
+			}(fi, org, sub, st)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range fractions {
+		b, p := out.BAPS[i], out.PALB[i]
+		if p.HitRatio() > 0 {
+			out.HRIncrementPct[i] = (b.HitRatio() - p.HitRatio()) / p.HitRatio() * 100
+		}
+		if p.ByteHitRatio() > 0 {
+			out.BHRIncrementPct[i] = (b.ByteHitRatio() - p.ByteHitRatio()) / p.ByteHitRatio() * 100
+		}
+	}
+	return out, nil
+}
+
+// MemoryStudyResult holds the §4.2 comparison: the browsers-aware proxy at a
+// small relative size against proxy-and-local-browser at a (usually larger)
+// size chosen so that the two achieve comparable byte hit ratios — under
+// which condition the paper found BAPS serves far more of those bytes from
+// memory and thus cuts total hit latency.
+type MemoryStudyResult struct {
+	Trace string
+	BAPS  Result
+	PALB  Result
+	// MatchedPALBSize is the relative size at which proxy-and-local-
+	// browser reaches the browsers-aware byte hit ratio (the paper's
+	// traces matched 10 % BAPS against 20 % P+LB).
+	MatchedPALBSize float64
+	// HitLatencyReductionPct is (PALB hit latency − BAPS hit latency) /
+	// PALB total service time × 100: the total-latency saving from the
+	// higher memory byte hit ratio at equivalent byte hit ratio.
+	HitLatencyReductionPct float64
+}
+
+// MemoryStudy runs the §4.2 experiment. sizeBAPS fixes the browsers-aware
+// configuration; sizePALB > 0 pins the comparison size directly (the paper
+// uses 20 %), while sizePALB == 0 bisects for the proxy-and-local-browser
+// size whose byte hit ratio matches (the paper's "for an equivalent byte hit
+// ratio" condition made precise).
+func MemoryStudy(tr *trace.Trace, sizeBAPS, sizePALB float64, base Config) (*MemoryStudyResult, error) {
+	st := trace.Compute(tr)
+	cfgB := base
+	cfgB.Organization = core.BrowsersAware
+	cfgB.RelativeSize = sizeBAPS
+	resB, err := Run(tr, &st, cfgB)
+	if err != nil {
+		return nil, err
+	}
+	cfgP := base
+	cfgP.Organization = core.ProxyAndLocalBrowser
+
+	var resP Result
+	if sizePALB > 0 {
+		cfgP.RelativeSize = sizePALB
+		if resP, err = Run(tr, &st, cfgP); err != nil {
+			return nil, err
+		}
+	} else {
+		// Bisect for the matching byte hit ratio; BHR is monotone in
+		// cache size for the stack-based LRU organizations.
+		target := resB.ByteHitRatio()
+		lo, hi := sizeBAPS/4, 0.95
+		for iter := 0; iter < 12; iter++ {
+			mid := (lo + hi) / 2
+			cfgP.RelativeSize = mid
+			if resP, err = Run(tr, &st, cfgP); err != nil {
+				return nil, err
+			}
+			if resP.ByteHitRatio() < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	out := &MemoryStudyResult{
+		Trace:           tr.Name,
+		BAPS:            resB,
+		PALB:            resP,
+		MatchedPALBSize: resP.RelativeSize,
+	}
+	if resP.TotalServiceSec > 0 {
+		out.HitLatencyReductionPct = (resP.HitLatencySec - resB.HitLatencySec) / resP.TotalServiceSec * 100
+	}
+	return out, nil
+}

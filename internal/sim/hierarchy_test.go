@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"baps/internal/core"
+)
+
+func TestHierarchyParentServesMisses(t *testing.T) {
+	tr := testTrace(t, 14)
+	cfg := DefaultConfig(core.BrowsersAware)
+	cfg.ParentRelativeSize = 0.5 // big parent
+	res, err := Run(tr, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.ParentHits == 0 {
+		t.Fatal("parent proxy never hit")
+	}
+	// Parent hits are not cache hits: hit ratio must match the
+	// parent-less run exactly (the parent only intercepts misses).
+	base, err := Run(tr, nil, DefaultConfig(core.BrowsersAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRatio() != base.HitRatio() {
+		t.Errorf("parent changed the hit ratio: %.4f vs %.4f", res.HitRatio(), base.HitRatio())
+	}
+	// But it absorbs origin traffic…
+	if res.Misses >= base.Misses {
+		t.Errorf("parent did not reduce origin fetches: %d vs %d", res.Misses, base.Misses)
+	}
+	// …and total service time (parent fetches are cheaper than origin).
+	if res.TotalServiceSec >= base.TotalServiceSec {
+		t.Errorf("parent did not cut service time: %.0f vs %.0f", res.TotalServiceSec, base.TotalServiceSec)
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	cfg := DefaultConfig(core.BrowsersAware)
+	cfg.ParentRelativeSize = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative parent size accepted")
+	}
+	cfg.ParentRelativeSize = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("parent size > 1 accepted")
+	}
+}
+
+func TestHierarchyZeroDisabled(t *testing.T) {
+	tr := testTrace(t, 15)
+	res, err := Run(tr, nil, DefaultConfig(core.BrowsersAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParentHits != 0 || res.ParentBytes != 0 {
+		t.Fatalf("parent hits without a parent: %+v", res)
+	}
+}

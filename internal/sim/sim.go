@@ -1,0 +1,344 @@
+// Package sim is the trace-driven simulator of §3–§5: it replays a request
+// trace through a configured caching organization (internal/core), accounts
+// the paper's metrics — hit ratio, byte hit ratio, the Figure 3 hit-location
+// breakdown, memory byte hit ratio (§4.2), and the data-transfer /
+// bus-contention overhead of remote-browser hits (§5) — and provides the
+// sweep harnesses behind every figure.
+package sim
+
+import (
+	"fmt"
+
+	"baps/internal/cache"
+	"baps/internal/core"
+	"baps/internal/index"
+	"baps/internal/latency"
+	"baps/internal/stats"
+	"baps/internal/trace"
+)
+
+// Sizing selects how browser cache sizes derive from the trace (§4).
+type Sizing int
+
+const (
+	// SizingMinimum sets every browser cache to
+	// S_proxy / (MinBrowserDivisor · N) — the paper's conservative
+	// "minimum browser cache size" derived from the proxy configuration
+	// study it cites.
+	SizingMinimum Sizing = iota
+	// SizingAverage sets every browser cache to RelativeSize of the
+	// average per-client infinite cache size ("each browser cache is
+	// also set to …% of the average infinite browser cache size
+	// calculated from all the browsers", §4.2) — the sizing used from
+	// Figure 4 on.
+	SizingAverage
+	// SizingPerClient is an ablation variant of SizingAverage that sizes
+	// browser i at RelativeSize of client i's own infinite cache size
+	// instead of the population average.
+	SizingPerClient
+)
+
+// String names the sizing rule.
+func (s Sizing) String() string {
+	switch s {
+	case SizingMinimum:
+		return "minimum"
+	case SizingPerClient:
+		return "per-client"
+	default:
+		return "average"
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Organization is the caching organization to simulate.
+	Organization core.Organization
+
+	// RelativeSize is the proxy cache size as a fraction of the trace's
+	// infinite cache size (the x-axis of Figures 2–7); browser caches
+	// scale with it per Sizing.
+	RelativeSize float64
+
+	// Sizing selects the browser-cache sizing rule.
+	Sizing Sizing
+
+	// MinBrowserDivisor is the divisor d in the minimum sizing rule
+	// S_browser = S_proxy / (d·N). The default d = 1 makes the
+	// aggregate minimum browser capacity equal the proxy capacity,
+	// consistent with the paper's remark that the average sizing works
+	// out to 2–10× the minimum.
+	MinBrowserDivisor float64
+
+	// ProxyCapOverride, when positive, fixes the proxy capacity in bytes
+	// regardless of RelativeSize — used by the §4.4 client-scaling
+	// experiment, which pins the proxy at 10 % of the full trace's
+	// infinite size while the client population shrinks.
+	ProxyCapOverride int64
+
+	// ProxyPolicy and BrowserPolicy select replacement policies (the
+	// paper uses LRU; others are ablations).
+	ProxyPolicy   cache.Policy
+	BrowserPolicy cache.Policy
+
+	// IndexMode, IndexThreshold and IndexStrategy configure the browser
+	// index (§2).
+	IndexMode      index.Mode
+	IndexThreshold float64
+	IndexStrategy  index.Strategy
+
+	// ForwardMode selects the §2 delivery alternative for remote hits;
+	// ProxyCachesPeerDocs and CacheRemoteHits refine it.
+	ForwardMode         core.ForwardMode
+	ProxyCachesPeerDocs bool
+	CacheRemoteHits     bool
+
+	// BrowserMemFraction is the memory portion of each browser cache
+	// (the paper's §4.2 sets it separately and conservatively; §1 argues
+	// real browsers keep much or all of their cache in memory). The
+	// default is 0.5 — half the browser cache memory-resident.
+	BrowserMemFraction float64
+
+	// WarmupFraction excludes the first fraction of requests from the
+	// metrics while still exercising the caches — a steady-state view
+	// the paper does not take (it counts cold-start misses) but that a
+	// downstream user usually wants. 0 reproduces the paper.
+	WarmupFraction float64
+
+	// DocTTLSec stamps index entries with a time-to-live (§2's "TTL
+	// provided by the data source"); expired entries stop serving
+	// remote hits. 0 (the paper's evaluation setting) disables it.
+	DocTTLSec float64
+
+	// ParentRelativeSize, when positive, adds an upper-level proxy of
+	// that fraction of the infinite cache size between the organization
+	// and the origin (the hierarchy extension; the paper's evaluation
+	// has none).
+	ParentRelativeSize float64
+
+	// Latency is the timing model (§4.2/§5).
+	Latency latency.Model
+}
+
+// DefaultConfig returns the paper's configuration for an organization:
+// LRU everywhere, immediate index updates, most-recent holder selection,
+// fetch-forward delivery with proxy caching of relayed documents, 1/10
+// memory tiers, and the restored latency constants.
+func DefaultConfig(org core.Organization) Config {
+	return Config{
+		Organization:        org,
+		RelativeSize:        0.10,
+		Sizing:              SizingAverage,
+		MinBrowserDivisor:   1,
+		ProxyPolicy:         cache.LRU,
+		BrowserPolicy:       cache.LRU,
+		IndexMode:           index.Immediate,
+		IndexThreshold:      0.05,
+		IndexStrategy:       index.SelectMostRecent,
+		ForwardMode:         core.FetchForward,
+		ProxyCachesPeerDocs: true,
+		CacheRemoteHits:     true,
+		BrowserMemFraction:  0.5,
+		Latency:             latency.Default(),
+	}
+}
+
+// Validate reports configuration errors not already caught by core.
+func (c *Config) Validate() error {
+	if c.RelativeSize <= 0 && c.ProxyCapOverride <= 0 {
+		return fmt.Errorf("sim: RelativeSize must be > 0 (or ProxyCapOverride set)")
+	}
+	if c.RelativeSize < 0 || c.RelativeSize > 1 {
+		return fmt.Errorf("sim: RelativeSize %g out of (0,1]", c.RelativeSize)
+	}
+	if c.MinBrowserDivisor <= 0 {
+		return fmt.Errorf("sim: MinBrowserDivisor must be > 0")
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
+		return fmt.Errorf("sim: WarmupFraction %g out of [0,1)", c.WarmupFraction)
+	}
+	if c.ParentRelativeSize < 0 || c.ParentRelativeSize > 1 {
+		return fmt.Errorf("sim: ParentRelativeSize %g out of [0,1]", c.ParentRelativeSize)
+	}
+	return c.Latency.Validate()
+}
+
+// buildCoreConfig derives cache capacities from the trace statistics.
+func buildCoreConfig(st *trace.Stats, c Config) core.Config {
+	proxyCap := int64(c.RelativeSize * float64(st.InfiniteCacheBytes))
+	if c.ProxyCapOverride > 0 {
+		proxyCap = c.ProxyCapOverride
+	}
+	n := st.NumClients
+	caps := make([]int64, n)
+	switch c.Sizing {
+	case SizingMinimum:
+		per := int64(float64(proxyCap) / (c.MinBrowserDivisor * float64(n)))
+		for i := range caps {
+			caps[i] = per
+		}
+	case SizingPerClient:
+		for i := range caps {
+			caps[i] = int64(c.RelativeSize * float64(st.ClientInfiniteBytes[i]))
+		}
+	default: // SizingAverage
+		per := int64(c.RelativeSize * float64(st.AvgClientInfiniteBytes()))
+		for i := range caps {
+			caps[i] = per
+		}
+	}
+	return core.Config{
+		Organization:        c.Organization,
+		NumClients:          n,
+		ProxyCapacity:       proxyCap,
+		BrowserCapacity:     caps,
+		ProxyPolicy:         c.ProxyPolicy,
+		BrowserPolicy:       c.BrowserPolicy,
+		MemFraction:         c.Latency.MemFraction,
+		BrowserMemFraction:  c.BrowserMemFraction,
+		IndexMode:           c.IndexMode,
+		IndexThreshold:      c.IndexThreshold,
+		IndexStrategy:       c.IndexStrategy,
+		ForwardMode:         c.ForwardMode,
+		ProxyCachesPeerDocs: c.ProxyCachesPeerDocs,
+		CacheRemoteHits:     c.CacheRemoteHits,
+		DocTTLSec:           c.DocTTLSec,
+		ParentCapacity:      int64(c.ParentRelativeSize * float64(st.InfiniteCacheBytes)),
+	}
+}
+
+// Run replays tr through the configured organization. st may carry
+// precomputed trace statistics (to share across the runs of a sweep); pass
+// nil to compute them here.
+func Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if st == nil {
+		s := trace.Compute(tr)
+		st = &s
+	}
+	ccfg := buildCoreConfig(st, c)
+	sys, err := core.New(ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	bus := latency.NewBus(c.Latency)
+	res := Result{
+		Trace:        tr.Name,
+		Organization: c.Organization,
+		RelativeSize: c.RelativeSize,
+		Sizing:       c.Sizing,
+		ProxyCap:     ccfg.ProxyCapacity,
+	}
+	for _, cap := range ccfg.BrowserCapacity {
+		res.BrowserCapTotal += cap
+	}
+	m := c.Latency
+	warmup := int(c.WarmupFraction * float64(len(tr.Requests)))
+	var warmTransferSec, warmContentionSec float64
+	var warmTransfers, warmBytes int64
+	var hist stats.Histogram
+	for i := range tr.Requests {
+		if i == warmup {
+			// Metrics start here; remote-bus totals accumulated
+			// during warm-up are excluded below.
+			warmTransferSec = bus.TransferSec
+			warmContentionSec = bus.ContentionSec
+			warmTransfers = bus.Transfers
+			warmBytes = bus.Bytes
+		}
+		r := tr.Requests[i]
+		out := sys.Access(r)
+		counted := i >= warmup
+
+		var lat float64
+		var remoteHops int64
+		switch out.Class {
+		case core.HitLocalBrowser:
+			lat = readTime(m, out.Tier, r.Size)
+		case core.HitProxy:
+			lat = readTime(m, out.Tier, r.Size) + m.LANTransfer(r.Size)
+		case core.HitRemoteBrowser:
+			lat = readTime(m, out.Tier, r.Size)
+			// Browser→proxy→browser under fetch-forward (two LAN
+			// legs), browser→browser under direct-forward (one).
+			hops := 1
+			if c.ForwardMode == core.FetchForward {
+				hops = 2
+			}
+			at := r.Time
+			for h := 0; h < hops; h++ {
+				wait, dur := bus.Transfer(at, r.Size)
+				at += wait + dur
+				lat += wait + dur
+			}
+			remoteHops = int64(hops)
+		case core.HitParent:
+			// The parent sits partway up the WAN path.
+			lat = readTime(m, out.Tier, r.Size) +
+				m.ParentCostFactor*m.UpstreamFetch(r.Size) + m.LANTransfer(r.Size)
+		case core.Miss:
+			lat = m.UpstreamFetch(r.Size) + m.LANTransfer(r.Size)
+		}
+		// A wasted contact with a stale index holder costs one LAN
+		// connection setup each way.
+		lat += 2 * m.ConnSetupSec * float64(out.FalseIndexHits)
+		if !counted {
+			continue
+		}
+		res.Requests++
+		res.TotalBytes += r.Size
+		switch out.Class {
+		case core.HitLocalBrowser:
+			res.LocalHits++
+			res.LocalBytes += r.Size
+		case core.HitProxy:
+			res.ProxyHits++
+			res.ProxyBytes += r.Size
+		case core.HitRemoteBrowser:
+			res.RemoteHits++
+			res.RemoteBytes += r.Size
+			res.RemoteConnections += remoteHops
+		case core.HitParent:
+			res.ParentHits++
+			res.ParentBytes += r.Size
+		case core.Miss:
+			res.Misses++
+		}
+		// Parent hits are upstream traffic in the paper's metrics: only
+		// browser/proxy/remote-browser hits count as cache hits.
+		if out.Class != core.Miss && out.Class != core.HitParent {
+			res.HitLatencySec += lat
+			if out.Tier == cache.TierMemory {
+				res.MemoryHitBytes += r.Size
+			}
+		}
+		res.FalseIndexHits += int64(out.FalseIndexHits)
+		if out.StaleLocal {
+			res.StaleLocal++
+		}
+		if out.StaleProxy {
+			res.StaleProxy++
+		}
+		res.TotalServiceSec += lat
+		hist.Add(lat)
+	}
+	res.RemoteTransferSec = bus.TransferSec - warmTransferSec
+	res.RemoteContentionSec = bus.ContentionSec - warmContentionSec
+	res.RemoteBytesOnWire = bus.Bytes - warmBytes
+	res.RemoteConnectionsOnWire = bus.Transfers - warmTransfers
+	res.ServiceP50 = hist.Quantile(0.50)
+	res.ServiceP95 = hist.Quantile(0.95)
+	res.ServiceP99 = hist.Quantile(0.99)
+	res.ServiceMax = hist.Max()
+	return res, nil
+}
+
+// readTime is the storage read time at the serving cache.
+func readTime(m latency.Model, tier cache.Tier, size int64) float64 {
+	if tier == cache.TierMemory {
+		return m.MemRead(size)
+	}
+	return m.DiskRead(size)
+}

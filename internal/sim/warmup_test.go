@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"baps/internal/core"
+)
+
+func TestWarmupValidation(t *testing.T) {
+	c := DefaultConfig(core.BrowsersAware)
+	c.WarmupFraction = -0.1
+	if err := c.Validate(); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	c.WarmupFraction = 1.0
+	if err := c.Validate(); err == nil {
+		t.Error("warmup = 1 accepted")
+	}
+}
+
+func TestWarmupExcludesColdStart(t *testing.T) {
+	tr := testTrace(t, 11)
+	cold := DefaultConfig(core.BrowsersAware)
+	warm := cold
+	warm.WarmupFraction = 0.5
+
+	rc, err := Run(tr, nil, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Run(tr, nil, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Requests >= rc.Requests {
+		t.Fatalf("warmup did not reduce counted requests: %d vs %d", rw.Requests, rc.Requests)
+	}
+	want := int64(len(tr.Requests)) - int64(0.5*float64(len(tr.Requests)))
+	if rw.Requests != want {
+		t.Fatalf("counted %d requests, want %d", rw.Requests, want)
+	}
+	// Steady-state hit ratio exceeds the cold-start-inclusive one (the
+	// caches are already populated when counting starts).
+	if rw.HitRatio() <= rc.HitRatio() {
+		t.Errorf("warm HR %.4f <= cold HR %.4f", rw.HitRatio(), rc.HitRatio())
+	}
+}
+
+func TestServicePercentilesPopulated(t *testing.T) {
+	tr := testTrace(t, 12)
+	res, err := Run(tr, nil, DefaultConfig(core.BrowsersAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServiceP50 <= 0 || res.ServiceP95 <= 0 || res.ServiceP99 <= 0 || res.ServiceMax <= 0 {
+		t.Fatalf("percentiles not populated: %+v", res)
+	}
+	if !(res.ServiceP50 <= res.ServiceP95 && res.ServiceP95 <= res.ServiceP99 && res.ServiceP99 <= res.ServiceMax*1.07) {
+		t.Fatalf("percentiles not ordered: p50=%g p95=%g p99=%g max=%g",
+			res.ServiceP50, res.ServiceP95, res.ServiceP99, res.ServiceMax)
+	}
+	// Mean service time must lie within the distribution's range.
+	mean := res.TotalServiceSec / float64(res.Requests)
+	if mean > res.ServiceMax {
+		t.Fatalf("mean %g above max %g", mean, res.ServiceMax)
+	}
+}
+
+func TestWarmupBusAccounting(t *testing.T) {
+	tr := testTrace(t, 13)
+	warm := DefaultConfig(core.BrowsersAware)
+	warm.WarmupFraction = 0.5
+	cold := DefaultConfig(core.BrowsersAware)
+
+	rw, err := Run(tr, nil, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Run(tr, nil, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.RemoteTransferSec > rc.RemoteTransferSec {
+		t.Errorf("warmup remote transfer %g exceeds full-run %g", rw.RemoteTransferSec, rc.RemoteTransferSec)
+	}
+	if rw.RemoteConnectionsOnWire != rw.RemoteConnections {
+		t.Errorf("on-wire connections %d != counted %d", rw.RemoteConnectionsOnWire, rw.RemoteConnections)
+	}
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-layout log-scale histogram for positive values
+// (latencies in seconds here): 40 buckets per decade across 12 decades
+// starting at 1 µs. It supports streaming insertion and quantile queries
+// without retaining samples, so the simulator can report latency percentiles
+// over millions of requests at O(1) memory.
+type Histogram struct {
+	counts [decades * bucketsPerDecade]int64
+	under  int64 // below the first bucket
+	over   int64 // above the last bucket
+	n      int64
+	sum    float64
+	max    float64
+}
+
+const (
+	bucketsPerDecade = 40
+	decades          = 12
+	histMin          = 1e-6
+)
+
+// Add records one value. Non-positive values land in the underflow bucket.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	if x > 0 {
+		h.sum += x
+	}
+	if x > h.max {
+		h.max = x
+	}
+	if x < histMin {
+		h.under++
+		return
+	}
+	idx := int(math.Log10(x/histMin) * bucketsPerDecade)
+	if idx >= len(h.counts) {
+		h.over++
+		return
+	}
+	h.counts[idx]++
+}
+
+// N reports the number of recorded values.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean reports the arithmetic mean of recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max reports the largest recorded value.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) with
+// one-bucket (≈6 %) resolution. Zero values (underflow) count below every
+// bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target <= h.under {
+		return histMin
+	}
+	cum := h.under
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			// Upper edge of bucket i.
+			return histMin * math.Pow(10, float64(i+1)/bucketsPerDecade)
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's contents into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.under += other.under
+	h.over += other.over
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// QuantilesExact computes exact quantiles of a small sample slice (helper
+// for tests and reports that do retain samples). xs is sorted in place.
+func QuantilesExact(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sort.Float64s(xs)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = xs[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = xs[len(xs)-1]
+			continue
+		}
+		idx := int(math.Ceil(q*float64(len(xs)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = xs[idx]
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.N() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}
+
+func TestHistogramBasicQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i) / 1000) // 1ms … 1s uniform
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	// Median ≈ 0.5 within one log-bucket (≈6%).
+	med := h.Quantile(0.5)
+	if med < 0.45 || med > 0.56 {
+		t.Errorf("median %g, want ≈0.5", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.9 || p99 > 1.12 {
+		t.Errorf("p99 %g, want ≈0.99", p99)
+	}
+	if got := h.Mean(); math.Abs(got-0.5005) > 0.001 {
+		t.Errorf("mean %g", got)
+	}
+	if h.Max() != 1.0 {
+		t.Errorf("max %g", h.Max())
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	var h Histogram
+	h.Add(0)    // underflow
+	h.Add(-5)   // underflow
+	h.Add(1e9)  // overflow (beyond 12 decades from 1µs)
+	h.Add(0.01) // normal
+	if h.N() != 4 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if q := h.Quantile(0.25); q != histMin {
+		t.Errorf("low quantile %g, want underflow bound %g", q, histMin)
+	}
+	if q := h.Quantile(1.0); q != 1e9 {
+		t.Errorf("q1.0 = %g, want max", q)
+	}
+	// Clamped inputs.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Add(0.001)
+		b.Add(1.0)
+	}
+	a.Merge(&b)
+	if a.N() != 200 {
+		t.Fatalf("N = %d", a.N())
+	}
+	med := a.Quantile(0.5)
+	if med > 0.002 {
+		t.Errorf("median %g after merge, want ≈0.001", med)
+	}
+	if a.Quantile(0.99) < 0.9 {
+		t.Errorf("p99 %g after merge", a.Quantile(0.99))
+	}
+	if a.Max() != 1.0 {
+		t.Errorf("max %g", a.Max())
+	}
+}
+
+// TestQuickHistogramQuantileBound: the histogram quantile is always an upper
+// bound of the exact quantile and within one bucket width (6%) of it.
+func TestQuickHistogramQuantileBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		xs := make([]float64, 500)
+		for i := range xs {
+			xs[i] = math.Exp(rng.Float64()*10 - 5) // 6.7e-3 … 148, log-uniform
+			h.Add(xs[i])
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			exact := QuantilesExact(append([]float64(nil), xs...), q)[0]
+			approx := h.Quantile(q)
+			if approx < exact*0.999 {
+				t.Errorf("seed %d q%.2f: approx %g below exact %g", seed, q, approx, exact)
+				return false
+			}
+			if approx > exact*1.07 {
+				t.Errorf("seed %d q%.2f: approx %g more than a bucket above exact %g", seed, q, approx, exact)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	if got := QuantilesExact(nil, 0.5); got[0] != 0 {
+		t.Error("empty input")
+	}
+	xs := []float64{5, 1, 3, 2, 4}
+	got := QuantilesExact(xs, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("quantiles = %v", got)
+	}
+}

@@ -1,0 +1,221 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The five calibrated profiles below stand in for the paper's Table 1 traces.
+// The calibration goal is shape, not identity: each profile reproduces its
+// archived trace's scale (clients, request volume, total gigabytes) and the
+// locality structure the paper's results depend on — the NLANR proxies see
+// pre-filtered, low-locality streams with the lowest byte-hit ceiling of the
+// set; the BU client traces show strong per-client locality, with BU-98
+// markedly less cacheable than BU-95 (the access-variation growth the paper
+// cites from Barford et al.); CA*netII has only 3 clients, the paper's limit
+// case where the browsers-aware gain drops below one percent.
+//
+// Calibration was done against the paper's qualitative targets (see
+// EXPERIMENTS.md): max hit/byte-hit ceilings ordered as in Table 1,
+// browsers-aware vs proxy-and-local-browser gaps of a few points that shrink
+// as caches grow, and near-zero gain for the 3-client trace.
+
+func profileNLANRuc() Profile {
+	return Profile{
+		Name:        "nlanr-uc",
+		Clients:     120,
+		Requests:    240_000,
+		DurationSec: 24 * 3600, // one day's log
+
+		SharedDocs:  350_000,
+		PrivateDocs: 3_000,
+
+		SharedFraction:   0.72,
+		ZipfAlpha:        0.45, // upper-level proxy: popularity flattened by child caches
+		PrivateZipfAlpha: 0.55,
+		RecencyFraction:  0.03, // little client locality survives the lower tiers
+		RecencyWindow:    64,
+		RecencyGeomP:     0.25,
+
+		MeanDocKB:    9,
+		SizeSigma:    1.5,
+		MinDocBytes:  128,
+		MaxDocBytes:  8 << 20,
+		ModifyRate:   0.035,
+		SizeRankBias: 2.0, // hot documents much smaller → low byte ceiling
+
+		ClientZipfAlpha: 1.0,
+		Seed:            0x5EED0001,
+	}
+}
+
+func profileNLANRbo1() Profile {
+	return Profile{
+		Name:        "nlanr-bo1",
+		Clients:     80,
+		Requests:    160_000,
+		DurationSec: 24 * 3600,
+
+		SharedDocs:  140_000,
+		PrivateDocs: 2_500,
+
+		SharedFraction:   0.75,
+		ZipfAlpha:        0.55,
+		PrivateZipfAlpha: 0.65,
+		RecencyFraction:  0.08,
+		RecencyWindow:    64,
+		RecencyGeomP:     0.25,
+
+		MeanDocKB:    10,
+		SizeSigma:    1.4,
+		MinDocBytes:  128,
+		MaxDocBytes:  8 << 20,
+		ModifyRate:   0.02,
+		SizeRankBias: 1.3,
+
+		ClientZipfAlpha: 1.0,
+		Seed:            0x5EED0002,
+	}
+}
+
+func profileBU95() Profile {
+	return Profile{
+		Name:        "bu-95",
+		Clients:     150,
+		Requests:    200_000,
+		DurationSec: 60 * 24 * 3600, // two months
+
+		SharedDocs:  120_000,
+		PrivateDocs: 1_400,
+
+		SharedFraction:   0.70,
+		ZipfAlpha:        0.62,
+		PrivateZipfAlpha: 0.75,
+		RecencyFraction:  0.18, // 1995 client population: strong locality
+		RecencyWindow:    128,
+		RecencyGeomP:     0.30,
+
+		MeanDocKB:    7, // 1995-era documents are small
+		SizeSigma:    1.3,
+		MinDocBytes:  128,
+		MaxDocBytes:  4 << 20,
+		ModifyRate:   0.012,
+		SizeRankBias: 1.6,
+
+		ClientZipfAlpha: 0.8,
+		Seed:            0x5EED0003,
+	}
+}
+
+func profileBU98() Profile {
+	return Profile{
+		Name:        "bu-98",
+		Clients:     160,
+		Requests:    200_000,
+		DurationSec: 60 * 24 * 3600,
+
+		SharedDocs:  190_000, // 1998: far more servers → more one-timers
+		PrivateDocs: 2_200,
+
+		SharedFraction:   0.62,
+		ZipfAlpha:        0.55,
+		PrivateZipfAlpha: 0.70,
+		RecencyFraction:  0.10,
+		RecencyWindow:    128,
+		RecencyGeomP:     0.30,
+
+		MeanDocKB:    11,
+		SizeSigma:    1.5,
+		MinDocBytes:  128,
+		MaxDocBytes:  8 << 20,
+		ModifyRate:   0.02,
+		SizeRankBias: 1.2,
+
+		ClientZipfAlpha: 0.8,
+		Seed:            0x5EED0004,
+	}
+}
+
+func profileCAnetII() Profile {
+	return Profile{
+		Name:        "canet2",
+		Clients:     3, // the paper's limit case: a 3-client parent cache
+		Requests:    60_000,
+		DurationSec: 2 * 24 * 3600, // two concatenated days
+
+		SharedDocs:  60_000,
+		PrivateDocs: 6_000,
+
+		SharedFraction:   0.55, // little overlap among the 3 children
+		ZipfAlpha:        0.60,
+		PrivateZipfAlpha: 0.65,
+		RecencyFraction:  0.08,
+		RecencyWindow:    64,
+		RecencyGeomP:     0.25,
+
+		MeanDocKB:    10,
+		SizeSigma:    1.4,
+		MinDocBytes:  128,
+		MaxDocBytes:  8 << 20,
+		ModifyRate:   0.018,
+		SizeRankBias: 1.4,
+
+		ClientZipfAlpha: 0.2,
+		Seed:            0x5EED0005,
+	}
+}
+
+// Profiles returns the five calibrated paper-trace profiles in Table 1 order.
+func Profiles() []Profile {
+	return []Profile{
+		profileNLANRuc(),
+		profileNLANRbo1(),
+		profileBU95(),
+		profileBU98(),
+		profileCAnetII(),
+	}
+}
+
+// ProfileNames returns the known profile names, sorted.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName looks up a profile by name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown profile %q (known: %s)", name, strings.Join(ProfileNames(), ", "))
+}
+
+// Scaled returns a copy of p with the request count (and document universes,
+// proportionally) scaled by factor, preserving the locality structure. It is
+// used by benchmarks and tests that need a faster run of the same workload
+// shape. Factors above 1 are allowed.
+func Scaled(p Profile, factor float64) Profile {
+	if factor <= 0 || factor == 1 {
+		return p
+	}
+	scale := func(n int) int {
+		v := int(float64(n) * factor)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	p.Requests = scale(p.Requests)
+	p.SharedDocs = scale(p.SharedDocs)
+	p.PrivateDocs = scale(p.PrivateDocs)
+	p.DurationSec *= factor
+	return p
+}

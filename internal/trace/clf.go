@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseCLF parses NCSA Common Log Format (the format of the BU trace era):
+//
+//	host ident authuser [dd/Mon/yyyy:hh:mm:ss zone] "METHOD url PROTO" status size
+//
+// Hosts map to dense client ids in first-seen order. Only successful GET
+// lines with a positive size are kept (status 2xx or 304; 304s replay the
+// document's previous size, so they are dropped when no size is present,
+// indicated by "-"). Timestamps rebase to zero and requests sort by time.
+func ParseCLF(r io.Reader, name string) (*Trace, error) {
+	t := &Trace{Name: name}
+	clients := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, ok, err := parseCLFLine(line, clients)
+		if err != nil {
+			return nil, fmt.Errorf("clf: line %d: %w", lineNo, err)
+		}
+		if ok {
+			t.Requests = append(t.Requests, req)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.NumClients = len(clients)
+	sort.SliceStable(t.Requests, func(i, j int) bool { return t.Requests[i].Time < t.Requests[j].Time })
+	if len(t.Requests) > 0 {
+		base := t.Requests[0].Time
+		for i := range t.Requests {
+			t.Requests[i].Time -= base
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// parseCLFLine parses one CLF record; ok is false for well-formed lines the
+// replay filters out (non-GET, failures, missing sizes).
+func parseCLFLine(line string, clients map[string]int) (Request, bool, error) {
+	// host ident user [
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return Request{}, false, fmt.Errorf("no host field")
+	}
+	host := line[:sp]
+	lb := strings.IndexByte(line, '[')
+	rb := strings.IndexByte(line, ']')
+	if lb < 0 || rb < lb {
+		return Request{}, false, fmt.Errorf("no bracketed timestamp")
+	}
+	ts, err := time.Parse("02/Jan/2006:15:04:05 -0700", line[lb+1:rb])
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad timestamp %q: %v", line[lb+1:rb], err)
+	}
+	lq := strings.IndexByte(line[rb:], '"')
+	if lq < 0 {
+		return Request{}, false, fmt.Errorf("no request field")
+	}
+	lq += rb
+	rq := strings.IndexByte(line[lq+1:], '"')
+	if rq < 0 {
+		return Request{}, false, fmt.Errorf("unterminated request field")
+	}
+	reqLine := line[lq+1 : lq+1+rq]
+	tail := strings.Fields(strings.TrimSpace(line[lq+2+rq:]))
+	if len(tail) < 2 {
+		return Request{}, false, fmt.Errorf("missing status/size")
+	}
+	status, err := strconv.Atoi(tail[0])
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad status %q", tail[0])
+	}
+	reqParts := strings.Fields(reqLine)
+	if len(reqParts) < 2 {
+		return Request{}, false, fmt.Errorf("bad request line %q", reqLine)
+	}
+	method, url := reqParts[0], reqParts[1]
+	// Filters (well-formed, just not replayable).
+	if method != "GET" {
+		return Request{}, false, nil
+	}
+	if !(status >= 200 && status < 300 || status == 304) {
+		return Request{}, false, nil
+	}
+	if tail[1] == "-" {
+		return Request{}, false, nil
+	}
+	size, err := strconv.ParseInt(tail[1], 10, 64)
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad size %q", tail[1])
+	}
+	if size <= 0 {
+		return Request{}, false, nil
+	}
+	id, ok := clients[host]
+	if !ok {
+		id = len(clients)
+		clients[host] = id
+	}
+	return Request{
+		Time:   float64(ts.UnixNano()) / 1e9,
+		Client: id,
+		URL:    url,
+		Size:   size,
+	}, true, nil
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const clfSample = `hostA - - [10/Oct/1998:13:55:36 -0700] "GET /page.html HTTP/1.0" 200 2326
+hostB - alice [10/Oct/1998:13:55:30 -0700] "GET /img/logo.gif HTTP/1.0" 200 512
+hostA - - [10/Oct/1998:13:55:40 -0700] "POST /form HTTP/1.0" 200 100
+hostC - - [10/Oct/1998:13:55:42 -0700] "GET /missing HTTP/1.0" 404 170
+hostA - - [10/Oct/1998:13:55:45 -0700] "GET /page.html HTTP/1.0" 304 2326
+hostB - - [10/Oct/1998:13:55:50 -0700] "GET /nosize HTTP/1.0" 200 -
+`
+
+func TestParseCLF(t *testing.T) {
+	tr, err := ParseCLF(strings.NewReader(clfSample), "clf")
+	if err != nil {
+		t.Fatalf("ParseCLF: %v", err)
+	}
+	// Kept: hostA GET 200, hostB GET 200, hostA GET 304-with-size.
+	if len(tr.Requests) != 3 {
+		t.Fatalf("kept %d requests, want 3: %+v", len(tr.Requests), tr.Requests)
+	}
+	// hostC only issued a 404 → no client id; hostA and hostB remain.
+	if tr.NumClients != 2 {
+		t.Fatalf("NumClients = %d, want 2", tr.NumClients)
+	}
+	// Sorted by time and rebased: hostB's 13:55:30 first at t=0.
+	if tr.Requests[0].Time != 0 || tr.Requests[0].URL != "/img/logo.gif" {
+		t.Fatalf("first request: %+v", tr.Requests[0])
+	}
+	if tr.Requests[1].Time != 6 || tr.Requests[2].Time != 15 {
+		t.Fatalf("rebasing wrong: %+v", tr.Requests)
+	}
+	if tr.Requests[1].Size != 2326 {
+		t.Fatalf("size wrong: %+v", tr.Requests[1])
+	}
+}
+
+func TestParseCLFErrors(t *testing.T) {
+	bad := map[string]string{
+		"no host":       "singlefield\n",
+		"no timestamp":  "h - - GET /x 200 10\n",
+		"bad timestamp": `h - - [not/a/date] "GET /x HTTP/1.0" 200 10` + "\n",
+		"no request":    "h - - [10/Oct/1998:13:55:36 -0700] 200 10\n",
+		"unterminated":  `h - - [10/Oct/1998:13:55:36 -0700] "GET /x 200 10` + "\n",
+		"bad status":    `h - - [10/Oct/1998:13:55:36 -0700] "GET /x HTTP/1.0" xx 10` + "\n",
+		"bad size":      `h - - [10/Oct/1998:13:55:36 -0700] "GET /x HTTP/1.0" 200 1x0` + "\n",
+		"short request": `h - - [10/Oct/1998:13:55:36 -0700] "GET" 200 10` + "\n",
+		"missing tail":  `h - - [10/Oct/1998:13:55:36 -0700] "GET /x HTTP/1.0" 200` + "\n",
+	}
+	for name, in := range bad {
+		if _, err := ParseCLF(strings.NewReader(in), "t"); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestParseCLFSkipsCommentsAndZeroSize(t *testing.T) {
+	in := "# comment\n\nh - - [10/Oct/1998:13:55:36 -0700] \"GET /x HTTP/1.0\" 200 0\n"
+	tr, err := ParseCLF(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatalf("ParseCLF: %v", err)
+	}
+	if len(tr.Requests) != 0 {
+		t.Fatalf("zero-size line kept: %+v", tr.Requests)
+	}
+}

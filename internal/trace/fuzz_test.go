@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The parsers face hostile input (logs are frequently truncated or
+// corrupted); none of them may panic, whatever the bytes.
+
+func TestQuickParsersNeverPanic(t *testing.T) {
+	parsers := map[string]func(string) error{
+		"native": func(s string) error { _, err := Read(strings.NewReader(s), "f"); return err },
+		"squid":  func(s string) error { _, err := ParseSquid(strings.NewReader(s), "f"); return err },
+		"clf":    func(s string) error { _, err := ParseCLF(strings.NewReader(s), "f"); return err },
+	}
+	for name, parse := range parsers {
+		name, parse := name, parse
+		t.Run(name, func(t *testing.T) {
+			f := func(input string) bool {
+				// Any outcome but a panic is acceptable.
+				_ = parse(input)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestParsersOnMutatedValidLines corrupts valid lines field-by-field: the
+// parsers must reject cleanly (error or filtered), never panic or accept
+// garbage into an invalid Trace.
+func TestParsersOnMutatedValidLines(t *testing.T) {
+	valid := map[string]string{
+		"native": "1.0 0 100 http://x/a",
+		"squid":  `874.5 120 client-a TCP_MISS/200 4000 GET http://w/x - DIRECT/w text/html`,
+		"clf":    `hostA - - [10/Oct/1998:13:55:36 -0700] "GET /page.html HTTP/1.0" 200 2326`,
+	}
+	parse := map[string]func(string) (*Trace, error){
+		"native": func(s string) (*Trace, error) { return Read(strings.NewReader(s), "f") },
+		"squid":  func(s string) (*Trace, error) { return ParseSquid(strings.NewReader(s), "f") },
+		"clf":    func(s string) (*Trace, error) { return ParseCLF(strings.NewReader(s), "f") },
+	}
+	for name, line := range valid {
+		p := parse[name]
+		// Sanity: the valid line parses.
+		if _, err := p(line + "\n"); err != nil {
+			t.Fatalf("%s: valid line rejected: %v", name, err)
+		}
+		for cut := 0; cut <= len(line); cut++ {
+			tr, err := p(line[:cut] + "\n")
+			if err != nil {
+				continue
+			}
+			if verr := tr.Validate(); verr != nil {
+				t.Errorf("%s: truncation at %d produced invalid trace: %v", name, cut, verr)
+			}
+		}
+		// Byte flips.
+		for i := 0; i < len(line); i += 3 {
+			mut := []byte(line)
+			mut[i] ^= 0x20
+			tr, err := p(string(mut) + "\n")
+			if err != nil {
+				continue
+			}
+			if verr := tr.Validate(); verr != nil {
+				t.Errorf("%s: flip at %d produced invalid trace: %v", name, i, verr)
+			}
+		}
+	}
+}

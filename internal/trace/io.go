@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Native on-disk format: one request per line,
+//
+//	<time-seconds> <client-id> <size-bytes> <url>
+//
+// with '#' comment lines and blank lines ignored. This is the format written
+// by cmd/tracegen and read back by cmd/bapsim.
+
+// Write serializes a trace in the native format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# baps trace %s clients=%d requests=%d\n", t.Name, t.NumClients, len(t.Requests)); err != nil {
+		return err
+	}
+	for _, r := range t.Requests {
+		if _, err := fmt.Fprintf(bw, "%.3f %d %d %s\n", r.Time, r.Client, r.Size, r.URL); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the native format. The trace name is taken from the header
+// comment when present, else name is used.
+func Read(r io.Reader, name string) (*Trace, error) {
+	t := &Trace{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	maxClient := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if f := strings.Fields(line); len(f) >= 3 && f[1] == "baps" && f[2] == "trace" && len(f) >= 4 {
+				t.Name = f[3]
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(f))
+		}
+		tm, err := strconv.ParseFloat(f[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q: %v", lineNo, f[0], err)
+		}
+		client, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad client %q: %v", lineNo, f[1], err)
+		}
+		size, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size %q: %v", lineNo, f[2], err)
+		}
+		t.Requests = append(t.Requests, Request{Time: tm, Client: client, Size: size, URL: f[3]})
+		if client > maxClient {
+			maxClient = client
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.NumClients = maxClient + 1
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseSquid parses a Squid access.log (native squid format):
+//
+//	timestamp elapsed client action/code size method URL rfc931 hierarchy/host type
+//
+// Client host strings are mapped to dense ids in first-seen order. Only
+// lines whose method is GET and whose size is positive are kept; the action
+// field is not interpreted (the simulator replays the request stream and
+// forms its own hit/miss decisions). Timestamps are rebased so the first
+// request is at t=0. Out-of-order log lines (common in squid logs, which
+// record completion time) are sorted by time.
+func ParseSquid(r io.Reader, name string) (*Trace, error) {
+	t := &Trace{Name: name}
+	clients := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 7 {
+			return nil, fmt.Errorf("squid: line %d: want >=7 fields, got %d", lineNo, len(f))
+		}
+		ts, err := strconv.ParseFloat(f[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("squid: line %d: bad timestamp %q: %v", lineNo, f[0], err)
+		}
+		size, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("squid: line %d: bad size %q: %v", lineNo, f[4], err)
+		}
+		method, url := f[5], f[6]
+		if method != "GET" || size <= 0 {
+			continue
+		}
+		host := f[2]
+		id, ok := clients[host]
+		if !ok {
+			id = len(clients)
+			clients[host] = id
+		}
+		t.Requests = append(t.Requests, Request{Time: ts, Client: id, Size: size, URL: url})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.NumClients = len(clients)
+	sort.SliceStable(t.Requests, func(i, j int) bool { return t.Requests[i].Time < t.Requests[j].Time })
+	if len(t.Requests) > 0 {
+		base := t.Requests[0].Time
+		for i := range t.Requests {
+			t.Requests[i].Time -= base
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

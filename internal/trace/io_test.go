@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "round", NumClients: 3, Requests: []Request{
+		req(0, 0, "http://a/x", 100),
+		req(0.5, 2, "http://b/y", 2048),
+		req(1.25, 1, "http://a/x", 100),
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf, "fallback")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != "round" {
+		t.Errorf("Name = %q, want round (from header)", got.Name)
+	}
+	if got.NumClients != 3 {
+		t.Errorf("NumClients = %d, want 3", got.NumClients)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Errorf("Requests = %+v, want %+v", got.Requests, tr.Requests)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong fields": "1.0 0 100\n",
+		"bad time":     "x 0 100 u\n",
+		"bad client":   "1.0 x 100 u\n",
+		"bad size":     "1.0 0 x u\n",
+		"invalid size": "1.0 0 0 u\n",
+		"decreasing":   "2.0 0 1 u\n1.0 0 1 u\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in), "t"); err == nil {
+			t.Errorf("%s: Read accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n1.0 0 10 u\n# another\n2.0 0 10 u\n"
+	tr, err := Read(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(tr.Requests) != 2 {
+		t.Fatalf("got %d requests, want 2", len(tr.Requests))
+	}
+}
+
+const squidSample = `874.5 120 client-a TCP_MISS/200 4000 GET http://w/x - DIRECT/w text/html
+870.0 80 client-b TCP_HIT/200 2000 GET http://w/y - NONE/- text/html
+875.0 10 client-a TCP_MISS/200 0 GET http://w/zero - DIRECT/w text/html
+876.0 10 client-c TCP_MISS/200 900 POST http://w/post - DIRECT/w text/html
+877.5 10 client-b TCP_HIT/200 2000 GET http://w/y - NONE/- text/html
+`
+
+func TestParseSquid(t *testing.T) {
+	tr, err := ParseSquid(strings.NewReader(squidSample), "squid")
+	if err != nil {
+		t.Fatalf("ParseSquid: %v", err)
+	}
+	// zero-size and POST lines are dropped; 3 GETs remain.
+	if len(tr.Requests) != 3 {
+		t.Fatalf("got %d requests, want 3: %+v", len(tr.Requests), tr.Requests)
+	}
+	// Sorted by time and rebased to 0: 870 → 0, 874.5 → 4.5, 877.5 → 7.5.
+	if tr.Requests[0].Time != 0 || tr.Requests[0].URL != "http://w/y" {
+		t.Fatalf("first request wrong: %+v", tr.Requests[0])
+	}
+	if tr.Requests[1].Time != 4.5 || tr.Requests[2].Time != 7.5 {
+		t.Fatalf("rebase wrong: %+v", tr.Requests)
+	}
+	// client-a and client-b map to dense distinct ids.
+	if tr.NumClients != 2 {
+		t.Fatalf("NumClients = %d, want 2 (client-c only issued POST)", tr.NumClients)
+	}
+	if tr.Requests[0].Client == tr.Requests[1].Client {
+		t.Fatal("distinct hosts mapped to the same client id")
+	}
+}
+
+func TestParseSquidErrors(t *testing.T) {
+	bad := []string{
+		"874.5 120 c TCP_MISS/200 4000 GET\n", // too few fields
+		"nan-bad 1 c a x GET http://u - d t\n",
+		"874.5 1 c a notanumber GET http://u - d t\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseSquid(strings.NewReader(in), "t"); err == nil {
+			t.Errorf("ParseSquid accepted %q", in)
+		}
+	}
+}
+
+// TestQuickRoundTrip: Write→Read is the identity on arbitrary valid traces
+// (times quantized to the milliseconds the format preserves).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nc := r.Intn(4) + 1
+		tr := &Trace{Name: "rt", NumClients: nc}
+		tm := 0.0
+		for i := 0; i < r.Intn(100); i++ {
+			tm += float64(r.Intn(1000)) / 1000
+			tr.Requests = append(tr.Requests, Request{
+				Time: tm, Client: r.Intn(nc),
+				URL:  "http://site/" + string(rune('a'+r.Intn(26))),
+				Size: int64(r.Intn(1<<20) + 1),
+			})
+		}
+		// Writer counts clients from the requests actually present.
+		max := -1
+		for _, q := range tr.Requests {
+			if q.Client > max {
+				max = q.Client
+			}
+		}
+		tr.NumClients = max + 1
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Errorf("Write: %v", err)
+			return false
+		}
+		got, err := Read(&buf, "rt")
+		if err != nil {
+			t.Errorf("Read: %v", err)
+			return false
+		}
+		if len(got.Requests) != len(tr.Requests) || got.NumClients != tr.NumClients {
+			t.Errorf("round trip changed shape: %d/%d vs %d/%d", len(got.Requests), got.NumClients, len(tr.Requests), tr.NumClients)
+			return false
+		}
+		for i := range got.Requests {
+			a, b := got.Requests[i], tr.Requests[i]
+			if a.Client != b.Client || a.URL != b.URL || a.Size != b.Size {
+				t.Errorf("request %d mismatch: %+v vs %+v", i, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func req(t float64, c int, url string, size int64) Request {
+	return Request{Time: t, Client: c, URL: url, Size: size}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Trace{Name: "g", NumClients: 2, Requests: []Request{
+		req(0, 0, "u1", 10), req(1, 1, "u2", 20), req(1, 0, "u1", 10),
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		tr   *Trace
+	}{
+		{"client out of range", &Trace{NumClients: 1, Requests: []Request{req(0, 1, "u", 1)}}},
+		{"negative client", &Trace{NumClients: 1, Requests: []Request{req(0, -1, "u", 1)}}},
+		{"zero size", &Trace{NumClients: 1, Requests: []Request{req(0, 0, "u", 0)}}},
+		{"empty url", &Trace{NumClients: 1, Requests: []Request{req(0, 0, "", 1)}}},
+		{"time decreasing", &Trace{NumClients: 1, Requests: []Request{req(5, 0, "u", 1), req(4, 0, "u", 1)}}},
+	}
+	for _, c := range cases {
+		if err := c.tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid trace", c.name)
+		}
+	}
+}
+
+func TestComputeStatsBasic(t *testing.T) {
+	tr := &Trace{Name: "s", NumClients: 2, Requests: []Request{
+		req(0, 0, "a", 100), // miss (first ref)
+		req(1, 0, "a", 100), // hit, same client
+		req(2, 1, "a", 100), // hit, shared (last client was 0)
+		req(3, 1, "b", 50),  // miss
+		req(4, 0, "b", 60),  // size changed → miss
+		req(5, 1, "b", 60),  // hit, shared
+	}}
+	s := Compute(tr)
+	if s.NumRequests != 6 || s.NumClients != 2 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.TotalBytes != 100+100+100+50+60+60 {
+		t.Fatalf("TotalBytes = %d", s.TotalBytes)
+	}
+	if s.UniqueDocs != 2 {
+		t.Fatalf("UniqueDocs = %d, want 2", s.UniqueDocs)
+	}
+	// Infinite cache stores a@100 and b at its last size 60.
+	if s.InfiniteCacheBytes != 160 {
+		t.Fatalf("InfiniteCacheBytes = %d, want 160", s.InfiniteCacheBytes)
+	}
+	if got, want := s.MaxHitRatio, 3.0/6.0; got != want {
+		t.Fatalf("MaxHitRatio = %g, want %g", got, want)
+	}
+	if got, want := s.MaxByteHitRatio, float64(100+100+60)/470.0; got != want {
+		t.Fatalf("MaxByteHitRatio = %g, want %g", got, want)
+	}
+	if s.SharedRequests != 2 {
+		t.Fatalf("SharedRequests = %d, want 2", s.SharedRequests)
+	}
+	// Client 0 uniquely requested a@100 + b@60 = 160; client 1 a@100 + b(50→60) = 160.
+	if s.ClientInfiniteBytes[0] != 160 || s.ClientInfiniteBytes[1] != 160 {
+		t.Fatalf("ClientInfiniteBytes = %v", s.ClientInfiniteBytes)
+	}
+	if s.AvgClientInfiniteBytes() != 160 {
+		t.Fatalf("AvgClientInfiniteBytes = %d", s.AvgClientInfiniteBytes())
+	}
+}
+
+func TestComputeEmptyTrace(t *testing.T) {
+	s := Compute(&Trace{Name: "empty"})
+	if s.MaxHitRatio != 0 || s.MaxByteHitRatio != 0 || s.NumRequests != 0 {
+		t.Fatalf("empty trace stats: %+v", s)
+	}
+	if s.AvgClientInfiniteBytes() != 0 {
+		t.Fatal("AvgClientInfiniteBytes on empty trace should be 0")
+	}
+}
+
+func TestSubsetClientsFull(t *testing.T) {
+	tr := &Trace{Name: "x", NumClients: 4, Requests: []Request{
+		req(0, 0, "a", 1), req(1, 1, "b", 1), req(2, 2, "c", 1), req(3, 3, "d", 1),
+	}}
+	if got := SubsetClients(tr, 1.0, 7); got != tr {
+		t.Fatal("fraction=1 must return the original trace")
+	}
+}
+
+func TestSubsetClientsHalf(t *testing.T) {
+	tr := &Trace{Name: "x", NumClients: 4, Requests: []Request{
+		req(0, 0, "a", 1), req(1, 1, "b", 1), req(2, 2, "c", 1), req(3, 3, "d", 1),
+		req(4, 0, "a", 1), req(5, 2, "c", 1),
+	}}
+	sub := SubsetClients(tr, 0.5, 7)
+	if sub.NumClients != 2 {
+		t.Fatalf("NumClients = %d, want 2", sub.NumClients)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subset invalid: %v", err)
+	}
+	// Deterministic: same seed, same subset.
+	sub2 := SubsetClients(tr, 0.5, 7)
+	if !reflect.DeepEqual(sub.Requests, sub2.Requests) {
+		t.Fatal("SubsetClients not deterministic")
+	}
+}
+
+func TestSubsetClientsNested(t *testing.T) {
+	// The 25% client set must be contained in the 50% set (same seed),
+	// mirroring how the paper grows its client population.
+	tr := &Trace{Name: "n", NumClients: 40}
+	for i := 0; i < 40; i++ {
+		tr.Requests = append(tr.Requests, req(float64(i), i, "u", 1))
+	}
+	urls25 := clientURLSet(SubsetClients(tr, 0.25, 3), tr)
+	urls50 := clientURLSet(SubsetClients(tr, 0.50, 3), tr)
+	for c := range urls25 {
+		if !urls50[c] {
+			t.Fatalf("client (orig time %v) in 25%% subset but not in 50%% subset", c)
+		}
+	}
+	if len(urls25) != 10 || len(urls50) != 20 {
+		t.Fatalf("subset sizes: 25%%=%d 50%%=%d", len(urls25), len(urls50))
+	}
+}
+
+// clientURLSet identifies original clients by their (unique) request times.
+func clientURLSet(sub, orig *Trace) map[float64]bool {
+	out := map[float64]bool{}
+	for _, r := range sub.Requests {
+		out[r.Time] = true
+	}
+	return out
+}
+
+func TestSubsetClientsEdges(t *testing.T) {
+	tr := &Trace{Name: "e", NumClients: 3, Requests: []Request{req(0, 0, "a", 1)}}
+	if got := SubsetClients(tr, 0, 1); got.NumClients != 0 || len(got.Requests) != 0 {
+		t.Fatalf("fraction=0: %+v", got)
+	}
+	one := SubsetClients(tr, 0.01, 1)
+	if one.NumClients != 1 {
+		t.Fatalf("tiny fraction must keep at least 1 client, got %d", one.NumClients)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	day1 := &Trace{Name: "d1", NumClients: 3, Requests: []Request{
+		req(0, 0, "a", 10), req(100, 2, "b", 20),
+	}}
+	day2 := &Trace{Name: "d2", NumClients: 2, Requests: []Request{
+		req(0, 1, "a", 10), req(50, 0, "c", 5),
+	}}
+	got := Concat(10, day1, day2)
+	if got.NumClients != 3 {
+		t.Fatalf("NumClients = %d", got.NumClients)
+	}
+	if len(got.Requests) != 4 {
+		t.Fatalf("requests = %d", len(got.Requests))
+	}
+	// Day 2 starts 10s after day 1's last request (t=100) → t=110, 160.
+	if got.Requests[2].Time != 110 || got.Requests[3].Time != 160 {
+		t.Fatalf("offsets wrong: %+v", got.Requests)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("concat invalid: %v", err)
+	}
+	// Client identity preserved: client 1's request stays client 1.
+	if got.Requests[2].Client != 1 {
+		t.Fatal("client ids not preserved")
+	}
+	if empty := Concat(5); len(empty.Requests) != 0 {
+		t.Fatal("empty concat")
+	}
+}
+
+// TestQuickStatsConservation: max hit ratio and byte hit ratio are in [0,1],
+// shared requests never exceed hits, and per-client infinite bytes sum to at
+// least the global infinite bytes (clients can duplicate documents).
+func TestQuickStatsConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nc := r.Intn(5) + 1
+		tr := &Trace{Name: "q", NumClients: nc}
+		tm := 0.0
+		for i := 0; i < 300; i++ {
+			tm += r.Float64()
+			tr.Requests = append(tr.Requests, Request{
+				Time:   tm,
+				Client: r.Intn(nc),
+				URL:    string(rune('a' + r.Intn(20))),
+				Size:   int64(r.Intn(5)+1) * 10,
+			})
+		}
+		s := Compute(tr)
+		if s.MaxHitRatio < 0 || s.MaxHitRatio > 1 || s.MaxByteHitRatio < 0 || s.MaxByteHitRatio > 1 {
+			t.Errorf("ratios out of range: %+v", s)
+			return false
+		}
+		hits := int(s.MaxHitRatio*float64(s.NumRequests) + 0.5)
+		if s.SharedRequests > hits {
+			t.Errorf("SharedRequests %d > hits %d", s.SharedRequests, hits)
+			return false
+		}
+		var perClient int64
+		for _, b := range s.ClientInfiniteBytes {
+			perClient += b
+		}
+		if perClient < s.InfiniteCacheBytes {
+			t.Errorf("per-client infinite %d < global %d", perClient, s.InfiniteCacheBytes)
+			return false
+		}
+		if s.TotalBytes < s.InfiniteCacheBytes {
+			t.Errorf("TotalBytes %d < InfiniteCacheBytes %d", s.TotalBytes, s.InfiniteCacheBytes)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
