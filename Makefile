@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race short bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (includes the live churn tests).
+race:
+	$(GO) test -race ./...
+
+# Fast pass: skips the live chaos/churn tests.
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

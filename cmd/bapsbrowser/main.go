@@ -14,6 +14,7 @@
 //	-index MODE    immediate | periodic (default immediate)
 //	-threshold F   periodic re-sync threshold (default 0.05)
 //	-no-verify     skip watermark verification
+//	-heartbeat D   liveness beacon period (default 5s; 0 disables)
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"baps/internal/browser"
 )
@@ -33,6 +35,7 @@ func main() {
 	indexMode := flag.String("index", "immediate", "index update protocol: immediate or periodic")
 	threshold := flag.Float64("threshold", 0.05, "periodic re-sync threshold")
 	noVerify := flag.Bool("no-verify", false, "skip watermark verification")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "liveness beacon period (0 disables)")
 	flag.Parse()
 
 	if *proxyURL == "" {
@@ -44,6 +47,7 @@ func main() {
 	cfg.CacheCapacity = *cacheCap
 	cfg.Threshold = *threshold
 	cfg.Verify = !*noVerify
+	cfg.HeartbeatInterval = *heartbeat
 	switch *indexMode {
 	case "immediate":
 		cfg.IndexMode = browser.Immediate

@@ -4,6 +4,9 @@
 //
 //	bapsproxy [-addr 127.0.0.1:8081] [-capacity 268435456] [-policy LRU]
 //	          [-forward fetch|direct] [-no-peer] [-keybits 2048]
+//	          [-breaker-threshold 3] [-breaker-cooldown 10s]
+//	          [-heartbeat-timeout 30s] [-peer-soft-deadline 2.5s]
+//	          [-origin-retries 2]
 //
 // Browser agents (cmd/bapsbrowser or internal/browser) register at
 // POST /register and then resolve documents through GET /fetch.
@@ -28,6 +31,11 @@ func main() {
 	noPeer := flag.Bool("no-peer", false, "disable the browsers-aware layer (plain proxy baseline)")
 	keyBits := flag.Int("keybits", 2048, "watermark RSA key size")
 	peerTimeout := flag.Duration("peer-timeout", 5*time.Second, "holder contact / relay wait bound")
+	softDeadline := flag.Duration("peer-soft-deadline", 2500*time.Millisecond, "hedge the origin when the peer path exceeds this (0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that trip a peer's circuit breaker (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "open-breaker cooldown before a half-open probe")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", 30*time.Second, "quarantine peers silent this long (0 disables the sweep)")
+	originRetries := flag.Int("origin-retries", 2, "retries for transient origin failures (backoff + jitter)")
 	flag.Parse()
 
 	policy, err := cache.ParsePolicy(*policyName)
@@ -40,6 +48,11 @@ func main() {
 	cfg.Policy = policy
 	cfg.KeyBits = *keyBits
 	cfg.PeerTimeout = *peerTimeout
+	cfg.PeerSoftDeadline = *softDeadline
+	cfg.BreakerThreshold = *breakerThreshold
+	cfg.BreakerCooldown = *breakerCooldown
+	cfg.HeartbeatTimeout = *heartbeatTimeout
+	cfg.OriginRetries = *originRetries
 	cfg.DisablePeer = *noPeer
 	switch *forward {
 	case "fetch":

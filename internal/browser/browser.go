@@ -76,6 +76,14 @@ type Config struct {
 	Verify bool
 	// Timeout bounds proxy calls.
 	Timeout time.Duration
+	// HeartbeatInterval is the liveness-beacon period (POST /heartbeat).
+	// Zero disables the heartbeat loop (the proxy's silence sweep will
+	// eventually quarantine the agent's entries).
+	HeartbeatInterval time.Duration
+	// AdvertisePeerURL, when non-empty, is registered with the proxy in
+	// place of the agent's actual listen address. Fault-injection
+	// harnesses front the peer server with a faulty gateway this way.
+	AdvertisePeerURL string
 }
 
 // DefaultConfig returns sensible agent defaults.
@@ -87,8 +95,9 @@ func DefaultConfig(proxyURL string) Config {
 		Policy:        cache.LRU,
 		IndexMode:     Immediate,
 		Threshold:     0.05,
-		Verify:        true,
-		Timeout:       10 * time.Second,
+		Verify:            true,
+		Timeout:           10 * time.Second,
+		HeartbeatInterval: 5 * time.Second,
 	}
 }
 
@@ -130,6 +139,9 @@ type Agent struct {
 	httpSrv    *http.Server
 	peerURL    string
 
+	stopHeartbeat chan struct{}
+	closeOnce     sync.Once
+
 	// Tamper is a test hook: when non-nil, bodies served to peers (via
 	// either forward mode) pass through it — the "malicious holder".
 	Tamper func(url string, body []byte) []byte
@@ -156,10 +168,11 @@ func New(cfg Config) (*Agent, error) {
 		return nil, fmt.Errorf("browser: Threshold %g out of (0,1] for periodic mode", cfg.Threshold)
 	}
 	a := &Agent{
-		cfg:        cfg,
-		bodies:     make(map[string][]byte),
-		marks:      make(map[string]storedMark),
-		httpClient: &http.Client{Timeout: cfg.Timeout},
+		cfg:           cfg,
+		bodies:        make(map[string][]byte),
+		marks:         make(map[string]storedMark),
+		httpClient:    &http.Client{Timeout: cfg.Timeout},
+		stopHeartbeat: make(chan struct{}),
 	}
 	tc, err := cache.NewTwoTier(cfg.Policy, cfg.CacheCapacity,
 		int64(float64(cfg.CacheCapacity)*cfg.MemFraction))
@@ -187,12 +200,19 @@ func New(cfg Config) (*Agent, error) {
 		a.Close()
 		return nil, err
 	}
+	if cfg.HeartbeatInterval > 0 {
+		go a.heartbeatLoop()
+	}
 	return a, nil
 }
 
 // register joins the proxy and obtains id, token and public key.
 func (a *Agent) register() error {
-	body, _ := json.Marshal(proxy.RegisterRequest{PeerURL: a.peerURL})
+	peerURL := a.peerURL
+	if a.cfg.AdvertisePeerURL != "" {
+		peerURL = a.cfg.AdvertisePeerURL
+	}
+	body, _ := json.Marshal(proxy.RegisterRequest{PeerURL: peerURL})
 	resp, err := a.httpClient.Post(a.cfg.ProxyURL+"/register", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("browser: register: %w", err)
@@ -217,14 +237,71 @@ func (a *Agent) register() error {
 	return nil
 }
 
-// Close shuts the peer server down.
+// Close departs gracefully: it stops the heartbeat loop, deregisters from
+// the proxy (POST /unregister, so the proxy drops the agent's index entries
+// immediately instead of discovering the departure through failed fetches),
+// and shuts the peer server down.
 func (a *Agent) Close() error {
+	a.closeOnce.Do(func() { close(a.stopHeartbeat) })
+	if a.token != "" {
+		a.unregister()
+	}
 	if a.httpSrv == nil {
 		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	return a.httpSrv.Shutdown(ctx)
+}
+
+// Kill terminates the agent abruptly — no unregister, no graceful drain —
+// simulating a browser that crashes or loses its network. The proxy only
+// learns of the departure through failed fetches and missed heartbeats.
+func (a *Agent) Kill() {
+	a.closeOnce.Do(func() { close(a.stopHeartbeat) })
+	if a.httpSrv != nil {
+		a.httpSrv.Close()
+	}
+}
+
+// unregister tells the proxy this client is leaving (best-effort).
+func (a *Agent) unregister() {
+	req, err := http.NewRequest(http.MethodPost, a.cfg.ProxyURL+"/unregister", nil)
+	if err != nil {
+		return
+	}
+	a.authHeaders(req)
+	if resp, err := a.httpClient.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// heartbeatLoop posts liveness beacons until the agent closes.
+func (a *Agent) heartbeatLoop() {
+	t := time.NewTicker(a.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stopHeartbeat:
+			return
+		case <-t.C:
+			a.heartbeat()
+		}
+	}
+}
+
+// heartbeat posts one liveness beacon (best-effort).
+func (a *Agent) heartbeat() {
+	req, err := http.NewRequest(http.MethodPost, a.cfg.ProxyURL+"/heartbeat", nil)
+	if err != nil {
+		return
+	}
+	a.authHeaders(req)
+	if resp, err := a.httpClient.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
 }
 
 // ID reports the proxy-assigned client id.
@@ -344,7 +421,7 @@ func (a *Agent) fetchViaProxy(ctx context.Context, docURL string, noPeer bool) (
 	if err != nil {
 		return nil, "", "", nil, 0, false, err
 	}
-	req.Header.Set(proxy.HeaderClient, strconv.Itoa(a.id))
+	a.authHeaders(req)
 	if noPeer {
 		req.Header.Set(proxy.HeaderNoPeer, "1")
 	}

@@ -1,0 +1,202 @@
+// Package chaos is the fault-injection harness for the live BAPS cluster:
+// deterministic, seeded fault schedules applied either on the proxy's
+// outbound transport (Injector + RoundTripper, plugged into
+// proxy.Config.Transport) or in front of a browser's peer server (Gateway,
+// a reverse proxy that can crash, stall, drop connections, or corrupt
+// bodies on command). ChurnCluster wires an origin, a proxy, and a fleet of
+// agents — each fronted by a Gateway — so tests can kill and revive peers
+// mid-workload and assert the churn-resilience machinery (circuit breakers,
+// quarantine, hedged origin fallback, retries) degrades gracefully.
+//
+// Everything here is production code style but test-facing: no randomness
+// outside the seeded schedule, loopback listeners only, stdlib only.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Fault is one injected failure mode.
+type Fault int
+
+const (
+	// FaultNone passes the request through untouched.
+	FaultNone Fault = iota
+	// FaultDown aborts the request as a dead peer would: the connection
+	// drops with no HTTP response.
+	FaultDown
+	// FaultStall delays the request (a peer that accepts the connection
+	// but grinds); the stall duration is the injector's or gateway's.
+	FaultStall
+	// FaultCorrupt lets the request through but flips bytes in the
+	// response body (a malicious or corrupting holder).
+	FaultCorrupt
+)
+
+// String names the fault for logs.
+func (f Fault) String() string {
+	switch f {
+	case FaultDown:
+		return "down"
+	case FaultStall:
+		return "stall"
+	case FaultCorrupt:
+		return "corrupt"
+	default:
+		return "none"
+	}
+}
+
+// Injector produces a deterministic, seeded fault schedule. Faults queued
+// with Force are served first (exact scripts for unit tests); after that
+// each Next draws independently from the configured probabilities.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	pDown    float64
+	pStall   float64
+	pCorrupt float64
+	forced   []Fault
+	drawn    int64
+}
+
+// NewInjector creates an injector whose probabilistic schedule derives
+// entirely from seed (same seed → same schedule).
+func NewInjector(seed uint64) *Injector {
+	return &Injector{rng: rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))}
+}
+
+// Probabilities sets the per-request fault rates (summing ≤ 1; the
+// remainder is FaultNone).
+func (in *Injector) Probabilities(down, stall, corrupt float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.pDown, in.pStall, in.pCorrupt = down, stall, corrupt
+}
+
+// Force queues exact faults to be served before the probabilistic schedule.
+func (in *Injector) Force(faults ...Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.forced = append(in.forced, faults...)
+}
+
+// Next draws the next fault in the schedule.
+func (in *Injector) Next() Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.drawn++
+	if len(in.forced) > 0 {
+		f := in.forced[0]
+		in.forced = in.forced[1:]
+		return f
+	}
+	v := in.rng.Float64()
+	switch {
+	case v < in.pDown:
+		return FaultDown
+	case v < in.pDown+in.pStall:
+		return FaultStall
+	case v < in.pDown+in.pStall+in.pCorrupt:
+		return FaultCorrupt
+	default:
+		return FaultNone
+	}
+}
+
+// Drawn reports how many faults the schedule has produced.
+func (in *Injector) Drawn() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.drawn
+}
+
+// errInjectedDown is the transport error produced by FaultDown.
+var errInjectedDown = errors.New("chaos: connection dropped by fault injector")
+
+// RoundTripper wraps an http.RoundTripper with an Injector's schedule —
+// plug it into proxy.Config.Transport to inject faults on every outbound
+// proxy request (peer and origin alike).
+type RoundTripper struct {
+	// Inner is the real transport (nil = http.DefaultTransport).
+	Inner http.RoundTripper
+	// Injector supplies the fault schedule (nil = no faults).
+	Injector *Injector
+	// Stall is the FaultStall delay (default 50ms).
+	Stall time.Duration
+}
+
+// RoundTrip applies the next scheduled fault to the request.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := rt.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if rt.Injector == nil {
+		return inner.RoundTrip(req)
+	}
+	switch rt.Injector.Next() {
+	case FaultDown:
+		return nil, errInjectedDown
+	case FaultStall:
+		d := rt.Stall
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return inner.RoundTrip(req)
+	case FaultCorrupt:
+		resp, err := inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &corruptingReader{rc: resp.Body}
+		return resp, nil
+	default:
+		return inner.RoundTrip(req)
+	}
+}
+
+// corruptingReader flips one byte out of every corruptStride read, so any
+// digest or watermark check downstream must fail.
+type corruptingReader struct {
+	rc  io.ReadCloser
+	off int64
+}
+
+const corruptStride = 64
+
+func (c *corruptingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	for i := 0; i < n; i++ {
+		if (c.off+int64(i))%corruptStride == 0 {
+			p[i] ^= 0xFF
+		}
+	}
+	c.off += int64(n)
+	return n, err
+}
+
+func (c *corruptingReader) Close() error { return c.rc.Close() }
+
+// CorruptBody flips bytes in place with the same stride the reader uses
+// (helper for handler-level corruption).
+func CorruptBody(b []byte) []byte {
+	for i := 0; i < len(b); i += corruptStride {
+		b[i] ^= 0xFF
+	}
+	return b
+}
+
+// describeFault is used in Gateway error bodies.
+func describeFault(f Fault) string { return fmt.Sprintf("chaos: injected %s", f) }

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"baps/internal/browser"
+	"baps/internal/origin"
+	"baps/internal/proxy"
+)
+
+// ChurnCluster is a live BAPS deployment built for killing: a synthetic
+// origin, a browsers-aware proxy, and n agents each fronted by a fault
+// Gateway. Peers can crash (gateway down), stall, corrupt, revive at the
+// same identity, or die for real (agent killed), while workloads keep
+// running against the surviving fleet.
+type ChurnCluster struct {
+	Origin   *origin.Server
+	Proxy    *proxy.Server
+	Agents   []*browser.Agent
+	Gateways []*Gateway
+
+	originLn  net.Listener
+	originSrv *http.Server
+	originURL string
+}
+
+// NewChurnCluster brings the whole deployment up on loopback. pcfg
+// parameterizes the proxy (zero KeyBits gets a fast 1024-bit test key);
+// mutate, when non-nil, adjusts each agent's config before start.
+func NewChurnCluster(n int, pcfg proxy.Config, mutate func(*browser.Config)) (*ChurnCluster, error) {
+	c := &ChurnCluster{Origin: origin.New(4242)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: origin listen: %w", err)
+	}
+	c.originLn = ln
+	c.originURL = "http://" + ln.Addr().String()
+	c.originSrv = &http.Server{Handler: c.Origin.Handler()}
+	go c.originSrv.Serve(ln)
+
+	if pcfg.KeyBits == 0 {
+		pcfg.KeyBits = 1024
+	}
+	p, err := proxy.New(pcfg)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := p.Start(""); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Proxy = p
+
+	for i := 0; i < n; i++ {
+		g, err := NewGateway()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Gateways = append(c.Gateways, g)
+		acfg := browser.DefaultConfig(p.BaseURL())
+		acfg.CacheCapacity = 1 << 20
+		acfg.AdvertisePeerURL = g.URL()
+		if mutate != nil {
+			mutate(&acfg)
+		}
+		a, err := browser.New(acfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("chaos: agent %d: %w", i, err)
+		}
+		g.SetBackend(a.PeerURL())
+		c.Agents = append(c.Agents, a)
+	}
+	return c, nil
+}
+
+// DocURL builds an origin URL for path, forcing a fixed body size so tests
+// control cache admission.
+func (c *ChurnCluster) DocURL(path string, size int) string {
+	return fmt.Sprintf("%s%s?size=%d", c.originURL, path, size)
+}
+
+// OriginURL is the synthetic origin's base URL.
+func (c *ChurnCluster) OriginURL() string { return c.originURL }
+
+// CrashPeer makes peer i unreachable (its gateway drops every connection)
+// without killing the agent — the peer can later revive at the same
+// identity with RevivePeer.
+func (c *ChurnCluster) CrashPeer(i int) { c.Gateways[i].SetFault(FaultDown) }
+
+// StallPeer makes peer i hang every request for d (0 = until the caller's
+// deadline).
+func (c *ChurnCluster) StallPeer(i int, d time.Duration) {
+	c.Gateways[i].SetStall(d)
+	c.Gateways[i].SetFault(FaultStall)
+}
+
+// CorruptPeer makes peer i serve corrupted bodies.
+func (c *ChurnCluster) CorruptPeer(i int) { c.Gateways[i].SetFault(FaultCorrupt) }
+
+// RevivePeer heals peer i's gateway.
+func (c *ChurnCluster) RevivePeer(i int) { c.Gateways[i].SetFault(FaultNone) }
+
+// KillAgent terminates agent i abruptly — no unregister, no drain — and
+// downs its gateway. The proxy discovers the departure only through failed
+// fetches or missed heartbeats.
+func (c *ChurnCluster) KillAgent(i int) {
+	c.Gateways[i].SetFault(FaultDown)
+	c.Agents[i].Kill()
+}
+
+// Close tears the whole cluster down (survivors depart gracefully).
+func (c *ChurnCluster) Close() {
+	for _, a := range c.Agents {
+		a.Close()
+	}
+	for _, g := range c.Gateways {
+		g.Close()
+	}
+	if c.Proxy != nil {
+		c.Proxy.Close()
+	}
+	if c.originSrv != nil {
+		c.originSrv.Close()
+	}
+}

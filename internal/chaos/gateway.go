@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Gateway fronts one browser agent's peer server with a fault-injecting
+// reverse proxy. The agent registers the gateway's URL with the proxy
+// (browser.Config.AdvertisePeerURL), so every proxy→peer request crosses
+// the gateway and can be crashed, stalled, or corrupted at will — without
+// tearing down the agent itself. That makes "the peer crashed and later
+// came back at the same identity" a one-line operation: SetFault(FaultDown)
+// … SetFault(FaultNone).
+type Gateway struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu      sync.Mutex
+	backend string
+	fault   Fault
+	stall   time.Duration
+
+	client *http.Client
+}
+
+// NewGateway starts a gateway on a loopback port. The backend is set later
+// (the fronted agent usually starts after the gateway, since it needs the
+// gateway's URL to register).
+func NewGateway() (*Gateway, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		ln:     ln,
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	g.srv = &http.Server{Handler: http.HandlerFunc(g.serve)}
+	go g.srv.Serve(ln)
+	return g, nil
+}
+
+// URL is the gateway's base URL (what the agent advertises to the proxy).
+func (g *Gateway) URL() string { return "http://" + g.ln.Addr().String() }
+
+// SetBackend points the gateway at the fronted peer server.
+func (g *Gateway) SetBackend(baseURL string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.backend = baseURL
+}
+
+// SetFault switches the gateway's failure mode.
+func (g *Gateway) SetFault(f Fault) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.fault = f
+}
+
+// SetStall sets the FaultStall delay (default: hold until the caller gives
+// up).
+func (g *Gateway) SetStall(d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stall = d
+}
+
+// Fault reports the current failure mode.
+func (g *Gateway) Fault() Fault {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fault
+}
+
+// Close shuts the gateway down.
+func (g *Gateway) Close() error { return g.srv.Close() }
+
+func (g *Gateway) serve(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	backend, fault, stall := g.backend, g.fault, g.stall
+	g.mu.Unlock()
+
+	switch fault {
+	case FaultDown:
+		// Abort the connection with no HTTP response — to the proxy this
+		// is indistinguishable from a crashed peer process.
+		panic(http.ErrAbortHandler)
+	case FaultStall:
+		if stall <= 0 {
+			// Hold forever (until the caller's deadline fires).
+			<-r.Context().Done()
+			panic(http.ErrAbortHandler)
+		}
+		select {
+		case <-time.After(stall):
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		}
+	}
+	if backend == "" {
+		http.Error(w, "chaos: gateway has no backend", http.StatusBadGateway)
+		return
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, backend+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, "chaos: bad gateway request", http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := g.client.Do(req)
+	if err != nil {
+		// Backend gone (e.g. the agent was killed for real).
+		panic(http.ErrAbortHandler)
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if fault == FaultCorrupt {
+		io.Copy(w, &corruptingReader{rc: resp.Body})
+		return
+	}
+	io.Copy(w, resp.Body)
+}

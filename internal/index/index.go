@@ -90,15 +90,20 @@ type Index struct {
 	byClient map[int]map[string]Entry
 	served   map[int]int64 // peer transfers served, for SelectLeastLoaded
 	strategy Strategy
+	// quarantined clients keep their entries but are skipped by holder
+	// selection (Ordered/OrderedAt/Select) until unquarantined — the bulk
+	// shelve/restore the proxy's circuit breaker drives on peer churn.
+	quarantined map[int]bool
 }
 
 // New creates an empty index with the given holder-selection strategy.
 func New(strategy Strategy) *Index {
 	return &Index{
-		byURL:    make(map[string]map[int]Entry),
-		byClient: make(map[int]map[string]Entry),
-		served:   make(map[int]int64),
-		strategy: strategy,
+		byURL:       make(map[string]map[int]Entry),
+		byClient:    make(map[int]map[string]Entry),
+		served:      make(map[int]int64),
+		strategy:    strategy,
+		quarantined: make(map[int]bool),
 	}
 }
 
@@ -177,7 +182,7 @@ func (x *Index) Select(url string, requester int) (Entry, bool) {
 	var best Entry
 	found := false
 	for _, e := range holders {
-		if e.Client == requester {
+		if e.Client == requester || x.quarantined[e.Client] {
 			continue
 		}
 		if !found {
@@ -226,13 +231,26 @@ func (x *Index) Ordered(url string, requester int) []Entry {
 
 // OrderedAt is Ordered with TTL filtering: entries whose Expire lies at or
 // before now are omitted (now == 0 disables filtering, matching Ordered).
+// Quarantined clients' entries are omitted; OrderedQuarantined lists them.
 func (x *Index) OrderedAt(url string, requester int, now float64) []Entry {
+	return x.orderedAt(url, requester, now, false)
+}
+
+// OrderedQuarantined returns the quarantined holders of url (excluding
+// requester), sorted by strategy preference. The proxy uses it to pick
+// half-open breaker probes: a quarantined peer is skipped by OrderedAt but
+// may be probed once its breaker cooldown elapses.
+func (x *Index) OrderedQuarantined(url string, requester int) []Entry {
+	return x.orderedAt(url, requester, 0, true)
+}
+
+func (x *Index) orderedAt(url string, requester int, now float64, quarantined bool) []Entry {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	holders := x.byURL[url]
 	out := make([]Entry, 0, len(holders))
 	for _, e := range holders {
-		if e.Client == requester {
+		if e.Client == requester || x.quarantined[e.Client] != quarantined {
 			continue
 		}
 		if now != 0 && e.expired(now) {
@@ -242,6 +260,46 @@ func (x *Index) OrderedAt(url string, requester int, now float64) []Entry {
 	}
 	sort.Slice(out, func(i, j int) bool { return x.better(out[i], out[j]) })
 	return out
+}
+
+// Quarantine shelves every entry of client in one step: the entries stay
+// recorded (and are restored wholesale by Unquarantine) but are invisible to
+// holder selection. It returns the number of entries shelved. This replaces
+// the one-URL-at-a-time Remove death spiral when a peer's circuit breaker
+// trips.
+func (x *Index) Quarantine(client int) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.quarantined[client] = true
+	return len(x.byClient[client])
+}
+
+// Unquarantine re-admits client's entries in one step, returning how many
+// became visible again.
+func (x *Index) Unquarantine(client int) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	delete(x.quarantined, client)
+	return len(x.byClient[client])
+}
+
+// Quarantined reports whether client is currently quarantined.
+func (x *Index) Quarantined(client int) bool {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.quarantined[client]
+}
+
+// QuarantinedEntries reports the total number of shelved entries across all
+// quarantined clients (a /stats gauge).
+func (x *Index) QuarantinedEntries() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	n := 0
+	for client := range x.quarantined {
+		n += len(x.byClient[client])
+	}
+	return n
 }
 
 // PruneExpired removes every entry whose TTL ran out at time now, returning
@@ -321,6 +379,7 @@ func (x *Index) DropClient(client int) int {
 	}
 	delete(x.byClient, client)
 	delete(x.served, client)
+	delete(x.quarantined, client)
 	return n
 }
 

@@ -271,3 +271,67 @@ func TestQuickIndexMatchesReference(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestQuarantineShelvesAndRestoresInOneStep(t *testing.T) {
+	x := New(SelectMostRecent)
+	for i := 0; i < 4; i++ {
+		x.Add(Entry{Client: 1, URL: fmt.Sprintf("http://x/%d", i), Size: 10})
+	}
+	x.Add(Entry{Client: 2, URL: "http://x/0", Size: 10})
+
+	if n := x.Quarantine(1); n != 4 {
+		t.Fatalf("Quarantine shelved %d entries, want 4", n)
+	}
+	if !x.Quarantined(1) || x.Quarantined(2) {
+		t.Fatal("quarantine flags wrong")
+	}
+	// Entries survive but are invisible to holder selection.
+	if x.Len() != 5 {
+		t.Fatalf("Len = %d after quarantine, want 5 (entries retained)", x.Len())
+	}
+	if x.QuarantinedEntries() != 4 {
+		t.Fatalf("QuarantinedEntries = %d, want 4", x.QuarantinedEntries())
+	}
+	if got := x.Ordered("http://x/1", -1); len(got) != 0 {
+		t.Fatalf("Ordered returned quarantined holder: %v", got)
+	}
+	if got := x.Ordered("http://x/0", -1); len(got) != 1 || got[0].Client != 2 {
+		t.Fatalf("Ordered(/0) = %v, want only client 2", got)
+	}
+	if _, ok := x.Select("http://x/1", -1); ok {
+		t.Fatal("Select picked a quarantined holder")
+	}
+	// Quarantined holders are listed for half-open probing.
+	if got := x.OrderedQuarantined("http://x/0", -1); len(got) != 1 || got[0].Client != 1 {
+		t.Fatalf("OrderedQuarantined = %v, want client 1", got)
+	}
+
+	// One-step restore.
+	if n := x.Unquarantine(1); n != 4 {
+		t.Fatalf("Unquarantine restored %d entries, want 4", n)
+	}
+	if got := x.Ordered("http://x/1", -1); len(got) != 1 || got[0].Client != 1 {
+		t.Fatalf("holder not restored: %v", got)
+	}
+	if x.QuarantinedEntries() != 0 {
+		t.Fatal("QuarantinedEntries nonzero after restore")
+	}
+}
+
+func TestDropClientClearsQuarantine(t *testing.T) {
+	x := New(SelectFirst)
+	x.Add(Entry{Client: 7, URL: "http://x/a"})
+	x.Quarantine(7)
+	x.DropClient(7)
+	if x.Quarantined(7) {
+		t.Fatal("DropClient left quarantine flag")
+	}
+	if x.QuarantinedEntries() != 0 {
+		t.Fatal("entries counted after drop")
+	}
+	// Re-registration under the same id starts clean.
+	x.Add(Entry{Client: 7, URL: "http://x/b"})
+	if got := x.Ordered("http://x/b", -1); len(got) != 1 {
+		t.Fatalf("re-added client invisible: %v", got)
+	}
+}

@@ -2,10 +2,14 @@ package proxy
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	neturl "net/url"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -16,7 +20,10 @@ import (
 )
 
 // handleFetch is the client-facing resolution pipeline: proxy cache →
-// browser index (remote browsers) → origin.
+// browser index (remote browsers, hedged against the origin past the soft
+// deadline) → origin with retry/backoff. The request's context is threaded
+// through every downstream call, so a disconnecting client cancels its peer
+// contacts and origin fetch.
 func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "proxy: GET only", http.StatusMethodNotAllowed)
@@ -27,11 +34,20 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "proxy: missing url", http.StatusBadRequest)
 		return
 	}
+	ctx := r.Context()
+	// A caller claiming a client identity must prove it with the
+	// registration token, exactly like /index/* and /report-bad —
+	// otherwise any caller could impersonate a requester and skew
+	// holder-selection and serve accounting. Anonymous fetches (no
+	// client header) remain allowed.
 	requester := -1
-	if v := r.Header.Get(HeaderClient); v != "" {
-		if id, err := strconv.Atoi(v); err == nil {
-			requester = id
+	if r.Header.Get(HeaderClient) != "" {
+		id, ok := s.authClient(r)
+		if !ok {
+			http.Error(w, "proxy: bad client credentials", http.StatusForbidden)
+			return
 		}
+		requester = id
 	}
 	atomic.AddInt64(&s.nRequests, 1)
 
@@ -42,34 +58,132 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// 2. Browser index → remote browser caches.
+	// 2. Browser index → remote browser caches, hedged with the origin.
 	if !s.cfg.DisablePeer && r.Header.Get(HeaderNoPeer) != "1" {
-		if body, meta, ticket, viaOnion, ok := s.resolveRemote(url, requester); ok {
-			atomic.AddInt64(&s.nRemoteHits, 1)
-			if viaOnion {
-				// The document travels browser-to-browser over the
-				// covert path; this response only announces it.
-				w.Header().Set(HeaderOnion, "1")
-				w.Header().Set(HeaderSource, SourceRemote)
-				w.WriteHeader(http.StatusOK)
-				return
-			}
-			if ticket != "" {
-				w.Header().Set("X-BAPS-Ticket", ticket)
-			}
-			s.serveDoc(w, SourceRemote, body, meta)
+		if s.servePeerHedged(ctx, w, url, requester) {
 			return
 		}
 	}
 
 	// 3. Origin (or upper-level proxy).
-	body, meta, err := s.fetchUpstream(url)
+	body, meta, err := s.fetchUpstream(ctx, url)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("proxy: upstream: %v", err), http.StatusBadGateway)
 		return
 	}
 	atomic.AddInt64(&s.nOrigin, 1)
 	s.serveDoc(w, SourceOrigin, body, meta)
+}
+
+// peerOutcome is the result of one resolveRemote walk.
+type peerOutcome struct {
+	body     []byte
+	meta     docMeta
+	ticket   string
+	viaOnion bool
+	ok       bool
+}
+
+// originOutcome is the result of one hedged upstream fetch.
+type originOutcome struct {
+	body []byte
+	meta docMeta
+	err  error
+}
+
+// servePeerHedged runs the remote-browser resolution, racing the origin once
+// the peer path exceeds PeerSoftDeadline (a slow or dying holder must never
+// make a request slower than a plain proxy miss). It reports whether the
+// response has been written; false means the caller should take the plain
+// origin path.
+func (s *Server) servePeerHedged(ctx context.Context, w http.ResponseWriter, url string, requester int) bool {
+	peerCh := make(chan peerOutcome, 1)
+	go func() {
+		body, meta, ticket, viaOnion, ok := s.resolveRemote(ctx, url, requester)
+		peerCh <- peerOutcome{body: body, meta: meta, ticket: ticket, viaOnion: viaOnion, ok: ok}
+	}()
+
+	var hedge <-chan time.Time
+	if s.cfg.PeerSoftDeadline > 0 {
+		t := time.NewTimer(s.cfg.PeerSoftDeadline)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var originCh chan originOutcome
+	var originFailed error
+	for {
+		select {
+		case p := <-peerCh:
+			if p.ok {
+				s.serveRemote(w, p)
+				return true
+			}
+			// Peer path exhausted; fall back to whatever the hedge
+			// has (or will have), else let the caller go upstream.
+			if originCh != nil {
+				select {
+				case o := <-originCh:
+					s.serveHedgeResult(w, o)
+				case <-ctx.Done():
+					http.Error(w, "proxy: request canceled", http.StatusGatewayTimeout)
+				}
+				return true
+			}
+			if originFailed != nil {
+				http.Error(w, fmt.Sprintf("proxy: upstream: %v", originFailed), http.StatusBadGateway)
+				return true
+			}
+			return false
+		case <-hedge:
+			hedge = nil
+			originCh = make(chan originOutcome, 1)
+			go func() {
+				body, meta, err := s.fetchUpstream(ctx, url)
+				originCh <- originOutcome{body: body, meta: meta, err: err}
+			}()
+		case o := <-originCh:
+			if o.err == nil {
+				// The origin answered while the peer path was still
+				// grinding: hedged win.
+				atomic.AddInt64(&s.nHedgedWins, 1)
+				atomic.AddInt64(&s.nOrigin, 1)
+				s.serveDoc(w, SourceOrigin, o.body, o.meta)
+				return true
+			}
+			originFailed = o.err
+			originCh = nil
+		case <-ctx.Done():
+			http.Error(w, "proxy: request canceled", http.StatusGatewayTimeout)
+			return true
+		}
+	}
+}
+
+// serveRemote writes a successful remote-browser resolution.
+func (s *Server) serveRemote(w http.ResponseWriter, p peerOutcome) {
+	atomic.AddInt64(&s.nRemoteHits, 1)
+	if p.viaOnion {
+		// The document travels browser-to-browser over the covert
+		// path; this response only announces it.
+		w.Header().Set(HeaderOnion, "1")
+		w.Header().Set(HeaderSource, SourceRemote)
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if p.ticket != "" {
+		w.Header().Set("X-BAPS-Ticket", p.ticket)
+	}
+	s.serveDoc(w, SourceRemote, p.body, p.meta)
+}
+
+// serveHedgeResult writes an awaited hedge outcome after the peer path died.
+func (s *Server) serveHedgeResult(w http.ResponseWriter, o originOutcome) {
+	if o.err != nil {
+		http.Error(w, fmt.Sprintf("proxy: upstream: %v", o.err), http.StatusBadGateway)
+		return
+	}
+	atomic.AddInt64(&s.nOrigin, 1)
+	s.serveDoc(w, SourceOrigin, o.body, o.meta)
 }
 
 func (s *Server) serveDoc(w http.ResponseWriter, source string, body []byte, meta docMeta) {
@@ -121,13 +235,18 @@ type inflightFetch struct {
 
 // fetchUpstream obtains the document from the origin, producing and
 // recording its watermark (§6.1: the proxy signs on first acquisition).
-// Concurrent fetches of one URL are coalesced.
-func (s *Server) fetchUpstream(url string) ([]byte, docMeta, error) {
+// Concurrent fetches of one URL are coalesced; waiters still honor their
+// own context.
+func (s *Server) fetchUpstream(ctx context.Context, url string) ([]byte, docMeta, error) {
 	s.inflightMu.Lock()
 	if f, ok := s.inflight[url]; ok {
 		s.inflightMu.Unlock()
-		<-f.done
-		return f.body, f.meta, f.err
+		select {
+		case <-f.done:
+			return f.body, f.meta, f.err
+		case <-ctx.Done():
+			return nil, docMeta{}, ctx.Err()
+		}
 	}
 	f := &inflightFetch{done: make(chan struct{})}
 	s.inflight[url] = f
@@ -138,18 +257,75 @@ func (s *Server) fetchUpstream(url string) ([]byte, docMeta, error) {
 		s.inflightMu.Unlock()
 		close(f.done)
 	}()
-	f.body, f.meta, f.err = s.fetchUpstreamUncoalesced(url)
+	f.body, f.meta, f.err = s.fetchUpstreamUncoalesced(ctx, url)
 	return f.body, f.meta, f.err
 }
 
-func (s *Server) fetchUpstreamUncoalesced(url string) ([]byte, docMeta, error) {
-	resp, err := s.httpClient.Get(url)
+// upstreamStatusError reports a non-200 origin response.
+type upstreamStatusError struct {
+	code   int
+	status string
+}
+
+func (e *upstreamStatusError) Error() string { return "status " + e.status }
+
+// transientUpstream classifies failures worth retrying: transport-level
+// errors (refused, reset, timed out) and throttling/5xx statuses. Client
+// errors (4xx) and local failures (signing, read) are terminal.
+func transientUpstream(err error) bool {
+	var se *upstreamStatusError
+	if errors.As(err, &se) {
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
+	}
+	var ue *neturl.Error
+	return errors.As(err, &ue)
+}
+
+// fetchUpstreamUncoalesced retries transient origin failures with
+// exponential backoff and full jitter, bounded by OriginRetries and the
+// request context.
+func (s *Server) fetchUpstreamUncoalesced(ctx context.Context, url string) ([]byte, docMeta, error) {
+	delay := s.cfg.RetryBaseDelay
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.OriginRetries; attempt++ {
+		if attempt > 0 {
+			atomic.AddInt64(&s.nRetries, 1)
+			// Jittered sleep in [delay/2, delay] keeps synchronized
+			// retry herds off a recovering origin.
+			d := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, docMeta{}, lastErr
+			}
+			delay *= 2
+		}
+		body, meta, err := s.originAttempt(ctx, url)
+		if err == nil {
+			return body, meta, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !transientUpstream(err) {
+			break
+		}
+	}
+	return nil, docMeta{}, lastErr
+}
+
+// originAttempt performs one origin round trip.
+func (s *Server) originAttempt(ctx context.Context, url string) ([]byte, docMeta, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, docMeta{}, err
+	}
+	resp, err := s.httpClient.Do(req)
 	if err != nil {
 		return nil, docMeta{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, docMeta{}, fmt.Errorf("status %s", resp.Status)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, docMeta{}, &upstreamStatusError{code: resp.StatusCode, status: resp.Status}
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 128<<20))
 	if err != nil {
@@ -170,6 +346,11 @@ func (s *Server) fetchUpstreamUncoalesced(url string) ([]byte, docMeta, error) {
 	return body, meta, nil
 }
 
+// errPeerStale marks a peer response that proves the index entry stale (the
+// peer answered but no longer caches the document). Stale responses prune
+// the entry without counting against the peer's circuit breaker.
+var errPeerStale = errors.New("stale index entry")
+
 // resolveRemote walks the index's holders for url. In fetch-forward mode
 // the proxy retrieves and verifies the body itself; in direct-forward mode
 // it opens an anonymous relay drop and instructs the holder to push there;
@@ -177,8 +358,22 @@ func (s *Server) fetchUpstreamUncoalesced(url string) ([]byte, docMeta, error) {
 // relay browsers and reports viaOnion (no body passes through). ticket is
 // non-empty for direct-forward deliveries (requester-side watermark
 // rejections reference it in /report-bad).
-func (s *Server) resolveRemote(url string, requester int) (body []byte, meta docMeta, ticket string, viaOnion, ok bool) {
-	for _, e := range s.idx.Ordered(url, requester) {
+//
+// Candidates are gated by the per-peer circuit breaker: a tripped peer is
+// skipped entirely (all its entries sit in quarantine), except that once
+// its cooldown elapses one request is admitted as a half-open probe — a
+// success re-admits every quarantined entry in one step.
+func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (body []byte, meta docMeta, ticket string, viaOnion, ok bool) {
+	candidates := s.idx.Ordered(url, requester)
+	// Quarantined holders come last, as half-open probe candidates.
+	candidates = append(candidates, s.idx.OrderedQuarantined(url, requester)...)
+	for _, e := range candidates {
+		if ctx.Err() != nil {
+			return nil, docMeta{}, "", false, false
+		}
+		if !s.health.Allow(e.Client) {
+			continue // breaker open
+		}
 		s.mu.Lock()
 		peer, known := s.peers[e.Client]
 		s.mu.Unlock()
@@ -186,20 +381,37 @@ func (s *Server) resolveRemote(url string, requester int) (body []byte, meta doc
 			s.idx.Remove(e.Client, url)
 			continue
 		}
+		start := time.Now()
 		var err error
 		switch s.cfg.Forward {
 		case FetchForward:
-			body, meta, err = s.fetchFromPeer(peer, url)
+			body, meta, err = s.fetchFromPeer(ctx, peer, url)
 		case OnionForward:
-			err = s.onionFromPeer(peer, url, requester)
+			err = s.onionFromPeer(ctx, peer, url, requester)
 			viaOnion = err == nil
 		default:
-			body, meta, ticket, err = s.relayFromPeer(peer, url)
+			body, meta, ticket, err = s.relayFromPeer(ctx, peer, url)
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				// The requester canceled (or the hedge already won);
+				// not the peer's fault — record nothing.
+				return nil, docMeta{}, "", false, false
+			}
 			atomic.AddInt64(&s.nFalsePeer, 1)
 			s.idx.Remove(e.Client, url)
+			if errors.Is(err, errPeerStale) {
+				// The peer is alive, it just evicted the document.
+				s.health.Touch(e.Client)
+			} else if s.health.Failure(e.Client) {
+				atomic.AddInt64(&s.nBreakerTrips, 1)
+				s.idx.Quarantine(e.Client)
+			}
 			continue
+		}
+		if s.health.Success(e.Client, time.Since(start)) {
+			atomic.AddInt64(&s.nBreakerReadmits, 1)
+			s.idx.Unquarantine(e.Client)
 		}
 		s.idx.AccountServe(e.Client)
 		if s.cfg.Forward == FetchForward && s.cfg.CachePeerDocs {
@@ -213,8 +425,8 @@ func (s *Server) resolveRemote(url string, requester int) (body []byte, meta doc
 // fetchFromPeer retrieves url from a holder's peer server and verifies the
 // body against the proxy's recorded digest (§6.1 enforced proxy-side: a
 // tampering holder is pruned and skipped).
-func (s *Server) fetchFromPeer(peer peerInfo, url string) ([]byte, docMeta, error) {
-	req, err := http.NewRequest(http.MethodGet, peer.baseURL+"/peer/doc?url="+urlQueryEscape(url), nil)
+func (s *Server) fetchFromPeer(ctx context.Context, peer peerInfo, url string) ([]byte, docMeta, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer.baseURL+"/peer/doc?url="+urlQueryEscape(url), nil)
 	if err != nil {
 		return nil, docMeta{}, err
 	}
@@ -224,6 +436,9 @@ func (s *Server) fetchFromPeer(peer peerInfo, url string) ([]byte, docMeta, erro
 		return nil, docMeta{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, docMeta{}, fmt.Errorf("client %d: %w", peer.id, errPeerStale)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, docMeta{}, fmt.Errorf("peer status %s", resp.Status)
 	}
@@ -258,7 +473,7 @@ func (s *Server) fetchFromPeer(peer peerInfo, url string) ([]byte, docMeta, erro
 // relayFromPeer implements direct-forward: issue a one-time ticket, tell the
 // holder to push the document to the relay drop, and wait for delivery. The
 // holder learns only the relay URL; the requester never learns the holder.
-func (s *Server) relayFromPeer(peer peerInfo, url string) ([]byte, docMeta, string, error) {
+func (s *Server) relayFromPeer(ctx context.Context, peer peerInfo, url string) ([]byte, docMeta, string, error) {
 	ticket, err := s.tickets.Issue([]byte(url))
 	if err != nil {
 		return nil, docMeta{}, "", err
@@ -274,7 +489,7 @@ func (s *Server) relayFromPeer(peer peerInfo, url string) ([]byte, docMeta, stri
 	}()
 
 	sendBody, _ := jsonBytes(PeerSend{URL: url, RelayURL: s.baseURL + "/relay/" + string(ticket)})
-	req, err := http.NewRequest(http.MethodPost, peer.baseURL+"/peer/send", bytes.NewReader(sendBody))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer.baseURL+"/peer/send", bytes.NewReader(sendBody))
 	if err != nil {
 		return nil, docMeta{}, "", err
 	}
@@ -286,6 +501,9 @@ func (s *Server) relayFromPeer(peer peerInfo, url string) ([]byte, docMeta, stri
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, docMeta{}, "", fmt.Errorf("client %d: %w", peer.id, errPeerStale)
+	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
 		return nil, docMeta{}, "", fmt.Errorf("peer send status %s", resp.Status)
 	}
@@ -297,18 +515,39 @@ func (s *Server) relayFromPeer(peer peerInfo, url string) ([]byte, docMeta, stri
 		meta := docMeta{version: version, size: int64(len(d.body)), watermark: mark}
 		// Remember which holder served this ticket so a later
 		// /report-bad can prune it without exposing its identity.
-		s.relayMu.Lock()
-		if len(s.usedTickets) > 4096 {
-			s.usedTickets = make(map[string]int)
-		}
-		s.usedTickets[string(ticket)] = peer.id
-		s.relayMu.Unlock()
+		s.rememberTicket(string(ticket), peer.id)
 		// The proxy relays without inspecting the body (anonymizing
 		// relay); the requester verifies the watermark end-to-end.
 		return d.body, meta, string(ticket), nil
 	case <-time.After(s.cfg.PeerTimeout):
 		atomic.AddInt64(&s.nRelayTimeout, 1)
 		return nil, docMeta{}, "", fmt.Errorf("relay timeout waiting for client %d", peer.id)
+	case <-ctx.Done():
+		return nil, docMeta{}, "", ctx.Err()
+	}
+}
+
+// rememberTicket records a completed relay ticket's holder, evicting only
+// the oldest tickets once the bound is exceeded (FIFO — never a wholesale
+// wipe, which would destroy holder accountability for every outstanding
+// direct-forward ticket at once).
+func (s *Server) rememberTicket(ticket string, holder int) {
+	s.relayMu.Lock()
+	defer s.relayMu.Unlock()
+	if _, dup := s.usedTickets[ticket]; !dup {
+		s.usedOrder = append(s.usedOrder, ticket)
+	}
+	s.usedTickets[ticket] = holder
+	for len(s.usedTickets) > s.maxUsedTickets {
+		oldest := s.usedOrder[s.usedHead]
+		s.usedOrder[s.usedHead] = ""
+		s.usedHead++
+		delete(s.usedTickets, oldest)
+	}
+	// Compact the consumed prefix once it dominates the queue.
+	if s.usedHead > s.maxUsedTickets {
+		s.usedOrder = append([]string(nil), s.usedOrder[s.usedHead:]...)
+		s.usedHead = 0
 	}
 }
 
@@ -377,8 +616,10 @@ func (s *Server) handleReportBad(w http.ResponseWriter, r *http.Request) {
 	atomic.AddInt64(&s.nTamper, 1)
 	if session != nil {
 		s.idx.Remove(session.holder, rep.URL)
+		s.health.Failure(session.holder)
 	} else if holder, ok := s.ticketHolder(rep.Ticket); ok {
 		s.idx.Remove(holder, rep.URL)
+		s.health.Failure(holder)
 	} else {
 		for _, e := range s.idx.Lookup(rep.URL) {
 			s.idx.Remove(e.Client, rep.URL)

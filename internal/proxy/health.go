@@ -1,0 +1,291 @@
+package proxy
+
+// Peer health tracking and the per-peer circuit breaker.
+//
+// The paper's §2 model has browsers dynamically joining and leaving; the
+// original live implementation treated every indexed peer as healthy until a
+// fetch against it failed, then pruned a single index entry per failure — a
+// dead holder with many cached documents cost one PeerTimeout per document.
+// The tracker below keeps one health record per registered peer, fed by
+// every fetch/relay/onion outcome and by the browser heartbeat
+// (POST /heartbeat), and runs a three-state circuit breaker:
+//
+//	closed    → normal operation; consecutive transport failures count up.
+//	open      → the peer tripped (threshold consecutive failures, or a
+//	            heartbeat silence sweep); all its index entries are
+//	            quarantined in one step and holder selection skips it.
+//	half-open → after the cooldown one probe request is let through; a
+//	            success closes the breaker and un-quarantines every entry
+//	            at once, a failure re-opens it.
+//
+// Stale-entry responses (a live peer that already evicted the document) do
+// not count against the breaker — only transport-level failures and
+// integrity violations do.
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the circuit-breaker state of one peer.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String names the state (used in /stats).
+func (b breakerState) String() string {
+	switch b {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// peerHealth is the mutable health record of one registered peer.
+type peerHealth struct {
+	state       breakerState
+	consecFails int
+	openedAt    time.Time // when the breaker last opened
+	probeAt     time.Time // when the in-flight half-open probe started
+	probing     bool
+	lastSeen    time.Time // registration, heartbeat, or successful serve
+	ewmaLatency time.Duration
+	successes   int64
+	failures    int64
+	heartbeats  int64
+}
+
+// healthTracker owns all peer health records. Safe for concurrent use.
+type healthTracker struct {
+	mu        sync.Mutex
+	peers     map[int]*peerHealth
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+}
+
+// ewmaAlpha weights the newest latency sample in the moving average.
+const ewmaAlpha = 0.2
+
+func newHealthTracker(threshold int, cooldown time.Duration) *healthTracker {
+	return &healthTracker{
+		peers:     make(map[int]*peerHealth),
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+	}
+}
+
+// Track starts (or resets) a peer's record at registration time.
+func (h *healthTracker) Track(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.peers[id] = &peerHealth{lastSeen: h.now()}
+}
+
+// Forget drops a peer's record (unregistration or departure).
+func (h *healthTracker) Forget(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.peers, id)
+}
+
+// Beat records a heartbeat, reporting whether the peer is tracked.
+func (h *healthTracker) Beat(id int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	if !ok {
+		return false
+	}
+	p.lastSeen = h.now()
+	p.heartbeats++
+	return true
+}
+
+// Allow reports whether a request may be sent to the peer. With the breaker
+// open it returns false until the cooldown elapses, then transitions to
+// half-open and admits exactly one probe (a stuck probe is replaced after
+// another cooldown).
+func (h *healthTracker) Allow(id int) bool {
+	if h.threshold <= 0 {
+		return true // breaker disabled
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	if !ok {
+		return true // untracked peers (e.g. pre-breaker entries) pass through
+	}
+	now := h.now()
+	switch p.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(p.openedAt) < h.cooldown {
+			return false
+		}
+		p.state = breakerHalfOpen
+		p.probing = true
+		p.probeAt = now
+		return true
+	default: // breakerHalfOpen
+		if p.probing && now.Sub(p.probeAt) < h.cooldown {
+			return false // a probe is already in flight
+		}
+		p.probing = true
+		p.probeAt = now
+		return true
+	}
+}
+
+// Success records a served request with its latency. readmitted is true when
+// this success closed a non-closed breaker — the caller then restores the
+// peer's quarantined index entries in one step.
+func (h *healthTracker) Success(id int, latency time.Duration) (readmitted bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	if !ok {
+		return false
+	}
+	p.successes++
+	p.consecFails = 0
+	p.lastSeen = h.now()
+	if p.ewmaLatency == 0 {
+		p.ewmaLatency = latency
+	} else {
+		p.ewmaLatency = time.Duration((1-ewmaAlpha)*float64(p.ewmaLatency) + ewmaAlpha*float64(latency))
+	}
+	if p.state != breakerClosed {
+		p.state = breakerClosed
+		p.probing = false
+		return true
+	}
+	return false
+}
+
+// Touch refreshes a peer's last-seen time without affecting the breaker —
+// used for stale-entry responses, where the peer answered (it is alive) but
+// could not serve the document.
+func (h *healthTracker) Touch(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if p, ok := h.peers[id]; ok {
+		p.lastSeen = h.now()
+	}
+}
+
+// Failure records a transport failure or integrity violation. tripped is
+// true when this failure opened a previously closed breaker — the caller
+// then quarantines the peer's index entries in one step.
+func (h *healthTracker) Failure(id int) (tripped bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	if !ok {
+		return false
+	}
+	p.failures++
+	p.consecFails++
+	switch p.state {
+	case breakerHalfOpen:
+		// Failed probe: back to open, entries stay quarantined.
+		p.state = breakerOpen
+		p.openedAt = h.now()
+		p.probing = false
+		return false
+	case breakerClosed:
+		if h.threshold > 0 && p.consecFails >= h.threshold {
+			p.state = breakerOpen
+			p.openedAt = h.now()
+			return true
+		}
+	}
+	return false
+}
+
+// SweepSilent trips the breaker of every closed-state peer not seen for
+// longer than maxAge (missed heartbeats), returning the tripped ids so the
+// caller can quarantine them.
+func (h *healthTracker) SweepSilent(maxAge time.Duration) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	var tripped []int
+	for id, p := range h.peers {
+		if p.state == breakerClosed && now.Sub(p.lastSeen) > maxAge {
+			p.state = breakerOpen
+			p.openedAt = now
+			tripped = append(tripped, id)
+		}
+	}
+	return tripped
+}
+
+// Counts reports how many tracked peers sit in each breaker state.
+func (h *healthTracker) Counts() (closed, open, halfOpen int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.peers {
+		switch p.state {
+		case breakerOpen:
+			open++
+		case breakerHalfOpen:
+			halfOpen++
+		default:
+			closed++
+		}
+	}
+	return
+}
+
+// PeerHealthStat is the per-peer health record exposed in /stats.
+type PeerHealthStat struct {
+	Client         int     `json:"client"`
+	Breaker        string  `json:"breaker"`
+	ConsecFails    int     `json:"consecutive_failures"`
+	Successes      int64   `json:"successes"`
+	Failures       int64   `json:"failures"`
+	Heartbeats     int64   `json:"heartbeats"`
+	EWMALatencyMs  float64 `json:"ewma_latency_ms"`
+	LastSeenAgeSec float64 `json:"last_seen_age_sec"`
+}
+
+// Snapshot returns per-peer health stats, ordered by client id.
+func (h *healthTracker) Snapshot() []PeerHealthStat {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	out := make([]PeerHealthStat, 0, len(h.peers))
+	for id, p := range h.peers {
+		out = append(out, PeerHealthStat{
+			Client:         id,
+			Breaker:        p.state.String(),
+			ConsecFails:    p.consecFails,
+			Successes:      p.successes,
+			Failures:       p.failures,
+			Heartbeats:     p.heartbeats,
+			EWMALatencyMs:  float64(p.ewmaLatency) / float64(time.Millisecond),
+			LastSeenAgeSec: now.Sub(p.lastSeen).Seconds(),
+		})
+	}
+	sortPeerStats(out)
+	return out
+}
+
+func sortPeerStats(s []PeerHealthStat) {
+	// Insertion sort: peer counts are small and this avoids an import.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Client < s[j-1].Client; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

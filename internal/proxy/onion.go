@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/base64"
 	"encoding/gob"
@@ -30,7 +31,7 @@ import (
 //
 // The proxy never touches the body; the holder never learns the requester;
 // the requester never learns the holder.
-func (s *Server) onionFromPeer(holder peerInfo, url string, requester int) error {
+func (s *Server) onionFromPeer(ctx context.Context, holder peerInfo, url string, requester int) error {
 	s.mu.Lock()
 	req, ok := s.peers[requester]
 	if !ok {
@@ -80,7 +81,7 @@ func (s *Server) onionFromPeer(holder peerInfo, url string, requester int) error
 	if err != nil {
 		return err
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, holder.baseURL+"/peer/onion-send", bytes.NewReader(send))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, holder.baseURL+"/peer/onion-send", bytes.NewReader(send))
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,8 @@
 // The server speaks the wire protocol in wire.go:
 //
 //	POST /register      browser agents join; get id, token, proxy public key
+//	POST /unregister    graceful departure; drops the client's index entries
+//	POST /heartbeat     browser liveness signal (feeds the circuit breaker)
 //	GET  /fetch?url=U   resolve a document (client id in X-BAPS-Client)
 //	POST /index/add     immediate index update      (§2 protocol 1)
 //	POST /index/remove  invalidation message        (§2 protocol 1)
@@ -78,6 +80,32 @@ type Config struct {
 	Strategy index.Strategy
 	// PeerTimeout bounds holder contact + relay wait.
 	PeerTimeout time.Duration
+	// PeerSoftDeadline is the hedging threshold: when the peer path has
+	// not produced a document after this long, the proxy races the origin
+	// in parallel and serves whichever answers first, so a slow holder
+	// never makes a request slower than a plain proxy miss. 0 disables
+	// hedging (default half of PeerTimeout via DefaultConfig).
+	PeerSoftDeadline time.Duration
+	// BreakerThreshold is the number of consecutive transport failures
+	// that trip a peer's circuit breaker, quarantining all its index
+	// entries at once. <=0 disables the breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// half-open probe may re-admit the peer (default 10s).
+	BreakerCooldown time.Duration
+	// HeartbeatTimeout trips the breaker of any peer with no liveness
+	// signal (heartbeat, successful serve, registration) for this long.
+	// 0 disables the silence sweep. The sweeper runs from Start.
+	HeartbeatTimeout time.Duration
+	// OriginRetries is how many times a transient upstream failure is
+	// retried with exponential backoff + jitter (default 2).
+	OriginRetries int
+	// RetryBaseDelay is the first retry's backoff base (default 100ms).
+	RetryBaseDelay time.Duration
+	// Transport overrides the outbound http.RoundTripper for peer and
+	// origin traffic — the chaos harness injects faults here. nil uses
+	// http.DefaultTransport.
+	Transport http.RoundTripper
 	// OnionRelays is the number of intermediate relay browsers on an
 	// OnionForward path (default 1; 0 sends holder→requester directly,
 	// which exposes the requester's address to the holder).
@@ -92,15 +120,21 @@ type Config struct {
 // DefaultConfig returns production-ish defaults.
 func DefaultConfig() Config {
 	return Config{
-		CacheCapacity: 256 << 20,
-		MemFraction:   0.10,
-		Policy:        cache.LRU,
-		Forward:       FetchForward,
-		CachePeerDocs: true,
-		Strategy:      index.SelectMostRecent,
-		PeerTimeout:   5 * time.Second,
-		KeyBits:       2048,
-		OnionRelays:   1,
+		CacheCapacity:    256 << 20,
+		MemFraction:      0.10,
+		Policy:           cache.LRU,
+		Forward:          FetchForward,
+		CachePeerDocs:    true,
+		Strategy:         index.SelectMostRecent,
+		PeerTimeout:      5 * time.Second,
+		PeerSoftDeadline: 2500 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Second,
+		HeartbeatTimeout: 30 * time.Second,
+		OriginRetries:    2,
+		RetryBaseDelay:   100 * time.Millisecond,
+		KeyBits:          2048,
+		OnionRelays:      1,
 	}
 }
 
@@ -147,10 +181,18 @@ type Server struct {
 
 	idx     *index.Index
 	tickets *anonymity.TicketStore
+	health  *healthTracker
 
-	relayMu     sync.Mutex
-	relays      map[anonymity.Ticket]*relaySession
-	usedTickets map[string]int // completed relay ticket → holder id (bounded)
+	relayMu sync.Mutex
+	relays  map[anonymity.Ticket]*relaySession
+	// usedTickets maps completed relay tickets to the holder that served
+	// them so /report-bad can prune the right peer. Bounded by FIFO
+	// eviction of the oldest tickets (never wiped wholesale): usedOrder
+	// is the arrival queue, usedHead its logical start.
+	usedTickets    map[string]int
+	usedOrder      []string
+	usedHead       int
+	maxUsedTickets int
 
 	inflightMu sync.Mutex
 	inflight   map[string]*inflightFetch
@@ -159,10 +201,16 @@ type Server struct {
 	listener   net.Listener
 	httpSrv    *http.Server
 	baseURL    string
+	stopSweep  chan struct{}
+	sweepOnce  sync.Once
 
 	// Metrics (atomics; read via Snapshot).
 	nRequests, nProxyHits, nRemoteHits, nOrigin int64
 	nFalsePeer, nTamper, nRelayTimeout          int64
+	nRetries, nHedgedWins                       int64
+	nHeartbeats, nHeartbeatMisses               int64
+	nBreakerTrips, nBreakerReadmits             int64
+	nUnregisters                                int64
 }
 
 // New builds a proxy server (not yet listening; call Start).
@@ -179,6 +227,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.KeyBits == 0 {
 		cfg.KeyBits = 2048
 	}
+	if cfg.OriginRetries < 0 {
+		cfg.OriginRetries = 0
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 10 * time.Second
+	}
 	signer, err := integrity.NewSigner(cfg.KeyBits)
 	if err != nil {
 		return nil, err
@@ -188,22 +245,26 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:         cfg,
-		signer:      signer,
-		pubPEM:      pubPEM,
-		bodies:      make(map[string][]byte),
-		meta:        make(map[string]docMeta),
-		peers:       make(map[int]peerInfo),
-		tokens:      make(map[string]int),
-		idx:         index.New(cfg.Strategy),
-		tickets:     anonymity.NewTicketStore(cfg.PeerTimeout),
-		relays:      make(map[anonymity.Ticket]*relaySession),
-		usedTickets: make(map[string]int),
-		inflight:    make(map[string]*inflightFetch),
+		cfg:            cfg,
+		signer:         signer,
+		pubPEM:         pubPEM,
+		bodies:         make(map[string][]byte),
+		meta:           make(map[string]docMeta),
+		peers:          make(map[int]peerInfo),
+		tokens:         make(map[string]int),
+		idx:            index.New(cfg.Strategy),
+		tickets:        anonymity.NewTicketStore(cfg.PeerTimeout),
+		health:         newHealthTracker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		relays:         make(map[anonymity.Ticket]*relaySession),
+		usedTickets:    make(map[string]int),
+		maxUsedTickets: 4096,
+		inflight:       make(map[string]*inflightFetch),
 		httpClient: &http.Client{
-			Timeout: cfg.PeerTimeout,
+			Timeout:   cfg.PeerTimeout,
+			Transport: cfg.Transport,
 		},
-		started: time.Now(),
+		stopSweep: make(chan struct{}),
+		started:   time.Now(),
 	}
 	tc, err := cache.NewTwoTier(cfg.Policy, cfg.CacheCapacity,
 		int64(float64(cfg.CacheCapacity)*cfg.MemFraction),
@@ -229,11 +290,44 @@ func (s *Server) Start(addr string) error {
 	s.baseURL = "http://" + ln.Addr().String()
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	go s.httpSrv.Serve(ln)
+	if s.cfg.HeartbeatTimeout > 0 {
+		go s.heartbeatSweeper()
+	}
 	return nil
 }
 
-// Close shuts the listener down.
+// heartbeatSweeper periodically trips the breaker of peers that have been
+// silent (no heartbeat, serve, or registration) past HeartbeatTimeout.
+func (s *Server) heartbeatSweeper() {
+	interval := s.cfg.HeartbeatTimeout / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case <-t.C:
+			s.sweepSilentPeers()
+		}
+	}
+}
+
+// sweepSilentPeers quarantines every peer whose breaker the silence sweep
+// trips, counting each as a heartbeat miss.
+func (s *Server) sweepSilentPeers() {
+	for _, id := range s.health.SweepSilent(s.cfg.HeartbeatTimeout) {
+		atomic.AddInt64(&s.nHeartbeatMisses, 1)
+		atomic.AddInt64(&s.nBreakerTrips, 1)
+		s.idx.Quarantine(id)
+	}
+}
+
+// Close shuts the listener and the heartbeat sweeper down.
 func (s *Server) Close() error {
+	s.sweepOnce.Do(func() { close(s.stopSweep) })
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -253,6 +347,8 @@ func (s *Server) Index() *index.Index { return s.idx }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/register", s.handleRegister)
+	mux.HandleFunc("/unregister", s.handleUnregister)
+	mux.HandleFunc("/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("/fetch", s.handleFetch)
 	mux.HandleFunc("/index/add", s.handleIndexAdd)
 	mux.HandleFunc("/index/remove", s.handleIndexRemove)
@@ -296,12 +392,59 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.peers[id] = peerInfo{id: id, baseURL: strings.TrimRight(req.PeerURL, "/"), token: token, relayKey: relayKey}
 	s.tokens[token] = id
 	s.mu.Unlock()
+	s.health.Track(id)
 	writeJSON(w, RegisterResponse{
 		ClientID:  id,
 		Token:     token,
 		PublicKey: string(s.pubPEM),
 		RelayKey:  base64.StdEncoding.EncodeToString(relayKey),
 	})
+}
+
+// handleUnregister is the graceful-departure path: a closing browser drops
+// all its index entries immediately instead of lingering as a
+// guaranteed-false peer until fetch failures prune it.
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id, ok := s.authClient(r)
+	if !ok {
+		http.Error(w, "proxy: bad client credentials", http.StatusForbidden)
+		return
+	}
+	s.mu.Lock()
+	p, exists := s.peers[id]
+	if exists {
+		delete(s.peers, id)
+		delete(s.tokens, p.token)
+	}
+	s.mu.Unlock()
+	if exists {
+		s.idx.DropClient(id)
+		s.health.Forget(id)
+		atomic.AddInt64(&s.nUnregisters, 1)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHeartbeat records a browser liveness signal. Peers that stop
+// heartbeating past HeartbeatTimeout are quarantined by the sweeper without
+// waiting for a fetch against them to fail.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id, ok := s.authClient(r)
+	if !ok {
+		http.Error(w, "proxy: bad client credentials", http.StatusForbidden)
+		return
+	}
+	atomic.AddInt64(&s.nHeartbeats, 1)
+	s.health.Beat(id)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // authClient validates the client id + token headers on index updates.
@@ -433,19 +576,32 @@ func (s *Server) Snapshot() Stats {
 	cacheBytes := s.cache.Used()
 	clients := len(s.peers)
 	s.mu.Unlock()
+	closed, open, halfOpen := s.health.Counts()
 	return Stats{
-		Requests:       atomic.LoadInt64(&s.nRequests),
-		ProxyHits:      atomic.LoadInt64(&s.nProxyHits),
-		RemoteHits:     atomic.LoadInt64(&s.nRemoteHits),
-		OriginFetches:  atomic.LoadInt64(&s.nOrigin),
-		FalsePeerHits:  atomic.LoadInt64(&s.nFalsePeer),
-		TamperRejected: atomic.LoadInt64(&s.nTamper),
-		RelayTimeouts:  atomic.LoadInt64(&s.nRelayTimeout),
-		IndexEntries:   s.idx.Len(),
-		CacheDocs:      cacheDocs,
-		CacheBytes:     cacheBytes,
-		Clients:        clients,
-		UptimeSec:      time.Since(s.started).Seconds(),
+		Requests:           atomic.LoadInt64(&s.nRequests),
+		ProxyHits:          atomic.LoadInt64(&s.nProxyHits),
+		RemoteHits:         atomic.LoadInt64(&s.nRemoteHits),
+		OriginFetches:      atomic.LoadInt64(&s.nOrigin),
+		FalsePeerHits:      atomic.LoadInt64(&s.nFalsePeer),
+		TamperRejected:     atomic.LoadInt64(&s.nTamper),
+		RelayTimeouts:      atomic.LoadInt64(&s.nRelayTimeout),
+		OriginRetries:      atomic.LoadInt64(&s.nRetries),
+		HedgedWins:         atomic.LoadInt64(&s.nHedgedWins),
+		Heartbeats:         atomic.LoadInt64(&s.nHeartbeats),
+		HeartbeatMisses:    atomic.LoadInt64(&s.nHeartbeatMisses),
+		BreakerTrips:       atomic.LoadInt64(&s.nBreakerTrips),
+		BreakerReadmits:    atomic.LoadInt64(&s.nBreakerReadmits),
+		Unregisters:        atomic.LoadInt64(&s.nUnregisters),
+		BreakerClosed:      closed,
+		BreakerOpen:        open,
+		BreakerHalfOpen:    halfOpen,
+		QuarantinedEntries: s.idx.QuarantinedEntries(),
+		IndexEntries:       s.idx.Len(),
+		CacheDocs:          cacheDocs,
+		CacheBytes:         cacheBytes,
+		Clients:            clients,
+		UptimeSec:          time.Since(s.started).Seconds(),
+		PeerHealth:         s.health.Snapshot(),
 	}
 }
 

@@ -133,9 +133,26 @@ type Stats struct {
 	FalsePeerHits  int64 `json:"false_peer_hits"`
 	TamperRejected int64 `json:"tamper_rejected"`
 	RelayTimeouts  int64 `json:"relay_timeouts"`
-	IndexEntries   int     `json:"index_entries"`
-	CacheDocs      int     `json:"cache_docs"`
-	CacheBytes     int64   `json:"cache_bytes"`
-	Clients        int     `json:"clients"`
-	UptimeSec      float64 `json:"uptime_sec"`
+	// Churn-resilience counters.
+	OriginRetries   int64 `json:"origin_retries"`   // backoff retries against the origin
+	HedgedWins      int64 `json:"hedged_wins"`      // origin beat a slow peer path past the soft deadline
+	Heartbeats      int64 `json:"heartbeats"`       // POST /heartbeat received
+	HeartbeatMisses int64 `json:"heartbeat_misses"` // peers tripped by the silence sweep
+	BreakerTrips    int64 `json:"breaker_trips"`    // breakers opened (failures or silence)
+	BreakerReadmits int64 `json:"breaker_readmits"` // half-open probes that re-admitted a peer
+	Unregisters     int64 `json:"unregisters"`      // graceful departures
+	// Breaker-state gauges at snapshot time.
+	BreakerClosed      int `json:"breaker_closed"`
+	BreakerOpen        int `json:"breaker_open"`
+	BreakerHalfOpen    int `json:"breaker_half_open"`
+	QuarantinedEntries int `json:"quarantined_entries"`
+
+	IndexEntries int     `json:"index_entries"`
+	CacheDocs    int     `json:"cache_docs"`
+	CacheBytes   int64   `json:"cache_bytes"`
+	Clients      int     `json:"clients"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	// PeerHealth lists the per-peer health records (breaker state,
+	// consecutive failures, EWMA latency, last-seen age).
+	PeerHealth []PeerHealthStat `json:"peer_health,omitempty"`
 }
