@@ -1,8 +1,22 @@
 GO ?= go
+DATE ?= $(shell date +%F)
+# Hot-path benchmark set recorded in BENCH_<date>.json: the substrate
+# micro-benchmarks plus the end-to-end simulator replays, skipping the
+# long-running figure regenerations in the root package.
+BENCH_PKGS = ./internal/cache ./internal/index ./internal/core .
+BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*|BenchmarkIndexAddRemoveHot|BenchmarkIndexOrdered|BenchmarkShardedOrdered|BenchmarkSimulatorBAPS|BenchmarkSimulatorProxyOnly|BenchmarkTraceStats)$$'
+# Packages touched by the interning/sharding refactor, raced in `make check`.
+HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy
 
-.PHONY: all build vet test race short bench
+.PHONY: all build vet test race short bench check bench-baseline bench-compare
 
 all: build vet test
+
+# Gate for hot-path changes: vet everything, full tests, then the refactored
+# packages again under the race detector (covers the sharded-index churn and
+# live-proxy concurrency tests).
+check: vet test
+	$(GO) test -race $(HOT_PKGS)
 
 build:
 	$(GO) build ./...
@@ -23,3 +37,16 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Record a benchmark baseline as BENCH_<date>.json (override DATE=... to pin
+# the filename). count=5 gives benchstat-grade samples.
+bench-baseline:
+	$(GO) test -bench=$(BENCH_FILTER) -benchmem -count=5 -run=^$$ $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson > BENCH_$(DATE).json
+
+# Compare a fresh benchmark run against a recorded baseline:
+#   make bench-compare BASELINE=BENCH_2026-08-05_baseline.json
+bench-compare:
+	@test -n "$(BASELINE)" || { echo "usage: make bench-compare BASELINE=BENCH_<date>.json"; exit 2; }
+	$(GO) test -bench=$(BENCH_FILTER) -benchmem -count=5 -run=^$$ $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -compare $(BASELINE)

@@ -25,6 +25,7 @@ import (
 	"baps/internal/cache"
 	"baps/internal/index"
 	"baps/internal/integrity"
+	"baps/internal/intern"
 	"baps/internal/sim"
 	"baps/internal/stats"
 	"baps/internal/synth"
@@ -308,10 +309,10 @@ func BenchmarkIndexAddRemove(b *testing.B) {
 	x := index.New(index.SelectMostRecent)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		url := fmt.Sprintf("http://bench/doc%d", i%8192)
-		x.Add(index.Entry{Client: i % 64, URL: url, Size: 8192, Stamp: float64(i)})
+		doc := intern.ID(i % 8192)
+		x.Add(index.Entry{Client: i % 64, Doc: doc, Size: 8192, Stamp: float64(i)})
 		if i%3 == 0 {
-			x.Remove(i%64, url)
+			x.Remove(i%64, doc)
 		}
 	}
 }
@@ -319,11 +320,11 @@ func BenchmarkIndexAddRemove(b *testing.B) {
 func BenchmarkIndexSelect(b *testing.B) {
 	x := index.New(index.SelectMostRecent)
 	for i := 0; i < 8192; i++ {
-		x.Add(index.Entry{Client: i % 64, URL: fmt.Sprintf("http://bench/doc%d", i%1024), Size: 8192, Stamp: float64(i)})
+		x.Add(index.Entry{Client: i % 64, Doc: intern.ID(i % 1024), Size: 8192, Stamp: float64(i)})
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		x.Select(fmt.Sprintf("http://bench/doc%d", i%1024), i%64)
+		x.Select(intern.ID(i%1024), i%64)
 	}
 }
 

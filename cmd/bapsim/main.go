@@ -25,16 +25,20 @@
 //
 // Flags:
 //
-//	-scale f    scale every workload by f (default 1; benchmarks use ~0.1)
-//	-seed n     override the calibrated profile seeds
-//	-profile p  profile for compression/ablation (default nlanr-bo1)
-//	-chart      also print ASCII charts for figures
+//	-scale f        scale every workload by f (default 1; benchmarks use ~0.1)
+//	-seed n         override the calibrated profile seeds
+//	-profile p      profile for compression/ablation (default nlanr-bo1)
+//	-chart          also print ASCII charts for figures
+//	-cpuprofile f   write a CPU profile of the run to f (go tool pprof)
+//	-memprofile f   write a heap profile on exit to f
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"baps"
@@ -72,6 +76,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "seed override (0 = calibrated)")
 	profile := flag.String("profile", "nlanr-bo1", "profile for compression/ablation")
 	chart := flag.Bool("chart", false, "print ASCII charts for figures")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bapsim [flags] <experiment>...\nexperiments: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 memory overhead compression security ablation cooperative all\nflags:\n")
 		flag.PrintDefaults()
@@ -80,6 +86,35 @@ func main() {
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bapsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bapsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bapsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bapsim: -memprofile: %v\n", err)
+			}
+		}()
 	}
 	opts := baps.Options{Scale: *scale, Seed: *seed}
 

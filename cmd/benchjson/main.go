@@ -1,0 +1,197 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so benchmark baselines can be
+// checked in (BENCH_<date>.json) and diffed across PRs.
+//
+// Each benchmark line is parsed into its metrics (ns/op, B/op, allocs/op and
+// any b.ReportMetric extras) and the raw line is preserved verbatim, so the
+// original benchstat-compatible text can be reconstructed with
+//
+//	jq -r '.benchmarks[].runs[].raw' BENCH_2026-01-02.json | benchstat /dev/stdin
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=5 ./... | go run ./cmd/benchjson > BENCH_$(date +%F).json
+//
+// With -compare OLD.json, instead of emitting JSON it prints a per-benchmark
+// geomean comparison (old/new ratio for ns/op and allocs/op) of stdin against
+// the recorded baseline and exits non-zero if parsing fails.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Run is one benchmark execution line.
+type Run struct {
+	Iters   int                `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+	Raw     string             `json:"raw"`
+}
+
+// Benchmark groups the -count runs of one benchmark in one package.
+type Benchmark struct {
+	Name string `json:"name"`
+	Pkg  string `json:"pkg,omitempty"`
+	Runs []Run  `json:"runs"`
+}
+
+// File is the checked-in baseline document.
+type File struct {
+	Date   string            `json:"date"`
+	Goos   string            `json:"goos,omitempty"`
+	Goarch string            `json:"goarch,omitempty"`
+	CPU    string            `json:"cpu,omitempty"`
+	Benchmarks []*Benchmark  `json:"benchmarks"`
+}
+
+func parse(r *bufio.Scanner) (*File, error) {
+	f := &File{Date: time.Now().Format("2006-01-02")}
+	byKey := map[string]*Benchmark{}
+	pkg := ""
+	for r.Scan() {
+		line := strings.TrimRight(r.Text(), "\r\n")
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			f.Goos = strings.TrimSpace(line[len("goos:"):])
+		case strings.HasPrefix(line, "goarch:"):
+			f.Goarch = strings.TrimSpace(line[len("goarch:"):])
+		case strings.HasPrefix(line, "cpu:"):
+			f.CPU = strings.TrimSpace(line[len("cpu:"):])
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(line[len("pkg:"):])
+		case len(fields) >= 4 && strings.HasPrefix(fields[0], "Benchmark"):
+			iters, err := strconv.Atoi(fields[1])
+			if err != nil {
+				continue
+			}
+			run := Run{Iters: iters, Metrics: map[string]float64{}, Raw: line}
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					continue
+				}
+				run.Metrics[fields[i+1]] = v
+			}
+			key := pkg + " " + fields[0]
+			b := byKey[key]
+			if b == nil {
+				b = &Benchmark{Name: fields[0], Pkg: pkg}
+				byKey[key] = b
+				f.Benchmarks = append(f.Benchmarks, b)
+			}
+			b.Runs = append(b.Runs, run)
+		}
+	}
+	return f, r.Err()
+}
+
+// geomean of metric m across runs; ok is false when no run carries it.
+func geomean(b *Benchmark, m string) (float64, bool) {
+	sum, n := 0.0, 0
+	for _, r := range b.Runs {
+		if v, have := r.Metrics[m]; have && v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return math.Exp(sum / float64(n)), true
+}
+
+// zeroSafe treats an all-zero metric (e.g. 0 allocs/op) as present.
+func zeroSafe(b *Benchmark, m string) (float64, bool) {
+	if v, ok := geomean(b, m); ok {
+		return v, true
+	}
+	for _, r := range b.Runs {
+		if _, have := r.Metrics[m]; have {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func compare(oldPath string, cur *File) error {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old File
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	oldBy := map[string]*Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Pkg+" "+b.Name] = b
+	}
+	keys := make([]string, 0, len(cur.Benchmarks))
+	curBy := map[string]*Benchmark{}
+	for _, b := range cur.Benchmarks {
+		k := b.Pkg + " " + b.Name
+		curBy[k] = b
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%-60s %14s %14s\n", "benchmark (old "+old.Date+" -> new "+cur.Date+")", "ns/op ratio", "allocs ratio")
+	for _, k := range keys {
+		ob, nb := oldBy[k], curBy[k]
+		if ob == nil {
+			fmt.Printf("%-60s %14s %14s\n", nb.Name, "new", "new")
+			continue
+		}
+		line := fmt.Sprintf("%-60s", nb.Pkg+"."+strings.TrimPrefix(nb.Name, "Benchmark"))
+		if ov, ook := geomean(ob, "ns/op"); ook {
+			if nv, nok := geomean(nb, "ns/op"); nok && nv > 0 {
+				line += fmt.Sprintf(" %13.2fx", ov/nv)
+			}
+		}
+		if ov, ook := zeroSafe(ob, "allocs/op"); ook {
+			nv, nok := zeroSafe(nb, "allocs/op")
+			switch {
+			case nok && nv > 0:
+				line += fmt.Sprintf(" %13.2fx", ov/nv)
+			case nok:
+				line += fmt.Sprintf(" %10.0f->0", ov)
+			}
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func main() {
+	comparePath := flag.String("compare", "", "baseline BENCH_*.json to compare stdin against instead of emitting JSON")
+	flag.Parse()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	f, err := parse(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *comparePath != "" {
+		if err := compare(*comparePath, f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"baps/internal/core"
 	"baps/internal/index"
 	"baps/internal/integrity"
+	"baps/internal/intern"
 	"baps/internal/sim"
 	"baps/internal/stats"
 	"baps/internal/synth"
@@ -339,7 +340,7 @@ func IndexCompressionReport(o Options, profile string, countersPerClient uint64)
 	for _, r := range tr.Requests {
 		// Query both indexes the way the proxy would on a proxy miss;
 		// measure before Access mutates state.
-		holders := exact.Ordered(r.URL, r.Client)
+		holders := exact.Ordered(r.Doc, r.Client)
 		cands := bidx.Candidates(r.URL, r.Client)
 		probesExact += int64(len(holders))
 		probesBloom += int64(len(cands))
@@ -352,18 +353,20 @@ func IndexCompressionReport(o Options, profile string, countersPerClient uint64)
 				falseBloom++
 			}
 		}
-		before := snapshotClient(exact, r.Client)
+		before := snapshotBrowser(sys, r.Client)
 		sys.Access(r)
-		after := snapshotClient(exact, r.Client)
-		// Mirror this client's index delta into the Bloom filters.
-		for url := range after {
-			if !before[url] {
-				bidx.Add(r.Client, url)
+		after := snapshotBrowser(sys, r.Client)
+		// Mirror this client's index delta into the Bloom filters (the
+		// Bloom index stays URL-keyed: it hashes document names, so it
+		// needs the symbol table to spell IDs back out).
+		for doc := range after {
+			if !before[doc] {
+				bidx.Add(r.Client, tr.Syms.String(doc))
 			}
 		}
-		for url := range before {
-			if !after[url] {
-				bidx.Remove(r.Client, url)
+		for doc := range before {
+			if !after[doc] {
+				bidx.Remove(r.Client, tr.Syms.String(doc))
 			}
 		}
 	}
@@ -379,10 +382,15 @@ func IndexCompressionReport(o Options, profile string, countersPerClient uint64)
 	return t, nil
 }
 
-func snapshotClient(x *index.Index, client int) map[string]bool {
-	out := map[string]bool{}
-	for _, e := range x.ClientDocs(client) {
-		out[e.URL] = true
+// snapshotBrowser captures the set of documents client currently publishes.
+// Under the immediate index mode this experiment runs, the exact directory
+// mirrors the browser cache one-to-one, and reading the cache is O(cached
+// docs) where Index.ClientDocs would scan every document slot.
+func snapshotBrowser(s *core.System, client int) map[intern.ID]bool {
+	ids := s.Browser(client).IDs()
+	out := make(map[intern.ID]bool, len(ids))
+	for _, id := range ids {
+		out[id] = true
 	}
 	return out
 }
@@ -401,6 +409,7 @@ func coreConfigFor(st *trace.Stats, c SimConfig) core.Config {
 	return core.Config{
 		Organization:        core.BrowsersAware,
 		NumClients:          st.NumClients,
+		NumDocs:             st.UniqueDocs,
 		ProxyCapacity:       int64(c.RelativeSize * float64(st.InfiniteCacheBytes)),
 		BrowserCapacity:     caps,
 		ProxyPolicy:         c.ProxyPolicy,

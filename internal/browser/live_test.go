@@ -210,7 +210,7 @@ func TestWatermarkTamperDetectionFetchForward(t *testing.T) {
 	if st.TamperRejected == 0 {
 		t.Fatal("proxy did not record the tamper rejection")
 	}
-	if c.proxy.Index().Has(c.agents[0].ID(), u) {
+	if c.proxy.Index().Has(c.agents[0].ID(), c.proxy.Syms().Intern(u)) {
 		t.Fatal("tampering holder still indexed for the doc")
 	}
 }
@@ -248,7 +248,7 @@ func TestWatermarkTamperDetectionDirectForward(t *testing.T) {
 	if m := c.agents[1].Snapshot(); m.TamperSeen != 1 {
 		t.Fatalf("TamperSeen = %d", m.TamperSeen)
 	}
-	if c.proxy.Index().Has(c.agents[0].ID(), u) {
+	if c.proxy.Index().Has(c.agents[0].ID(), c.proxy.Syms().Intern(u)) {
 		t.Fatal("reported holder still indexed")
 	}
 }
@@ -260,13 +260,13 @@ func TestInvalidationRemovesIndexEntry(t *testing.T) {
 	if _, _, err := c.agents[0].Get(ctx, u); err != nil {
 		t.Fatal(err)
 	}
-	if !c.proxy.Index().Has(c.agents[0].ID(), u) {
+	if !c.proxy.Index().Has(c.agents[0].ID(), c.proxy.Syms().Intern(u)) {
 		t.Fatal("index entry missing after fetch")
 	}
 	if !c.agents[0].Evict(u) {
 		t.Fatal("Evict = false")
 	}
-	if c.proxy.Index().Has(c.agents[0].ID(), u) {
+	if c.proxy.Index().Has(c.agents[0].ID(), c.proxy.Syms().Intern(u)) {
 		t.Fatal("index entry survived invalidation")
 	}
 }
@@ -285,7 +285,7 @@ func TestCapacityEvictionSendsInvalidation(t *testing.T) {
 	if c.agents[0].HasCached(u1) {
 		t.Fatal("u1 should have been evicted")
 	}
-	if c.proxy.Index().Has(c.agents[0].ID(), u1) {
+	if c.proxy.Index().Has(c.agents[0].ID(), c.proxy.Syms().Intern(u1)) {
 		t.Fatal("index entry for evicted doc not invalidated")
 	}
 	if c.proxy.Index().Len() != 2 {
@@ -306,7 +306,7 @@ func TestPeriodicIndexSync(t *testing.T) {
 	}
 	// One insert into an empty cache immediately crosses the threshold
 	// (1 change ≥ 0.9·1 resident) → a sync must have happened.
-	if !c.proxy.Index().Has(c.agents[0].ID(), u) {
+	if !c.proxy.Index().Has(c.agents[0].ID(), c.proxy.Syms().Intern(u)) {
 		t.Fatal("periodic sync did not publish the directory")
 	}
 	// Subsequent inserts stay below the threshold until enough changes
@@ -320,7 +320,7 @@ func TestPeriodicIndexSync(t *testing.T) {
 		t.Fatalf("IndexSyncs = %d", m.IndexSyncs)
 	}
 	c.agents[0].SyncIndexNow()
-	if !c.proxy.Index().Has(c.agents[0].ID(), u2) {
+	if !c.proxy.Index().Has(c.agents[0].ID(), c.proxy.Syms().Intern(u2)) {
 		t.Fatal("forced sync did not publish u2")
 	}
 }

@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"baps/internal/intern"
+)
+
+// TestIDCacheEquivalence drives the string-keyed and ID-keyed caches with an
+// identical random operation stream for every policy and asserts identical
+// observable behavior: hits, admissions, eviction sets and order, residency,
+// byte accounting, and eviction-callback streams. This is the substrate-level
+// guarantee behind the simulator's bit-identical golden results.
+func TestIDCacheEquivalence(t *testing.T) {
+	const (
+		numDocs  = 96
+		capacity = 40 << 10
+		ops      = 6000
+	)
+	for _, pol := range []Policy{LRU, FIFO, LFU, SIZE, GDSF} {
+		t.Run(pol.String(), func(t *testing.T) {
+			var sEvicts, idEvicts []string
+			sc := MustNew(pol, capacity, Options{OnEvict: func(d Doc) {
+				sEvicts = append(sEvicts, fmt.Sprintf("%s/%d/%d", d.Key, d.Size, d.Version))
+			}})
+			syms := intern.NewTable(numDocs)
+			ic := MustNewID(pol, capacity, IDOptions{OnEvict: func(d IDDoc) {
+				idEvicts = append(idEvicts, fmt.Sprintf("%s/%d/%d", syms.String(d.ID), d.Size, d.Version))
+			}})
+			keys := make([]string, numDocs)
+			sizes := make([]int64, numDocs)
+			rng := rand.New(rand.NewSource(7))
+			for i := range keys {
+				keys[i] = fmt.Sprintf("http://eq/doc%d", i)
+				sizes[i] = 512 + rng.Int63n(4096)
+				syms.Intern(keys[i])
+			}
+			for op := 0; op < ops; op++ {
+				k := rng.Intn(numDocs)
+				id := intern.ID(k)
+				switch rng.Intn(10) {
+				case 0: // Remove
+					if got, want := ic.Remove(id), sc.Remove(keys[k]); got != want {
+						t.Fatalf("op %d: Remove(%s) = %v, string cache says %v", op, keys[k], got, want)
+					}
+				case 1, 2, 3: // Get
+					sd, sok := sc.Get(keys[k])
+					idd, iok := ic.Get(id)
+					if sok != iok || (sok && (sd.Size != idd.Size || sd.Version != idd.Version)) {
+						t.Fatalf("op %d: Get(%s) diverged: string (%+v,%v) id (%+v,%v)", op, keys[k], sd, sok, idd, iok)
+					}
+				case 4: // Peek
+					sd, sok := sc.Peek(keys[k])
+					idd, iok := ic.Peek(id)
+					if sok != iok || (sok && sd.Size != idd.Size) {
+						t.Fatalf("op %d: Peek(%s) diverged", op, keys[k])
+					}
+				default: // Put, occasionally as a new version with a new size
+					ver := int64(0)
+					if rng.Intn(20) == 0 {
+						ver = rng.Int63n(4)
+						sizes[k] = 512 + rng.Int63n(4096)
+					}
+					sEv, sAdm := sc.Put(Doc{Key: keys[k], Size: sizes[k], Version: ver})
+					iEv, iAdm := ic.Put(IDDoc{ID: id, Size: sizes[k], Version: ver})
+					if sAdm != iAdm {
+						t.Fatalf("op %d: Put(%s) admitted %v vs %v", op, keys[k], sAdm, iAdm)
+					}
+					if len(sEv) != len(iEv) {
+						t.Fatalf("op %d: Put(%s) evicted %d vs %d docs", op, keys[k], len(sEv), len(iEv))
+					}
+					for i := range sEv {
+						if sEv[i].Key != syms.String(iEv[i].ID) || sEv[i].Size != iEv[i].Size {
+							t.Fatalf("op %d: eviction %d diverged: %q/%d vs %q/%d",
+								op, i, sEv[i].Key, sEv[i].Size, syms.String(iEv[i].ID), iEv[i].Size)
+						}
+					}
+				}
+				if sc.Len() != ic.Len() || sc.Used() != ic.Used() {
+					t.Fatalf("op %d: accounting diverged: len %d/%d used %d/%d",
+						op, sc.Len(), ic.Len(), sc.Used(), ic.Used())
+				}
+			}
+			sKeys, iIDs := sc.Keys(), ic.IDs()
+			if len(sKeys) != len(iIDs) {
+				t.Fatalf("final eviction order length: %d vs %d", len(sKeys), len(iIDs))
+			}
+			for i := range sKeys {
+				if sKeys[i] != syms.String(iIDs[i]) {
+					t.Fatalf("eviction order diverged at %d: %q vs %q", i, sKeys[i], syms.String(iIDs[i]))
+				}
+			}
+			if len(sEvicts) != len(idEvicts) {
+				t.Fatalf("callback streams: %d vs %d evictions", len(sEvicts), len(idEvicts))
+			}
+			for i := range sEvicts {
+				if sEvicts[i] != idEvicts[i] {
+					t.Fatalf("callback %d diverged: %s vs %s", i, sEvicts[i], idEvicts[i])
+				}
+			}
+		})
+	}
+}
+
+// TestIDTwoTierEquivalence mirrors the two-tier wrapper against its
+// string-keyed counterpart, including tier classification.
+func TestIDTwoTierEquivalence(t *testing.T) {
+	const (
+		numDocs = 64
+		cap     = 48 << 10
+		memCap  = 8 << 10
+		ops     = 4000
+	)
+	st, err := NewTwoTier(LRU, cap, memCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewIDTwoTier(LRU, cap, memCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := intern.NewTable(numDocs)
+	keys := make([]string, numDocs)
+	rng := rand.New(rand.NewSource(11))
+	sizes := make([]int64, numDocs)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("http://tt/doc%d", i)
+		sizes[i] = 512 + rng.Int63n(2048)
+		syms.Intern(keys[i])
+	}
+	for op := 0; op < ops; op++ {
+		k := rng.Intn(numDocs)
+		id := intern.ID(k)
+		if rng.Intn(3) == 0 {
+			_, adm1 := st.Put(Doc{Key: keys[k], Size: sizes[k]})
+			_, adm2 := it.Put(IDDoc{ID: id, Size: sizes[k]})
+			if adm1 != adm2 {
+				t.Fatalf("op %d: Put admitted %v vs %v", op, adm1, adm2)
+			}
+		} else {
+			_, sTier, sok := st.GetTier(keys[k])
+			_, iTier, iok := it.GetTier(id)
+			if sok != iok || (sok && sTier != iTier) {
+				t.Fatalf("op %d: GetTier(%s) = (%v,%v) vs (%v,%v)", op, keys[k], sTier, sok, iTier, iok)
+			}
+		}
+		if st.MemoryUsed() != it.MemoryUsed() || st.Used() != it.Used() {
+			t.Fatalf("op %d: usage diverged: mem %d/%d total %d/%d",
+				op, st.MemoryUsed(), it.MemoryUsed(), st.Used(), it.Used())
+		}
+	}
+}
+
+// TestIDCacheReset verifies Reset yields a cache indistinguishable from a
+// fresh one while retaining backing storage.
+func TestIDCacheReset(t *testing.T) {
+	for _, pol := range []Policy{LRU, FIFO, LFU, SIZE, GDSF} {
+		t.Run(pol.String(), func(t *testing.T) {
+			fill := func(c IDCache) {
+				for i := 0; i < 200; i++ {
+					c.Put(IDDoc{ID: intern.ID(i % 64), Size: int64(600 + i)})
+					c.Get(intern.ID(i % 7))
+				}
+			}
+			reused := MustNewID(pol, 16<<10)
+			fill(reused)
+			reused.Reset(16 << 10)
+			if reused.Len() != 0 || reused.Used() != 0 {
+				t.Fatalf("after Reset: Len=%d Used=%d", reused.Len(), reused.Used())
+			}
+			fresh := MustNewID(pol, 16<<10)
+			fill(reused)
+			fill(fresh)
+			r, f := reused.IDs(), fresh.IDs()
+			if len(r) != len(f) {
+				t.Fatalf("reused has %d docs, fresh %d", len(r), len(f))
+			}
+			for i := range r {
+				if r[i] != f[i] {
+					t.Fatalf("eviction order diverged at %d: %d vs %d", i, r[i], f[i])
+				}
+			}
+			if reused.Used() != fresh.Used() {
+				t.Fatalf("used %d vs %d", reused.Used(), fresh.Used())
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"fmt"
+
+	"baps/internal/intern"
+)
+
+// IDDoc is the interned-ID counterpart of Doc: the document is identified by
+// a dense intern.ID instead of its URL string. The simulator's hot path uses
+// IDDoc end-to-end so cache probes never hash a URL.
+type IDDoc struct {
+	ID      intern.ID
+	Size    int64
+	Version int64
+}
+
+// IDEvictFunc observes capacity evictions from an ID-keyed cache. It must
+// not call back into the cache.
+type IDEvictFunc func(IDDoc)
+
+// IDOptions configures a cache constructed by NewID.
+type IDOptions struct {
+	// OnEvict, if non-nil, is invoked for every document evicted to make
+	// room (not for Remove or for replaced versions of the same ID).
+	OnEvict IDEvictFunc
+}
+
+// IDCache is the interned-ID counterpart of Cache. Semantics match Cache
+// method-for-method (same policies, same eviction order, same replacement
+// behavior), with two deviations made for the allocation-free hot path:
+//
+//   - Put returns an eviction slice that is reused by the next Put on the
+//     same cache; callers must consume (or copy) it before calling Put again.
+//   - Reset empties the cache in place, retaining allocated capacity, so
+//     sweep workers can replay many configurations without re-growing the
+//     backing arrays.
+type IDCache interface {
+	// Get looks up a document and applies the policy's reference update.
+	Get(id intern.ID) (doc IDDoc, ok bool)
+
+	// Peek looks up a document without updating replacement state.
+	Peek(id intern.ID) (doc IDDoc, ok bool)
+
+	// Put inserts or replaces a document, evicting as needed. The returned
+	// slice is valid only until the next Put call.
+	Put(doc IDDoc) (evicted []IDDoc, admitted bool)
+
+	// Remove deletes a document if resident, reporting whether it was.
+	// Removal does not invoke the eviction callback.
+	Remove(id intern.ID) bool
+
+	// Len reports the number of resident documents.
+	Len() int
+
+	// Used reports the resident bytes.
+	Used() int64
+
+	// Capacity reports the configured capacity in bytes.
+	Capacity() int64
+
+	// Policy reports the replacement policy.
+	Policy() Policy
+
+	// IDs returns the resident document IDs in eviction order (the first
+	// is the next victim). It allocates; for tests and diagnostics.
+	IDs() []intern.ID
+
+	// Reset empties the cache and sets a new capacity, keeping allocated
+	// backing storage for reuse.
+	Reset(capacity int64)
+}
+
+// NewID builds an ID-keyed cache with the given policy and capacity in
+// bytes. Zero capacity admits nothing, as in New.
+func NewID(policy Policy, capacity int64, opts ...IDOptions) (IDCache, error) {
+	if capacity < 0 {
+		return nil, ErrCapacity
+	}
+	var o IDOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	switch policy {
+	case LRU:
+		return newIDListCache(capacity, true, o), nil
+	case FIFO:
+		return newIDListCache(capacity, false, o), nil
+	case LFU, SIZE, GDSF:
+		return newIDHeapCache(policy, capacity, o), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %v", policy)
+	}
+}
+
+// MustNewID is NewID, panicking on error.
+func MustNewID(policy Policy, capacity int64, opts ...IDOptions) IDCache {
+	c, err := NewID(policy, capacity, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,119 @@
+package cache
+
+import "baps/internal/intern"
+
+// IDTwoTier is the interned-ID counterpart of TwoTier: the §4.2 memory/disk
+// split over an IDCache, with the memory portion managed LRU by a
+// slice-backed list. Hit classification and promotion semantics match
+// TwoTier exactly.
+type IDTwoTier struct {
+	inner IDCache
+	mem   *idListCache
+}
+
+// NewIDTwoTier builds a two-tier ID-keyed cache with the given overall
+// policy, total byte capacity and memory-portion byte capacity.
+func NewIDTwoTier(policy Policy, capacity, memCapacity int64, opts ...IDOptions) (*IDTwoTier, error) {
+	if memCapacity < 0 || memCapacity > capacity {
+		return nil, ErrCapacity
+	}
+	var o IDOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	t := &IDTwoTier{mem: newIDListCache(memCapacity, true, IDOptions{})}
+	user := o.OnEvict
+	inner, err := NewID(policy, capacity, IDOptions{OnEvict: func(d IDDoc) {
+		t.mem.Remove(d.ID)
+		if user != nil {
+			user(d)
+		}
+	}})
+	if err != nil {
+		return nil, err
+	}
+	t.inner = inner
+	return t, nil
+}
+
+// GetTier looks up a document, reporting which tier served it; the document
+// is promoted to the memory tier and referenced in the underlying policy.
+func (t *IDTwoTier) GetTier(id intern.ID) (IDDoc, Tier, bool) {
+	doc, ok := t.inner.Get(id)
+	if !ok {
+		return IDDoc{}, TierDisk, false
+	}
+	tier := TierDisk
+	if _, inMem := t.mem.Peek(id); inMem {
+		tier = TierMemory
+	}
+	t.mem.Put(doc) // promote; demotions are silent
+	return doc, tier, true
+}
+
+// InMemory reports whether a resident document currently occupies the memory
+// tier, without updating any replacement state.
+func (t *IDTwoTier) InMemory(id intern.ID) bool {
+	_, ok := t.mem.Peek(id)
+	return ok
+}
+
+// MemoryCapacity reports the memory-portion capacity in bytes.
+func (t *IDTwoTier) MemoryCapacity() int64 { return t.mem.Capacity() }
+
+// MemoryUsed reports the bytes resident in the memory portion.
+func (t *IDTwoTier) MemoryUsed() int64 { return t.mem.Used() }
+
+// Get implements IDCache.
+func (t *IDTwoTier) Get(id intern.ID) (IDDoc, bool) {
+	doc, _, ok := t.GetTier(id)
+	return doc, ok
+}
+
+// Peek implements IDCache.
+func (t *IDTwoTier) Peek(id intern.ID) (IDDoc, bool) { return t.inner.Peek(id) }
+
+// Put implements IDCache. A newly admitted document passes through memory
+// first, as a freshly fetched body would. The returned slice is valid only
+// until the next Put.
+func (t *IDTwoTier) Put(doc IDDoc) ([]IDDoc, bool) {
+	evicted, admitted := t.inner.Put(doc)
+	if admitted {
+		t.mem.Put(doc)
+	}
+	return evicted, admitted
+}
+
+// Remove implements IDCache.
+func (t *IDTwoTier) Remove(id intern.ID) bool {
+	t.mem.Remove(id)
+	return t.inner.Remove(id)
+}
+
+// Len implements IDCache.
+func (t *IDTwoTier) Len() int { return t.inner.Len() }
+
+// Used implements IDCache.
+func (t *IDTwoTier) Used() int64 { return t.inner.Used() }
+
+// Capacity implements IDCache.
+func (t *IDTwoTier) Capacity() int64 { return t.inner.Capacity() }
+
+// Policy implements IDCache.
+func (t *IDTwoTier) Policy() Policy { return t.inner.Policy() }
+
+// IDs implements IDCache.
+func (t *IDTwoTier) IDs() []intern.ID { return t.inner.IDs() }
+
+// Reset implements IDCache, emptying both tiers in place. The memory-tier
+// capacity is left unchanged; use ResetTiers to change both.
+func (t *IDTwoTier) Reset(capacity int64) {
+	t.ResetTiers(capacity, t.mem.Capacity())
+}
+
+// ResetTiers empties the cache in place with explicit total and memory-tier
+// capacities, retaining allocated storage.
+func (t *IDTwoTier) ResetTiers(capacity, memCapacity int64) {
+	t.inner.Reset(capacity)
+	t.mem.Reset(memCapacity)
+}

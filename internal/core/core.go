@@ -156,6 +156,11 @@ type Config struct {
 	// NumClients is the number of browsers.
 	NumClients int
 
+	// NumDocs, when positive, pre-sizes the browser index for interned
+	// document IDs in [0, NumDocs) (the trace's distinct-document count),
+	// sparing the hot path incremental growth. Optional.
+	NumDocs int
+
 	// ProxyCapacity is the proxy cache size in bytes (ignored when the
 	// organization has no proxy).
 	ProxyCapacity int64
@@ -279,12 +284,16 @@ type Outcome struct {
 // System per goroutine.
 type System struct {
 	cfg      Config
-	proxy    *cache.TwoTier
-	parent   *cache.TwoTier
-	browsers []*cache.TwoTier
+	proxy    *cache.IDTwoTier
+	parent   *cache.IDTwoTier
+	browsers []*cache.IDTwoTier
 	idx      *index.Index
 	pubs     []*index.Publisher
 	now      float64
+
+	// ordBuf is the reused holder-candidate buffer for remoteLookup, so a
+	// proxy miss costs no allocation.
+	ordBuf []index.Entry
 }
 
 // New builds a System from cfg.
@@ -295,10 +304,13 @@ func New(cfg Config) (*System, error) {
 	s := &System{cfg: cfg}
 	if cfg.Organization.hasIndex() {
 		s.idx = index.New(cfg.IndexStrategy)
+		if cfg.NumDocs > 0 {
+			s.idx.Grow(cfg.NumDocs)
+		}
 	}
 	if cfg.Organization.hasProxy() {
 		mem := int64(float64(cfg.ProxyCapacity) * cfg.MemFraction)
-		p, err := cache.NewTwoTier(cfg.ProxyPolicy, cfg.ProxyCapacity, mem)
+		p, err := cache.NewIDTwoTier(cfg.ProxyPolicy, cfg.ProxyCapacity, mem)
 		if err != nil {
 			return nil, fmt.Errorf("core: proxy cache: %w", err)
 		}
@@ -306,14 +318,14 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.ParentCapacity > 0 {
 		mem := int64(float64(cfg.ParentCapacity) * cfg.MemFraction)
-		p, err := cache.NewTwoTier(cfg.ProxyPolicy, cfg.ParentCapacity, mem)
+		p, err := cache.NewIDTwoTier(cfg.ProxyPolicy, cfg.ParentCapacity, mem)
 		if err != nil {
 			return nil, fmt.Errorf("core: parent cache: %w", err)
 		}
 		s.parent = p
 	}
 	if cfg.Organization.hasLocal() {
-		s.browsers = make([]*cache.TwoTier, cfg.NumClients)
+		s.browsers = make([]*cache.IDTwoTier, cfg.NumClients)
 		if s.idx != nil {
 			s.pubs = make([]*index.Publisher, cfg.NumClients)
 		}
@@ -325,20 +337,20 @@ func New(cfg Config) (*System, error) {
 			i := i
 			capacity := cfg.BrowserCapacity[i]
 			mem := int64(float64(capacity) * browserMem)
-			var opts cache.Options
+			var opts cache.IDOptions
 			if s.idx != nil {
 				pub, err := index.NewPublisher(s.idx, i, cfg.IndexMode, cfg.IndexThreshold)
 				if err != nil {
 					return nil, err
 				}
 				s.pubs[i] = pub
-				opts.OnEvict = func(d cache.Doc) {
+				opts.OnEvict = func(d cache.IDDoc) {
 					// Browser cache capacity eviction → §2
 					// invalidation message (or batched change).
-					pub.OnEvict(d.Key, s.browsers[i].Len())
+					pub.OnEvict(d.ID, s.browsers[i].Len())
 				}
 			}
-			b, err := cache.NewTwoTier(cfg.BrowserPolicy, capacity, mem, opts)
+			b, err := cache.NewIDTwoTier(cfg.BrowserPolicy, capacity, mem, opts)
 			if err != nil {
 				return nil, fmt.Errorf("core: browser cache %d: %w", i, err)
 			}
@@ -357,7 +369,7 @@ func (s *System) Access(r trace.Request) Outcome {
 	// 1. Local browser cache.
 	if s.cfg.Organization.hasLocal() {
 		b := s.browsers[r.Client]
-		if doc, tier, ok := b.GetTier(r.URL); ok {
+		if doc, tier, ok := b.GetTier(r.Doc); ok {
 			if doc.Size == r.Size {
 				out.Class = HitLocalBrowser
 				out.Tier = tier
@@ -365,16 +377,16 @@ func (s *System) Access(r trace.Request) Outcome {
 			}
 			// Modified at the origin: unusable copy (§3.2).
 			out.StaleLocal = true
-			b.Remove(r.URL)
+			b.Remove(r.Doc)
 			if s.pubs != nil {
-				s.pubs[r.Client].OnEvict(r.URL, b.Len())
+				s.pubs[r.Client].OnEvict(r.Doc, b.Len())
 			}
 		}
 	}
 
 	// 2. Proxy cache.
 	if s.cfg.Organization.hasProxy() {
-		if doc, tier, ok := s.proxy.GetTier(r.URL); ok {
+		if doc, tier, ok := s.proxy.GetTier(r.Doc); ok {
 			if doc.Size == r.Size {
 				out.Class = HitProxy
 				out.Tier = tier
@@ -382,7 +394,7 @@ func (s *System) Access(r trace.Request) Outcome {
 				return out
 			}
 			out.StaleProxy = true
-			s.proxy.Remove(r.URL)
+			s.proxy.Remove(r.Doc)
 		}
 	}
 
@@ -396,7 +408,7 @@ func (s *System) Access(r trace.Request) Outcome {
 			out.Tier = tier
 			if s.cfg.Organization == BrowsersAware {
 				if s.cfg.ForwardMode == FetchForward && s.cfg.ProxyCachesPeerDocs {
-					s.proxy.Put(cache.Doc{Key: r.URL, Size: r.Size})
+					s.proxy.Put(cache.IDDoc{ID: r.Doc, Size: r.Size})
 				}
 				if s.cfg.CacheRemoteHits {
 					s.deliverToBrowser(r)
@@ -410,25 +422,25 @@ func (s *System) Access(r trace.Request) Outcome {
 
 	// 4. Upper-level (parent) proxy, when configured.
 	if s.parent != nil {
-		if doc, tier, ok := s.parent.GetTier(r.URL); ok && doc.Size == r.Size {
+		if doc, tier, ok := s.parent.GetTier(r.Doc); ok && doc.Size == r.Size {
 			out.Class = HitParent
 			out.Tier = tier
 			if s.cfg.Organization.hasProxy() {
-				s.proxy.Put(cache.Doc{Key: r.URL, Size: r.Size})
+				s.proxy.Put(cache.IDDoc{ID: r.Doc, Size: r.Size})
 			}
 			s.deliverToBrowser(r)
 			return out
 		} else if ok {
-			s.parent.Remove(r.URL)
+			s.parent.Remove(r.Doc)
 		}
 	}
 
 	// 5. Origin fetch.
 	if s.parent != nil {
-		s.parent.Put(cache.Doc{Key: r.URL, Size: r.Size})
+		s.parent.Put(cache.IDDoc{ID: r.Doc, Size: r.Size})
 	}
 	if s.cfg.Organization.hasProxy() {
-		s.proxy.Put(cache.Doc{Key: r.URL, Size: r.Size})
+		s.proxy.Put(cache.IDDoc{ID: r.Doc, Size: r.Size})
 	}
 	s.deliverToBrowser(r)
 	return out
@@ -441,10 +453,10 @@ func (s *System) deliverToBrowser(r trace.Request) {
 		return
 	}
 	b := s.browsers[r.Client]
-	_, admitted := b.Put(cache.Doc{Key: r.URL, Size: r.Size})
+	_, admitted := b.Put(cache.IDDoc{ID: r.Doc, Size: r.Size})
 	if admitted && s.pubs != nil {
 		e := index.Entry{
-			URL:   r.URL,
+			Doc:   r.Doc,
 			Size:  r.Size,
 			Stamp: s.now,
 		}
@@ -455,31 +467,90 @@ func (s *System) deliverToBrowser(r trace.Request) {
 	}
 }
 
-// remoteLookup walks the index's preferred holders for r.URL, contacting
+// remoteLookup walks the index's preferred holders for r.Doc, contacting
 // each until one actually holds a current copy. Stale index entries (only
 // possible under the periodic protocol, or after origin-side modification)
-// are pruned and counted as false hits when a contact was wasted.
+// are pruned and counted as false hits when a contact was wasted. The
+// candidate list lands in the system's reused scratch buffer, so the walk
+// performs no allocation.
 func (s *System) remoteLookup(r trace.Request) (provider int, tier cache.Tier, falseHits int, ok bool) {
 	now := 0.0
 	if s.cfg.DocTTLSec > 0 {
 		now = s.now
 	}
-	for _, e := range s.idx.OrderedAt(r.URL, r.Client, now) {
+	s.ordBuf = s.idx.AppendOrdered(s.ordBuf[:0], r.Doc, r.Client, now)
+	for _, e := range s.ordBuf {
 		if e.Size != r.Size {
 			// The index itself proves the holder's copy predates the
 			// modification; no contact is wasted.
 			continue
 		}
-		doc, t, found := s.browsers[e.Client].GetTier(r.URL)
+		doc, t, found := s.browsers[e.Client].GetTier(r.Doc)
 		if found && doc.Size == r.Size {
 			s.idx.AccountServe(e.Client)
 			return e.Client, t, falseHits, true
 		}
 		// Contacted a browser that no longer has a usable copy.
 		falseHits++
-		s.idx.Remove(e.Client, r.URL)
+		s.idx.Remove(e.Client, r.Doc)
 	}
 	return -1, cache.TierDisk, falseHits, false
+}
+
+// Reset re-arms the system for a fresh replay under cfg, reusing the
+// allocated cache, index, and publisher storage in place. It reports false —
+// leaving the system untouched — when cfg's structure is incompatible with
+// the one the system was built with (different organization, client count,
+// replacement policies, index mode or strategy, or parent presence); the
+// caller then builds a new System. Capacities, memory fractions, thresholds,
+// TTLs, and forwarding flags may all change freely, which covers the sweep
+// drivers' per-point variation.
+func (s *System) Reset(cfg Config) bool {
+	if err := cfg.Validate(); err != nil {
+		return false
+	}
+	old := &s.cfg
+	if cfg.Organization != old.Organization ||
+		cfg.NumClients != old.NumClients ||
+		cfg.ProxyPolicy != old.ProxyPolicy ||
+		cfg.BrowserPolicy != old.BrowserPolicy ||
+		cfg.IndexMode != old.IndexMode ||
+		cfg.IndexStrategy != old.IndexStrategy ||
+		(cfg.ParentCapacity > 0) != (old.ParentCapacity > 0) {
+		return false
+	}
+	if s.proxy != nil {
+		mem := int64(float64(cfg.ProxyCapacity) * cfg.MemFraction)
+		s.proxy.ResetTiers(cfg.ProxyCapacity, mem)
+	}
+	if s.parent != nil {
+		mem := int64(float64(cfg.ParentCapacity) * cfg.MemFraction)
+		s.parent.ResetTiers(cfg.ParentCapacity, mem)
+	}
+	if s.browsers != nil {
+		browserMem := cfg.BrowserMemFraction
+		if browserMem == 0 {
+			browserMem = cfg.MemFraction
+		}
+		for i, b := range s.browsers {
+			capacity := cfg.BrowserCapacity[i]
+			b.ResetTiers(capacity, int64(float64(capacity)*browserMem))
+		}
+	}
+	if s.idx != nil {
+		s.idx.Reset()
+		if cfg.NumDocs > 0 {
+			s.idx.Grow(cfg.NumDocs)
+		}
+	}
+	for _, p := range s.pubs {
+		if p != nil {
+			p.Reset(cfg.IndexThreshold)
+		}
+	}
+	s.cfg = cfg
+	s.now = 0
+	return true
 }
 
 // FlushIndex forces all pending periodic index updates through (end-of-run
@@ -493,14 +564,14 @@ func (s *System) FlushIndex() {
 }
 
 // Proxy exposes the proxy cache (nil when the organization has none).
-func (s *System) Proxy() *cache.TwoTier { return s.proxy }
+func (s *System) Proxy() *cache.IDTwoTier { return s.proxy }
 
 // Parent exposes the upper-level proxy cache (nil unless configured).
-func (s *System) Parent() *cache.TwoTier { return s.parent }
+func (s *System) Parent() *cache.IDTwoTier { return s.parent }
 
 // Browser exposes client i's browser cache (nil when the organization has
 // none).
-func (s *System) Browser(i int) *cache.TwoTier {
+func (s *System) Browser(i int) *cache.IDTwoTier {
 	if s.browsers == nil {
 		return nil
 	}

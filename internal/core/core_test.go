@@ -5,8 +5,14 @@ import (
 
 	"baps/internal/cache"
 	"baps/internal/index"
+	"baps/internal/intern"
 	"baps/internal/trace"
 )
+
+// testSyms interns test URLs to document IDs, as the trace loader would.
+var testSyms = intern.NewTable(0)
+
+func did(url string) intern.ID { return testSyms.Intern(url) }
 
 // cfg builds a small BrowsersAware config; tests mutate as needed.
 func cfg(org Organization, clients int, proxyCap, browserCap int64) Config {
@@ -40,7 +46,7 @@ func mustNew(t *testing.T, c Config) *System {
 }
 
 func req(tm float64, client int, url string, size int64) trace.Request {
-	return trace.Request{Time: tm, Client: client, URL: url, Size: size}
+	return trace.Request{Time: tm, Client: client, URL: url, Doc: did(url), Size: size}
 }
 
 func TestOrganizationNames(t *testing.T) {
@@ -138,7 +144,7 @@ func TestGlobalBrowsersFlowAndNoPeerCaching(t *testing.T) {
 	if out.Class != HitRemoteBrowser {
 		t.Fatalf("second access should be remote again, got %v", out.Class)
 	}
-	if _, ok := s.Browser(1).Peek("u"); ok {
+	if _, ok := s.Browser(1).Peek(did("u")); ok {
 		t.Fatal("peer-fetched doc cached in requester's browser (forbidden)")
 	}
 }
@@ -170,7 +176,7 @@ func TestBrowsersAwareRemoteHit(t *testing.T) {
 		t.Fatalf("expected remote-browser hit from client 0: %+v", out)
 	}
 	// FetchForward + ProxyCachesPeerDocs: the proxy now has u again.
-	if _, ok := s.Proxy().Peek("u"); !ok {
+	if _, ok := s.Proxy().Peek(did("u")); !ok {
 		t.Fatal("fetch-forward did not repopulate the proxy cache")
 	}
 	// CacheRemoteHits: requester's browser has it → local hit next.
@@ -189,7 +195,7 @@ func TestBrowsersAwareDirectForwardSkipsProxy(t *testing.T) {
 	if out.Class != HitRemoteBrowser {
 		t.Fatalf("remote hit expected: %v", out.Class)
 	}
-	if _, ok := s.Proxy().Peek("u"); ok {
+	if _, ok := s.Proxy().Peek(did("u")); ok {
 		t.Fatal("direct-forward must not populate the proxy cache")
 	}
 }
@@ -203,7 +209,7 @@ func TestBrowsersAwareNoCacheRemoteHitsOption(t *testing.T) {
 	if out := s.Access(req(2, 1, "u", 100)); out.Class != HitRemoteBrowser {
 		t.Fatalf("remote hit expected: %v", out.Class)
 	}
-	if _, ok := s.Browser(1).Peek("u"); ok {
+	if _, ok := s.Browser(1).Peek(did("u")); ok {
 		t.Fatal("CacheRemoteHits=false but requester cached the doc")
 	}
 }
@@ -256,8 +262,8 @@ func TestStaleIndexFalseHits(t *testing.T) {
 	s.Access(req(0, 0, "u", 100)) // client 0 caches u; index records it
 	// Simulate an unflushed eviction: drop u from the browser cache
 	// without an invalidation message (Remove bypasses OnEvict).
-	s.Browser(0).Remove("u")
-	if !s.Index().Has(0, "u") {
+	s.Browser(0).Remove(did("u"))
+	if !s.Index().Has(0, did("u")) {
 		t.Fatal("test setup: index entry should still exist")
 	}
 	out := s.Access(req(1, 1, "u", 100))
@@ -268,7 +274,7 @@ func TestStaleIndexFalseHits(t *testing.T) {
 		t.Fatalf("FalseIndexHits = %d, want 1", out.FalseIndexHits)
 	}
 	// The wasted contact prunes the entry.
-	if s.Index().Has(0, "u") {
+	if s.Index().Has(0, did("u")) {
 		t.Fatal("stale entry not pruned after false hit")
 	}
 }
@@ -280,7 +286,7 @@ func TestRemoteLookupFallsThroughStaleToGoodHolder(t *testing.T) {
 	s.Access(req(0, 1, "u", 100)) // client 1 caches u (stamp 0)
 	s.Access(req(1, 2, "u", 100)) // remote hit; client 2 caches u (stamp 1)
 	// Client 2 (the most recent holder) silently loses its copy.
-	s.Browser(2).Remove("u")
+	s.Browser(2).Remove(did("u"))
 	out := s.Access(req(2, 0, "u", 100))
 	if out.Class != HitRemoteBrowser {
 		t.Fatalf("expected remote hit via fallback, got %v (false hits %d)", out.Class, out.FalseIndexHits)

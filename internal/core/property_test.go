@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"baps/internal/index"
+	"baps/internal/intern"
 	"baps/internal/trace"
 )
 
@@ -25,16 +26,18 @@ func TestQuickImmediateIndexMirrorsBrowsers(t *testing.T) {
 		tm := 0.0
 		for i := 0; i < 600; i++ {
 			tm += rng.Float64()
+			u := fmt.Sprintf("u%d", rng.Intn(30))
 			s.Access(trace.Request{
 				Time:   tm,
 				Client: rng.Intn(clients),
-				URL:    fmt.Sprintf("u%d", rng.Intn(30)),
+				URL:    u,
+				Doc:    did(u),
 				Size:   int64(rng.Intn(400) + 50),
 			})
 		}
 		for ci := 0; ci < clients; ci++ {
-			cached := map[string]bool{}
-			for _, k := range s.Browser(ci).Keys() {
+			cached := map[intern.ID]bool{}
+			for _, k := range s.Browser(ci).IDs() {
 				cached[k] = true
 			}
 			docs := s.Index().ClientDocs(ci)
@@ -43,12 +46,12 @@ func TestQuickImmediateIndexMirrorsBrowsers(t *testing.T) {
 				return false
 			}
 			for _, e := range docs {
-				if !cached[e.URL] {
-					t.Errorf("seed %d client %d: index lists %q not in cache", seed, ci, e.URL)
+				if !cached[e.Doc] {
+					t.Errorf("seed %d client %d: index lists doc %d not in cache", seed, ci, e.Doc)
 					return false
 				}
 				// Entry metadata matches the cached document.
-				if d, ok := s.Browser(ci).Peek(e.URL); !ok || d.Size != e.Size {
+				if d, ok := s.Browser(ci).Peek(e.Doc); !ok || d.Size != e.Size {
 					t.Errorf("seed %d client %d: index size %d vs cache %v", seed, ci, e.Size, d)
 					return false
 				}
@@ -81,10 +84,12 @@ func TestQuickBAPSNeverLosesToPALB(t *testing.T) {
 			tm := 0.0
 			for i := 0; i < 800; i++ {
 				tm += r2.Float64()
+				u := fmt.Sprintf("u%d", r2.Intn(40))
 				out := s.Access(trace.Request{
 					Time:   tm,
 					Client: r2.Intn(clients),
-					URL:    fmt.Sprintf("u%d", r2.Intn(40)),
+					URL:    u,
+					Doc:    did(u),
 					Size:   int64(r2.Intn(300) + 20),
 				})
 				if out.Class != Miss {
@@ -119,25 +124,26 @@ func TestQuickPeriodicConvergesAfterFlush(t *testing.T) {
 		tm := 0.0
 		for i := 0; i < 400; i++ {
 			tm += rng.Float64()
+			u := fmt.Sprintf("u%d", rng.Intn(25))
 			s.Access(trace.Request{
 				Time: tm, Client: rng.Intn(clients),
-				URL: fmt.Sprintf("u%d", rng.Intn(25)), Size: int64(rng.Intn(300) + 20),
+				URL: u, Doc: did(u), Size: int64(rng.Intn(300) + 20),
 			})
 		}
 		s.FlushIndex()
 		for ci := 0; ci < clients; ci++ {
-			inIndex := map[string]bool{}
+			inIndex := map[intern.ID]bool{}
 			for _, e := range s.Index().ClientDocs(ci) {
-				inIndex[e.URL] = true
+				inIndex[e.Doc] = true
 			}
-			keys := s.Browser(ci).Keys()
-			if len(keys) != len(inIndex) {
-				t.Errorf("seed %d client %d: %d cached vs %d indexed after flush", seed, ci, len(keys), len(inIndex))
+			ids := s.Browser(ci).IDs()
+			if len(ids) != len(inIndex) {
+				t.Errorf("seed %d client %d: %d cached vs %d indexed after flush", seed, ci, len(ids), len(inIndex))
 				return false
 			}
-			for _, k := range keys {
+			for _, k := range ids {
 				if !inIndex[k] {
-					t.Errorf("seed %d client %d: %q cached but unindexed after flush", seed, ci, k)
+					t.Errorf("seed %d client %d: doc %d cached but unindexed after flush", seed, ci, k)
 					return false
 				}
 			}

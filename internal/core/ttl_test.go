@@ -16,8 +16,8 @@ func TestDocTTLExpiresRemoteHits(t *testing.T) {
 	}
 	// Drop client 1's fresh copy so the next lookup must use client 0's
 	// (now-expired) entry.
-	s.Browser(1).Remove("u")
-	s.Index().Remove(1, "u")
+	s.Browser(1).Remove(did("u"))
+	s.Index().Remove(1, did("u"))
 
 	out = s.Access(req(150, 1, "u", 100))
 	if out.Class != Miss {

@@ -1,0 +1,182 @@
+package index
+
+import "sync"
+import "sync/atomic"
+
+// clientTable holds the per-client state of the browser index — served
+// transfer counts (least-loaded strategy), quarantine flags, and entry
+// counts. The state is client-level, not document-level, so a sharded index
+// shares one clientTable across all shards: quarantining a client hides its
+// entries in every shard, and the served counters keep least-loaded
+// selection globally consistent instead of per-shard.
+//
+// Locking: mu guards slice growth. Element reads and writes use atomics
+// under mu.RLock so concurrent holders (request goroutines sorting
+// candidates while another accounts a serve) never race. When both an index
+// shard lock and the clientTable lock are held, the shard lock is always
+// acquired first.
+type clientTable struct {
+	mu          sync.RWMutex
+	served      []int64
+	quarantined []int32 // atomic bools
+	docCount    []int64 // index entries per client, across all shards
+}
+
+func newClientTable() *clientTable { return &clientTable{} }
+
+// ensure grows the state slices to cover client. Callers must not hold mu.
+func (ct *clientTable) ensure(client int) {
+	ct.mu.Lock()
+	ct.ensureLocked(client)
+	ct.mu.Unlock()
+}
+
+func (ct *clientTable) ensureLocked(client int) {
+	if client < len(ct.served) {
+		return
+	}
+	n := client + 1
+	// Extend in place while capacity lasts: clients joining in ascending
+	// order must not trigger a reallocation (let alone a doubling) each.
+	// The capacity region of a made slice is zeroed and never written past
+	// len, so the extension starts out correctly zero.
+	if n <= cap(ct.served) {
+		ct.served = ct.served[:n]
+		ct.docCount = ct.docCount[:n]
+		ct.quarantined = ct.quarantined[:n]
+		return
+	}
+	newcap := max(2*cap(ct.served), n)
+	grow := func(s []int64) []int64 {
+		g := make([]int64, n, newcap)
+		copy(g, s)
+		return g
+	}
+	ct.served = grow(ct.served)
+	ct.docCount = grow(ct.docCount)
+	q := make([]int32, n, newcap)
+	copy(q, ct.quarantined)
+	ct.quarantined = q
+}
+
+// addDocs adjusts client's entry count by delta.
+func (ct *clientTable) addDocs(client int, delta int64) {
+	ct.mu.RLock()
+	if client < len(ct.docCount) {
+		atomic.AddInt64(&ct.docCount[client], delta)
+		ct.mu.RUnlock()
+		return
+	}
+	ct.mu.RUnlock()
+	ct.ensure(client)
+	ct.mu.RLock()
+	atomic.AddInt64(&ct.docCount[client], delta)
+	ct.mu.RUnlock()
+}
+
+func (ct *clientTable) docsOf(client int) int64 {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	if client < 0 || client >= len(ct.docCount) {
+		return 0
+	}
+	return atomic.LoadInt64(&ct.docCount[client])
+}
+
+func (ct *clientTable) accountServe(client int) {
+	ct.mu.RLock()
+	if client < len(ct.served) {
+		atomic.AddInt64(&ct.served[client], 1)
+		ct.mu.RUnlock()
+		return
+	}
+	ct.mu.RUnlock()
+	ct.ensure(client)
+	ct.mu.RLock()
+	atomic.AddInt64(&ct.served[client], 1)
+	ct.mu.RUnlock()
+}
+
+func (ct *clientTable) servedOf(client int) int64 {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return ct.servedLocked(client)
+}
+
+// servedLocked requires mu held (read or write).
+func (ct *clientTable) servedLocked(client int) int64 {
+	if client < 0 || client >= len(ct.served) {
+		return 0
+	}
+	return atomic.LoadInt64(&ct.served[client])
+}
+
+// quarLocked requires mu held (read or write).
+func (ct *clientTable) quarLocked(client int) bool {
+	if client < 0 || client >= len(ct.quarantined) {
+		return false
+	}
+	return atomic.LoadInt32(&ct.quarantined[client]) != 0
+}
+
+func (ct *clientTable) isQuarantined(client int) bool {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return ct.quarLocked(client)
+}
+
+// setQuarantined flips client's flag and returns its current entry count.
+func (ct *clientTable) setQuarantined(client int, v bool) int {
+	ct.mu.RLock()
+	if client < len(ct.quarantined) {
+		var f int32
+		if v {
+			f = 1
+		}
+		atomic.StoreInt32(&ct.quarantined[client], f)
+		n := atomic.LoadInt64(&ct.docCount[client])
+		ct.mu.RUnlock()
+		return int(n)
+	}
+	ct.mu.RUnlock()
+	if !v {
+		return 0 // never tracked: nothing to restore
+	}
+	ct.ensure(client)
+	return ct.setQuarantined(client, v)
+}
+
+// quarantinedEntries sums the entry counts of all quarantined clients.
+func (ct *clientTable) quarantinedEntries() int {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	var n int64
+	for c := range ct.quarantined {
+		if atomic.LoadInt32(&ct.quarantined[c]) != 0 {
+			n += atomic.LoadInt64(&ct.docCount[c])
+		}
+	}
+	return int(n)
+}
+
+// drop zeroes all state for a departed client.
+func (ct *clientTable) drop(client int) {
+	ct.mu.RLock()
+	if client < len(ct.served) {
+		atomic.StoreInt64(&ct.served[client], 0)
+		atomic.StoreInt32(&ct.quarantined[client], 0)
+		atomic.StoreInt64(&ct.docCount[client], 0)
+	}
+	ct.mu.RUnlock()
+}
+
+// reset empties the table in place for reuse.
+func (ct *clientTable) reset() {
+	ct.mu.Lock()
+	for i := range ct.served {
+		ct.served[i] = 0
+		ct.quarantined[i] = 0
+		ct.docCount[i] = 0
+	}
+	ct.mu.Unlock()
+}

@@ -2,12 +2,17 @@
 // browsers-aware proxy server (paper §2): a directory, kept at the proxy, of
 // every document cached in every connected client's browser cache.
 //
-// Each index item records the client machine id, the document URL (the live
-// system additionally carries a 16-byte MD5 signature), the document size,
-// and a version/time stamp. The package provides:
+// Each index item records the client machine id, the interned document ID
+// (the live system additionally carries a 16-byte MD5 signature; URL ⇄ ID
+// mapping lives in baps/internal/intern), the document size, and a
+// version/time stamp. The package provides:
 //
-//   - Index: the exact directory with by-URL and by-client views and
-//     pluggable holder-selection strategies;
+//   - Index: the exact directory, holders kept as compact client-sorted
+//     slices in a dense by-document table, with pluggable holder-selection
+//     strategies;
+//   - Sharded: the live proxy's lock-striped variant — N Index shards
+//     selected by document ID so concurrent request goroutines do not
+//     serialize on one directory lock;
 //   - Publisher: the two update protocols of §2 — immediate invalidation
 //     (add on proxy→browser send, invalidation message on eviction) and
 //     periodic batched re-synchronization (flush when more than a threshold
@@ -24,14 +29,15 @@ import (
 	"sync"
 
 	"baps/internal/bloom"
+	"baps/internal/intern"
 )
 
 // Entry is one browser-index item.
 type Entry struct {
 	// Client is the holder's client id.
 	Client int
-	// URL is the document identifier.
-	URL string
+	// Doc is the interned document ID.
+	Doc intern.ID
 	// Size is the cached body size in bytes.
 	Size int64
 	// Version is the document generation held by the client.
@@ -81,126 +87,172 @@ func (s Strategy) String() string {
 	}
 }
 
-// Index is the exact browser directory. It is safe for concurrent use; the
-// live proxy shares one Index across request goroutines, while the simulator
-// uses it single-threaded.
+// Index is the exact browser directory. Holders of each document are kept in
+// a compact slice sorted by client id, indexed by the dense document ID — no
+// per-lookup string hashing and no per-entry heap allocation. It is safe for
+// concurrent use; the live proxy stripes the directory across several shards
+// (see Sharded) while the simulator uses one Index single-threaded.
 type Index struct {
 	mu       sync.RWMutex
-	byURL    map[string]map[int]Entry
-	byClient map[int]map[string]Entry
-	served   map[int]int64 // peer transfers served, for SelectLeastLoaded
 	strategy Strategy
-	// quarantined clients keep their entries but are skipped by holder
-	// selection (Ordered/OrderedAt/Select) until unquarantined — the bulk
-	// shelve/restore the proxy's circuit breaker drives on peer churn.
-	quarantined map[int]bool
+	ct       *clientTable
+
+	// byDoc[doc] lists the holders of doc, sorted by client id. Emptied
+	// slices keep their capacity for reuse.
+	byDoc   [][]Entry
+	entries int // total entries in this index (shard)
+	docs    int // documents with at least one holder
 }
 
 // New creates an empty index with the given holder-selection strategy.
 func New(strategy Strategy) *Index {
-	return &Index{
-		byURL:       make(map[string]map[int]Entry),
-		byClient:    make(map[int]map[string]Entry),
-		served:      make(map[int]int64),
-		strategy:    strategy,
-		quarantined: make(map[int]bool),
+	return newIndex(strategy, newClientTable())
+}
+
+func newIndex(strategy Strategy, ct *clientTable) *Index {
+	return &Index{strategy: strategy, ct: ct}
+}
+
+// Grow pre-sizes the document table for IDs in [0, numDocs), sparing the
+// hot path incremental growth. The simulator calls it with the trace's
+// document count.
+func (x *Index) Grow(numDocs int) {
+	x.mu.Lock()
+	if numDocs > len(x.byDoc) {
+		grown := make([][]Entry, numDocs)
+		copy(grown, x.byDoc)
+		x.byDoc = grown
 	}
+	x.mu.Unlock()
+}
+
+func (x *Index) ensureDoc(doc intern.ID) {
+	if int(doc) < len(x.byDoc) {
+		return
+	}
+	if int(doc) < cap(x.byDoc) {
+		x.byDoc = x.byDoc[:int(doc)+1]
+		return
+	}
+	grown := make([][]Entry, int(doc)+1, max(2*cap(x.byDoc), int(doc)+1))
+	copy(grown, x.byDoc)
+	x.byDoc = grown
+}
+
+// holderPos returns the position of client within the sorted holder list,
+// and whether it is present.
+func holderPos(hs []Entry, client int) (int, bool) {
+	lo, hi := 0, len(hs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if hs[mid].Client < client {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(hs) && hs[lo].Client == client
 }
 
 // Add records (or refreshes) an entry.
 func (x *Index) Add(e Entry) {
 	x.mu.Lock()
-	defer x.mu.Unlock()
 	x.addLocked(e)
+	x.mu.Unlock()
 }
 
 func (x *Index) addLocked(e Entry) {
-	holders, ok := x.byURL[e.URL]
-	if !ok {
-		holders = make(map[int]Entry)
-		x.byURL[e.URL] = holders
+	x.ensureDoc(e.Doc)
+	hs := x.byDoc[e.Doc]
+	pos, found := holderPos(hs, e.Client)
+	if found {
+		hs[pos] = e
+		return
 	}
-	holders[e.Client] = e
-	docs, ok := x.byClient[e.Client]
-	if !ok {
-		docs = make(map[string]Entry)
-		x.byClient[e.Client] = docs
+	if len(hs) == 0 {
+		x.docs++
 	}
-	docs[e.URL] = e
+	hs = append(hs, Entry{})
+	copy(hs[pos+1:], hs[pos:])
+	hs[pos] = e
+	x.byDoc[e.Doc] = hs
+	x.entries++
+	x.ct.addDocs(e.Client, 1)
 }
 
-// Remove deletes client's entry for url (the §2 invalidation message),
+// Remove deletes client's entry for doc (the §2 invalidation message),
 // reporting whether it existed.
-func (x *Index) Remove(client int, url string) bool {
+func (x *Index) Remove(client int, doc intern.ID) bool {
 	x.mu.Lock()
-	defer x.mu.Unlock()
-	return x.removeLocked(client, url)
+	ok := x.removeLocked(client, doc)
+	x.mu.Unlock()
+	return ok
 }
 
-func (x *Index) removeLocked(client int, url string) bool {
-	holders, ok := x.byURL[url]
-	if !ok {
+func (x *Index) removeLocked(client int, doc intern.ID) bool {
+	if doc < 0 || int(doc) >= len(x.byDoc) {
 		return false
 	}
-	if _, ok := holders[client]; !ok {
+	hs := x.byDoc[doc]
+	pos, found := holderPos(hs, client)
+	if !found {
 		return false
 	}
-	delete(holders, client)
-	if len(holders) == 0 {
-		delete(x.byURL, url)
+	copy(hs[pos:], hs[pos+1:])
+	hs[len(hs)-1] = Entry{}
+	x.byDoc[doc] = hs[:len(hs)-1]
+	if len(hs) == 1 {
+		x.docs--
 	}
-	if docs, ok := x.byClient[client]; ok {
-		delete(docs, url)
-		if len(docs) == 0 {
-			delete(x.byClient, client)
-		}
-	}
+	x.entries--
+	x.ct.addDocs(client, -1)
 	return true
 }
 
-// Lookup returns all recorded holders of url, sorted by client id. The
+// Lookup returns all recorded holders of doc, sorted by client id. The
 // returned slice is a copy.
-func (x *Index) Lookup(url string) []Entry {
+func (x *Index) Lookup(doc intern.ID) []Entry {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	holders := x.byURL[url]
-	out := make([]Entry, 0, len(holders))
-	for _, e := range holders {
-		out = append(out, e)
+	if doc < 0 || int(doc) >= len(x.byDoc) {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
-	return out
+	return append([]Entry(nil), x.byDoc[doc]...)
 }
 
-// Select picks a holder for url other than requester, per the index's
+// Select picks a holder for doc other than requester, per the index's
 // strategy, and accounts one served transfer to it. ok is false when no
 // other client holds the document.
-func (x *Index) Select(url string, requester int) (Entry, bool) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	holders := x.byURL[url]
+func (x *Index) Select(doc intern.ID, requester int) (Entry, bool) {
+	x.mu.RLock()
+	x.ct.mu.RLock()
 	var best Entry
 	found := false
-	for _, e := range holders {
-		if e.Client == requester || x.quarantined[e.Client] {
-			continue
-		}
-		if !found {
-			best = e
-			found = true
-			continue
-		}
-		if x.better(e, best) {
-			best = e
+	if doc >= 0 && int(doc) < len(x.byDoc) {
+		for _, e := range x.byDoc[doc] {
+			if e.Client == requester || x.ct.quarLocked(e.Client) {
+				continue
+			}
+			if !found {
+				best = e
+				found = true
+				continue
+			}
+			if x.better(e, best) {
+				best = e
+			}
 		}
 	}
+	x.ct.mu.RUnlock()
+	x.mu.RUnlock()
 	if found {
-		x.served[best.Client]++
+		x.ct.accountServe(best.Client)
 	}
 	return best, found
 }
 
 // better reports whether a should be preferred over b under the strategy.
+// Callers must hold ct.mu (read suffices) for SelectLeastLoaded.
 func (x *Index) better(a, b Entry) bool {
 	switch x.strategy {
 	case SelectMostRecent:
@@ -209,7 +261,7 @@ func (x *Index) better(a, b Entry) bool {
 		}
 		return a.Client < b.Client
 	case SelectLeastLoaded:
-		la, lb := x.served[a.Client], x.served[b.Client]
+		la, lb := x.ct.servedLocked(a.Client), x.ct.servedLocked(b.Client)
 		if la != lb {
 			return la < lb
 		}
@@ -219,47 +271,66 @@ func (x *Index) better(a, b Entry) bool {
 	}
 }
 
-// Ordered returns all holders of url except requester, sorted by the
+// Ordered returns all holders of doc except requester, sorted by the
 // index's strategy preference (best candidate first). Unlike Select it does
 // not account a served transfer; callers that contact a candidate confirm
 // with AccountServe. This supports the stale-entry retry loop: under the
 // periodic update protocol an index entry may name a browser that already
 // evicted the document, and the proxy then tries the next candidate.
-func (x *Index) Ordered(url string, requester int) []Entry {
-	return x.OrderedAt(url, requester, 0)
+func (x *Index) Ordered(doc intern.ID, requester int) []Entry {
+	return x.OrderedAt(doc, requester, 0)
 }
 
 // OrderedAt is Ordered with TTL filtering: entries whose Expire lies at or
 // before now are omitted (now == 0 disables filtering, matching Ordered).
 // Quarantined clients' entries are omitted; OrderedQuarantined lists them.
-func (x *Index) OrderedAt(url string, requester int, now float64) []Entry {
-	return x.orderedAt(url, requester, now, false)
+func (x *Index) OrderedAt(doc intern.ID, requester int, now float64) []Entry {
+	return x.appendOrdered(nil, doc, requester, now, false)
 }
 
-// OrderedQuarantined returns the quarantined holders of url (excluding
+// AppendOrdered is the allocation-free OrderedAt: candidates are appended to
+// buf (normally a reused scratch slice with spare capacity) and the extended
+// slice is returned. The simulator's remote-lookup path calls this once per
+// proxy miss.
+func (x *Index) AppendOrdered(buf []Entry, doc intern.ID, requester int, now float64) []Entry {
+	return x.appendOrdered(buf, doc, requester, now, false)
+}
+
+// OrderedQuarantined returns the quarantined holders of doc (excluding
 // requester), sorted by strategy preference. The proxy uses it to pick
 // half-open breaker probes: a quarantined peer is skipped by OrderedAt but
 // may be probed once its breaker cooldown elapses.
-func (x *Index) OrderedQuarantined(url string, requester int) []Entry {
-	return x.orderedAt(url, requester, 0, true)
+func (x *Index) OrderedQuarantined(doc intern.ID, requester int) []Entry {
+	return x.appendOrdered(nil, doc, requester, 0, true)
 }
 
-func (x *Index) orderedAt(url string, requester int, now float64, quarantined bool) []Entry {
+func (x *Index) appendOrdered(buf []Entry, doc intern.ID, requester int, now float64, quarantined bool) []Entry {
 	x.mu.RLock()
-	defer x.mu.RUnlock()
-	holders := x.byURL[url]
-	out := make([]Entry, 0, len(holders))
-	for _, e := range holders {
-		if e.Client == requester || x.quarantined[e.Client] != quarantined {
-			continue
+	x.ct.mu.RLock()
+	start := len(buf)
+	if doc >= 0 && int(doc) < len(x.byDoc) {
+		for _, e := range x.byDoc[doc] {
+			if e.Client == requester || x.ct.quarLocked(e.Client) != quarantined {
+				continue
+			}
+			if now != 0 && e.expired(now) {
+				continue
+			}
+			buf = append(buf, e)
 		}
-		if now != 0 && e.expired(now) {
-			continue
-		}
-		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return x.better(out[i], out[j]) })
-	return out
+	// Insertion sort by strategy preference: holder lists are short, the
+	// input is already client-sorted (better's final tie-break), and
+	// unlike sort.Slice this allocates nothing.
+	out := buf[start:]
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && x.better(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	x.ct.mu.RUnlock()
+	x.mu.RUnlock()
+	return buf
 }
 
 // Quarantine shelves every entry of client in one step: the entries stay
@@ -268,38 +339,24 @@ func (x *Index) orderedAt(url string, requester int, now float64, quarantined bo
 // the one-URL-at-a-time Remove death spiral when a peer's circuit breaker
 // trips.
 func (x *Index) Quarantine(client int) int {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	x.quarantined[client] = true
-	return len(x.byClient[client])
+	return x.ct.setQuarantined(client, true)
 }
 
 // Unquarantine re-admits client's entries in one step, returning how many
 // became visible again.
 func (x *Index) Unquarantine(client int) int {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	delete(x.quarantined, client)
-	return len(x.byClient[client])
+	return x.ct.setQuarantined(client, false)
 }
 
 // Quarantined reports whether client is currently quarantined.
 func (x *Index) Quarantined(client int) bool {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.quarantined[client]
+	return x.ct.isQuarantined(client)
 }
 
 // QuarantinedEntries reports the total number of shelved entries across all
 // quarantined clients (a /stats gauge).
 func (x *Index) QuarantinedEntries() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	n := 0
-	for client := range x.quarantined {
-		n += len(x.byClient[client])
-	}
-	return n
+	return x.ct.quarantinedEntries()
 }
 
 // PruneExpired removes every entry whose TTL ran out at time now, returning
@@ -308,11 +365,25 @@ func (x *Index) PruneExpired(now float64) int {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	n := 0
-	for url, holders := range x.byURL {
-		for client, e := range holders {
+	for doc := range x.byDoc {
+		hs := x.byDoc[doc]
+		kept := hs[:0]
+		for _, e := range hs {
 			if e.expired(now) {
-				x.removeLocked(client, url)
+				x.ct.addDocs(e.Client, -1)
 				n++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) < len(hs) {
+			for i := len(kept); i < len(hs); i++ {
+				hs[i] = Entry{}
+			}
+			x.byDoc[doc] = kept
+			x.entries -= len(hs) - len(kept)
+			if len(kept) == 0 {
+				x.docs--
 			}
 		}
 	}
@@ -322,102 +393,125 @@ func (x *Index) PruneExpired(now float64) int {
 // AccountServe records that client served one peer transfer (used by the
 // least-loaded strategy).
 func (x *Index) AccountServe(client int) {
-	x.mu.Lock()
-	x.served[client]++
-	x.mu.Unlock()
+	x.ct.accountServe(client)
 }
 
 // Served reports how many peer transfers client has been selected for.
 func (x *Index) Served(client int) int64 {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.served[client]
+	return x.ct.servedOf(client)
 }
 
-// Has reports whether client is recorded as holding url.
-func (x *Index) Has(client int, url string) bool {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	_, ok := x.byURL[url][client]
+// Has reports whether client is recorded as holding doc.
+func (x *Index) Has(client int, doc intern.ID) bool {
+	_, ok := x.Get(client, doc)
 	return ok
 }
 
-// Get returns client's entry for url.
-func (x *Index) Get(client int, url string) (Entry, bool) {
+// Get returns client's entry for doc.
+func (x *Index) Get(client int, doc intern.ID) (Entry, bool) {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	e, ok := x.byURL[url][client]
-	return e, ok
+	if doc < 0 || int(doc) >= len(x.byDoc) {
+		return Entry{}, false
+	}
+	hs := x.byDoc[doc]
+	pos, found := holderPos(hs, client)
+	if !found {
+		return Entry{}, false
+	}
+	return hs[pos], true
 }
 
-// ClientDocs returns a copy of client's directory, sorted by URL.
+// ClientDocs returns a copy of client's directory, sorted by document ID.
 func (x *Index) ClientDocs(client int) []Entry {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	docs := x.byClient[client]
-	out := make([]Entry, 0, len(docs))
-	for _, e := range docs {
-		out = append(out, e)
+	var out []Entry
+	for doc := range x.byDoc {
+		if pos, found := holderPos(x.byDoc[doc], client); found {
+			out = append(out, x.byDoc[doc][pos])
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
 	return out
+}
+
+// dropEntries removes every entry of client, leaving served/quarantine state
+// untouched. Returns the number of entries removed.
+func (x *Index) dropEntries(client int) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := 0
+	for doc := range x.byDoc {
+		hs := x.byDoc[doc]
+		pos, found := holderPos(hs, client)
+		if !found {
+			continue
+		}
+		copy(hs[pos:], hs[pos+1:])
+		hs[len(hs)-1] = Entry{}
+		x.byDoc[doc] = hs[:len(hs)-1]
+		if len(hs) == 1 {
+			x.docs--
+		}
+		x.entries--
+		n++
+	}
+	if n > 0 {
+		x.ct.addDocs(client, int64(-n))
+	}
+	return n
 }
 
 // DropClient removes every entry for a departed client, returning how many
 // entries were removed.
 func (x *Index) DropClient(client int) int {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	docs := x.byClient[client]
-	n := len(docs)
-	for url := range docs {
-		holders := x.byURL[url]
-		delete(holders, client)
-		if len(holders) == 0 {
-			delete(x.byURL, url)
-		}
-	}
-	delete(x.byClient, client)
-	delete(x.served, client)
-	delete(x.quarantined, client)
+	n := x.dropEntries(client)
+	x.ct.drop(client)
 	return n
 }
 
 // ResyncClient atomically replaces client's directory with entries (the §2
 // periodic full update).
 func (x *Index) ResyncClient(client int, entries []Entry) {
+	x.dropEntries(client)
 	x.mu.Lock()
-	defer x.mu.Unlock()
-	for url := range x.byClient[client] {
-		holders := x.byURL[url]
-		delete(holders, client)
-		if len(holders) == 0 {
-			delete(x.byURL, url)
-		}
-	}
-	delete(x.byClient, client)
 	for _, e := range entries {
 		e.Client = client
 		x.addLocked(e)
 	}
+	x.mu.Unlock()
 }
 
 // Len reports the total number of entries.
 func (x *Index) Len() int {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	n := 0
-	for _, docs := range x.byClient {
-		n += len(docs)
-	}
-	return n
+	return x.entries
 }
 
-// URLCount reports the number of distinct indexed URLs.
+// URLCount reports the number of distinct documents currently indexed.
 func (x *Index) URLCount() int {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	return len(x.byURL)
+	return x.docs
+}
+
+// Reset empties the index in place, retaining the document table and holder
+// slice capacity, so sweep workers can replay many configurations without
+// re-growing. Client state (served counters, quarantine flags) resets too.
+func (x *Index) Reset() {
+	x.mu.Lock()
+	for doc := range x.byDoc {
+		hs := x.byDoc[doc]
+		for i := range hs {
+			hs[i] = Entry{}
+		}
+		x.byDoc[doc] = hs[:0]
+	}
+	x.entries = 0
+	x.docs = 0
+	x.mu.Unlock()
+	x.ct.reset()
 }
 
 // SpaceEstimate models the §5 storage analysis for an exact index: each

@@ -6,10 +6,18 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"baps/internal/intern"
 )
 
+// testSyms interns test URLs to document IDs; Sync so concurrent tests may
+// intern from multiple goroutines.
+var testSyms = intern.NewSync()
+
+func docID(url string) intern.ID { return testSyms.Intern(url) }
+
 func entry(c int, url string, size int64, stamp float64) Entry {
-	return Entry{Client: c, URL: url, Size: size, Stamp: stamp}
+	return Entry{Client: c, Doc: docID(url), Size: size, Stamp: stamp}
 }
 
 func TestAddLookupRemove(t *testing.T) {
@@ -18,26 +26,26 @@ func TestAddLookupRemove(t *testing.T) {
 	x.Add(entry(2, "u", 10, 2))
 	x.Add(entry(1, "v", 20, 3))
 
-	hs := x.Lookup("u")
+	hs := x.Lookup(docID("u"))
 	if len(hs) != 2 || hs[0].Client != 1 || hs[1].Client != 2 {
 		t.Fatalf("Lookup(u) = %+v", hs)
 	}
-	if !x.Has(1, "u") || x.Has(3, "u") {
+	if !x.Has(1, docID("u")) || x.Has(3, docID("u")) {
 		t.Fatal("Has wrong")
 	}
-	if e, ok := x.Get(1, "v"); !ok || e.Size != 20 {
+	if e, ok := x.Get(1, docID("v")); !ok || e.Size != 20 {
 		t.Fatalf("Get(1,v) = %+v, %v", e, ok)
 	}
-	if !x.Remove(1, "u") {
+	if !x.Remove(1, docID("u")) {
 		t.Fatal("Remove(1,u) = false")
 	}
-	if x.Remove(1, "u") {
+	if x.Remove(1, docID("u")) {
 		t.Fatal("second Remove(1,u) = true")
 	}
-	if x.Has(1, "u") {
+	if x.Has(1, docID("u")) {
 		t.Fatal("entry survived Remove")
 	}
-	if len(x.Lookup("u")) != 1 {
+	if len(x.Lookup(docID("u"))) != 1 {
 		t.Fatal("other holder lost")
 	}
 	if x.Len() != 2 {
@@ -52,7 +60,7 @@ func TestAddRefreshesEntry(t *testing.T) {
 	x := New(SelectFirst)
 	x.Add(entry(1, "u", 10, 1))
 	x.Add(entry(1, "u", 99, 5)) // refresh: new size/stamp
-	if e, _ := x.Get(1, "u"); e.Size != 99 || e.Stamp != 5 {
+	if e, _ := x.Get(1, docID("u")); e.Size != 99 || e.Stamp != 5 {
 		t.Fatalf("refresh lost: %+v", e)
 	}
 	if x.Len() != 1 {
@@ -63,14 +71,14 @@ func TestAddRefreshesEntry(t *testing.T) {
 func TestSelectExcludesRequester(t *testing.T) {
 	x := New(SelectFirst)
 	x.Add(entry(1, "u", 10, 1))
-	if _, ok := x.Select("u", 1); ok {
+	if _, ok := x.Select(docID("u"), 1); ok {
 		t.Fatal("Select returned the requester itself")
 	}
-	if _, ok := x.Select("missing", 0); ok {
+	if _, ok := x.Select(docID("missing"), 0); ok {
 		t.Fatal("Select found a holder for an unindexed URL")
 	}
 	x.Add(entry(2, "u", 10, 2))
-	e, ok := x.Select("u", 1)
+	e, ok := x.Select(docID("u"), 1)
 	if !ok || e.Client != 2 {
 		t.Fatalf("Select = %+v, %v", e, ok)
 	}
@@ -81,14 +89,14 @@ func TestSelectMostRecent(t *testing.T) {
 	x.Add(entry(1, "u", 10, 5))
 	x.Add(entry(2, "u", 10, 9))
 	x.Add(entry(3, "u", 10, 2))
-	if e, _ := x.Select("u", 0); e.Client != 2 {
+	if e, _ := x.Select(docID("u"), 0); e.Client != 2 {
 		t.Fatalf("most-recent chose client %d, want 2", e.Client)
 	}
 	// Ties break to the lowest client id.
 	y := New(SelectMostRecent)
 	y.Add(entry(7, "u", 10, 4))
 	y.Add(entry(3, "u", 10, 4))
-	if e, _ := y.Select("u", 0); e.Client != 3 {
+	if e, _ := y.Select(docID("u"), 0); e.Client != 3 {
 		t.Fatalf("tie-break chose %d, want 3", e.Client)
 	}
 }
@@ -97,8 +105,8 @@ func TestSelectLeastLoaded(t *testing.T) {
 	x := New(SelectLeastLoaded)
 	x.Add(entry(1, "u", 10, 1))
 	x.Add(entry(2, "u", 10, 1))
-	first, _ := x.Select("u", 0)  // both at 0 → client 1
-	second, _ := x.Select("u", 0) // client 1 now loaded → client 2
+	first, _ := x.Select(docID("u"), 0)  // both at 0 → client 1
+	second, _ := x.Select(docID("u"), 0) // client 1 now loaded → client 2
 	if first.Client != 1 || second.Client != 2 {
 		t.Fatalf("least-loaded order: %d then %d, want 1 then 2", first.Client, second.Client)
 	}
@@ -121,13 +129,17 @@ func TestClientDocsAndDropClient(t *testing.T) {
 	x.Add(entry(1, "a", 10, 1))
 	x.Add(entry(2, "a", 10, 1))
 	docs := x.ClientDocs(1)
-	if len(docs) != 2 || docs[0].URL != "a" || docs[1].URL != "b" {
-		t.Fatalf("ClientDocs = %+v", docs)
+	if len(docs) != 2 || docs[0].Doc >= docs[1].Doc {
+		t.Fatalf("ClientDocs = %+v (want 2 entries in doc-ID order)", docs)
+	}
+	got := map[intern.ID]bool{docs[0].Doc: true, docs[1].Doc: true}
+	if !got[docID("a")] || !got[docID("b")] {
+		t.Fatalf("ClientDocs = %+v, want {a, b}", docs)
 	}
 	if n := x.DropClient(1); n != 2 {
 		t.Fatalf("DropClient removed %d, want 2", n)
 	}
-	if x.Has(1, "a") || !x.Has(2, "a") {
+	if x.Has(1, docID("a")) || !x.Has(2, docID("a")) {
 		t.Fatal("DropClient wrong entries removed")
 	}
 	if len(x.ClientDocs(1)) != 0 {
@@ -141,13 +153,13 @@ func TestResyncClient(t *testing.T) {
 	x.Add(entry(1, "old2", 10, 1))
 	x.Add(entry(2, "old1", 10, 1))
 	x.ResyncClient(1, []Entry{entry(0 /* overwritten */, "new1", 5, 2), entry(0, "new2", 5, 2)})
-	if x.Has(1, "old1") || x.Has(1, "old2") {
+	if x.Has(1, docID("old1")) || x.Has(1, docID("old2")) {
 		t.Fatal("resync kept stale entries")
 	}
-	if !x.Has(1, "new1") || !x.Has(1, "new2") {
+	if !x.Has(1, docID("new1")) || !x.Has(1, docID("new2")) {
 		t.Fatal("resync lost new entries")
 	}
-	if !x.Has(2, "old1") {
+	if !x.Has(2, docID("old1")) {
 		t.Fatal("resync disturbed another client")
 	}
 }
@@ -160,12 +172,12 @@ func TestConcurrentIndexAccess(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				url := fmt.Sprintf("u%d", i%50)
-				x.Add(entry(g, url, 10, float64(i)))
-				x.Lookup(url)
-				x.Select(url, g)
+				doc := docID(fmt.Sprintf("u%d", i%50))
+				x.Add(Entry{Client: g, Doc: doc, Size: 10, Stamp: float64(i)})
+				x.Lookup(doc)
+				x.Select(doc, g)
 				if i%3 == 0 {
-					x.Remove(g, url)
+					x.Remove(g, doc)
 				}
 			}
 		}(g)
@@ -229,7 +241,7 @@ func TestQuickIndexMatchesReference(t *testing.T) {
 				}
 				ref[url][c] = true
 			case 1:
-				got := x.Remove(c, url)
+				got := x.Remove(c, docID(url))
 				want := ref[url][c]
 				if got != want {
 					t.Errorf("seed %d op %d: Remove(%d,%s)=%v want %v", seed, i, c, url, got, want)
@@ -237,7 +249,7 @@ func TestQuickIndexMatchesReference(t *testing.T) {
 				}
 				delete(ref[url], c)
 			case 2:
-				got := x.Lookup(url)
+				got := x.Lookup(docID(url))
 				if len(got) != len(ref[url]) {
 					t.Errorf("seed %d op %d: Lookup(%s) len %d want %d", seed, i, url, len(got), len(ref[url]))
 					return false
@@ -250,11 +262,11 @@ func TestQuickIndexMatchesReference(t *testing.T) {
 				}
 			}
 		}
-		// Global consistency: byClient view matches byURL view.
+		// Global consistency: per-client view matches per-document view.
 		total := 0
 		for url, holders := range ref {
 			for c := range holders {
-				if !x.Has(c, url) {
+				if !x.Has(c, docID(url)) {
 					t.Errorf("seed %d: missing (%d,%s)", seed, c, url)
 					return false
 				}
@@ -275,9 +287,9 @@ func TestQuickIndexMatchesReference(t *testing.T) {
 func TestQuarantineShelvesAndRestoresInOneStep(t *testing.T) {
 	x := New(SelectMostRecent)
 	for i := 0; i < 4; i++ {
-		x.Add(Entry{Client: 1, URL: fmt.Sprintf("http://x/%d", i), Size: 10})
+		x.Add(Entry{Client: 1, Doc: docID(fmt.Sprintf("http://x/%d", i)), Size: 10})
 	}
-	x.Add(Entry{Client: 2, URL: "http://x/0", Size: 10})
+	x.Add(Entry{Client: 2, Doc: docID("http://x/0"), Size: 10})
 
 	if n := x.Quarantine(1); n != 4 {
 		t.Fatalf("Quarantine shelved %d entries, want 4", n)
@@ -292,17 +304,17 @@ func TestQuarantineShelvesAndRestoresInOneStep(t *testing.T) {
 	if x.QuarantinedEntries() != 4 {
 		t.Fatalf("QuarantinedEntries = %d, want 4", x.QuarantinedEntries())
 	}
-	if got := x.Ordered("http://x/1", -1); len(got) != 0 {
+	if got := x.Ordered(docID("http://x/1"), -1); len(got) != 0 {
 		t.Fatalf("Ordered returned quarantined holder: %v", got)
 	}
-	if got := x.Ordered("http://x/0", -1); len(got) != 1 || got[0].Client != 2 {
+	if got := x.Ordered(docID("http://x/0"), -1); len(got) != 1 || got[0].Client != 2 {
 		t.Fatalf("Ordered(/0) = %v, want only client 2", got)
 	}
-	if _, ok := x.Select("http://x/1", -1); ok {
+	if _, ok := x.Select(docID("http://x/1"), -1); ok {
 		t.Fatal("Select picked a quarantined holder")
 	}
 	// Quarantined holders are listed for half-open probing.
-	if got := x.OrderedQuarantined("http://x/0", -1); len(got) != 1 || got[0].Client != 1 {
+	if got := x.OrderedQuarantined(docID("http://x/0"), -1); len(got) != 1 || got[0].Client != 1 {
 		t.Fatalf("OrderedQuarantined = %v, want client 1", got)
 	}
 
@@ -310,7 +322,7 @@ func TestQuarantineShelvesAndRestoresInOneStep(t *testing.T) {
 	if n := x.Unquarantine(1); n != 4 {
 		t.Fatalf("Unquarantine restored %d entries, want 4", n)
 	}
-	if got := x.Ordered("http://x/1", -1); len(got) != 1 || got[0].Client != 1 {
+	if got := x.Ordered(docID("http://x/1"), -1); len(got) != 1 || got[0].Client != 1 {
 		t.Fatalf("holder not restored: %v", got)
 	}
 	if x.QuarantinedEntries() != 0 {
@@ -320,7 +332,7 @@ func TestQuarantineShelvesAndRestoresInOneStep(t *testing.T) {
 
 func TestDropClientClearsQuarantine(t *testing.T) {
 	x := New(SelectFirst)
-	x.Add(Entry{Client: 7, URL: "http://x/a"})
+	x.Add(Entry{Client: 7, Doc: docID("http://x/a")})
 	x.Quarantine(7)
 	x.DropClient(7)
 	if x.Quarantined(7) {
@@ -330,8 +342,8 @@ func TestDropClientClearsQuarantine(t *testing.T) {
 		t.Fatal("entries counted after drop")
 	}
 	// Re-registration under the same id starts clean.
-	x.Add(Entry{Client: 7, URL: "http://x/b"})
-	if got := x.Ordered("http://x/b", -1); len(got) != 1 {
+	x.Add(Entry{Client: 7, Doc: docID("http://x/b")})
+	if got := x.Ordered(docID("http://x/b"), -1); len(got) != 1 {
 		t.Fatalf("re-added client invisible: %v", got)
 	}
 }

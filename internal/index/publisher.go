@@ -1,6 +1,10 @@
 package index
 
-import "fmt"
+import (
+	"fmt"
+
+	"baps/internal/intern"
+)
 
 // Mode selects the §2 index-update protocol.
 type Mode int
@@ -43,8 +47,8 @@ type Publisher struct {
 	mode      Mode
 	threshold float64 // fraction of resident docs changed before flush
 
-	pendingAdd    map[string]Entry
-	pendingRemove map[string]struct{}
+	pendingAdd    map[intern.ID]Entry
+	pendingRemove map[intern.ID]struct{}
 	changes       int
 	flushes       int
 }
@@ -64,8 +68,8 @@ func NewPublisher(idx *Index, client int, mode Mode, threshold float64) (*Publis
 		client:        client,
 		mode:          mode,
 		threshold:     threshold,
-		pendingAdd:    make(map[string]Entry),
-		pendingRemove: make(map[string]struct{}),
+		pendingAdd:    make(map[intern.ID]Entry),
+		pendingRemove: make(map[intern.ID]struct{}),
 	}, nil
 }
 
@@ -77,20 +81,20 @@ func (p *Publisher) OnInsert(e Entry, resident int) {
 		p.idx.Add(e)
 		return
 	}
-	delete(p.pendingRemove, e.URL)
-	p.pendingAdd[e.URL] = e
+	delete(p.pendingRemove, e.Doc)
+	p.pendingAdd[e.Doc] = e
 	p.changes++
 	p.maybeFlush(resident)
 }
 
 // OnEvict records that the browser evicted (or invalidated) a document.
-func (p *Publisher) OnEvict(url string, resident int) {
+func (p *Publisher) OnEvict(doc intern.ID, resident int) {
 	if p.mode == Immediate {
-		p.idx.Remove(p.client, url)
+		p.idx.Remove(p.client, doc)
 		return
 	}
-	delete(p.pendingAdd, url)
-	p.pendingRemove[url] = struct{}{}
+	delete(p.pendingAdd, doc)
+	p.pendingRemove[doc] = struct{}{}
 	p.changes++
 	p.maybeFlush(resident)
 }
@@ -112,17 +116,27 @@ func (p *Publisher) Flush() {
 		return
 	}
 	p.idx.mu.Lock()
-	for url := range p.pendingRemove {
-		p.idx.removeLocked(p.client, url)
+	for doc := range p.pendingRemove {
+		p.idx.removeLocked(p.client, doc)
 	}
 	for _, e := range p.pendingAdd {
 		p.idx.addLocked(e)
 	}
 	p.idx.mu.Unlock()
-	p.pendingAdd = make(map[string]Entry)
-	p.pendingRemove = make(map[string]struct{})
+	clear(p.pendingAdd)
+	clear(p.pendingRemove)
 	p.changes = 0
 	p.flushes++
+}
+
+// Reset discards pending changes and counters and adopts a new periodic
+// threshold, re-arming the publisher for a fresh replay over the same index.
+func (p *Publisher) Reset(threshold float64) {
+	clear(p.pendingAdd)
+	clear(p.pendingRemove)
+	p.changes = 0
+	p.flushes = 0
+	p.threshold = threshold
 }
 
 // Pending reports the number of unflushed changes.

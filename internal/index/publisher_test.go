@@ -38,12 +38,12 @@ func TestImmediatePublisher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.OnInsert(Entry{URL: "u", Size: 10}, 1)
-	if !x.Has(3, "u") {
+	p.OnInsert(Entry{Doc: docID("u"), Size: 10}, 1)
+	if !x.Has(3, docID("u")) {
 		t.Fatal("immediate insert not visible")
 	}
-	p.OnEvict("u", 0)
-	if x.Has(3, "u") {
+	p.OnEvict(docID("u"), 0)
+	if x.Has(3, docID("u")) {
 		t.Fatal("immediate evict not visible")
 	}
 	if p.Pending() != 0 || p.Flushes() != 0 {
@@ -62,7 +62,7 @@ func TestPeriodicPublisherBatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		p.OnInsert(Entry{URL: fmt.Sprintf("u%d", i), Size: 1}, 10)
+		p.OnInsert(Entry{Doc: docID(fmt.Sprintf("u%d", i)), Size: 1}, 10)
 	}
 	if x.Len() != 0 {
 		t.Fatalf("changes visible before threshold: Len=%d", x.Len())
@@ -70,7 +70,7 @@ func TestPeriodicPublisherBatches(t *testing.T) {
 	if p.Pending() != 4 {
 		t.Fatalf("Pending = %d, want 4", p.Pending())
 	}
-	p.OnInsert(Entry{URL: "u4", Size: 1}, 10) // 5th change → flush
+	p.OnInsert(Entry{Doc: docID("u4"), Size: 1}, 10) // 5th change → flush
 	if x.Len() != 5 {
 		t.Fatalf("flush did not apply: Len=%d", x.Len())
 	}
@@ -82,22 +82,22 @@ func TestPeriodicPublisherBatches(t *testing.T) {
 func TestPeriodicEvictCancelsPendingAdd(t *testing.T) {
 	x := New(SelectFirst)
 	p, _ := NewPublisher(x, 1, Periodic, 1.0)
-	p.OnInsert(Entry{URL: "u", Size: 1}, 100)
-	p.OnEvict("u", 100)
+	p.OnInsert(Entry{Doc: docID("u"), Size: 1}, 100)
+	p.OnEvict(docID("u"), 100)
 	p.Flush()
-	if x.Has(1, "u") {
+	if x.Has(1, docID("u")) {
 		t.Fatal("evicted-before-flush doc leaked into index")
 	}
 }
 
 func TestPeriodicAddCancelsPendingRemove(t *testing.T) {
 	x := New(SelectFirst)
-	x.Add(Entry{Client: 1, URL: "u", Size: 1})
+	x.Add(Entry{Client: 1, Doc: docID("u"), Size: 1})
 	p, _ := NewPublisher(x, 1, Periodic, 1.0)
-	p.OnEvict("u", 100)
-	p.OnInsert(Entry{URL: "u", Size: 2}, 100)
+	p.OnEvict(docID("u"), 100)
+	p.OnInsert(Entry{Doc: docID("u"), Size: 2}, 100)
 	p.Flush()
-	if e, ok := x.Get(1, "u"); !ok || e.Size != 2 {
+	if e, ok := x.Get(1, docID("u")); !ok || e.Size != 2 {
 		t.Fatalf("re-added doc lost: %+v %v", e, ok)
 	}
 }
@@ -115,14 +115,14 @@ func TestPeriodicStalenessWindow(t *testing.T) {
 	// Demonstrates the §2/§5 staleness semantics: between flushes the index
 	// claims a document the browser evicted (false hit).
 	x := New(SelectFirst)
-	x.Add(Entry{Client: 1, URL: "u", Size: 1})
+	x.Add(Entry{Client: 1, Doc: docID("u"), Size: 1})
 	p, _ := NewPublisher(x, 1, Periodic, 1.0)
-	p.OnEvict("u", 1000)
-	if !x.Has(1, "u") {
+	p.OnEvict(docID("u"), 1000)
+	if !x.Has(1, docID("u")) {
 		t.Fatal("eviction visible before flush — not periodic semantics")
 	}
 	p.Flush()
-	if x.Has(1, "u") {
+	if x.Has(1, docID("u")) {
 		t.Fatal("eviction lost after flush")
 	}
 }
@@ -146,10 +146,10 @@ func TestQuickPublisherConvergence(t *testing.T) {
 			url := fmt.Sprintf("u%d", rng.Intn(40))
 			if rng.Intn(2) == 0 {
 				resident[url] = true
-				p.OnInsert(Entry{URL: url, Size: 1, Stamp: float64(i)}, len(resident))
+				p.OnInsert(Entry{Doc: docID(url), Size: 1, Stamp: float64(i)}, len(resident))
 			} else {
 				delete(resident, url)
-				p.OnEvict(url, len(resident))
+				p.OnEvict(docID(url), len(resident))
 			}
 		}
 		p.Flush()
@@ -159,8 +159,8 @@ func TestQuickPublisherConvergence(t *testing.T) {
 			return false
 		}
 		for _, e := range docs {
-			if !resident[e.URL] {
-				t.Errorf("seed %d (%v): phantom %q", seed, mode, e.URL)
+			if !resident[testSyms.String(e.Doc)] {
+				t.Errorf("seed %d (%v): phantom doc %d", seed, mode, e.Doc)
 				return false
 			}
 		}

@@ -1,0 +1,178 @@
+package index
+
+import (
+	"sort"
+
+	"baps/internal/intern"
+)
+
+// DefaultShards is the shard count NewSharded uses when given n <= 0.
+const DefaultShards = 16
+
+// Sharded is the live proxy's lock-striped browser directory: document
+// state is split across n Index shards selected by document ID, so request
+// goroutines touching different documents proceed without contending on a
+// single directory lock. Client-level state (served counters, quarantine
+// flags, per-client entry counts) lives in one clientTable shared by every
+// shard, keeping quarantine and least-loaded selection globally consistent.
+//
+// The method surface mirrors Index; per-document operations cost one shard
+// lock, client-level operations touch only the shared table, and whole-index
+// operations (PruneExpired, DropClient, ResyncClient, Len) visit each shard
+// in turn without a global lock.
+type Sharded struct {
+	strategy Strategy
+	ct       *clientTable
+	shards   []*Index
+}
+
+// NewSharded creates an empty sharded index with n shards (DefaultShards
+// when n <= 0).
+func NewSharded(strategy Strategy, n int) *Sharded {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	s := &Sharded{
+		strategy: strategy,
+		ct:       newClientTable(),
+		shards:   make([]*Index, n),
+	}
+	for i := range s.shards {
+		s.shards[i] = newIndex(strategy, s.ct)
+	}
+	return s
+}
+
+func (s *Sharded) shard(doc intern.ID) *Index {
+	return s.shards[uint32(doc)%uint32(len(s.shards))]
+}
+
+// ShardCount reports the number of shards.
+func (s *Sharded) ShardCount() int { return len(s.shards) }
+
+// Add records (or refreshes) an entry.
+func (s *Sharded) Add(e Entry) { s.shard(e.Doc).Add(e) }
+
+// Remove deletes client's entry for doc, reporting whether it existed.
+func (s *Sharded) Remove(client int, doc intern.ID) bool {
+	return s.shard(doc).Remove(client, doc)
+}
+
+// Lookup returns all recorded holders of doc, sorted by client id.
+func (s *Sharded) Lookup(doc intern.ID) []Entry { return s.shard(doc).Lookup(doc) }
+
+// Select picks a holder for doc other than requester and accounts one
+// served transfer to it.
+func (s *Sharded) Select(doc intern.ID, requester int) (Entry, bool) {
+	return s.shard(doc).Select(doc, requester)
+}
+
+// Ordered returns all holders of doc except requester in strategy order.
+func (s *Sharded) Ordered(doc intern.ID, requester int) []Entry {
+	return s.shard(doc).Ordered(doc, requester)
+}
+
+// OrderedAt is Ordered with TTL filtering at time now.
+func (s *Sharded) OrderedAt(doc intern.ID, requester int, now float64) []Entry {
+	return s.shard(doc).OrderedAt(doc, requester, now)
+}
+
+// AppendOrdered appends doc's candidates to buf in strategy order.
+func (s *Sharded) AppendOrdered(buf []Entry, doc intern.ID, requester int, now float64) []Entry {
+	return s.shard(doc).AppendOrdered(buf, doc, requester, now)
+}
+
+// OrderedQuarantined returns the quarantined holders of doc in strategy
+// order.
+func (s *Sharded) OrderedQuarantined(doc intern.ID, requester int) []Entry {
+	return s.shard(doc).OrderedQuarantined(doc, requester)
+}
+
+// Quarantine shelves every entry of client across all shards in one step,
+// returning the number of entries shelved.
+func (s *Sharded) Quarantine(client int) int { return s.ct.setQuarantined(client, true) }
+
+// Unquarantine re-admits client's entries, returning how many became
+// visible again.
+func (s *Sharded) Unquarantine(client int) int { return s.ct.setQuarantined(client, false) }
+
+// Quarantined reports whether client is currently quarantined.
+func (s *Sharded) Quarantined(client int) bool { return s.ct.isQuarantined(client) }
+
+// QuarantinedEntries reports the total number of shelved entries.
+func (s *Sharded) QuarantinedEntries() int { return s.ct.quarantinedEntries() }
+
+// PruneExpired removes every expired entry across all shards.
+func (s *Sharded) PruneExpired(now float64) int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.PruneExpired(now)
+	}
+	return n
+}
+
+// AccountServe records that client served one peer transfer.
+func (s *Sharded) AccountServe(client int) { s.ct.accountServe(client) }
+
+// Served reports how many peer transfers client has been selected for.
+func (s *Sharded) Served(client int) int64 { return s.ct.servedOf(client) }
+
+// Has reports whether client is recorded as holding doc.
+func (s *Sharded) Has(client int, doc intern.ID) bool { return s.shard(doc).Has(client, doc) }
+
+// Get returns client's entry for doc.
+func (s *Sharded) Get(client int, doc intern.ID) (Entry, bool) {
+	return s.shard(doc).Get(client, doc)
+}
+
+// ClientDocs returns a copy of client's directory, sorted by document ID.
+func (s *Sharded) ClientDocs(client int) []Entry {
+	var out []Entry
+	for _, sh := range s.shards {
+		out = append(out, sh.ClientDocs(client)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+// DropClient removes every entry for a departed client across all shards.
+func (s *Sharded) DropClient(client int) int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.dropEntries(client)
+	}
+	s.ct.drop(client)
+	return n
+}
+
+// ResyncClient atomically-per-shard replaces client's directory with
+// entries (the §2 periodic full update). Entries land in their document's
+// shard; a concurrent reader may observe the resync mid-flight on other
+// shards, matching the live system's message-at-a-time semantics.
+func (s *Sharded) ResyncClient(client int, entries []Entry) {
+	for _, sh := range s.shards {
+		sh.dropEntries(client)
+	}
+	for _, e := range entries {
+		e.Client = client
+		s.shard(e.Doc).Add(e)
+	}
+}
+
+// Len reports the total number of entries.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// URLCount reports the number of distinct documents currently indexed.
+func (s *Sharded) URLCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.URLCount()
+	}
+	return n
+}

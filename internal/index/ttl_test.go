@@ -4,51 +4,51 @@ import "testing"
 
 func TestOrderedAtFiltersExpired(t *testing.T) {
 	x := New(SelectMostRecent)
-	x.Add(Entry{Client: 1, URL: "u", Size: 10, Stamp: 0, Expire: 100})
-	x.Add(Entry{Client: 2, URL: "u", Size: 10, Stamp: 5, Expire: 50})
+	x.Add(Entry{Client: 1, Doc: docID("u"), Size: 10, Stamp: 0, Expire: 100})
+	x.Add(Entry{Client: 2, Doc: docID("u"), Size: 10, Stamp: 5, Expire: 50})
 
 	// Before any expiry: both offered, client 2 preferred (newer stamp).
-	got := x.OrderedAt("u", 0, 10)
+	got := x.OrderedAt(docID("u"), 0, 10)
 	if len(got) != 2 || got[0].Client != 2 {
 		t.Fatalf("OrderedAt(10) = %+v", got)
 	}
 	// After client 2's TTL: only client 1.
-	got = x.OrderedAt("u", 0, 60)
+	got = x.OrderedAt(docID("u"), 0, 60)
 	if len(got) != 1 || got[0].Client != 1 {
 		t.Fatalf("OrderedAt(60) = %+v", got)
 	}
 	// After both: none.
-	if got = x.OrderedAt("u", 0, 100); len(got) != 0 {
+	if got = x.OrderedAt(docID("u"), 0, 100); len(got) != 0 {
 		t.Fatalf("OrderedAt(100) = %+v", got)
 	}
 	// now == 0 disables filtering (and is what Ordered uses).
-	if got = x.Ordered("u", 0); len(got) != 2 {
+	if got = x.Ordered(docID("u"), 0); len(got) != 2 {
 		t.Fatalf("Ordered = %+v", got)
 	}
 }
 
 func TestOrderedAtZeroExpireNeverFiltered(t *testing.T) {
 	x := New(SelectFirst)
-	x.Add(Entry{Client: 1, URL: "u", Size: 10}) // Expire == 0: immortal
-	if got := x.OrderedAt("u", 0, 1e12); len(got) != 1 {
+	x.Add(Entry{Client: 1, Doc: docID("u"), Size: 10}) // Expire == 0: immortal
+	if got := x.OrderedAt(docID("u"), 0, 1e12); len(got) != 1 {
 		t.Fatalf("immortal entry filtered: %+v", got)
 	}
 }
 
 func TestPruneExpired(t *testing.T) {
 	x := New(SelectFirst)
-	x.Add(Entry{Client: 1, URL: "a", Expire: 10})
-	x.Add(Entry{Client: 1, URL: "b", Expire: 100})
-	x.Add(Entry{Client: 2, URL: "a", Expire: 5})
-	x.Add(Entry{Client: 2, URL: "c"}) // immortal
+	x.Add(Entry{Client: 1, Doc: docID("a"), Expire: 10})
+	x.Add(Entry{Client: 1, Doc: docID("b"), Expire: 100})
+	x.Add(Entry{Client: 2, Doc: docID("a"), Expire: 5})
+	x.Add(Entry{Client: 2, Doc: docID("c")}) // immortal
 
 	if n := x.PruneExpired(50); n != 2 {
 		t.Fatalf("pruned %d, want 2", n)
 	}
-	if x.Has(1, "a") || x.Has(2, "a") {
+	if x.Has(1, docID("a")) || x.Has(2, docID("a")) {
 		t.Fatal("expired entries survived")
 	}
-	if !x.Has(1, "b") || !x.Has(2, "c") {
+	if !x.Has(1, docID("b")) || !x.Has(2, docID("c")) {
 		t.Fatal("live entries pruned")
 	}
 	if x.URLCount() != 2 {

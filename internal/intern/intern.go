@@ -1,0 +1,152 @@
+// Package intern provides URL ⇄ dense document-ID interning for the hot
+// request path. Every layer of the system — trace replay, the cache
+// substrate, the browser index — identifies documents by a dense int32 ID
+// instead of re-hashing the full URL string at each map probe, which is what
+// makes slice-backed (rather than map-backed) cache and index structures
+// possible.
+//
+// Two implementations share the ID space semantics:
+//
+//   - Table: single-goroutine, used by the trace loader and simulator.
+//     IDs are assigned densely in first-appearance order, so a trace's ID
+//     space is exactly [0, UniqueDocs).
+//   - Sync: lock-striped, used by the live proxy, which interns each URL on
+//     first sight from any request goroutine.
+package intern
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+)
+
+// ID is a dense document identifier. IDs count up from zero per table.
+type ID int32
+
+// None is the zero-value-adjacent sentinel for "no document".
+const None ID = -1
+
+// Table interns strings single-threaded. The zero value is not usable; call
+// NewTable.
+type Table struct {
+	ids  map[string]ID
+	strs []string
+}
+
+// NewTable creates an empty table. sizeHint pre-sizes the symbol storage
+// (pass 0 when unknown).
+func NewTable(sizeHint int) *Table {
+	return &Table{
+		ids:  make(map[string]ID, sizeHint),
+		strs: make([]string, 0, sizeHint),
+	}
+}
+
+// Intern returns the ID for s, assigning the next dense ID on first sight.
+func (t *Table) Intern(s string) ID {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := ID(len(t.strs))
+	t.ids[s] = id
+	t.strs = append(t.strs, s)
+	return id
+}
+
+// Lookup returns the ID for s without interning; ok is false when s has
+// never been seen.
+func (t *Table) Lookup(s string) (ID, bool) {
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// String returns the string for id. It panics on an ID the table never
+// issued, like a slice bounds failure would.
+func (t *Table) String(id ID) string { return t.strs[id] }
+
+// Len reports the number of interned strings; IDs are exactly [0, Len).
+func (t *Table) Len() int { return len(t.strs) }
+
+// syncStripes is the stripe count of Sync (power of two).
+const syncStripes = 32
+
+// Sync is a concurrency-safe interner. Forward lookups are lock-striped by
+// string hash so concurrent request goroutines interning different URLs do
+// not contend; ID allocation and the reverse table share one short critical
+// section.
+type Sync struct {
+	seed    maphash.Seed
+	stripes [syncStripes]syncStripe
+
+	mu   sync.RWMutex
+	strs []string
+}
+
+type syncStripe struct {
+	mu  sync.RWMutex
+	ids map[string]ID
+}
+
+// NewSync creates an empty concurrent interner.
+func NewSync() *Sync {
+	s := &Sync{seed: maphash.MakeSeed()}
+	for i := range s.stripes {
+		s.stripes[i].ids = make(map[string]ID)
+	}
+	return s
+}
+
+func (s *Sync) stripe(str string) *syncStripe {
+	return &s.stripes[maphash.String(s.seed, str)&(syncStripes-1)]
+}
+
+// Intern returns the ID for str, assigning a fresh one on first sight.
+func (s *Sync) Intern(str string) ID {
+	st := s.stripe(str)
+	st.mu.RLock()
+	id, ok := st.ids[str]
+	st.mu.RUnlock()
+	if ok {
+		return id
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id, ok = st.ids[str]; ok {
+		return id
+	}
+	s.mu.Lock()
+	id = ID(len(s.strs))
+	s.strs = append(s.strs, str)
+	s.mu.Unlock()
+	st.ids[str] = id
+	return id
+}
+
+// Lookup returns the ID for str without interning.
+func (s *Sync) Lookup(str string) (ID, bool) {
+	st := s.stripe(str)
+	st.mu.RLock()
+	id, ok := st.ids[str]
+	st.mu.RUnlock()
+	return id, ok
+}
+
+// String returns the string for id, or "" for an ID never issued.
+func (s *Sync) String(id ID) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || int(id) >= len(s.strs) {
+		return ""
+	}
+	return s.strs[id]
+}
+
+// Len reports the number of interned strings.
+func (s *Sync) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.strs)
+}
+
+// GoString aids debugging.
+func (id ID) GoString() string { return fmt.Sprintf("intern.ID(%d)", int32(id)) }

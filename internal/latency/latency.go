@@ -134,3 +134,10 @@ func (b *Bus) Reset() {
 	b.TransferSec, b.ContentionSec = 0, 0
 	b.Transfers, b.Bytes = 0, 0
 }
+
+// ResetModel clears the bus and adopts a new timing model, re-arming a
+// pooled bus for the next simulation run.
+func (b *Bus) ResetModel(m Model) {
+	b.model = m
+	b.Reset()
+}

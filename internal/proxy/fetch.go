@@ -364,9 +364,14 @@ var errPeerStale = errors.New("stale index entry")
 // its cooldown elapses one request is admitted as a half-open probe — a
 // success re-admits every quarantined entry in one step.
 func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (body []byte, meta docMeta, ticket string, viaOnion, ok bool) {
-	candidates := s.idx.Ordered(url, requester)
+	doc, known := s.syms.Lookup(url)
+	if !known {
+		// Never indexed by any browser: no holders can exist.
+		return nil, docMeta{}, "", false, false
+	}
+	candidates := s.idx.Ordered(doc, requester)
 	// Quarantined holders come last, as half-open probe candidates.
-	candidates = append(candidates, s.idx.OrderedQuarantined(url, requester)...)
+	candidates = append(candidates, s.idx.OrderedQuarantined(doc, requester)...)
 	for _, e := range candidates {
 		if ctx.Err() != nil {
 			return nil, docMeta{}, "", false, false
@@ -375,10 +380,10 @@ func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (
 			continue // breaker open
 		}
 		s.mu.Lock()
-		peer, known := s.peers[e.Client]
+		peer, registered := s.peers[e.Client]
 		s.mu.Unlock()
-		if !known {
-			s.idx.Remove(e.Client, url)
+		if !registered {
+			s.idx.Remove(e.Client, doc)
 			continue
 		}
 		start := time.Now()
@@ -399,7 +404,7 @@ func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (
 				return nil, docMeta{}, "", false, false
 			}
 			atomic.AddInt64(&s.nFalsePeer, 1)
-			s.idx.Remove(e.Client, url)
+			s.idx.Remove(e.Client, doc)
 			if errors.Is(err, errPeerStale) {
 				// The peer is alive, it just evicted the document.
 				s.health.Touch(e.Client)
@@ -614,15 +619,20 @@ func (s *Server) handleReportBad(w http.ResponseWriter, r *http.Request) {
 	session := s.relays[anonymity.Ticket(rep.Ticket)]
 	s.relayMu.Unlock()
 	atomic.AddInt64(&s.nTamper, 1)
+	doc, known := s.syms.Lookup(rep.URL)
 	if session != nil {
-		s.idx.Remove(session.holder, rep.URL)
+		if known {
+			s.idx.Remove(session.holder, doc)
+		}
 		s.health.Failure(session.holder)
 	} else if holder, ok := s.ticketHolder(rep.Ticket); ok {
-		s.idx.Remove(holder, rep.URL)
+		if known {
+			s.idx.Remove(holder, doc)
+		}
 		s.health.Failure(holder)
-	} else {
-		for _, e := range s.idx.Lookup(rep.URL) {
-			s.idx.Remove(e.Client, rep.URL)
+	} else if known {
+		for _, e := range s.idx.Lookup(doc) {
+			s.idx.Remove(e.Client, doc)
 		}
 	}
 	w.WriteHeader(http.StatusNoContent)

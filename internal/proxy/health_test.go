@@ -251,7 +251,7 @@ func TestHeartbeatAndUnregisterEndpoints(t *testing.T) {
 		t.Errorf("heartbeats = %d", st.Heartbeats)
 	}
 
-	s.Index().Add(indexEntryFor(reg.ClientID, "http://x/a", 10))
+	s.Index().Add(indexEntryFor(s, reg.ClientID, "http://x/a", 10))
 	if code := post("/unregister", id, reg.Token); code != http.StatusNoContent {
 		t.Errorf("unregister: %d", code)
 	}
@@ -285,7 +285,7 @@ func TestPeerCrashMidTransfer(t *testing.T) {
 		panic(http.ErrAbortHandler) // crash mid-transfer
 	})
 	u := originTS.URL + "/crash/doc"
-	s.Index().Add(indexEntryFor(reg.ClientID, u, 14))
+	s.Index().Add(indexEntryFor(s, reg.ClientID, u, 14))
 
 	resp, err := http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape(u))
 	if err != nil {
@@ -303,7 +303,7 @@ func TestPeerCrashMidTransfer(t *testing.T) {
 	if len(st.PeerHealth) != 1 || st.PeerHealth[0].Failures != 1 {
 		t.Fatalf("crash not charged to the peer: %+v", st.PeerHealth)
 	}
-	if s.Index().Has(reg.ClientID, u) {
+	if s.Index().Has(reg.ClientID, s.syms.Intern(u)) {
 		t.Fatal("crashed holder's entry not pruned")
 	}
 }
@@ -328,7 +328,7 @@ func TestBreakerQuarantinesWholePeer(t *testing.T) {
 	u2 := originTS.URL + "/q/2"
 	u3 := originTS.URL + "/q/3"
 	for _, u := range []string{u1, u2, u3} {
-		s.Index().Add(indexEntryFor(reg.ClientID, u, 8))
+		s.Index().Add(indexEntryFor(s, reg.ClientID, u, 8))
 	}
 
 	fetch := func(u string) {
@@ -353,7 +353,7 @@ func TestBreakerQuarantinesWholePeer(t *testing.T) {
 		t.Fatalf("open breaker was bypassed: %+v", st)
 	}
 	// The quarantined entries survive (shelved, not deleted).
-	if !s.Index().Has(reg.ClientID, u2) || !s.Index().Has(reg.ClientID, u3) {
+	if !s.Index().Has(reg.ClientID, s.syms.Intern(u2)) || !s.Index().Has(reg.ClientID, s.syms.Intern(u3)) {
 		t.Fatal("quarantined entries were deleted")
 	}
 }
@@ -376,7 +376,7 @@ func TestHedgedOriginWinsOverSlowPeer(t *testing.T) {
 		time.Sleep(2 * time.Second) // grinding holder
 	})
 	u := originTS.URL + "/slow/doc"
-	s.Index().Add(indexEntryFor(reg.ClientID, u, 11))
+	s.Index().Add(indexEntryFor(s, reg.ClientID, u, 11))
 
 	start := time.Now()
 	resp, err := http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape(u))

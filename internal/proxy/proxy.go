@@ -45,6 +45,7 @@ import (
 	"baps/internal/cache"
 	"baps/internal/index"
 	"baps/internal/integrity"
+	"baps/internal/intern"
 )
 
 // ForwardMode mirrors core.ForwardMode for the live system.
@@ -112,6 +113,10 @@ type Config struct {
 	OnionRelays int
 	// KeyBits sizes the watermark RSA key (default 2048; tests use less).
 	KeyBits int
+	// IndexShards is the browser index's lock-stripe count; request
+	// goroutines touching different documents take different shard locks.
+	// <=0 uses index.DefaultShards.
+	IndexShards int
 	// DisablePeer turns the browsers-aware layer off entirely (a live
 	// proxy-and-local-browser baseline for comparisons).
 	DisablePeer bool
@@ -179,7 +184,8 @@ type Server struct {
 	nextID  int
 	started time.Time
 
-	idx     *index.Index
+	idx     *index.Sharded
+	syms    *intern.Sync
 	tickets *anonymity.TicketStore
 	health  *healthTracker
 
@@ -252,7 +258,8 @@ func New(cfg Config) (*Server, error) {
 		meta:           make(map[string]docMeta),
 		peers:          make(map[int]peerInfo),
 		tokens:         make(map[string]int),
-		idx:            index.New(cfg.Strategy),
+		idx:            index.NewSharded(cfg.Strategy, cfg.IndexShards),
+		syms:           intern.NewSync(),
 		tickets:        anonymity.NewTicketStore(cfg.PeerTimeout),
 		health:         newHealthTracker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		relays:         make(map[anonymity.Ticket]*relaySession),
@@ -339,8 +346,11 @@ func (s *Server) Close() error {
 // BaseURL reports the server's base URL after Start.
 func (s *Server) BaseURL() string { return s.baseURL }
 
-// Index exposes the browser index (tests and diagnostics).
-func (s *Server) Index() *index.Index { return s.idx }
+// Index exposes the sharded browser index (tests and diagnostics).
+func (s *Server) Index() *index.Sharded { return s.idx }
+
+// Syms exposes the proxy's URL interner (tests and diagnostics).
+func (s *Server) Syms() *intern.Sync { return s.syms }
 
 // Handler returns the HTTP handler (usable standalone with httptest, but
 // direct-forward relays need Start so the proxy knows its own base URL).
@@ -490,13 +500,15 @@ func (s *Server) handleIndexUpdate(w http.ResponseWriter, r *http.Request, add b
 	if add {
 		s.idx.Add(index.Entry{
 			Client:  id,
-			URL:     upd.Entry.URL,
+			Doc:     s.syms.Intern(upd.Entry.URL),
 			Size:    upd.Entry.Size,
 			Version: upd.Entry.Version,
 			Stamp:   upd.Entry.Stamp,
 		})
-	} else {
-		s.idx.Remove(id, upd.Entry.URL)
+	} else if doc, known := s.syms.Lookup(upd.Entry.URL); known {
+		// A URL the proxy never interned has no entries to remove; not
+		// interning here keeps bogus invalidations from growing the table.
+		s.idx.Remove(id, doc)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -523,7 +535,7 @@ func (s *Server) handleIndexSync(w http.ResponseWriter, r *http.Request) {
 	entries := make([]index.Entry, 0, len(sync.Entries))
 	for _, e := range sync.Entries {
 		entries = append(entries, index.Entry{
-			Client: id, URL: e.URL, Size: e.Size, Version: e.Version, Stamp: e.Stamp,
+			Client: id, Doc: s.syms.Intern(e.URL), Size: e.Size, Version: e.Version, Stamp: e.Stamp,
 		})
 	}
 	s.idx.ResyncClient(id, entries)

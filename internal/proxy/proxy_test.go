@@ -127,7 +127,7 @@ func TestIndexAuthRequired(t *testing.T) {
 	if code := post(reg.Token, reg.ClientID); code != http.StatusNoContent {
 		t.Errorf("valid add: %d", code)
 	}
-	if !s.Index().Has(reg.ClientID, "http://x/a") {
+	if !s.Index().Has(reg.ClientID, s.syms.Intern("http://x/a")) {
 		t.Error("entry not indexed")
 	}
 }
@@ -301,7 +301,7 @@ func TestIndexSyncEndpoint(t *testing.T) {
 	req2.Header.Set(HeaderToken, reg.Token)
 	resp2, _ := http.DefaultClient.Do(req2)
 	resp2.Body.Close()
-	if s.Index().Len() != 1 || !s.Index().Has(reg.ClientID, "http://x/3") {
+	if s.Index().Len() != 1 || !s.Index().Has(reg.ClientID, s.syms.Intern("http://x/3")) {
 		t.Fatal("re-sync did not replace directory")
 	}
 }

@@ -42,7 +42,7 @@ func TestRelayTimeoutFallsThroughToUpstream(t *testing.T) {
 		w.WriteHeader(http.StatusOK)
 	})
 	u := origin.URL + "/doc"
-	s.Index().Add(indexEntryFor(reg.ClientID, u, 14))
+	s.Index().Add(indexEntryFor(s, reg.ClientID, u, 14))
 
 	start := time.Now()
 	resp, err := http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape(u))
@@ -65,7 +65,7 @@ func TestRelayTimeoutFallsThroughToUpstream(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 	// The dead holder was pruned.
-	if s.Index().Has(reg.ClientID, u) {
+	if s.Index().Has(reg.ClientID, s.syms.Intern(u)) {
 		t.Fatal("dead holder still indexed")
 	}
 }
@@ -82,7 +82,7 @@ func TestPeerRefusalPrunesAndFallsThrough(t *testing.T) {
 		http.Error(w, "not cached", http.StatusNotFound)
 	})
 	u := origin.URL + "/doc2"
-	s.Index().Add(indexEntryFor(reg.ClientID, u, 11))
+	s.Index().Add(indexEntryFor(s, reg.ClientID, u, 11))
 
 	resp, err := http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape(u))
 	if err != nil {
@@ -96,7 +96,7 @@ func TestPeerRefusalPrunesAndFallsThrough(t *testing.T) {
 	if s.Snapshot().FalsePeerHits != 1 {
 		t.Fatalf("false peer hits: %+v", s.Snapshot())
 	}
-	if s.Index().Has(reg.ClientID, u) {
+	if s.Index().Has(reg.ClientID, s.syms.Intern(u)) {
 		t.Fatal("refusing holder still indexed")
 	}
 }
@@ -109,20 +109,20 @@ func TestDepartedPeerPruned(t *testing.T) {
 	s := testServer(t, nil)
 	u := origin.URL + "/gone"
 	// Index entry for a client id that never registered.
-	s.Index().Add(indexEntryFor(999, u, 1))
+	s.Index().Add(indexEntryFor(s, 999, u, 1))
 	resp, err := http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape(u))
 	if err != nil {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if s.Index().Has(999, u) {
+	if s.Index().Has(999, s.syms.Intern(u)) {
 		t.Fatal("unregistered holder still indexed")
 	}
 }
 
-func indexEntryFor(client int, url string, size int64) index.Entry {
-	return index.Entry{Client: client, URL: url, Size: size}
+func indexEntryFor(s *Server, client int, url string, size int64) index.Entry {
+	return index.Entry{Client: client, Doc: s.syms.Intern(url), Size: size}
 }
 
 // TestUpstreamCoalescing: concurrent misses for the same cold document cost
@@ -197,7 +197,7 @@ func TestPeerBodyWithoutProxyRecord(t *testing.T) {
 		w.Write(goodBody)
 	})
 	u := "http://origin.invalid/never-fetched"
-	s.Index().Add(indexEntryFor(regGood.ClientID, u, int64(len(goodBody))))
+	s.Index().Add(indexEntryFor(s, regGood.ClientID, u, int64(len(goodBody))))
 
 	resp, err := http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape(u))
 	if err != nil {
@@ -221,7 +221,7 @@ func TestPeerBodyWithoutProxyRecord(t *testing.T) {
 		w.Write([]byte("malicious content"))
 	})
 	u2 := "http://127.0.0.1:1/unreachable"
-	s.Index().Add(indexEntryFor(regBad.ClientID, u2, int64(len("malicious content"))))
+	s.Index().Add(indexEntryFor(s, regBad.ClientID, u2, int64(len("malicious content"))))
 	resp2, err := http.Get(s.BaseURL() + "/fetch?url=" + urlQueryEscape(u2))
 	if err != nil {
 		t.Fatal(err)
@@ -234,7 +234,7 @@ func TestPeerBodyWithoutProxyRecord(t *testing.T) {
 	if s.Snapshot().TamperRejected == 0 {
 		t.Fatal("tamper not recorded")
 	}
-	if s.Index().Has(regBad.ClientID, u2) {
+	if s.Index().Has(regBad.ClientID, s.syms.Intern(u2)) {
 		t.Fatal("forging holder still indexed")
 	}
 }

@@ -54,11 +54,12 @@ func Sweep(tr *trace.Trace, orgs []core.Organization, sizes []float64, base Conf
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var rn Runner // pooled System/bus/histogram, reused across this worker's runs
 			for j := range jobs {
 				cfg := base
 				cfg.Organization = j.org
 				cfg.RelativeSize = sizes[j.si]
-				res, err := Run(tr, &st, cfg)
+				res, err := rn.Run(tr, &st, cfg)
 				if err == nil {
 					err = res.Check()
 				}
@@ -108,6 +109,8 @@ type ScalingResult struct {
 // caches follow the sizing rule on the subset. subsetSeed makes the client
 // subsets reproducible and nested.
 func Scaling(tr *trace.Trace, fractions []float64, base Config, subsetSeed int64) (*ScalingResult, error) {
+	// Compute also interns the parent trace, so the workers' SubsetClients
+	// calls below only read it.
 	fullStats := trace.Compute(tr)
 	proxyCap := int64(base.RelativeSize * float64(fullStats.InfiniteCacheBytes))
 	out := &ScalingResult{
@@ -121,39 +124,56 @@ func Scaling(tr *trace.Trace, fractions []float64, base Config, subsetSeed int64
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for fi, f := range fractions {
-		sub := trace.SubsetClients(tr, f, subsetSeed)
-		st := trace.Compute(sub)
-		for _, org := range []core.Organization{core.BrowsersAware, core.ProxyAndLocalBrowser} {
-			wg.Add(1)
-			go func(fi int, org core.Organization, sub *trace.Trace, st trace.Stats) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				cfg := base
-				cfg.Organization = org
-				cfg.ProxyCapOverride = proxyCap
-				res, err := Run(sub, &st, cfg)
-				if err == nil {
-					err = res.Check()
-				}
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("scaling %v@%g: %w", org, fractions[fi], err)
-					}
-					return
-				}
-				if org == core.BrowsersAware {
-					out.BAPS[fi] = res
-				} else {
-					out.PALB[fi] = res
-				}
-			}(fi, org, sub, st)
-		}
+	// One job per scaling point; the subset extraction and its statistics
+	// pass run inside the worker pool rather than serially on the caller,
+	// and both organizations replay the same worker's subset so each worker
+	// pools its System/bus/histogram across all its runs.
+	jobs := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(fractions) {
+		workers = len(fractions)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rn Runner
+			for fi := range jobs {
+				sub := trace.SubsetClients(tr, fractions[fi], subsetSeed)
+				st := trace.Compute(sub)
+				for _, org := range []core.Organization{core.BrowsersAware, core.ProxyAndLocalBrowser} {
+					cfg := base
+					cfg.Organization = org
+					cfg.ProxyCapOverride = proxyCap
+					res, err := rn.Run(sub, &st, cfg)
+					if err == nil {
+						err = res.Check()
+					}
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("scaling %v@%g: %w", org, fractions[fi], err)
+						}
+						mu.Unlock()
+						continue
+					}
+					if org == core.BrowsersAware {
+						out.BAPS[fi] = res
+					} else {
+						out.PALB[fi] = res
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for fi := range fractions {
+		jobs <- fi
+	}
+	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
@@ -214,13 +234,16 @@ func MemoryStudy(tr *trace.Trace, sizeBAPS, sizePALB float64, base Config) (*Mem
 		}
 	} else {
 		// Bisect for the matching byte hit ratio; BHR is monotone in
-		// cache size for the stack-based LRU organizations.
+		// cache size for the stack-based LRU organizations. Every probe
+		// has the same shape, so one Runner pools the System across the
+		// whole bisection.
+		var rn Runner
 		target := resB.ByteHitRatio()
 		lo, hi := sizeBAPS/4, 0.95
 		for iter := 0; iter < 12; iter++ {
 			mid := (lo + hi) / 2
 			cfgP.RelativeSize = mid
-			if resP, err = Run(tr, &st, cfgP); err != nil {
+			if resP, err = rn.Run(tr, &st, cfgP); err != nil {
 				return nil, err
 			}
 			if resP.ByteHitRatio() < target {

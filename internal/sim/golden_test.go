@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"baps/internal/core"
+	"baps/internal/index"
+	"baps/internal/synth"
+	"baps/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden simulation fixtures")
+
+// goldenCases pins the exact simulation outputs of the canet2 profile at
+// 5 % workload scale: all five organizations under the paper's default
+// configuration, plus a periodic-protocol + TTL + warm-up variant that
+// exercises false index hits and the stale counters. Any hot-path
+// representation change (string keys -> interned doc IDs, map -> slice
+// caches) must keep every Result field bit-identical.
+func goldenCases() []Config {
+	var cases []Config
+	for _, org := range core.Organizations() {
+		cases = append(cases, DefaultConfig(org))
+	}
+	periodic := DefaultConfig(core.BrowsersAware)
+	periodic.IndexMode = index.Periodic
+	periodic.IndexThreshold = 0.05
+	periodic.IndexStrategy = index.SelectLeastLoaded
+	periodic.DocTTLSec = 1800
+	periodic.WarmupFraction = 0.10
+	cases = append(cases, periodic)
+	direct := DefaultConfig(core.BrowsersAware)
+	direct.ForwardMode = core.DirectForward
+	direct.ProxyCachesPeerDocs = false
+	direct.ParentRelativeSize = 0.15
+	cases = append(cases, direct)
+	return cases
+}
+
+func goldenTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	var prof synth.Profile
+	for _, p := range synth.Profiles() {
+		if p.Name == "canet2" {
+			prof = p
+		}
+	}
+	if prof.Name == "" {
+		t.Fatal("canet2 profile missing")
+	}
+	tr, err := synth.Generate(synth.Scaled(prof, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGoldenEquivalence(t *testing.T) {
+	tr := goldenTrace(t)
+	st := trace.Compute(tr)
+	var got []Result
+	for i, cfg := range goldenCases() {
+		res, err := Run(tr, &st, cfg)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got = append(got, res)
+	}
+
+	path := filepath.Join("testdata", "golden_canet2.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", path, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to record): %v", err)
+	}
+	var want []Result
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("fixture has %d cases, produced %d", len(want), len(got))
+	}
+	for i := range got {
+		compareResults(t, i, want[i], got[i])
+	}
+}
+
+// compareResults asserts field-by-field bit-identical equality, naming the
+// first diverging field for debuggability.
+func compareResults(t *testing.T, caseIdx int, want, got Result) {
+	t.Helper()
+	if want == got {
+		return
+	}
+	wv, gv := reflect.ValueOf(want), reflect.ValueOf(got)
+	tt := wv.Type()
+	for f := 0; f < tt.NumField(); f++ {
+		if wf, gf := wv.Field(f).Interface(), gv.Field(f).Interface(); wf != gf {
+			t.Errorf("case %d (%v): field %s diverged: fixture %v, got %v",
+				caseIdx, got.Organization, tt.Field(f).Name, wf, gf)
+		}
+	}
+	if !t.Failed() {
+		t.Errorf("case %d: results differ: %s", caseIdx, diffHint(want, got))
+	}
+}
+
+func diffHint(want, got Result) string {
+	return fmt.Sprintf("want %+v, got %+v", want, got)
+}

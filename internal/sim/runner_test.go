@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"baps/internal/cache"
+	"baps/internal/core"
+	"baps/internal/index"
+	"baps/internal/trace"
+)
+
+// TestRunnerReuseMatchesFreshRuns drives one pooled Runner through a sequence
+// of configurations that alternately exercise the in-place System.Reset path
+// (same shape, different capacities/thresholds) and the rebuild path (changed
+// organization, policy, or index mode), asserting every pooled run is
+// bit-identical to a fresh package-level Run. Guards the object-pooling
+// fast path the sweep drivers depend on.
+func TestRunnerReuseMatchesFreshRuns(t *testing.T) {
+	tr := testTrace(t, 21)
+	st := trace.Compute(tr)
+
+	mk := func(mut func(*Config)) Config {
+		c := DefaultConfig(core.BrowsersAware)
+		c.RelativeSize = 0.05
+		mut(&c)
+		return c
+	}
+	configs := []Config{
+		mk(func(c *Config) {}),
+		// Same shape: capacity change → Reset path.
+		mk(func(c *Config) { c.RelativeSize = 0.10 }),
+		// Shape change: different organization → rebuild.
+		mk(func(c *Config) { c.Organization = core.ProxyAndLocalBrowser }),
+		// Shape change: browser policy → rebuild.
+		mk(func(c *Config) { c.BrowserPolicy = cache.GDSF }),
+		// Shape change: periodic index → rebuild, with threshold state.
+		mk(func(c *Config) {
+			c.IndexMode = index.Periodic
+			c.IndexThreshold = 0.05
+		}),
+		// Back to the first shape: Reset must clear periodic residue.
+		mk(func(c *Config) {}),
+		// Warm-up and TTL flags flip freely within one shape.
+		mk(func(c *Config) { c.WarmupFraction = 0.25 }),
+		mk(func(c *Config) { c.DocTTLSec = 600 }),
+	}
+
+	var rn Runner
+	for i, cfg := range configs {
+		fresh, err := Run(tr, &st, cfg)
+		if err != nil {
+			t.Fatalf("case %d: fresh run: %v", i, err)
+		}
+		pooled, err := rn.Run(tr, &st, cfg)
+		if err != nil {
+			t.Fatalf("case %d: pooled run: %v", i, err)
+		}
+		compareResults(t, i, fresh, pooled)
+	}
+}

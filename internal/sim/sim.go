@@ -190,6 +190,7 @@ func buildCoreConfig(st *trace.Stats, c Config) core.Config {
 	return core.Config{
 		Organization:        c.Organization,
 		NumClients:          n,
+		NumDocs:             st.UniqueDocs,
 		ProxyCapacity:       proxyCap,
 		BrowserCapacity:     caps,
 		ProxyPolicy:         c.ProxyPolicy,
@@ -207,10 +208,28 @@ func buildCoreConfig(st *trace.Stats, c Config) core.Config {
 	}
 }
 
+// Runner replays traces while pooling the heavyweight per-run state — the
+// core.System (caches, index, publishers), the contention bus, and the
+// latency histogram — across consecutive runs. The zero value is ready to
+// use. A Runner is not safe for concurrent use; sweep drivers give each
+// worker goroutine its own.
+type Runner struct {
+	sys  *core.System
+	bus  *latency.Bus
+	hist stats.Histogram
+}
+
 // Run replays tr through the configured organization. st may carry
 // precomputed trace statistics (to share across the runs of a sweep); pass
 // nil to compute them here.
 func Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error) {
+	var rn Runner
+	return rn.Run(tr, st, c)
+}
+
+// Run is like the package-level Run but reuses the Runner's pooled system,
+// bus, and histogram when the previous run's shape allows it.
+func (rn *Runner) Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -219,11 +238,21 @@ func Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error) {
 		st = &s
 	}
 	ccfg := buildCoreConfig(st, c)
-	sys, err := core.New(ccfg)
-	if err != nil {
-		return Result{}, err
+	sys := rn.sys
+	if sys == nil || !sys.Reset(ccfg) {
+		var err error
+		if sys, err = core.New(ccfg); err != nil {
+			return Result{}, err
+		}
+		rn.sys = sys
 	}
-	bus := latency.NewBus(c.Latency)
+	if rn.bus == nil {
+		rn.bus = latency.NewBus(c.Latency)
+	} else {
+		rn.bus.ResetModel(c.Latency)
+	}
+	bus := rn.bus
+	rn.hist.Reset()
 	res := Result{
 		Trace:        tr.Name,
 		Organization: c.Organization,
@@ -238,7 +267,7 @@ func Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error) {
 	warmup := int(c.WarmupFraction * float64(len(tr.Requests)))
 	var warmTransferSec, warmContentionSec float64
 	var warmTransfers, warmBytes int64
-	var hist stats.Histogram
+	hist := &rn.hist
 	for i := range tr.Requests {
 		if i == warmup {
 			// Metrics start here; remote-bus totals accumulated

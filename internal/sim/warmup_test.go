@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"baps/internal/core"
+	"baps/internal/index"
+	"baps/internal/trace"
 )
 
 func TestWarmupValidation(t *testing.T) {
@@ -88,5 +90,86 @@ func TestWarmupBusAccounting(t *testing.T) {
 	}
 	if rw.RemoteConnectionsOnWire != rw.RemoteConnections {
 		t.Errorf("on-wire connections %d != counted %d", rw.RemoteConnectionsOnWire, rw.RemoteConnections)
+	}
+}
+
+// TestWarmupExcludesStaleAndFalseHitCounters replays a hand-built trace whose
+// only false index hit and stale-document events all fall in the first half,
+// and checks that a run with WarmupFraction = 0.5 reports none of them while
+// a cold run reports each at least once. Guards the snapshot logic that
+// resets metrics — including FalseIndexHits / StaleLocal / StaleProxy — at
+// the warm-up boundary.
+func TestWarmupExcludesStaleAndFalseHitCounters(t *testing.T) {
+	// Two clients; browser caches hold four 100-byte docs (450 B), the
+	// proxy holds one (180 B). With a periodic index at threshold 1.0 a
+	// flush fires every ~4 changes, so the fill order is arranged to put a
+	// flush boundary just before t=8: client 0's eviction of "a" there
+	// stays pending, and client 1's request for "a" at t=9 contacts a
+	// holder that no longer has it (false index hit). t=10 re-requests "a"
+	// at a new size while both client 1's browser and the proxy hold the
+	// old copy (stale local + stale proxy). The second half touches only
+	// fresh one-shot docs, so it can produce none of these events by
+	// construction.
+	req := func(tm float64, client int, url string, size int64) trace.Request {
+		return trace.Request{Time: tm, Client: client, URL: url, Size: size}
+	}
+	tr := &trace.Trace{
+		Name:       "warmup-counters",
+		NumClients: 2,
+		Requests: []trace.Request{
+			req(1, 0, "b", 100),
+			req(2, 0, "c", 100),
+			req(3, 0, "d", 100),
+			req(4, 0, "a", 100),  // cache full: b,c,d,a; index insert of "a" pending
+			req(5, 0, "e", 100),  // evicts b → flush: index lists {c,d,a}
+			req(6, 0, "f", 100),  // evicts c (pending)
+			req(7, 0, "g", 100),  // evicts d → flush: index lists {a,e,f}
+			req(8, 0, "h", 100),  // evicts "a"; invalidation stays pending
+			req(9, 1, "a", 100),  // index still lists client 0 → false hit
+			req(10, 1, "a", 150), // modified: stale local + stale proxy
+			req(11, 1, "a", 150),
+			req(12, 1, "a", 150),
+			// Second half: fresh one-shot docs only.
+			req(13, 0, "m1", 100),
+			req(14, 0, "m2", 100),
+			req(15, 0, "m3", 100),
+			req(16, 0, "m4", 100),
+			req(17, 0, "m5", 100),
+			req(18, 0, "m6", 100),
+			req(19, 1, "n1", 100),
+			req(20, 1, "n2", 100),
+			req(21, 1, "n3", 100),
+			req(22, 1, "n4", 100),
+			req(23, 1, "n5", 100),
+			req(24, 1, "n6", 100),
+		},
+	}
+	cold := DefaultConfig(core.BrowsersAware)
+	cold.Sizing = SizingMinimum
+	cold.MinBrowserDivisor = 0.2 // browser cap = 180/(0.2·2) = 450 B
+	cold.ProxyCapOverride = 180
+	cold.IndexMode = index.Periodic
+	cold.IndexThreshold = 1.0
+	warm := cold
+	warm.WarmupFraction = 0.5
+
+	rc, err := Run(tr, nil, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.FalseIndexHits < 1 || rc.StaleLocal < 1 || rc.StaleProxy < 1 {
+		t.Fatalf("cold run missed the engineered events: false=%d staleLocal=%d staleProxy=%d",
+			rc.FalseIndexHits, rc.StaleLocal, rc.StaleProxy)
+	}
+	rw, err := Run(tr, nil, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.FalseIndexHits != 0 || rw.StaleLocal != 0 || rw.StaleProxy != 0 {
+		t.Errorf("warm-up events leaked into the snapshot: false=%d staleLocal=%d staleProxy=%d",
+			rw.FalseIndexHits, rw.StaleLocal, rw.StaleProxy)
+	}
+	if rw.Requests != 12 {
+		t.Errorf("warm run counted %d requests, want 12", rw.Requests)
 	}
 }

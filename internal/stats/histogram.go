@@ -49,6 +49,14 @@ func (h *Histogram) Add(x float64) {
 // N reports the number of recorded values.
 func (h *Histogram) N() int64 { return h.n }
 
+// Reset zeroes the histogram in place, so sweep workers can reuse one
+// histogram per run instead of allocating a fresh bucket array.
+func (h *Histogram) Reset() {
+	clear(h.counts[:])
+	h.under, h.over, h.n = 0, 0, 0
+	h.sum, h.max = 0, 0
+}
+
 // Mean reports the arithmetic mean of recorded values.
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {

@@ -216,6 +216,7 @@ func Generate(p Profile) (*trace.Trace, error) {
 			rings[client][ringPos[client]] = url
 		}
 	}
+	tr.Intern()
 	return tr, nil
 }
 

@@ -49,6 +49,7 @@ func ParseCLF(r io.Reader, name string) (*Trace, error) {
 			t.Requests[i].Time -= base
 		}
 	}
+	t.Intern()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

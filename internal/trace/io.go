@@ -75,6 +75,7 @@ func Read(r io.Reader, name string) (*Trace, error) {
 		return nil, err
 	}
 	t.NumClients = maxClient + 1
+	t.Intern()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,6 +139,7 @@ func ParseSquid(r io.Reader, name string) (*Trace, error) {
 			t.Requests[i].Time -= base
 		}
 	}
+	t.Intern()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		req(0.5, 2, "http://b/y", 2048),
 		req(1.25, 1, "http://a/x", 100),
 	}}
+	tr.Intern()
 	var buf bytes.Buffer
 	if err := Write(&buf, tr); err != nil {
 		t.Fatalf("Write: %v", err)

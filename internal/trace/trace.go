@@ -14,6 +14,8 @@ package trace
 import (
 	"fmt"
 	"sort"
+
+	"baps/internal/intern"
 )
 
 // Request is a single client web request.
@@ -28,6 +30,12 @@ type Request struct {
 
 	// URL identifies the requested document.
 	URL string
+
+	// Doc is the interned document ID for URL, dense in first-appearance
+	// order, assigned by (*Trace).Intern. The simulator hot path keys every
+	// cache and index structure by Doc; URL is retained for parsing,
+	// serialization, and diagnostics.
+	Doc intern.ID
 
 	// Size is the size in bytes of the document body as delivered for
 	// this request. A size different from the previously delivered size
@@ -47,6 +55,36 @@ type Trace struct {
 
 	// Requests holds the requests in time order.
 	Requests []Request
+
+	// Syms maps between URLs and the dense Doc IDs carried by Requests.
+	// Nil until Intern has run. Traces derived by SubsetClients share the
+	// parent's table so Doc IDs stay comparable across scaling subsets.
+	Syms *intern.Table
+}
+
+// Intern assigns dense document IDs to every request (idempotent: a trace
+// whose Syms is already populated is returned as-is). All loaders and
+// generators intern before handing a trace out; call this again only after
+// appending raw requests manually.
+func (t *Trace) Intern() *intern.Table {
+	if t.Syms != nil {
+		return t.Syms
+	}
+	syms := intern.NewTable(len(t.Requests) / 4)
+	for i := range t.Requests {
+		t.Requests[i].Doc = syms.Intern(t.Requests[i].URL)
+	}
+	t.Syms = syms
+	return syms
+}
+
+// NumDocs returns the number of distinct documents, or 0 when the trace has
+// not been interned.
+func (t *Trace) NumDocs() int {
+	if t.Syms == nil {
+		return 0
+	}
+	return t.Syms.Len()
 }
 
 // Validate checks structural invariants: client ids within range, positive
@@ -65,6 +103,11 @@ func (t *Trace) Validate() error {
 		}
 		if r.Time < prev {
 			return fmt.Errorf("trace %s: request %d: time %g decreases below %g", t.Name, i, r.Time, prev)
+		}
+		if t.Syms != nil {
+			if id, ok := t.Syms.Lookup(r.URL); !ok || id != r.Doc {
+				return fmt.Errorf("trace %s: request %d: doc id %d inconsistent with symbol table for %q", t.Name, i, r.Doc, r.URL)
+			}
 		}
 		prev = r.Time
 	}
@@ -120,8 +163,11 @@ func (s *Stats) AvgClientInfiniteBytes() int64 {
 	return sum / int64(len(s.ClientInfiniteBytes))
 }
 
-// Compute derives Stats from a trace in a single pass.
+// Compute derives Stats from a trace in a single pass. The trace is interned
+// as a side effect (if it was not already) so the document state tables can
+// be flat slices indexed by doc ID rather than string-keyed maps.
 func Compute(t *Trace) Stats {
+	syms := t.Intern()
 	s := Stats{
 		Name:                t.Name,
 		NumRequests:         len(t.Requests),
@@ -130,35 +176,33 @@ func Compute(t *Trace) Stats {
 	}
 	type docState struct {
 		size       int64
-		lastClient int
+		lastClient int32
+		seen       bool
 	}
-	docs := make(map[string]*docState, len(t.Requests)/4+1)
-	type clientDoc struct {
-		client int
-		url    string
-	}
-	clientSeen := make(map[clientDoc]int64) // last size seen by that client
+	docs := make([]docState, syms.Len())
+	clientSeen := make(map[uint64]int64, len(t.Requests)/2+1) // client⊕doc -> last size seen by that client
 	var hitBytes int64
 	hits := 0
-	for _, r := range t.Requests {
+	for i := range t.Requests {
+		r := &t.Requests[i]
 		s.TotalBytes += r.Size
-		d, seen := docs[r.URL]
-		if seen && d.size == r.Size {
+		d := &docs[r.Doc]
+		if d.seen && d.size == r.Size {
 			hits++
 			hitBytes += r.Size
-			if d.lastClient != r.Client {
+			if d.lastClient != int32(r.Client) {
 				s.SharedRequests++
 			}
 		}
-		if !seen {
-			docs[r.URL] = &docState{size: r.Size, lastClient: r.Client}
+		if !d.seen {
+			d.seen = true
 			s.InfiniteCacheBytes += r.Size
 		} else {
 			s.InfiniteCacheBytes += r.Size - d.size // track last observed size
-			d.size = r.Size
-			d.lastClient = r.Client
 		}
-		ck := clientDoc{r.Client, r.URL}
+		d.size = r.Size
+		d.lastClient = int32(r.Client)
+		ck := uint64(r.Client)<<32 | uint64(uint32(r.Doc))
 		if prev, ok := clientSeen[ck]; !ok {
 			clientSeen[ck] = r.Size
 			s.ClientInfiniteBytes[r.Client] += r.Size
@@ -167,7 +211,7 @@ func Compute(t *Trace) Stats {
 			clientSeen[ck] = r.Size
 		}
 	}
-	s.UniqueDocs = len(docs)
+	s.UniqueDocs = syms.Len()
 	if s.NumRequests > 0 {
 		s.MaxHitRatio = float64(hits) / float64(s.NumRequests)
 	}
@@ -184,6 +228,7 @@ func Compute(t *Trace) Stats {
 // yields nested subsets, so the 25 % client set is contained in the 50 % set
 // and so on, matching how the paper grows the client population.
 func SubsetClients(t *Trace, fraction float64, seed int64) *Trace {
+	t.Intern()
 	if fraction >= 1 {
 		return t
 	}
@@ -204,6 +249,10 @@ func SubsetClients(t *Trace, fraction float64, seed int64) *Trace {
 	out := &Trace{
 		Name:       fmt.Sprintf("%s[%d%%]", t.Name, int(fraction*100+0.5)),
 		NumClients: n,
+		// Share the parent's symbol table: Doc IDs in the subset remain
+		// valid (the ID space is a superset of the subset's documents),
+		// and sweep workers avoid re-interning per scaling point.
+		Syms: t.Syms,
 	}
 	for _, r := range t.Requests {
 		if newID, ok := keep[r.Client]; ok {
@@ -241,6 +290,9 @@ func Concat(gapSec float64, traces ...*Trace) *Trace {
 			offset = last + gapSec
 		}
 	}
+	// Doc IDs copied from the inputs belong to per-input tables; re-intern
+	// so the concatenated trace has one consistent dense ID space.
+	out.Intern()
 	return out
 }
 
