@@ -5,8 +5,9 @@ DATE ?= $(shell date +%F)
 # long-running figure regenerations in the root package.
 BENCH_PKGS = ./internal/cache ./internal/index ./internal/core .
 BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*|BenchmarkIndexAddRemoveHot|BenchmarkIndexOrdered|BenchmarkShardedOrdered|BenchmarkSimulatorBAPS|BenchmarkSimulatorProxyOnly|BenchmarkTraceStats)$$'
-# Packages touched by the interning/sharding refactor, raced in `make check`.
-HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy
+# Packages touched by the interning/sharding refactor and the observability
+# subsystem, raced in `make check`.
+HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos
 
 .PHONY: all build vet test race short bench check bench-baseline bench-compare
 

@@ -15,6 +15,7 @@
 //	-threshold F   periodic re-sync threshold (default 0.05)
 //	-no-verify     skip watermark verification
 //	-heartbeat D   liveness beacon period (default 5s; 0 disables)
+//	-logjson       emit structured logs as JSON instead of text
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -36,14 +38,22 @@ func main() {
 	threshold := flag.Float64("threshold", 0.05, "periodic re-sync threshold")
 	noVerify := flag.Bool("no-verify", false, "skip watermark verification")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "liveness beacon period (0 disables)")
+	logjson := flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
 
+	var logger *slog.Logger
+	if *logjson {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	if *proxyURL == "" {
 		fmt.Fprintln(os.Stderr, "bapsbrowser: -proxy is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	cfg := browser.DefaultConfig(*proxyURL)
+	cfg.Logger = logger
 	cfg.CacheCapacity = *cacheCap
 	cfg.Threshold = *threshold
 	cfg.Verify = !*noVerify
@@ -59,11 +69,13 @@ func main() {
 	}
 	a, err := browser.New(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bapsbrowser: %v\n", err)
+		logger.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	defer a.Close()
-	fmt.Printf("bapsbrowser: client %d registered at %s (peer server %s)\n", a.ID(), *proxyURL, a.PeerURL())
+	logger.Info("bapsbrowser ready",
+		"client", a.ID(), "proxy", *proxyURL, "peer_url", a.PeerURL(),
+		"metrics", a.PeerURL()+"/metrics")
 
 	sc := bufio.NewScanner(os.Stdin)
 	ctx := context.Background()

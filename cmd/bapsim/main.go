@@ -21,14 +21,16 @@
 //	compression §5 index compression trade-off (exact vs counting Bloom)
 //	security    §6 integrity + anonymity overheads
 //	ablation    design-choice ablations
+//	metrics     per-policy observability dumps (see -metricsout)
 //	all         everything above
 //
 // Flags:
 //
 //	-scale f        scale every workload by f (default 1; benchmarks use ~0.1)
 //	-seed n         override the calibrated profile seeds
-//	-profile p      profile for compression/ablation (default nlanr-bo1)
+//	-profile p      profile for compression/ablation/metrics (default nlanr-bo1)
 //	-chart          also print ASCII charts for figures
+//	-metricsout f   write per-policy Prometheus expositions to f (metrics experiment)
 //	-cpuprofile f   write a CPU profile of the run to f (go tool pprof)
 //	-memprofile f   write a heap profile on exit to f
 package main
@@ -36,6 +38,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -76,10 +79,11 @@ func main() {
 	seed := flag.Int64("seed", 0, "seed override (0 = calibrated)")
 	profile := flag.String("profile", "nlanr-bo1", "profile for compression/ablation")
 	chart := flag.Bool("chart", false, "print ASCII charts for figures")
+	metricsout := flag.String("metricsout", "", "write per-policy Prometheus expositions to this file (metrics experiment)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bapsim [flags] <experiment>...\nexperiments: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 memory overhead compression security ablation cooperative all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: bapsim [flags] <experiment>...\nexperiments: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 memory overhead compression security ablation cooperative metrics all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -211,6 +215,24 @@ func main() {
 				return err
 			}
 			printTable(t)
+		case "metrics":
+			var dump io.Writer
+			if *metricsout != "" {
+				f, err := os.Create(*metricsout)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				dump = f
+			}
+			t, err := baps.MetricsReport(opts, *profile, dump)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			if *metricsout != "" {
+				fmt.Printf("wrote per-policy expositions to %s\n", *metricsout)
+			}
 		case "livecheck":
 			if err := runLiveCheck(); err != nil {
 				return err
@@ -229,7 +251,7 @@ func main() {
 
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
-		names = strings.Fields("table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 memory overhead compression security ablation cooperative hierarchy latency livecheck replicate")
+		names = strings.Fields("table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 memory overhead compression security ablation cooperative hierarchy latency metrics livecheck replicate")
 	}
 	for _, name := range names {
 		if err := runOne(name); err != nil {

@@ -3,14 +3,14 @@
 //
 // Usage:
 //
-//	bapsorigin [-addr 127.0.0.1:8080] [-seed N]
+//	bapsorigin [-addr 127.0.0.1:8080] [-seed N] [-logjson]
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 
 	"baps/internal/origin"
 )
@@ -18,9 +18,20 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	seed := flag.Int64("seed", 1, "content seed")
+	logjson := flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
 
+	var logger *slog.Logger
+	if *logjson {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv := origin.New(*seed)
-	fmt.Printf("bapsorigin: serving deterministic documents on http://%s (seed %d)\n", *addr, *seed)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	srv.SetLogger(logger)
+	logger.Info("bapsorigin serving", "addr", *addr, "seed", *seed)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
 }

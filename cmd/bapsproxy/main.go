@@ -6,7 +6,7 @@
 //	          [-forward fetch|direct] [-no-peer] [-keybits 2048]
 //	          [-breaker-threshold 3] [-breaker-cooldown 10s]
 //	          [-heartbeat-timeout 30s] [-peer-soft-deadline 2.5s]
-//	          [-origin-retries 2]
+//	          [-origin-retries 2] [-logjson]
 //
 // Browser agents (cmd/bapsbrowser or internal/browser) register at
 // POST /register and then resolve documents through GET /fetch.
@@ -15,13 +15,22 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
 	"baps/internal/cache"
 	"baps/internal/proxy"
 )
+
+// newLogger builds the process logger: text to stderr by default, JSON when
+// the operator asks for machine-readable logs.
+func newLogger(json bool) *slog.Logger {
+	if json {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8081", "listen address")
@@ -36,14 +45,17 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "open-breaker cooldown before a half-open probe")
 	heartbeatTimeout := flag.Duration("heartbeat-timeout", 30*time.Second, "quarantine peers silent this long (0 disables the sweep)")
 	originRetries := flag.Int("origin-retries", 2, "retries for transient origin failures (backoff + jitter)")
+	logjson := flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
 
+	logger := newLogger(*logjson)
 	policy, err := cache.ParsePolicy(*policyName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bapsproxy: %v\n", err)
 		os.Exit(2)
 	}
 	cfg := proxy.DefaultConfig()
+	cfg.Logger = logger
 	cfg.CacheCapacity = *capacity
 	cfg.Policy = policy
 	cfg.KeyBits = *keyBits
@@ -65,12 +77,15 @@ func main() {
 	}
 	s, err := proxy.New(cfg)
 	if err != nil {
-		log.Fatalf("bapsproxy: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	if err := s.Start(*addr); err != nil {
-		log.Fatalf("bapsproxy: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	fmt.Printf("bapsproxy: browsers-aware proxy on %s (cache %d bytes, %s, %s-forward)\n",
-		s.BaseURL(), *capacity, policy, *forward)
+	logger.Info("bapsproxy serving",
+		"url", s.BaseURL(), "cache_bytes", *capacity, "policy", policy.String(),
+		"forward", *forward, "metrics", s.BaseURL()+"/metrics", "trace", s.BaseURL()+"/trace")
 	select {} // serve forever
 }

@@ -2,6 +2,7 @@ package baps
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"baps/internal/anonymity"
@@ -11,6 +12,7 @@ import (
 	"baps/internal/index"
 	"baps/internal/integrity"
 	"baps/internal/intern"
+	"baps/internal/obs"
 	"baps/internal/sim"
 	"baps/internal/stats"
 	"baps/internal/synth"
@@ -550,6 +552,65 @@ func AblationReport(o Options, profile string) (*Table, error) {
 	for _, v := range variants {
 		if err := run(v.label, v.mutate); err != nil {
 			return nil, fmt.Errorf("ablation %q: %w", v.label, err)
+		}
+	}
+	return t, nil
+}
+
+// MetricsReport replays one profile through the browsers-aware organization
+// once per replacement policy, each run exporting onto its own obs.Registry,
+// and tabulates the per-policy counters. Every row is cross-checked against
+// the simulator's own Result accounting, so the table doubles as an
+// end-to-end test of the metrics pipeline. When dump is non-nil, each
+// registry's full Prometheus exposition is appended to it behind a
+// "# policy: <name>" comment line (bapsim's -metricsout flag).
+func MetricsReport(o Options, profile string, dump io.Writer) (*Table, error) {
+	tr, err := o.trace(profile)
+	if err != nil {
+		return nil, err
+	}
+	st := trace.Compute(tr)
+	t := stats.NewTable(fmt.Sprintf("Per-policy metrics dumps (%s, browsers-aware proxy @10%%)", profile),
+		"Policy", "Requests", "Local", "Proxy", "Remote", "Miss", "False index hits", "LAN bytes")
+	policies := []cache.Policy{cache.LRU, cache.FIFO, cache.LFU, cache.SIZE, cache.GDSF}
+	var rn sim.Runner
+	for _, pol := range policies {
+		reg := obs.NewRegistry()
+		cfg := figureConfig(sim.SizingAverage)
+		cfg.ProxyPolicy, cfg.BrowserPolicy = pol, pol
+		cfg.Metrics = reg
+		res, err := rn.Run(tr, &st, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("metrics %s: %w", pol, err)
+		}
+		if err := res.Check(); err != nil {
+			return nil, fmt.Errorf("metrics %s: %w", pol, err)
+		}
+		byClass := func(h core.HitClass) int64 {
+			return reg.VecValue("baps_sim_requests_by_class_total", h.String())
+		}
+		// The registry and the Result account the same events through
+		// independent paths; disagreement means the pipeline is broken.
+		if got := reg.CounterValue("baps_sim_requests_total"); got != res.Requests {
+			return nil, fmt.Errorf("metrics %s: registry counted %d requests, result %d", pol, got, res.Requests)
+		}
+		if got := byClass(core.HitRemoteBrowser); got != res.RemoteHits {
+			return nil, fmt.Errorf("metrics %s: registry counted %d remote hits, result %d", pol, got, res.RemoteHits)
+		}
+		t.AddRow(pol.String(),
+			fmt.Sprintf("%d", reg.CounterValue("baps_sim_requests_total")),
+			fmt.Sprintf("%d", byClass(core.HitLocalBrowser)),
+			fmt.Sprintf("%d", byClass(core.HitProxy)),
+			fmt.Sprintf("%d", byClass(core.HitRemoteBrowser)),
+			fmt.Sprintf("%d", byClass(core.Miss)),
+			fmt.Sprintf("%d", reg.CounterValue("baps_sim_false_index_hits_total")),
+			stats.Bytes(reg.CounterValue("baps_sim_bus_bytes_total")))
+		if dump != nil {
+			fmt.Fprintf(dump, "# policy: %s\n", pol)
+			if err := reg.WriteText(dump); err != nil {
+				return nil, fmt.Errorf("metrics %s: dump: %w", pol, err)
+			}
+			fmt.Fprintln(dump)
 		}
 	}
 	return t, nil

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
@@ -34,6 +35,7 @@ import (
 
 	"baps/internal/cache"
 	"baps/internal/integrity"
+	"baps/internal/obs"
 	"baps/internal/proxy"
 )
 
@@ -84,17 +86,23 @@ type Config struct {
 	// place of the agent's actual listen address. Fault-injection
 	// harnesses front the peer server with a faulty gateway this way.
 	AdvertisePeerURL string
+	// Metrics is the registry the agent's metrics register on; nil creates
+	// a private registry. Served at GET /metrics on the peer server.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives structured logs (registration,
+	// tamper rejections, heartbeat failures).
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns sensible agent defaults.
 func DefaultConfig(proxyURL string) Config {
 	return Config{
-		ProxyURL:      proxyURL,
-		CacheCapacity: 8 << 20,
-		MemFraction:   0.5,
-		Policy:        cache.LRU,
-		IndexMode:     Immediate,
-		Threshold:     0.05,
+		ProxyURL:          proxyURL,
+		CacheCapacity:     8 << 20,
+		MemFraction:       0.5,
+		Policy:            cache.LRU,
+		IndexMode:         Immediate,
+		Threshold:         0.05,
 		Verify:            true,
 		Timeout:           10 * time.Second,
 		HeartbeatInterval: 5 * time.Second,
@@ -133,6 +141,8 @@ type Agent struct {
 	pendingOnion map[string]chan onionDeliveryMsg
 
 	metrics Metrics
+	obs     *obs.Registry
+	logger  *slog.Logger
 
 	httpClient *http.Client
 	listener   net.Listener
@@ -187,12 +197,19 @@ func New(cfg Config) (*Agent, error) {
 	}
 	a.listener = ln
 	a.peerURL = "http://" + ln.Addr().String()
+	a.logger = cfg.Logger
+	a.obs = cfg.Metrics
+	if a.obs == nil {
+		a.obs = obs.NewRegistry()
+	}
+	a.registerMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/peer/doc", a.handlePeerDoc)
 	mux.HandleFunc("/peer/send", a.handlePeerSend)
 	mux.HandleFunc("/peer/onion-send", a.handlePeerOnionSend)
 	mux.HandleFunc("/peer/onion", a.handlePeerOnion)
 	mux.HandleFunc("/peer/resync", a.handlePeerResync)
+	mux.Handle("/metrics", a.obs.Handler())
 	a.httpSrv = &http.Server{Handler: mux}
 	go a.httpSrv.Serve(ln)
 
@@ -234,6 +251,9 @@ func (a *Agent) register() error {
 		return fmt.Errorf("browser: bad relay key from proxy")
 	}
 	a.id, a.token, a.pub, a.relayKey = reg.ClientID, reg.Token, pub, relayKey
+	if a.logger != nil {
+		a.logger.Info("registered with proxy", "client", a.id, "peer_url", peerURL)
+	}
 	return nil
 }
 
@@ -303,6 +323,52 @@ func (a *Agent) heartbeat() {
 		resp.Body.Close()
 	}
 }
+
+// registerMetrics exposes the agent's mutex-guarded counters as
+// callback-backed families, so the request path keeps its existing single
+// lock acquisition and the exposition reads through the same lock.
+func (a *Agent) registerMetrics() {
+	counter := func(name, help string, get func(*Metrics) int64) {
+		a.obs.CounterFunc(name, help, func() int64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return get(&a.metrics)
+		})
+	}
+	counter("baps_browser_requests_total", "Documents requested through Get.",
+		func(m *Metrics) int64 { return m.Requests })
+	counter("baps_browser_local_hits_total", "Requests served from the local browser cache.",
+		func(m *Metrics) int64 { return m.LocalHits })
+	counter("baps_browser_proxy_hits_total", "Requests served from the proxy cache.",
+		func(m *Metrics) int64 { return m.ProxyHits })
+	counter("baps_browser_remote_hits_total", "Requests served from a remote browser cache.",
+		func(m *Metrics) int64 { return m.RemoteHits })
+	counter("baps_browser_origin_misses_total", "Requests that fell through to the origin.",
+		func(m *Metrics) int64 { return m.OriginMiss })
+	counter("baps_browser_peer_serves_total", "Documents served to peers from this cache.",
+		func(m *Metrics) int64 { return m.PeerServes })
+	counter("baps_browser_tamper_seen_total", "Watermark verification failures on received documents.",
+		func(m *Metrics) int64 { return m.TamperSeen })
+	counter("baps_browser_index_syncs_total", "Full directory re-syncs sent to the proxy.",
+		func(m *Metrics) int64 { return m.IndexSyncs })
+	counter("baps_browser_index_ops_total", "Immediate index add/remove messages sent.",
+		func(m *Metrics) int64 { return m.IndexOps })
+	counter("baps_browser_onion_relayed_total", "Onion-path hops relayed for other peers.",
+		func(m *Metrics) int64 { return m.OnionRelayed })
+	a.obs.GaugeFunc("baps_browser_cache_docs", "Documents in the local cache.", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(a.cache.Len())
+	})
+	a.obs.GaugeFunc("baps_browser_cache_bytes", "Bytes in the local cache.", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(a.cache.Used())
+	})
+}
+
+// Obs exposes the agent's metrics registry.
+func (a *Agent) Obs() *obs.Registry { return a.obs }
 
 // ID reports the proxy-assigned client id.
 func (a *Agent) ID() int { return a.id }
@@ -375,6 +441,9 @@ func (a *Agent) Get(ctx context.Context, docURL string) ([]byte, Source, error) 
 			a.mu.Lock()
 			a.metrics.TamperSeen++
 			a.mu.Unlock()
+			if a.logger != nil {
+				a.logger.Warn("watermark rejected", "url", docURL, "err", verr)
+			}
 			// §6.1: reject, report the delivery (the proxy maps the
 			// ticket to the hidden holder), and retry bypassing peers.
 			a.reportBad(ctx, docURL, ticket)

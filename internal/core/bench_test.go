@@ -5,6 +5,7 @@ import (
 
 	"baps/internal/cache"
 	"baps/internal/index"
+	"baps/internal/obs"
 	"baps/internal/synth"
 	"baps/internal/trace"
 )
@@ -51,6 +52,9 @@ func benchSystem(b *testing.B, org Organization, tr *trace.Trace, st trace.Stats
 		ForwardMode:         FetchForward,
 		ProxyCachesPeerDocs: true,
 		CacheRemoteHits:     true,
+		// Benchmarks run with metrics enabled: the 0 allocs/op numbers
+		// below therefore prove the instrumented hot path.
+		Metrics: NewAccessMetrics(obs.NewRegistry()),
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -219,6 +219,11 @@ type Config struct {
 	// proxy" that misses are forwarded to). It is consulted after every
 	// other layer and caches everything passing through it.
 	ParentCapacity int64
+
+	// Metrics, when non-nil, receives per-request observability counters
+	// (see NewAccessMetrics). The counters are pre-resolved so Access
+	// stays allocation-free with metrics enabled.
+	Metrics *AccessMetrics
 }
 
 // Validate reports configuration errors.
@@ -363,6 +368,19 @@ func New(cfg Config) (*System, error) {
 // Access resolves one request through the organization's layers and returns
 // where it was satisfied. Requests must be presented in trace order.
 func (s *System) Access(r trace.Request) Outcome {
+	out := s.access(r)
+	if m := s.cfg.Metrics; m != nil {
+		m.Requests.Inc()
+		m.Outcomes[out.Class].Inc()
+		m.BytesRequested.Add(out.Size)
+		if out.FalseIndexHits > 0 {
+			m.FalseIndexHits.Add(int64(out.FalseIndexHits))
+		}
+	}
+	return out
+}
+
+func (s *System) access(r trace.Request) Outcome {
 	s.now = r.Time
 	out := Outcome{Provider: -1, Size: r.Size, Class: Miss}
 

@@ -1,0 +1,37 @@
+package core
+
+import "baps/internal/obs"
+
+// AccessMetrics mirrors the request-resolution pipeline onto an obs.Registry
+// without touching the Access hot path's allocation profile: every field is a
+// pre-resolved counter, so recording an outcome is a handful of atomic adds —
+// no map lookups, no strconv, no interface boxing.
+type AccessMetrics struct {
+	// Requests counts calls to Access.
+	Requests *obs.Counter
+	// Outcomes is indexed by HitClass (baps_sim_requests_by_class_total).
+	Outcomes [5]*obs.Counter
+	// FalseIndexHits counts wasted remote-browser contacts.
+	FalseIndexHits *obs.Counter
+	// BytesRequested sums delivered body sizes.
+	BytesRequested *obs.Counter
+}
+
+// NewAccessMetrics registers the simulator-core metric families on reg and
+// pre-resolves every child counter.
+func NewAccessMetrics(reg *obs.Registry) *AccessMetrics {
+	m := &AccessMetrics{
+		Requests: reg.Counter("baps_sim_requests_total",
+			"Requests resolved through the caching organization."),
+		FalseIndexHits: reg.Counter("baps_sim_false_index_hits_total",
+			"Remote-browser contacts wasted on stale index entries."),
+		BytesRequested: reg.Counter("baps_sim_bytes_requested_total",
+			"Body bytes delivered to requesters."),
+	}
+	vec := reg.CounterVec("baps_sim_requests_by_class_total",
+		"Requests by resolution class (Figure 3 breakdown plus parent/miss).", "class")
+	for _, h := range []HitClass{HitLocalBrowser, HitProxy, HitRemoteBrowser, HitParent, Miss} {
+		m.Outcomes[h] = vec.With(h.String())
+	}
+	return m
+}

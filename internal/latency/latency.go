@@ -104,6 +104,17 @@ type Bus struct {
 	ContentionSec float64 // waiting time due to a busy bus
 	Transfers     int64
 	Bytes         int64
+
+	// observer, when set, sees every transfer (metrics export). It
+	// survives Reset and ResetModel so a pooled bus keeps reporting.
+	observer func(wait, duration float64, size int64)
+}
+
+// SetObserver installs a per-transfer callback (nil disables). The callback
+// runs inline on the simulation thread; it must be cheap and must not call
+// back into the bus.
+func (b *Bus) SetObserver(fn func(wait, duration float64, size int64)) {
+	b.observer = fn
 }
 
 // NewBus creates a bus over the model's LAN parameters.
@@ -125,6 +136,9 @@ func (b *Bus) Transfer(now float64, size int64) (wait, duration float64) {
 	b.ContentionSec += wait
 	b.Transfers++
 	b.Bytes += size
+	if b.observer != nil {
+		b.observer(wait, duration, size)
+	}
 	return wait, duration
 }
 

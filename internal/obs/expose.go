@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format media type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeHelp escapes a HELP string: backslash and newline.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// writeFloat renders a float the way Prometheus clients do: integers
+// without an exponent, specials as +Inf/-Inf/NaN.
+func writeFloat(w io.Writer, v float64) {
+	switch {
+	case math.IsInf(v, +1):
+		io.WriteString(w, "+Inf")
+	case math.IsInf(v, -1):
+		io.WriteString(w, "-Inf")
+	case math.IsNaN(v):
+		io.WriteString(w, "NaN")
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		io.WriteString(w, strconv.FormatInt(int64(v), 10))
+	default:
+		io.WriteString(w, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+}
+
+// WriteText writes every registered family in Prometheus text exposition
+// format 0.0.4, families sorted by name and labeled children sorted by
+// label value.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshotMetrics() {
+		if m.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, helpEscaper.Replace(m.help))
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.cfn())
+		case kindFloatCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s ", m.name, m.name)
+			writeFloat(bw, m.fcounter.Value())
+			bw.WriteByte('\n')
+		case kindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", m.name)
+			children := make([]labeledFunc, len(m.gfns))
+			copy(children, m.gfns)
+			sort.Slice(children, func(i, j int) bool { return children[i].value < children[j].value })
+			for _, lf := range children {
+				if lf.label == "" {
+					fmt.Fprintf(bw, "%s ", m.name)
+				} else {
+					fmt.Fprintf(bw, "%s{%s=\"%s\"} ", m.name, lf.label, labelEscaper.Replace(lf.value))
+				}
+				writeFloat(bw, lf.fn())
+				bw.WriteByte('\n')
+			}
+		case kindCounterVec:
+			fmt.Fprintf(bw, "# TYPE %s counter\n", m.name)
+			m.vec.mu.RLock()
+			values := make([]string, 0, len(m.vec.byName))
+			for v := range m.vec.byName {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				fmt.Fprintf(bw, "%s{%s=\"%s\"} %d\n", m.name, m.vec.label, labelEscaper.Replace(v), m.vec.byName[v].Value())
+			}
+			m.vec.mu.RUnlock()
+		case kindSummary:
+			n, sum, q50, q95, q99 := m.summary.snapshot()
+			fmt.Fprintf(bw, "# TYPE %s summary\n", m.name)
+			for _, q := range []struct {
+				q string
+				v float64
+			}{{"0.5", q50}, {"0.95", q95}, {"0.99", q99}} {
+				fmt.Fprintf(bw, "%s{quantile=%q} ", m.name, q.q)
+				writeFloat(bw, q.v)
+				bw.WriteByte('\n')
+			}
+			fmt.Fprintf(bw, "%s_sum ", m.name)
+			writeFloat(bw, sum)
+			fmt.Fprintf(bw, "\n%s_count %d\n", m.name, n)
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry in text exposition
+// format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"baps/internal/stats"
+)
+
+// fmtFloat renders v exactly as the exposition writer does.
+func fmtFloat(v float64) string {
+	var b strings.Builder
+	writeFloat(&b, v)
+	return b.String()
+}
+
+// TestExpositionGolden locks the text exposition format: family ordering by
+// name, HELP/TYPE lines, sorted and escaped labels, summary quantiles.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("baps_test_requests_total", "Total requests.").Add(12)
+	r.Gauge("baps_test_clients", "Registered clients.").Set(3)
+	r.FloatCounter("baps_test_busy_seconds_total", "Busy seconds.").Add(1.5)
+	vec := r.CounterVec("baps_test_outcomes_total", "Fetch outcomes.", "outcome")
+	vec.With("proxy_hit").Add(7)
+	vec.With("origin").Add(2)
+	vec.With(`we"ird\va` + "\n" + `lue`).Inc()
+	r.GaugeFunc("baps_test_uptime_seconds", "Uptime.", func() float64 { return 2.5 })
+	r.LabeledGaugeFunc("baps_test_breaker_peers", "Peers by breaker state.", "state", "open", func() float64 { return 1 })
+	r.LabeledGaugeFunc("baps_test_breaker_peers", "Peers by breaker state.", "state", "closed", func() float64 { return 4 })
+	r.CounterFunc("baps_test_fetches_total", "Origin fetches.", func() int64 { return 9 })
+	s := r.Summary("baps_test_latency_seconds", "Request latency.")
+	for i := 0; i < 100; i++ {
+		s.Observe(0.010)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	// The summary's quantile is the log-scale bucket upper edge, so the
+	// expected values are derived from a reference histogram fed the same
+	// observations rather than hardcoded decimals.
+	var ref stats.Histogram
+	for i := 0; i < 100; i++ {
+		ref.Add(0.010)
+	}
+	q := fmtFloat(ref.Quantile(0.5))
+	refSum := fmtFloat(ref.Mean() * float64(ref.N()))
+
+	want := `# HELP baps_test_breaker_peers Peers by breaker state.
+# TYPE baps_test_breaker_peers gauge
+baps_test_breaker_peers{state="closed"} 4
+baps_test_breaker_peers{state="open"} 1
+# HELP baps_test_busy_seconds_total Busy seconds.
+# TYPE baps_test_busy_seconds_total counter
+baps_test_busy_seconds_total 1.5
+# HELP baps_test_clients Registered clients.
+# TYPE baps_test_clients gauge
+baps_test_clients 3
+# HELP baps_test_fetches_total Origin fetches.
+# TYPE baps_test_fetches_total counter
+baps_test_fetches_total 9
+# HELP baps_test_latency_seconds Request latency.
+# TYPE baps_test_latency_seconds summary
+baps_test_latency_seconds{quantile="0.5"} ` + q + `
+baps_test_latency_seconds{quantile="0.95"} ` + q + `
+baps_test_latency_seconds{quantile="0.99"} ` + q + `
+baps_test_latency_seconds_sum ` + refSum + `
+baps_test_latency_seconds_count 100
+# HELP baps_test_outcomes_total Fetch outcomes.
+# TYPE baps_test_outcomes_total counter
+baps_test_outcomes_total{outcome="origin"} 2
+baps_test_outcomes_total{outcome="proxy_hit"} 7
+baps_test_outcomes_total{outcome="we\"ird\\va\nlue"} 1
+# HELP baps_test_requests_total Total requests.
+# TYPE baps_test_requests_total counter
+baps_test_requests_total 12
+# HELP baps_test_uptime_seconds Uptime.
+# TYPE baps_test_uptime_seconds gauge
+baps_test_uptime_seconds 2.5
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParses round-trips the output through a minimal line parser
+// to catch structural violations (every sample line names a registered
+// family, no stray whitespace).
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "x").Inc()
+	r.Summary("b_seconds", "y").Observe(2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Errorf("malformed comment line %q", line)
+			}
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Errorf("sample line without value: %q", line)
+			continue
+		}
+		name := line[:i]
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			name = name[:j]
+		}
+		if !validName(name) {
+			t.Errorf("invalid metric name in line %q", line)
+		}
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Add(5)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "h_total 5") {
+		t.Errorf("body missing sample: %s", body)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}

@@ -1,0 +1,50 @@
+package origin
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsExposition drives a few requests and checks the origin's
+// /metrics endpoint reflects them.
+func TestMetricsExposition(t *testing.T) {
+	o := New(7)
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/doc/a")
+		if err != nil {
+			t.Fatalf("fetch: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	o.Modify("/doc/a")
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+
+	for _, want := range []string{
+		"baps_origin_fetches_total 3",
+		"baps_origin_modifies_total 1",
+		"baps_origin_modified_docs 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if o.Obs().CounterValue("baps_origin_bytes_total") <= 0 {
+		t.Errorf("bytes_total not accounted")
+	}
+	if got := o.Obs().CounterValue("baps_origin_fetches_total"); got != 3 {
+		t.Errorf("fetches_total = %d, want 3", got)
+	}
+}

@@ -8,9 +8,12 @@ package origin
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+
+	"baps/internal/obs"
 )
 
 // Server generates documents. Create with New, expose via Handler, and
@@ -22,12 +25,48 @@ type Server struct {
 	mu       sync.RWMutex
 	versions map[string]int64
 	fetches  int64
+
+	obs        *obs.Registry
+	bytesOut   *obs.Counter
+	modifies   *obs.Counter
+	badRequest *obs.Counter
+	logger     *slog.Logger
 }
 
 // New creates a server whose document contents derive from seed.
 func New(seed int64) *Server {
-	return &Server{seed: uint64(seed), versions: make(map[string]int64)}
+	s := &Server{seed: uint64(seed), versions: make(map[string]int64)}
+	s.attachRegistry(obs.NewRegistry())
+	return s
 }
+
+// SetObs re-homes the server's metrics onto reg (so a shared registry can
+// serve them). Call before Handler sees traffic.
+func (s *Server) SetObs(reg *obs.Registry) { s.attachRegistry(reg) }
+
+// SetLogger installs a structured logger for request-summary lines.
+func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
+
+func (s *Server) attachRegistry(reg *obs.Registry) {
+	s.obs = reg
+	reg.CounterFunc("baps_origin_fetches_total",
+		"Document requests served by the origin.", func() int64 { return s.Fetches() })
+	s.bytesOut = reg.Counter("baps_origin_bytes_total",
+		"Document bytes served by the origin.")
+	s.modifies = reg.Counter("baps_origin_modifies_total",
+		"Origin-side document modifications (version bumps).")
+	s.badRequest = reg.Counter("baps_origin_bad_requests_total",
+		"Requests rejected with a 4xx status.")
+	reg.GaugeFunc("baps_origin_modified_docs",
+		"Documents whose version has been bumped at least once.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.versions))
+		})
+}
+
+// Obs exposes the origin's metrics registry.
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // Handler returns the HTTP handler:
 //
@@ -35,6 +74,7 @@ func New(seed int64) *Server {
 //	POST /admin/modify?path=P → bump P's version (origin-side modification)
 //	GET  /admin/version?path=P → current version of P
 //	GET  /admin/stats         → fetch counter
+//	GET  /metrics             → Prometheus text exposition
 //
 // Document size can be forced with ?size=N (bytes); otherwise it derives
 // deterministically from the path (1–64 KB).
@@ -43,12 +83,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/admin/modify", s.handleModify)
 	mux.HandleFunc("/admin/version", s.handleVersion)
 	mux.HandleFunc("/admin/stats", s.handleStats)
+	mux.Handle("/metrics", s.obs.Handler())
 	mux.HandleFunc("/", s.handleDoc)
 	return mux
 }
 
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		s.badRequest.Inc()
 		http.Error(w, "origin: GET only", http.StatusMethodNotAllowed)
 		return
 	}
@@ -62,6 +104,7 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("size"); q != "" {
 		n, err := strconv.ParseInt(q, 10, 64)
 		if err != nil || n <= 0 || n > 64<<20 {
+			s.badRequest.Inc()
 			http.Error(w, "origin: bad size", http.StatusBadRequest)
 			return
 		}
@@ -73,15 +116,21 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Origin-Version", strconv.FormatInt(version, 10))
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+	s.bytesOut.Add(size)
+	if s.logger != nil {
+		s.logger.Info("serve", "path", path, "version", version, "bytes", size)
+	}
 }
 
 func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		s.badRequest.Inc()
 		http.Error(w, "origin: POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	path := r.URL.Query().Get("path")
 	if path == "" {
+		s.badRequest.Inc()
 		http.Error(w, "origin: missing path", http.StatusBadRequest)
 		return
 	}
@@ -89,6 +138,10 @@ func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) {
 	s.versions[path]++
 	v := s.versions[path]
 	s.mu.Unlock()
+	s.modifies.Inc()
+	if s.logger != nil {
+		s.logger.Info("modify", "path", path, "version", v)
+	}
 	fmt.Fprintf(w, "%d\n", v)
 }
 
@@ -119,6 +172,7 @@ func (s *Server) Modify(path string) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.versions[path]++
+	s.modifies.Inc()
 	return s.versions[path]
 }
 

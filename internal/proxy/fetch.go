@@ -11,12 +11,12 @@ import (
 	"net/http"
 	neturl "net/url"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"baps/internal/anonymity"
 	"baps/internal/cache"
 	"baps/internal/integrity"
+	"baps/internal/obs"
 )
 
 // handleFetch is the client-facing resolution pipeline: proxy cache →
@@ -49,19 +49,42 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		}
 		requester = id
 	}
-	atomic.AddInt64(&s.nRequests, 1)
+	s.m.requests.Inc()
+	start := time.Now()
+	sp := s.tracer.StartSpan("fetch")
+	sp.SetClient(requester)
+	sp.SetURL(url)
+	ctx = obs.WithSpan(ctx, sp)
 
+	outcome := s.resolveFetch(ctx, w, url, requester, r.Header.Get(HeaderNoPeer) == "1")
+
+	dur := time.Since(start)
+	s.m.outcomeCounter(outcome).Inc()
+	s.m.fetchDur.Observe(dur.Seconds())
+	sp.Finish(outcome, nil)
+	if s.logger != nil {
+		s.logger.Info("fetch",
+			"url", url,
+			"client", requester,
+			"outcome", outcome,
+			"duration_ms", float64(dur.Microseconds())/1e3)
+	}
+}
+
+// resolveFetch runs the decision path — proxy cache, browser index with
+// hedged origin, plain origin — writes the response, and reports which
+// outcome was taken (one of the out* constants).
+func (s *Server) resolveFetch(ctx context.Context, w http.ResponseWriter, url string, requester int, noPeer bool) string {
 	// 1. Proxy cache.
 	if body, meta, ok := s.cacheLookup(url); ok {
-		atomic.AddInt64(&s.nProxyHits, 1)
 		s.serveDoc(w, SourceProxy, body, meta)
-		return
+		return outProxyHit
 	}
 
 	// 2. Browser index → remote browser caches, hedged with the origin.
-	if !s.cfg.DisablePeer && r.Header.Get(HeaderNoPeer) != "1" {
-		if s.servePeerHedged(ctx, w, url, requester) {
-			return
+	if !s.cfg.DisablePeer && !noPeer {
+		if handled, outcome := s.servePeerHedged(ctx, w, url, requester); handled {
+			return outcome
 		}
 	}
 
@@ -69,10 +92,10 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	body, meta, err := s.fetchUpstream(ctx, url)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("proxy: upstream: %v", err), http.StatusBadGateway)
-		return
+		return outError
 	}
-	atomic.AddInt64(&s.nOrigin, 1)
 	s.serveDoc(w, SourceOrigin, body, meta)
+	return outOrigin
 }
 
 // peerOutcome is the result of one resolveRemote walk.
@@ -94,9 +117,9 @@ type originOutcome struct {
 // servePeerHedged runs the remote-browser resolution, racing the origin once
 // the peer path exceeds PeerSoftDeadline (a slow or dying holder must never
 // make a request slower than a plain proxy miss). It reports whether the
-// response has been written; false means the caller should take the plain
-// origin path.
-func (s *Server) servePeerHedged(ctx context.Context, w http.ResponseWriter, url string, requester int) bool {
+// response has been written and, if so, which outcome was served; (false, "")
+// means the caller should take the plain origin path.
+func (s *Server) servePeerHedged(ctx context.Context, w http.ResponseWriter, url string, requester int) (bool, string) {
 	peerCh := make(chan peerOutcome, 1)
 	go func() {
 		body, meta, ticket, viaOnion, ok := s.resolveRemote(ctx, url, requester)
@@ -115,27 +138,27 @@ func (s *Server) servePeerHedged(ctx context.Context, w http.ResponseWriter, url
 		select {
 		case p := <-peerCh:
 			if p.ok {
-				s.serveRemote(w, p)
-				return true
+				return true, s.serveRemote(w, p)
 			}
 			// Peer path exhausted; fall back to whatever the hedge
 			// has (or will have), else let the caller go upstream.
 			if originCh != nil {
 				select {
 				case o := <-originCh:
-					s.serveHedgeResult(w, o)
+					return true, s.serveHedgeResult(w, o)
 				case <-ctx.Done():
 					http.Error(w, "proxy: request canceled", http.StatusGatewayTimeout)
+					return true, outCanceled
 				}
-				return true
 			}
 			if originFailed != nil {
 				http.Error(w, fmt.Sprintf("proxy: upstream: %v", originFailed), http.StatusBadGateway)
-				return true
+				return true, outError
 			}
-			return false
+			return false, ""
 		case <-hedge:
 			hedge = nil
+			obs.SpanFrom(ctx).Event("hedge", "peer soft deadline exceeded; racing origin")
 			originCh = make(chan originOutcome, 1)
 			go func() {
 				body, meta, err := s.fetchUpstream(ctx, url)
@@ -145,45 +168,47 @@ func (s *Server) servePeerHedged(ctx context.Context, w http.ResponseWriter, url
 			if o.err == nil {
 				// The origin answered while the peer path was still
 				// grinding: hedged win.
-				atomic.AddInt64(&s.nHedgedWins, 1)
-				atomic.AddInt64(&s.nOrigin, 1)
 				s.serveDoc(w, SourceOrigin, o.body, o.meta)
-				return true
+				return true, outOriginHedged
 			}
 			originFailed = o.err
 			originCh = nil
 		case <-ctx.Done():
 			http.Error(w, "proxy: request canceled", http.StatusGatewayTimeout)
-			return true
+			return true, outCanceled
 		}
 	}
 }
 
-// serveRemote writes a successful remote-browser resolution.
-func (s *Server) serveRemote(w http.ResponseWriter, p peerOutcome) {
-	atomic.AddInt64(&s.nRemoteHits, 1)
+// serveRemote writes a successful remote-browser resolution and reports the
+// delivery-mode outcome.
+func (s *Server) serveRemote(w http.ResponseWriter, p peerOutcome) string {
 	if p.viaOnion {
 		// The document travels browser-to-browser over the covert
 		// path; this response only announces it.
 		w.Header().Set(HeaderOnion, "1")
 		w.Header().Set(HeaderSource, SourceRemote)
 		w.WriteHeader(http.StatusOK)
-		return
+		return outPeerOnion
 	}
 	if p.ticket != "" {
 		w.Header().Set("X-BAPS-Ticket", p.ticket)
 	}
 	s.serveDoc(w, SourceRemote, p.body, p.meta)
+	if p.ticket != "" {
+		return outPeerDirect
+	}
+	return outPeerFetch
 }
 
 // serveHedgeResult writes an awaited hedge outcome after the peer path died.
-func (s *Server) serveHedgeResult(w http.ResponseWriter, o originOutcome) {
+func (s *Server) serveHedgeResult(w http.ResponseWriter, o originOutcome) string {
 	if o.err != nil {
 		http.Error(w, fmt.Sprintf("proxy: upstream: %v", o.err), http.StatusBadGateway)
-		return
+		return outError
 	}
-	atomic.AddInt64(&s.nOrigin, 1)
 	s.serveDoc(w, SourceOrigin, o.body, o.meta)
+	return outOrigin
 }
 
 func (s *Server) serveDoc(w http.ResponseWriter, source string, body []byte, meta docMeta) {
@@ -289,7 +314,8 @@ func (s *Server) fetchUpstreamUncoalesced(ctx context.Context, url string) ([]by
 	var lastErr error
 	for attempt := 0; attempt <= s.cfg.OriginRetries; attempt++ {
 		if attempt > 0 {
-			atomic.AddInt64(&s.nRetries, 1)
+			s.m.originRetries.Inc()
+			obs.SpanFrom(ctx).Event("origin_retry", "attempt "+strconv.Itoa(attempt))
 			// Jittered sleep in [delay/2, delay] keeps synchronized
 			// retry herds off a recovering origin.
 			d := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
@@ -314,6 +340,7 @@ func (s *Server) fetchUpstreamUncoalesced(ctx context.Context, url string) ([]by
 
 // originAttempt performs one origin round trip.
 func (s *Server) originAttempt(ctx context.Context, url string) ([]byte, docMeta, error) {
+	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, docMeta{}, err
@@ -343,6 +370,7 @@ func (s *Server) originAttempt(ctx context.Context, url string) ([]byte, docMeta
 		watermark: mark,
 	}
 	s.storeDoc(url, body, meta)
+	s.m.originFetch.Observe(time.Since(start).Seconds())
 	return body, meta, nil
 }
 
@@ -372,6 +400,9 @@ func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (
 	candidates := s.idx.Ordered(doc, requester)
 	// Quarantined holders come last, as half-open probe candidates.
 	candidates = append(candidates, s.idx.OrderedQuarantined(doc, requester)...)
+	if len(candidates) > 0 {
+		obs.SpanFrom(ctx).Event("index_hit", strconv.Itoa(len(candidates))+" holders")
+	}
 	for _, e := range candidates {
 		if ctx.Err() != nil {
 			return nil, docMeta{}, "", false, false
@@ -403,22 +434,40 @@ func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (
 				// not the peer's fault — record nothing.
 				return nil, docMeta{}, "", false, false
 			}
-			atomic.AddInt64(&s.nFalsePeer, 1)
+			s.m.falsePeer.Inc()
+			obs.SpanFrom(ctx).Event("peer_miss", err.Error())
 			s.idx.Remove(e.Client, doc)
 			if errors.Is(err, errPeerStale) {
 				// The peer is alive, it just evicted the document.
 				s.health.Touch(e.Client)
 			} else if s.health.Failure(e.Client) {
-				atomic.AddInt64(&s.nBreakerTrips, 1)
+				s.m.breakerOpened.Inc()
 				s.idx.Quarantine(e.Client)
+				if s.logger != nil {
+					s.logger.Warn("breaker opened", "client", e.Client, "err", err)
+				}
 			}
 			continue
 		}
-		if s.health.Success(e.Client, time.Since(start)) {
-			atomic.AddInt64(&s.nBreakerReadmits, 1)
+		elapsed := time.Since(start)
+		if s.health.Success(e.Client, elapsed) {
+			s.m.breakerClosed.Inc()
 			s.idx.Unquarantine(e.Client)
+			if s.logger != nil {
+				s.logger.Info("breaker closed", "client", e.Client)
+			}
 		}
 		s.idx.AccountServe(e.Client)
+		s.m.peerFetchDur.Observe(elapsed.Seconds())
+		s.m.peerServes.WithInt(e.Client).Inc()
+		// Onion deliveries bypass the proxy, so the body size comes from
+		// the index entry rather than the (empty) relayed payload.
+		served := meta.size
+		if viaOnion {
+			served = e.Size
+		}
+		s.m.peerServeBytes.WithInt(e.Client).Add(served)
+		obs.SpanFrom(ctx).Event("peer_serve", "client "+strconv.Itoa(e.Client))
 		if s.cfg.Forward == FetchForward && s.cfg.CachePeerDocs {
 			s.storeDoc(url, body, meta)
 		}
@@ -458,9 +507,10 @@ func (s *Server) fetchFromPeer(ctx context.Context, peer peerInfo, url string) (
 	s.mu.Unlock()
 	if haveMeta && known.version == version {
 		if !bytes.Equal(integrity.Digest(body), known.digest) {
-			atomic.AddInt64(&s.nTamper, 1)
+			s.m.watermarkRejected.Inc()
 			return nil, docMeta{}, fmt.Errorf("digest mismatch from client %d", peer.id)
 		}
+		s.m.watermarkVerified.Inc()
 		return body, known, nil
 	}
 	// The proxy has no record for this version (e.g. restarted): accept
@@ -468,9 +518,10 @@ func (s *Server) fetchFromPeer(ctx context.Context, peer peerInfo, url string) (
 	markB64 := resp.Header.Get(HeaderWatermark)
 	mark, err := base64.StdEncoding.DecodeString(markB64)
 	if err != nil || integrity.Verify(s.signer.Public(), body, mark) != nil {
-		atomic.AddInt64(&s.nTamper, 1)
+		s.m.watermarkRejected.Inc()
 		return nil, docMeta{}, fmt.Errorf("unverifiable peer content from client %d", peer.id)
 	}
+	s.m.watermarkVerified.Inc()
 	meta := docMeta{version: version, size: int64(len(body)), digest: integrity.Digest(body), watermark: mark}
 	return body, meta, nil
 }
@@ -525,7 +576,7 @@ func (s *Server) relayFromPeer(ctx context.Context, peer peerInfo, url string) (
 		// relay); the requester verifies the watermark end-to-end.
 		return d.body, meta, string(ticket), nil
 	case <-time.After(s.cfg.PeerTimeout):
-		atomic.AddInt64(&s.nRelayTimeout, 1)
+		s.m.relayTimeouts.Inc()
 		return nil, docMeta{}, "", fmt.Errorf("relay timeout waiting for client %d", peer.id)
 	case <-ctx.Done():
 		return nil, docMeta{}, "", ctx.Err()
@@ -618,7 +669,7 @@ func (s *Server) handleReportBad(w http.ResponseWriter, r *http.Request) {
 	s.relayMu.Lock()
 	session := s.relays[anonymity.Ticket(rep.Ticket)]
 	s.relayMu.Unlock()
-	atomic.AddInt64(&s.nTamper, 1)
+	s.m.watermarkRejected.Inc()
 	doc, known := s.syms.Lookup(rep.URL)
 	if session != nil {
 		if known {

@@ -1,0 +1,198 @@
+package proxy
+
+import (
+	"time"
+
+	"baps/internal/obs"
+)
+
+// Fetch decision-path outcomes, one per /fetch request, exposed as
+// baps_proxy_fetch_outcomes_total{outcome=...}. Together with the browser
+// agent's local-hit counter these cover the paper's full resolution path:
+// browser hit → proxy hit → index hit (fetch-forward / direct-forward /
+// onion) → origin fallback.
+const (
+	outProxyHit     = "proxy_hit"
+	outPeerFetch    = "peer_fetch_forward"
+	outPeerDirect   = "peer_direct_forward"
+	outPeerOnion    = "peer_onion"
+	outOrigin       = "origin"
+	outOriginHedged = "origin_hedged"
+	outError        = "error"
+	outCanceled     = "canceled"
+)
+
+// serverMetrics holds every proxy metric with the hot-path counters
+// pre-resolved, so request handling does one atomic add per event and never
+// touches the registry's maps.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	requests *obs.Counter
+	outcomes *obs.CounterVec
+	// Pre-resolved outcome children (outcomeCounter maps the string).
+	outProxyHit, outPeerFetch, outPeerDirect, outPeerOnion *obs.Counter
+	outOrigin, outOriginHedged, outError, outCanceled      *obs.Counter
+
+	falsePeer         *obs.Counter
+	watermarkVerified *obs.Counter
+	watermarkRejected *obs.Counter
+	relayTimeouts     *obs.Counter
+	originRetries     *obs.Counter
+	heartbeats        *obs.Counter
+	heartbeatMisses   *obs.Counter
+
+	breakerTransitions *obs.CounterVec
+	breakerOpened      *obs.Counter // transitions{to="open"}
+	breakerClosed      *obs.Counter // transitions{to="closed"}
+
+	registers   *obs.Counter
+	unregisters *obs.Counter
+
+	peerServes     *obs.CounterVec // {client=...}
+	peerServeBytes *obs.CounterVec // {client=...}
+
+	indexUpdates *obs.CounterVec // {op=add|remove|resync|drop}
+	idxAdd       *obs.Counter
+	idxRemove    *obs.Counter
+	idxResync    *obs.Counter
+	idxDrop      *obs.Counter
+
+	fetchDur     *obs.Summary
+	peerFetchDur *obs.Summary
+	originFetch  *obs.Summary
+}
+
+// newServerMetrics registers the proxy's metric families on reg and wires
+// the callback gauges to s's live structures.
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{reg: reg}
+	m.requests = reg.Counter("baps_proxy_requests_total",
+		"Total /fetch requests accepted.")
+	m.outcomes = reg.CounterVec("baps_proxy_fetch_outcomes_total",
+		"Fetch decision-path outcomes.", "outcome")
+	m.outProxyHit = m.outcomes.With(outProxyHit)
+	m.outPeerFetch = m.outcomes.With(outPeerFetch)
+	m.outPeerDirect = m.outcomes.With(outPeerDirect)
+	m.outPeerOnion = m.outcomes.With(outPeerOnion)
+	m.outOrigin = m.outcomes.With(outOrigin)
+	m.outOriginHedged = m.outcomes.With(outOriginHedged)
+	m.outError = m.outcomes.With(outError)
+	m.outCanceled = m.outcomes.With(outCanceled)
+
+	m.falsePeer = reg.Counter("baps_proxy_false_peer_total",
+		"Index hits that failed to produce the document from the peer.")
+	m.watermarkVerified = reg.Counter("baps_proxy_watermark_verified_total",
+		"Peer-served bodies that passed digest/watermark verification.")
+	m.watermarkRejected = reg.Counter("baps_proxy_watermark_rejected_total",
+		"Peer-served bodies rejected by digest/watermark verification or reported bad.")
+	m.relayTimeouts = reg.Counter("baps_proxy_relay_timeouts_total",
+		"Direct-forward relays that timed out waiting for the holder push.")
+	m.originRetries = reg.Counter("baps_proxy_origin_retries_total",
+		"Backoff retries against the origin.")
+	m.heartbeats = reg.Counter("baps_proxy_heartbeats_total",
+		"Browser heartbeats received.")
+	m.heartbeatMisses = reg.Counter("baps_proxy_heartbeat_misses_total",
+		"Peers tripped by the heartbeat-silence sweep.")
+
+	m.breakerTransitions = reg.CounterVec("baps_proxy_breaker_transitions_total",
+		"Per-peer circuit-breaker state transitions.", "to")
+	m.breakerOpened = m.breakerTransitions.With("open")
+	m.breakerClosed = m.breakerTransitions.With("closed")
+
+	m.registers = reg.Counter("baps_proxy_registers_total",
+		"Browser registrations.")
+	m.unregisters = reg.Counter("baps_proxy_unregisters_total",
+		"Graceful browser departures.")
+
+	m.peerServes = reg.CounterVec("baps_proxy_peer_serves_total",
+		"Documents served out of each peer's browser cache.", "client")
+	m.peerServeBytes = reg.CounterVec("baps_proxy_peer_serve_bytes_total",
+		"Bytes served out of each peer's browser cache.", "client")
+
+	m.indexUpdates = reg.CounterVec("baps_proxy_index_updates_total",
+		"Browser index mutations by kind.", "op")
+	m.idxAdd = m.indexUpdates.With("add")
+	m.idxRemove = m.indexUpdates.With("remove")
+	m.idxResync = m.indexUpdates.With("resync")
+	m.idxDrop = m.indexUpdates.With("drop")
+
+	m.fetchDur = reg.Summary("baps_proxy_fetch_duration_seconds",
+		"End-to-end /fetch latency.")
+	m.peerFetchDur = reg.Summary("baps_proxy_peer_fetch_duration_seconds",
+		"Successful peer-resolution latency.")
+	m.originFetch = reg.Summary("baps_proxy_origin_fetch_duration_seconds",
+		"Successful origin round-trip latency.")
+
+	reg.GaugeFunc("baps_proxy_index_entries",
+		"Live browser-index entries.", func() float64 { return float64(s.idx.Len()) })
+	reg.GaugeFunc("baps_proxy_index_quarantined_entries",
+		"Browser-index entries under breaker quarantine.", func() float64 { return float64(s.idx.QuarantinedEntries()) })
+	reg.GaugeFunc("baps_proxy_index_docs",
+		"Distinct documents currently indexed.", func() float64 { return float64(s.idx.URLCount()) })
+	reg.GaugeFunc("baps_proxy_cache_docs",
+		"Documents in the proxy cache.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.cache.Len())
+		})
+	reg.GaugeFunc("baps_proxy_cache_bytes",
+		"Bytes in the proxy cache.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.cache.Used())
+		})
+	reg.GaugeFunc("baps_proxy_clients",
+		"Registered browser agents.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.peers))
+		})
+	for _, st := range []string{"closed", "open", "half_open"} {
+		st := st
+		reg.LabeledGaugeFunc("baps_proxy_breaker_peers",
+			"Peers by circuit-breaker state.", "state", st, func() float64 {
+				closed, open, half := s.health.Counts()
+				switch st {
+				case "open":
+					return float64(open)
+				case "half_open":
+					return float64(half)
+				default:
+					return float64(closed)
+				}
+			})
+	}
+	reg.GaugeFunc("baps_proxy_uptime_seconds",
+		"Seconds since the proxy started.", func() float64 { return time.Since(s.started).Seconds() })
+	return m
+}
+
+// outcomeCounter maps an outcome string to its pre-resolved child counter.
+func (m *serverMetrics) outcomeCounter(outcome string) *obs.Counter {
+	switch outcome {
+	case outProxyHit:
+		return m.outProxyHit
+	case outPeerFetch:
+		return m.outPeerFetch
+	case outPeerDirect:
+		return m.outPeerDirect
+	case outPeerOnion:
+		return m.outPeerOnion
+	case outOrigin:
+		return m.outOrigin
+	case outOriginHedged:
+		return m.outOriginHedged
+	case outCanceled:
+		return m.outCanceled
+	default:
+		return m.outError
+	}
+}
+
+// Obs exposes the proxy's metrics registry (exposition, tests, asserting on
+// deltas).
+func (s *Server) Obs() *obs.Registry { return s.m.reg }
+
+// Tracer exposes the proxy's request tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }

@@ -33,12 +33,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"baps/internal/anonymity"
@@ -46,6 +46,7 @@ import (
 	"baps/internal/index"
 	"baps/internal/integrity"
 	"baps/internal/intern"
+	"baps/internal/obs"
 )
 
 // ForwardMode mirrors core.ForwardMode for the live system.
@@ -120,6 +121,21 @@ type Config struct {
 	// DisablePeer turns the browsers-aware layer off entirely (a live
 	// proxy-and-local-browser baseline for comparisons).
 	DisablePeer bool
+	// Metrics is the registry all proxy metrics register on; nil creates a
+	// private registry (exposed at /metrics and via Obs either way).
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives structured logs including one
+	// request-summary line per /fetch with decision outcome and latency.
+	Logger *slog.Logger
+	// TraceDepth is the request-trace ring size (finished spans retained
+	// for GET /trace). <=0 uses obs.DefaultTraceDepth.
+	TraceDepth int
+	// TraceSample, when non-nil, receives every TraceSampleEvery-th
+	// finished span as one JSON line (a sampled JSONL event log).
+	TraceSample io.Writer
+	// TraceSampleEvery is the sampling modulus for TraceSample (<=0
+	// disables sampling; 1 logs every span).
+	TraceSampleEvery int
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -210,13 +226,11 @@ type Server struct {
 	stopSweep  chan struct{}
 	sweepOnce  sync.Once
 
-	// Metrics (atomics; read via Snapshot).
-	nRequests, nProxyHits, nRemoteHits, nOrigin int64
-	nFalsePeer, nTamper, nRelayTimeout          int64
-	nRetries, nHedgedWins                       int64
-	nHeartbeats, nHeartbeatMisses               int64
-	nBreakerTrips, nBreakerReadmits             int64
-	nUnregisters                                int64
+	// Observability plane: all counters live in m's registry (served at
+	// /metrics, snapshotted into the /stats wire shape), spans in tracer.
+	m      *serverMetrics
+	tracer *obs.Tracer
+	logger *slog.Logger
 }
 
 // New builds a proxy server (not yet listening; call Start).
@@ -280,6 +294,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.cache = tc
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.m = newServerMetrics(reg, s)
+	s.tracer = obs.NewTracer(cfg.TraceDepth)
+	if cfg.TraceSample != nil {
+		s.tracer.SetSample(cfg.TraceSample, cfg.TraceSampleEvery)
+	}
+	s.logger = cfg.Logger
 	return s, nil
 }
 
@@ -326,9 +350,12 @@ func (s *Server) heartbeatSweeper() {
 // trips, counting each as a heartbeat miss.
 func (s *Server) sweepSilentPeers() {
 	for _, id := range s.health.SweepSilent(s.cfg.HeartbeatTimeout) {
-		atomic.AddInt64(&s.nHeartbeatMisses, 1)
-		atomic.AddInt64(&s.nBreakerTrips, 1)
+		s.m.heartbeatMisses.Inc()
+		s.m.breakerOpened.Inc()
 		s.idx.Quarantine(id)
+		if s.logger != nil {
+			s.logger.Warn("breaker opened by silence sweep", "client", id)
+		}
 	}
 }
 
@@ -367,6 +394,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/report-bad", s.handleReportBad)
 	mux.HandleFunc("/pubkey", s.handlePubkey)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.m.reg.Handler())
+	mux.Handle("/trace", s.tracer.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
 	return mux
 }
@@ -403,6 +432,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.tokens[token] = id
 	s.mu.Unlock()
 	s.health.Track(id)
+	s.m.registers.Inc()
+	if s.logger != nil {
+		s.logger.Info("client registered", "client", id, "peer_url", req.PeerURL)
+	}
 	writeJSON(w, RegisterResponse{
 		ClientID:  id,
 		Token:     token,
@@ -434,7 +467,11 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	if exists {
 		s.idx.DropClient(id)
 		s.health.Forget(id)
-		atomic.AddInt64(&s.nUnregisters, 1)
+		s.m.unregisters.Inc()
+		s.m.idxDrop.Inc()
+		if s.logger != nil {
+			s.logger.Info("client unregistered", "client", id)
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -452,7 +489,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "proxy: bad client credentials", http.StatusForbidden)
 		return
 	}
-	atomic.AddInt64(&s.nHeartbeats, 1)
+	s.m.heartbeats.Inc()
 	s.health.Beat(id)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -498,6 +535,7 @@ func (s *Server) handleIndexUpdate(w http.ResponseWriter, r *http.Request, add b
 		return
 	}
 	if add {
+		s.m.idxAdd.Inc()
 		s.idx.Add(index.Entry{
 			Client:  id,
 			Doc:     s.syms.Intern(upd.Entry.URL),
@@ -506,6 +544,7 @@ func (s *Server) handleIndexUpdate(w http.ResponseWriter, r *http.Request, add b
 			Stamp:   upd.Entry.Stamp,
 		})
 	} else if doc, known := s.syms.Lookup(upd.Entry.URL); known {
+		s.m.idxRemove.Inc()
 		// A URL the proxy never interned has no entries to remove; not
 		// interning here keeps bogus invalidations from growing the table.
 		s.idx.Remove(id, doc)
@@ -539,6 +578,7 @@ func (s *Server) handleIndexSync(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.idx.ResyncClient(id, entries)
+	s.m.idxResync.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -581,7 +621,9 @@ func (s *Server) ResyncAll() int {
 	return acked
 }
 
-// Snapshot returns current metrics.
+// Snapshot returns current metrics. The JSON wire shape predates the
+// obs.Registry; every counter is now read back from the registry so /stats
+// and /metrics can never disagree.
 func (s *Server) Snapshot() Stats {
 	s.mu.Lock()
 	cacheDocs := s.cache.Len()
@@ -589,21 +631,24 @@ func (s *Server) Snapshot() Stats {
 	clients := len(s.peers)
 	s.mu.Unlock()
 	closed, open, halfOpen := s.health.Counts()
+	m := s.m
 	return Stats{
-		Requests:           atomic.LoadInt64(&s.nRequests),
-		ProxyHits:          atomic.LoadInt64(&s.nProxyHits),
-		RemoteHits:         atomic.LoadInt64(&s.nRemoteHits),
-		OriginFetches:      atomic.LoadInt64(&s.nOrigin),
-		FalsePeerHits:      atomic.LoadInt64(&s.nFalsePeer),
-		TamperRejected:     atomic.LoadInt64(&s.nTamper),
-		RelayTimeouts:      atomic.LoadInt64(&s.nRelayTimeout),
-		OriginRetries:      atomic.LoadInt64(&s.nRetries),
-		HedgedWins:         atomic.LoadInt64(&s.nHedgedWins),
-		Heartbeats:         atomic.LoadInt64(&s.nHeartbeats),
-		HeartbeatMisses:    atomic.LoadInt64(&s.nHeartbeatMisses),
-		BreakerTrips:       atomic.LoadInt64(&s.nBreakerTrips),
-		BreakerReadmits:    atomic.LoadInt64(&s.nBreakerReadmits),
-		Unregisters:        atomic.LoadInt64(&s.nUnregisters),
+		Requests:  m.requests.Value(),
+		ProxyHits: m.outProxyHit.Value(),
+		RemoteHits: m.outPeerFetch.Value() +
+			m.outPeerDirect.Value() +
+			m.outPeerOnion.Value(),
+		OriginFetches:      m.outOrigin.Value() + m.outOriginHedged.Value(),
+		FalsePeerHits:      m.falsePeer.Value(),
+		TamperRejected:     m.watermarkRejected.Value(),
+		RelayTimeouts:      m.relayTimeouts.Value(),
+		OriginRetries:      m.originRetries.Value(),
+		HedgedWins:         m.outOriginHedged.Value(),
+		Heartbeats:         m.heartbeats.Value(),
+		HeartbeatMisses:    m.heartbeatMisses.Value(),
+		BreakerTrips:       m.breakerOpened.Value(),
+		BreakerReadmits:    m.breakerClosed.Value(),
+		Unregisters:        m.unregisters.Value(),
 		BreakerClosed:      closed,
 		BreakerOpen:        open,
 		BreakerHalfOpen:    halfOpen,

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"baps/internal/core"
+	"baps/internal/obs"
+)
+
+// TestRunExportsMetrics replays a trace with a registry attached and checks
+// the exported counters agree with the simulator's own Result accounting —
+// the two count the same events through independent paths.
+func TestRunExportsMetrics(t *testing.T) {
+	tr := testTrace(t, 3)
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig(core.BrowsersAware)
+	cfg.Metrics = reg
+	res, err := Run(tr, nil, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+
+	byClass := func(h core.HitClass) int64 {
+		return reg.VecValue("baps_sim_requests_by_class_total", h.String())
+	}
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"requests", reg.CounterValue("baps_sim_requests_total"), res.Requests},
+		{"local", byClass(core.HitLocalBrowser), res.LocalHits},
+		{"proxy", byClass(core.HitProxy), res.ProxyHits},
+		{"remote", byClass(core.HitRemoteBrowser), res.RemoteHits},
+		{"miss", byClass(core.Miss), res.Misses},
+		{"false index hits", reg.CounterValue("baps_sim_false_index_hits_total"), res.FalseIndexHits},
+		{"bytes", reg.CounterValue("baps_sim_bytes_requested_total"), res.TotalBytes},
+		{"bus bytes", reg.CounterValue("baps_sim_bus_bytes_total"), res.RemoteBytesOnWire},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s: registry %d, result %d", c.name, c.got, c.want)
+		}
+	}
+	if res.RemoteHits == 0 {
+		t.Fatal("trace produced no remote hits; test exercises nothing")
+	}
+
+	// A second run on the same pooled runner with metrics disabled must not
+	// keep feeding the old registry (the bus observer must be cleared).
+	before := reg.CounterValue("baps_sim_bus_bytes_total")
+	var rn Runner
+	cfg.Metrics = reg
+	if _, err := rn.Run(tr, nil, cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg.Metrics = nil
+	if _, err := rn.Run(tr, nil, cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	after := reg.CounterValue("baps_sim_bus_bytes_total")
+	if after != 2*before {
+		t.Errorf("bus bytes after disabled run = %d, want %d (observer not cleared?)", after, 2*before)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"baps/internal/core"
 	"baps/internal/index"
 	"baps/internal/latency"
+	"baps/internal/obs"
 	"baps/internal/stats"
 	"baps/internal/trace"
 )
@@ -118,6 +119,13 @@ type Config struct {
 
 	// Latency is the timing model (§4.2/§5).
 	Latency latency.Model
+
+	// Metrics, when non-nil, exports per-request resolution counters and
+	// bus-transfer summaries onto the registry (baps_sim_* families).
+	// Counter registration is idempotent, so sweeps can hand the same
+	// registry to consecutive runs to accumulate, or a fresh one per run
+	// to isolate.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's configuration for an organization:
@@ -238,6 +246,9 @@ func (rn *Runner) Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error
 		st = &s
 	}
 	ccfg := buildCoreConfig(st, c)
+	if c.Metrics != nil {
+		ccfg.Metrics = core.NewAccessMetrics(c.Metrics)
+	}
 	sys := rn.sys
 	if sys == nil || !sys.Reset(ccfg) {
 		var err error
@@ -252,6 +263,21 @@ func (rn *Runner) Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error
 		rn.bus.ResetModel(c.Latency)
 	}
 	bus := rn.bus
+	if c.Metrics != nil {
+		busWait := c.Metrics.Summary("baps_sim_bus_wait_seconds",
+			"Bus-contention wait per remote-hit LAN transfer.")
+		busDur := c.Metrics.Summary("baps_sim_bus_transfer_seconds",
+			"Raw LAN transfer time per remote-hit leg.")
+		busBytes := c.Metrics.Counter("baps_sim_bus_bytes_total",
+			"Bytes moved over the shared LAN by remote hits.")
+		bus.SetObserver(func(wait, duration float64, size int64) {
+			busWait.Observe(wait)
+			busDur.Observe(duration)
+			busBytes.Add(size)
+		})
+	} else {
+		bus.SetObserver(nil)
+	}
 	rn.hist.Reset()
 	res := Result{
 		Trace:        tr.Name,
