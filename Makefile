@@ -1,15 +1,17 @@
 GO ?= go
 DATE ?= $(shell date +%F)
+COUNT ?= 5
 # Hot-path benchmark set recorded in BENCH_<date>.json: the substrate
-# micro-benchmarks plus the end-to-end simulator replays, skipping the
-# long-running figure regenerations in the root package.
-BENCH_PKGS = ./internal/cache ./internal/index ./internal/core .
-BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*|BenchmarkIndexAddRemoveHot|BenchmarkIndexOrdered|BenchmarkShardedOrdered|BenchmarkSimulatorBAPS|BenchmarkSimulatorProxyOnly|BenchmarkTraceStats)$$'
+# micro-benchmarks, the end-to-end simulator replays, and the live HTTP-path
+# benchmarks, skipping the long-running figure regenerations in the root
+# package.
+BENCH_PKGS = ./internal/cache ./internal/index ./internal/core ./internal/proxy .
+BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*|BenchmarkIndexAddRemoveHot|BenchmarkIndexOrdered|BenchmarkShardedOrdered|BenchmarkSimulatorBAPS|BenchmarkSimulatorProxyOnly|BenchmarkTraceStats|BenchmarkLiveFetchHot|BenchmarkLiveFetchOriginMiss)$$'
 # Packages touched by the interning/sharding refactor and the observability
 # subsystem, raced in `make check`.
 HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos
 
-.PHONY: all build vet test race short bench check bench-baseline bench-compare
+.PHONY: all build vet test race short bench check bench-baseline bench-compare loadtest
 
 all: build vet test
 
@@ -40,14 +42,20 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Record a benchmark baseline as BENCH_<date>.json (override DATE=... to pin
-# the filename). count=5 gives benchstat-grade samples.
+# the filename). COUNT=5 gives benchstat-grade samples.
 bench-baseline:
-	$(GO) test -bench=$(BENCH_FILTER) -benchmem -count=5 -run=^$$ $(BENCH_PKGS) \
+	$(GO) test -bench=$(BENCH_FILTER) -benchmem -count=$(COUNT) -run=^$$ $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > BENCH_$(DATE).json
 
 # Compare a fresh benchmark run against a recorded baseline:
 #   make bench-compare BASELINE=BENCH_2026-08-05_baseline.json
 bench-compare:
 	@test -n "$(BASELINE)" || { echo "usage: make bench-compare BASELINE=BENCH_<date>.json"; exit 2; }
-	$(GO) test -bench=$(BENCH_FILTER) -benchmem -count=5 -run=^$$ $(BENCH_PKGS) \
+	$(GO) test -bench=$(BENCH_FILTER) -benchmem -count=$(COUNT) -run=^$$ $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -compare $(BASELINE)
+
+# 10-second closed-loop load smoke against an in-process loopback cluster
+# (origin + proxy inside the bapsload process). Fails if nothing succeeds;
+# the JSON report lands on stdout.
+loadtest:
+	$(GO) run ./cmd/bapsload -inprocess -clients 16 -docs 5000 -zipf 1.2 -duration 10s

@@ -1,0 +1,334 @@
+// Command bapsload is a closed-loop load generator for the live
+// browsers-aware proxy: N client goroutines issue GET /fetch requests over a
+// Zipf-distributed document population and report throughput, latency
+// percentiles, and the per-source hit breakdown as JSON.
+//
+// Usage:
+//
+//	bapsload -proxy http://127.0.0.1:8081 -origin http://127.0.0.1:8080 \
+//	         [-clients 32] [-docs 20000] [-zipf 1.2] [-duration 30s] [-rps 0]
+//	bapsload -inprocess [-clients 32] ...   # self-contained loopback cluster
+//
+// Closed loop: each client waits for its response before issuing the next
+// request, so offered load adapts to the system's capacity. -rps > 0 adds a
+// global pacer that caps the aggregate request rate. -inprocess brings up an
+// origin and a proxy on loopback inside this process, so a single command
+// measures the stack end to end.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"baps/internal/origin"
+	"baps/internal/proxy"
+)
+
+// result is the JSON report printed on stdout.
+type result struct {
+	Config struct {
+		Proxy    string  `json:"proxy"`
+		Origin   string  `json:"origin"`
+		Clients  int     `json:"clients"`
+		Docs     int     `json:"docs"`
+		Zipf     float64 `json:"zipf"`
+		Duration string  `json:"duration"`
+		TargetRPS
+	} `json:"config"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Bytes     int64   `json:"bytes"`
+	WallSec   float64 `json:"wall_sec"`
+	RPS       float64 `json:"rps"`
+	MBPerSec  float64 `json:"mb_per_sec"`
+	LatencyMS latency `json:"latency_ms"`
+	// Sources breaks completed requests down by X-BAPS-Source (proxy /
+	// remote / origin) as reported per response.
+	Sources map[string]int64 `json:"sources"`
+	// ProxyStats is the proxy's own /stats snapshot after the run
+	// (coalescing, cache, and breaker counters), when reachable.
+	ProxyStats *proxy.Stats `json:"proxy_stats,omitempty"`
+	// OriginFetches is the origin's served-request count after the run
+	// (in-process mode only): with coalescing and caching working, this
+	// stays far below Requests.
+	OriginFetches int64 `json:"origin_fetches,omitempty"`
+}
+
+// TargetRPS keeps the zero value out of the report when unlimited.
+type TargetRPS struct {
+	RPS float64 `json:"target_rps,omitempty"`
+}
+
+type latency struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// clientStats is one worker goroutine's tally; merged after the run so the
+// hot loop never takes a shared lock.
+type clientStats struct {
+	lat     []time.Duration
+	errs    int64
+	bytes   int64
+	sources map[string]int64
+}
+
+func main() {
+	proxyURL := flag.String("proxy", "", "proxy base URL (required unless -inprocess)")
+	originURL := flag.String("origin", "", "origin base URL (required unless -inprocess)")
+	clients := flag.Int("clients", 32, "concurrent closed-loop clients")
+	docs := flag.Int("docs", 20000, "distinct documents in the workload")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf skew (s > 1; higher = hotter head)")
+	duration := flag.Duration("duration", 30*time.Second, "measurement window")
+	targetRPS := flag.Float64("rps", 0, "aggregate request-rate cap (0 = unlimited)")
+	inprocess := flag.Bool("inprocess", false, "run origin + proxy on loopback inside this process")
+	seed := flag.Uint64("seed", 1, "workload PRNG seed")
+	flag.Parse()
+
+	if *inprocess {
+		oURL, pURL, shutdown, err := startCluster()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bapsload: in-process cluster: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		*originURL, *proxyURL = oURL, pURL
+	}
+	if *proxyURL == "" || *originURL == "" {
+		fmt.Fprintln(os.Stderr, "bapsload: -proxy and -origin are required (or use -inprocess)")
+		os.Exit(2)
+	}
+	if *zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "bapsload: -zipf must be > 1")
+		os.Exit(2)
+	}
+	if *clients <= 0 || *docs <= 0 {
+		fmt.Fprintln(os.Stderr, "bapsload: -clients and -docs must be positive")
+		os.Exit(2)
+	}
+
+	res := run(*proxyURL, *originURL, *clients, *docs, *zipfS, *duration, *targetRPS, *seed)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(res)
+	if res.Errors > 0 && res.Requests == res.Errors {
+		os.Exit(1) // nothing succeeded; the exit code should say so
+	}
+}
+
+// startCluster brings up a loopback origin and proxy, returning their URLs
+// and a shutdown func.
+func startCluster() (originURL, proxyURL string, shutdown func(), err error) {
+	o := origin.New(1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", "", nil, err
+	}
+	originSrv := &http.Server{Handler: o.Handler()}
+	go originSrv.Serve(ln)
+	originURL = "http://" + ln.Addr().String()
+
+	cfg := proxy.DefaultConfig()
+	cfg.KeyBits = 2048
+	p, err := proxy.New(cfg)
+	if err != nil {
+		originSrv.Close()
+		return "", "", nil, err
+	}
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		originSrv.Close()
+		return "", "", nil, err
+	}
+	inproc = struct {
+		origin *origin.Server
+		proxy  *proxy.Server
+	}{o, p}
+	return originURL, p.BaseURL(), func() {
+		p.Close()
+		originSrv.Close()
+	}, nil
+}
+
+// inproc exposes the in-process servers to the reporter (zero outside
+// -inprocess runs).
+var inproc struct {
+	origin *origin.Server
+	proxy  *proxy.Server
+}
+
+func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration time.Duration, targetRPS float64, seed uint64) *result {
+	// One shared keep-alive transport: all clients hit the same proxy
+	// host, so the pool depth scales with the client count.
+	transport := proxy.NewTransport(clients)
+	httpClient := &http.Client{Timeout: 30 * time.Second, Transport: transport}
+
+	// Global pacer for -rps: a token drops every 1/rps seconds; each
+	// request consumes one. Closed-loop clients block on it.
+	var pace <-chan time.Time
+	var pacer *time.Ticker
+	if targetRPS > 0 {
+		pacer = time.NewTicker(time.Duration(float64(time.Second) / targetRPS))
+		pace = pacer.C
+		defer pacer.Stop()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	stats := make([]clientStats, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := &stats[c]
+			st.sources = make(map[string]int64)
+			// Per-client PRNG; distinct seeds keep the clients'
+			// request sequences decorrelated but reproducible.
+			rng := rand.New(rand.NewPCG(seed, uint64(c)*0x9E3779B9+1))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(docs-1))
+			for ctx.Err() == nil {
+				if pace != nil {
+					select {
+					case <-pace:
+					case <-ctx.Done():
+						return
+					}
+				}
+				doc := zipf.Uint64()
+				st.do(ctx, httpClient, proxyURL, originURL, doc)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &result{Sources: make(map[string]int64)}
+	res.Config.Proxy = proxyURL
+	res.Config.Origin = originURL
+	res.Config.Clients = clients
+	res.Config.Docs = docs
+	res.Config.Zipf = zipfS
+	res.Config.Duration = duration.String()
+	res.Config.RPS = targetRPS
+
+	var all []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		all = append(all, st.lat...)
+		res.Errors += st.errs
+		res.Bytes += st.bytes
+		for s, n := range st.sources {
+			res.Sources[s] += n
+		}
+	}
+	res.Requests = int64(len(all)) + res.Errors
+	res.WallSec = wall.Seconds()
+	if res.WallSec > 0 {
+		res.RPS = float64(res.Requests) / res.WallSec
+		res.MBPerSec = float64(res.Bytes) / (1 << 20) / res.WallSec
+	}
+	res.LatencyMS = summarize(all)
+	if st := fetchProxyStats(proxyURL); st != nil {
+		res.ProxyStats = st
+	}
+	if inproc.origin != nil {
+		res.OriginFetches = inproc.origin.Fetches()
+	}
+	return res
+}
+
+// do issues one /fetch and records its latency, source, and byte count.
+func (st *clientStats) do(ctx context.Context, c *http.Client, proxyURL, originURL string, doc uint64) {
+	docURL := fmt.Sprintf("%s/doc/%d", originURL, doc)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		proxyURL+"/fetch?url="+url.QueryEscape(docURL), nil)
+	if err != nil {
+		st.errs++
+		return
+	}
+	t0 := time.Now()
+	resp, err := c.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.errs++
+		}
+		return
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if ctx.Err() == nil {
+			st.errs++
+		}
+		return
+	}
+	st.lat = append(st.lat, time.Since(t0))
+	st.bytes += n
+	src := resp.Header.Get(proxy.HeaderSource)
+	if src == "" {
+		src = "unknown"
+	}
+	st.sources[src]++
+}
+
+// summarize sorts the merged latencies and extracts the report percentiles.
+func summarize(lat []time.Duration) latency {
+	if len(lat) == 0 {
+		return latency{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return latency{
+		Mean: ms(sum / time.Duration(len(lat))),
+		P50:  ms(pct(0.50)),
+		P90:  ms(pct(0.90)),
+		P95:  ms(pct(0.95)),
+		P99:  ms(pct(0.99)),
+		Max:  ms(lat[len(lat)-1]),
+	}
+}
+
+// fetchProxyStats snapshots the proxy's /stats after the run (best-effort).
+func fetchProxyStats(proxyURL string) *proxy.Stats {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(proxyURL + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	var st proxy.Stats
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return nil
+	}
+	st.PeerHealth = nil // per-peer detail is noise in a load report
+	return &st
+}

@@ -178,10 +178,16 @@ func New(cfg Config) (*Agent, error) {
 		return nil, fmt.Errorf("browser: Threshold %g out of (0,1] for periodic mode", cfg.Threshold)
 	}
 	a := &Agent{
-		cfg:           cfg,
-		bodies:        make(map[string][]byte),
-		marks:         make(map[string]storedMark),
-		httpClient:    &http.Client{Timeout: cfg.Timeout},
+		cfg:    cfg,
+		bodies: make(map[string][]byte),
+		marks:  make(map[string]storedMark),
+		// Keep-alive-tuned transport toward the agent's one proxy host:
+		// the stock transport's 2 idle connections per host re-dial
+		// constantly under concurrent fetch + index-update traffic.
+		httpClient: &http.Client{
+			Timeout:   cfg.Timeout,
+			Transport: proxy.NewTransport(proxy.AgentIdleConnsPerHost),
+		},
 		stopHeartbeat: make(chan struct{}),
 	}
 	tc, err := cache.NewTwoTier(cfg.Policy, cfg.CacheCapacity,
@@ -292,8 +298,7 @@ func (a *Agent) unregister() {
 	}
 	a.authHeaders(req)
 	if resp, err := a.httpClient.Do(req); err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		proxy.DrainClose(resp)
 	}
 }
 
@@ -319,8 +324,7 @@ func (a *Agent) heartbeat() {
 	}
 	a.authHeaders(req)
 	if resp, err := a.httpClient.Do(req); err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		proxy.DrainClose(resp)
 	}
 }
 
@@ -506,7 +510,7 @@ func (a *Agent) fetchViaProxy(ctx context.Context, docURL string, noPeer bool) (
 	if resp.Header.Get(proxy.HeaderOnion) == "1" {
 		return nil, SourceRemote, "", nil, 0, true, nil
 	}
-	body, err = io.ReadAll(io.LimitReader(resp.Body, 128<<20))
+	body, err = readBody(resp)
 	if err != nil {
 		return nil, "", "", nil, 0, false, err
 	}
@@ -530,12 +534,35 @@ func (a *Agent) reportBad(ctx context.Context, docURL, ticket string) {
 	a.authHeaders(req)
 	req.Header.Set("Content-Type", "application/json")
 	if resp, err := a.httpClient.Do(req); err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		proxy.DrainClose(resp)
 	}
 }
 
 func (a *Agent) authHeaders(req *http.Request) {
 	req.Header.Set(proxy.HeaderClient, strconv.Itoa(a.id))
 	req.Header.Set(proxy.HeaderToken, a.token)
+}
+
+// readBody reads a document response in one pass, pre-sizing the buffer from
+// Content-Length when known and enforcing the system-wide proxy.MaxDocBytes
+// cap instead of silently truncating.
+func readBody(resp *http.Response) ([]byte, error) {
+	if resp.ContentLength > proxy.MaxDocBytes {
+		return nil, fmt.Errorf("browser: document exceeds %d bytes", proxy.MaxDocBytes)
+	}
+	if resp.ContentLength >= 0 {
+		body := make([]byte, resp.ContentLength)
+		if _, err := io.ReadFull(resp.Body, body); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, proxy.MaxDocBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > proxy.MaxDocBytes {
+		return nil, fmt.Errorf("browser: document exceeds %d bytes", proxy.MaxDocBytes)
+	}
+	return body, nil
 }

@@ -108,8 +108,7 @@ func (a *Agent) forwardOnion(addr string, route, sealed []byte) error {
 	if err != nil {
 		return err
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	proxy.DrainClose(resp)
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
 		return fmt.Errorf("hop status %s", resp.Status)
 	}

@@ -93,8 +93,7 @@ func (a *Agent) indexOp(add bool, entry proxy.IndexEntry) {
 	a.authHeaders(req)
 	req.Header.Set("Content-Type", "application/json")
 	if resp, err := a.httpClient.Do(req); err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		proxy.DrainClose(resp)
 		a.addMetric(func(m *Metrics) { m.IndexOps++ })
 	}
 }
@@ -109,8 +108,7 @@ func (a *Agent) indexSync(entries []proxy.IndexEntry) {
 	a.authHeaders(req)
 	req.Header.Set("Content-Type", "application/json")
 	if resp, err := a.httpClient.Do(req); err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		proxy.DrainClose(resp)
 		a.addMetric(func(m *Metrics) { m.IndexSyncs++ })
 	}
 }
@@ -232,7 +230,10 @@ func (a *Agent) handlePeerSend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "browser: relay push failed", http.StatusBadGateway)
 		return
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	proxy.DrainClose(resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		http.Error(w, "browser: relay push rejected: "+resp.Status, http.StatusBadGateway)
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 }

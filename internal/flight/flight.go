@@ -1,0 +1,97 @@
+// Package flight implements request coalescing (singleflight) for the live
+// serving path: concurrent calls for the same key share one execution of the
+// underlying work, so N simultaneous cache misses for a hot document cost a
+// single origin/peer resolution instead of N identical ones.
+//
+// The design differs from the classic golang.org/x/sync/singleflight in two
+// ways that matter for a proxy under churn:
+//
+//   - Waiters honor their own context. A follower whose client disconnects
+//     stops waiting immediately; the leader's work continues for the others.
+//   - A leader failure does not poison its followers. When the leader's fn
+//     returns an error, the in-flight entry is dropped *before* waiters are
+//     released, and each released waiter retries: the first to re-enter
+//     becomes the new leader and runs its own fn, the rest coalesce onto it.
+//     Every caller therefore runs fn at most once, and a transient failure
+//     observed by one request is never replayed to requests that could have
+//     succeeded on their own.
+package flight
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight execution.
+type call[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+// Group coalesces concurrent Do invocations by key. The zero value is ready
+// to use.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[string]*call[V]
+}
+
+// Do executes fn for key, coalescing with any concurrent Do of the same key:
+// exactly one caller (the leader) runs its fn per round, and every follower
+// that joined before completion shares a successful result. shared reports
+// whether the returned value/error came from sharing rather than this
+// caller's own fn.
+//
+// On leader failure the followers retry independently (see the package
+// comment); on ctx cancellation a waiting follower returns ctx.Err() without
+// disturbing the round. fn is not passed the context — it is expected to be
+// a closure over the caller's own context, so whichever caller ends up
+// leading runs the work under its own cancellation scope.
+func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*call[V])
+		}
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err == nil {
+					return c.val, true, nil
+				}
+				// Leader failed. Its entry is already gone; retry —
+				// unless this waiter's own context is dead, in which
+				// case surface that instead of doing fresh work.
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					var zero V
+					return zero, true, ctxErr
+				}
+				continue
+			case <-ctx.Done():
+				var zero V
+				return zero, true, ctx.Err()
+			}
+		}
+		c := &call[V]{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		c.val, c.err = fn()
+
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		// Removing before closing guarantees released waiters start a
+		// fresh round rather than re-observing this one.
+		close(c.done)
+		return c.val, false, c.err
+	}
+}
+
+// Inflight reports the number of keys currently executing (diagnostics).
+func (g *Group[V]) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

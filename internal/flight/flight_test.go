@@ -1,0 +1,228 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalesce: N concurrent callers, one execution, everyone shares.
+func TestCoalesce(t *testing.T) {
+	var g Group[string]
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), "k", func() (string, error) {
+				execs.Add(1)
+				<-release
+				return "body", nil
+			})
+			if err != nil || v != "body" {
+				t.Errorf("Do = %q, %v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let the callers pile onto the in-flight entry, then release the leader.
+	for g.Inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Fatalf("shared for %d callers, want %d", got, n-1)
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce: different keys run independently.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := g.Do(context.Background(), fmt.Sprintf("k%d", i), func() (int, error) {
+				execs.Add(1)
+				return i, nil
+			})
+			if err != nil || v != i {
+				t.Errorf("Do(k%d) = %d, %v", i, v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 4 {
+		t.Fatalf("fn executed %d times, want 4", got)
+	}
+}
+
+// TestFollowerCtxCancel: a follower whose context dies stops waiting; the
+// leader and remaining followers are unaffected.
+func TestFollowerCtxCancel(t *testing.T) {
+	var g Group[string]
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	go g.Do(context.Background(), "k", func() (string, error) {
+		close(started)
+		<-release
+		return "late", nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", func() (string, error) { return "", nil })
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled follower still waiting")
+	}
+
+	// The round itself is still healthy.
+	got := make(chan string, 1)
+	go func() {
+		v, _, _ := g.Do(context.Background(), "k", func() (string, error) { return "own", nil })
+		got <- v
+	}()
+	time.Sleep(20 * time.Millisecond) // let the survivor attach to the round
+	close(release)
+	if v := <-got; v != "late" {
+		t.Fatalf("surviving follower got %q, want leader's %q", v, "late")
+	}
+}
+
+// TestLeaderFailurePromotesFollower: when the leader fails, a follower
+// re-runs the work itself instead of inheriting the error.
+func TestLeaderFailurePromotesFollower(t *testing.T) {
+	var g Group[string]
+	var execs atomic.Int64
+	failFirst := errors.New("leader blew up")
+	release := make(chan struct{})
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func() (string, error) {
+			execs.Add(1)
+			<-release
+			return "", failFirst
+		})
+		leaderErr <- err
+	}()
+	for g.Inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	const followers = 5
+	var wg sync.WaitGroup
+	results := make(chan string, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := g.Do(context.Background(), "k", func() (string, error) {
+				execs.Add(1)
+				return "recovered", nil
+			})
+			if err != nil {
+				t.Errorf("follower err = %v", err)
+				return
+			}
+			results <- v
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let followers attach to the doomed round
+	close(release)
+	wg.Wait()
+	close(results)
+
+	if err := <-leaderErr; !errors.Is(err, failFirst) {
+		t.Fatalf("leader err = %v, want its own failure", err)
+	}
+	for v := range results {
+		if v != "recovered" {
+			t.Fatalf("follower got %q, want %q", v, "recovered")
+		}
+	}
+	// The failed leader ran once and at least one follower was promoted;
+	// released followers that lose the promotion race may also lead a
+	// round, but never more than one execution per caller.
+	if got := execs.Load(); got < 2 || got > followers+1 {
+		t.Fatalf("fn executed %d times, want between 2 and %d", got, followers+1)
+	}
+}
+
+// TestSequentialRoundsRerun: coalescing only spans concurrent callers; a
+// later call runs fresh.
+func TestSequentialRoundsRerun(t *testing.T) {
+	var g Group[int]
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(context.Background(), "k", func() (int, error) {
+			calls++
+			return calls, nil
+		})
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("round %d: v=%d shared=%v err=%v", i, v, shared, err)
+		}
+	}
+}
+
+// TestConcurrentStress hammers one group from many goroutines across a few
+// keys under the race detector.
+func TestConcurrentStress(t *testing.T) {
+	var g Group[int]
+	var wg sync.WaitGroup
+	var execs atomic.Int64
+	for i := 0; i < 64; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%4)
+			for j := 0; j < 50; j++ {
+				v, _, err := g.Do(context.Background(), key, func() (int, error) {
+					execs.Add(1)
+					if j%7 == 3 {
+						return 0, errors.New("transient")
+					}
+					return i % 4, nil
+				})
+				if err == nil && v != i%4 {
+					t.Errorf("key %s got %d", key, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight = %d after all callers returned", g.Inflight())
+	}
+}

@@ -64,7 +64,14 @@ func Digest(doc []byte) []byte {
 
 // Watermark signs the document's MD5 digest with the proxy's private key.
 func (s *Signer) Watermark(doc []byte) ([]byte, error) {
-	sig, err := rsa.SignPKCS1v15(rand.Reader, s.priv, crypto.MD5, Digest(doc))
+	return s.WatermarkDigest(Digest(doc))
+}
+
+// WatermarkDigest signs an already-computed MD5 digest. The live proxy
+// computes the digest incrementally while the body streams off the wire, so
+// signing must not force a second pass over the document.
+func (s *Signer) WatermarkDigest(digest []byte) ([]byte, error) {
+	sig, err := rsa.SignPKCS1v15(rand.Reader, s.priv, crypto.MD5, digest)
 	if err != nil {
 		return nil, fmt.Errorf("integrity: sign: %w", err)
 	}
@@ -78,10 +85,16 @@ var ErrTampered = errors.New("integrity: watermark verification failed")
 // Verify checks a document against its watermark under the proxy's public
 // key. A nil error means the document is exactly the one the proxy signed.
 func Verify(pub *rsa.PublicKey, doc, watermark []byte) error {
+	return VerifyDigest(pub, Digest(doc), watermark)
+}
+
+// VerifyDigest checks an already-computed MD5 digest against a watermark
+// (the streamed-delivery twin of Verify).
+func VerifyDigest(pub *rsa.PublicKey, digest, watermark []byte) error {
 	if pub == nil {
 		return errors.New("integrity: nil public key")
 	}
-	if err := rsa.VerifyPKCS1v15(pub, crypto.MD5, Digest(doc), watermark); err != nil {
+	if err := rsa.VerifyPKCS1v15(pub, crypto.MD5, digest, watermark); err != nil {
 		return ErrTampered
 	}
 	return nil

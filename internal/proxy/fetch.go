@@ -3,6 +3,7 @@ package proxy
 import (
 	"bytes"
 	"context"
+	"crypto/md5"
 	"encoding/base64"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"baps/internal/anonymity"
+	"baps/internal/bufpool"
 	"baps/internal/cache"
 	"baps/internal/integrity"
 	"baps/internal/obs"
@@ -71,9 +73,25 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// resolveFetch runs the decision path — proxy cache, browser index with
-// hedged origin, plain origin — writes the response, and reports which
-// outcome was taken (one of the out* constants).
+// fetchResult is one completed miss resolution: the document (buffered body
+// or direct-forward stream) plus everything needed to write the response and
+// account the outcome. Buffered results are immutable and safely shared
+// across coalesced requests; streamed results are requester-specific and
+// never enter the flight group.
+type fetchResult struct {
+	body     []byte
+	stream   *relayStream
+	meta     docMeta
+	source   string
+	ticket   string
+	viaOnion bool
+	outcome  string
+}
+
+// resolveFetch runs the decision path — proxy cache, coalesced miss
+// resolution (browser index with hedged origin, then plain origin) — writes
+// the response, and reports which outcome was taken (one of the out*
+// constants).
 func (s *Server) resolveFetch(ctx context.Context, w http.ResponseWriter, url string, requester int, noPeer bool) string {
 	// 1. Proxy cache.
 	if body, meta, ok := s.cacheLookup(url); ok {
@@ -81,30 +99,114 @@ func (s *Server) resolveFetch(ctx context.Context, w http.ResponseWriter, url st
 		return outProxyHit
 	}
 
-	// 2. Browser index → remote browser caches, hedged with the origin.
-	if !s.cfg.DisablePeer && !noPeer {
-		if handled, outcome := s.servePeerHedged(ctx, w, url, requester); handled {
-			return outcome
-		}
-	}
+	peerEligible := !s.cfg.DisablePeer && !noPeer
 
-	// 3. Origin (or upper-level proxy).
-	body, meta, err := s.fetchUpstream(ctx, url)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("proxy: upstream: %v", err), http.StatusBadGateway)
-		return outError
+	// 2+3. Miss resolution: remote browsers (hedged with the origin), then
+	// the origin. Under fetch-forward (or with peers out of the picture)
+	// the resolved document is requester-independent, so concurrent misses
+	// for one URL coalesce: a single leader resolves, followers reuse its
+	// result. Direct- and onion-forward deliveries are addressed to one
+	// requester (one-time relay drop / covert path terminating at the
+	// client), so those resolve per-request — their origin fallback still
+	// coalesces inside fetchUpstream.
+	if peerEligible && s.cfg.Forward != FetchForward {
+		res, err := s.resolveMiss(ctx, url, requester, true)
+		return s.writeResolution(ctx, w, res, err, false)
 	}
-	s.serveDoc(w, SourceOrigin, body, meta)
-	return outOrigin
+	key := url
+	if !peerEligible {
+		// A no-peer resolution (client retrying after a watermark
+		// rejection, or a peer-disabled proxy) must never attach to a
+		// peer-path round; it keys separately.
+		key = "\x00nopeer|" + url
+	}
+	res, shared, err := s.missFlight.Do(ctx, key, func() (fetchResult, error) {
+		return s.resolveMiss(ctx, url, requester, peerEligible)
+	})
+	if shared {
+		obs.SpanFrom(ctx).Event("coalesced", "attached to in-flight resolution")
+	}
+	return s.writeResolution(ctx, w, res, err, shared)
 }
 
-// peerOutcome is the result of one resolveRemote walk.
+// resolveMiss resolves a proxy-cache miss to a document without touching the
+// ResponseWriter (so the result can be shared across coalesced requests).
+func (s *Server) resolveMiss(ctx context.Context, url string, requester int, peerEligible bool) (fetchResult, error) {
+	if peerEligible {
+		if res, handled, err := s.raceRemoteOrigin(ctx, url, requester); handled {
+			return res, err
+		}
+	}
+	body, meta, err := s.fetchUpstream(ctx, url)
+	if err != nil {
+		return fetchResult{}, err
+	}
+	return fetchResult{body: body, meta: meta, source: SourceOrigin, outcome: outOrigin}, nil
+}
+
+// writeResolution writes a completed (or failed) miss resolution and reports
+// the outcome, bumping the coalesced counter when the result was shared from
+// another request's round.
+func (s *Server) writeResolution(ctx context.Context, w http.ResponseWriter, res fetchResult, err error, shared bool) string {
+	outcome := res.outcome
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil):
+		http.Error(w, "proxy: request canceled", http.StatusGatewayTimeout)
+		outcome = outCanceled
+	case err != nil:
+		http.Error(w, fmt.Sprintf("proxy: upstream: %v", err), http.StatusBadGateway)
+		outcome = outError
+	case res.viaOnion:
+		// The document travels browser-to-browser over the covert
+		// path; this response only announces it.
+		w.Header().Set(HeaderOnion, "1")
+		w.Header().Set(HeaderSource, SourceRemote)
+		w.WriteHeader(http.StatusOK)
+	case res.stream != nil:
+		s.serveStream(w, res)
+	default:
+		if res.ticket != "" {
+			w.Header().Set("X-BAPS-Ticket", res.ticket)
+		}
+		s.serveDoc(w, res.source, res.body, res.meta)
+	}
+	if shared {
+		s.m.coalesced.With(outcome).Inc()
+	}
+	return outcome
+}
+
+// peerOutcome is the result of one resolveRemote walk. Exactly one of body
+// (fetch-forward), stream (direct-forward) or viaOnion (onion-forward) is
+// set on success.
 type peerOutcome struct {
 	body     []byte
+	stream   *relayStream
 	meta     docMeta
 	ticket   string
 	viaOnion bool
 	ok       bool
+}
+
+// result shapes a successful peer resolution for the response writer.
+func (p peerOutcome) result() fetchResult {
+	res := fetchResult{
+		body:     p.body,
+		stream:   p.stream,
+		meta:     p.meta,
+		source:   SourceRemote,
+		ticket:   p.ticket,
+		viaOnion: p.viaOnion,
+	}
+	switch {
+	case p.viaOnion:
+		res.outcome = outPeerOnion
+	case p.ticket != "":
+		res.outcome = outPeerDirect
+	default:
+		res.outcome = outPeerFetch
+	}
+	return res
 }
 
 // originOutcome is the result of one hedged upstream fetch.
@@ -114,17 +216,14 @@ type originOutcome struct {
 	err  error
 }
 
-// servePeerHedged runs the remote-browser resolution, racing the origin once
+// raceRemoteOrigin runs the remote-browser resolution, racing the origin once
 // the peer path exceeds PeerSoftDeadline (a slow or dying holder must never
-// make a request slower than a plain proxy miss). It reports whether the
-// response has been written and, if so, which outcome was served; (false, "")
-// means the caller should take the plain origin path.
-func (s *Server) servePeerHedged(ctx context.Context, w http.ResponseWriter, url string, requester int) (bool, string) {
+// make a request slower than a plain proxy miss). handled=false means the
+// peer path produced nothing and no hedge result is pending: the caller
+// should take the plain origin path.
+func (s *Server) raceRemoteOrigin(ctx context.Context, url string, requester int) (fetchResult, bool, error) {
 	peerCh := make(chan peerOutcome, 1)
-	go func() {
-		body, meta, ticket, viaOnion, ok := s.resolveRemote(ctx, url, requester)
-		peerCh <- peerOutcome{body: body, meta: meta, ticket: ticket, viaOnion: viaOnion, ok: ok}
-	}()
+	go func() { peerCh <- s.resolveRemote(ctx, url, requester) }()
 
 	var hedge <-chan time.Time
 	if s.cfg.PeerSoftDeadline > 0 {
@@ -138,24 +237,25 @@ func (s *Server) servePeerHedged(ctx context.Context, w http.ResponseWriter, url
 		select {
 		case p := <-peerCh:
 			if p.ok {
-				return true, s.serveRemote(w, p)
+				return p.result(), true, nil
 			}
 			// Peer path exhausted; fall back to whatever the hedge
 			// has (or will have), else let the caller go upstream.
 			if originCh != nil {
 				select {
 				case o := <-originCh:
-					return true, s.serveHedgeResult(w, o)
+					if o.err != nil {
+						return fetchResult{}, true, o.err
+					}
+					return fetchResult{body: o.body, meta: o.meta, source: SourceOrigin, outcome: outOrigin}, true, nil
 				case <-ctx.Done():
-					http.Error(w, "proxy: request canceled", http.StatusGatewayTimeout)
-					return true, outCanceled
+					return fetchResult{}, true, ctx.Err()
 				}
 			}
 			if originFailed != nil {
-				http.Error(w, fmt.Sprintf("proxy: upstream: %v", originFailed), http.StatusBadGateway)
-				return true, outError
+				return fetchResult{}, true, originFailed
 			}
-			return false, ""
+			return fetchResult{}, false, nil
 		case <-hedge:
 			hedge = nil
 			obs.SpanFrom(ctx).Event("hedge", "peer soft deadline exceeded; racing origin")
@@ -167,48 +267,56 @@ func (s *Server) servePeerHedged(ctx context.Context, w http.ResponseWriter, url
 		case o := <-originCh:
 			if o.err == nil {
 				// The origin answered while the peer path was still
-				// grinding: hedged win.
-				s.serveDoc(w, SourceOrigin, o.body, o.meta)
-				return true, outOriginHedged
+				// grinding: hedged win. The walk may still deliver a
+				// direct-forward stream later; release it.
+				go abandonPeer(peerCh)
+				return fetchResult{body: o.body, meta: o.meta, source: SourceOrigin, outcome: outOriginHedged}, true, nil
 			}
 			originFailed = o.err
 			originCh = nil
 		case <-ctx.Done():
-			http.Error(w, "proxy: request canceled", http.StatusGatewayTimeout)
-			return true, outCanceled
+			go abandonPeer(peerCh)
+			return fetchResult{}, true, ctx.Err()
 		}
 	}
 }
 
-// serveRemote writes a successful remote-browser resolution and reports the
-// delivery-mode outcome.
-func (s *Server) serveRemote(w http.ResponseWriter, p peerOutcome) string {
-	if p.viaOnion {
-		// The document travels browser-to-browser over the covert
-		// path; this response only announces it.
-		w.Header().Set(HeaderOnion, "1")
-		w.Header().Set(HeaderSource, SourceRemote)
-		w.WriteHeader(http.StatusOK)
-		return outPeerOnion
+// abandonPeer consumes a peer-walk result nobody will serve, releasing any
+// direct-forward stream (and the holder blocked behind it). The walk itself
+// winds down on its own once the request context dies.
+func abandonPeer(peerCh <-chan peerOutcome) {
+	if p := <-peerCh; p.stream != nil {
+		p.stream.finish(errRelayAbandoned)
 	}
-	if p.ticket != "" {
-		w.Header().Set("X-BAPS-Ticket", p.ticket)
-	}
-	s.serveDoc(w, SourceRemote, p.body, p.meta)
-	if p.ticket != "" {
-		return outPeerDirect
-	}
-	return outPeerFetch
 }
 
-// serveHedgeResult writes an awaited hedge outcome after the peer path died.
-func (s *Server) serveHedgeResult(w http.ResponseWriter, o originOutcome) string {
-	if o.err != nil {
-		http.Error(w, fmt.Sprintf("proxy: upstream: %v", o.err), http.StatusBadGateway)
-		return outError
+// serveStream relays a direct-forward delivery straight from the holder's
+// push to the requester through a pooled copy buffer — the document never
+// lands in proxy memory. The requester verifies the watermark end-to-end,
+// exactly as with the buffered relay this replaces.
+func (s *Server) serveStream(w http.ResponseWriter, res fetchResult) {
+	st := res.stream
+	st.claim()
+	if res.ticket != "" {
+		w.Header().Set("X-BAPS-Ticket", res.ticket)
 	}
-	s.serveDoc(w, SourceOrigin, o.body, o.meta)
-	return outOrigin
+	w.Header().Set(HeaderSource, res.source)
+	w.Header().Set(HeaderVersion, strconv.FormatInt(res.meta.version, 10))
+	if res.meta.watermark != nil {
+		w.Header().Set(HeaderWatermark, base64.StdEncoding.EncodeToString(res.meta.watermark))
+	}
+	if st.length >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(st.length, 10))
+	}
+	w.WriteHeader(http.StatusOK)
+	_, err := bufpool.CopySized(w, st.r, st.length)
+	if err != nil {
+		s.m.relayStreamErrors.Inc()
+		if errors.Is(err, ErrDocTooLarge) {
+			s.m.docTooLarge.Inc()
+		}
+	}
+	st.finish(err)
 }
 
 func (s *Server) serveDoc(w http.ResponseWriter, source string, body []byte, meta docMeta) {
@@ -238,52 +346,43 @@ func (s *Server) cacheLookup(url string) ([]byte, docMeta, bool) {
 	return body, s.meta[url], true
 }
 
-// storeDoc caches a document body at the proxy.
+// storeDoc caches a document body at the proxy. The caller hands over
+// ownership of body — every call site passes a buffer it freshly read off
+// the wire and only ever reads afterwards, so no defensive copy is taken.
 func (s *Server) storeDoc(url string, body []byte, meta docMeta) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.meta[url] = meta
 	if _, admitted := s.cache.Put(cache.Doc{Key: url, Size: int64(len(body)), Version: meta.version}); admitted {
-		s.bodies[url] = append([]byte(nil), body...)
+		s.bodies[url] = body
 	}
 }
 
-// inflightFetch coalesces concurrent upstream fetches of the same URL: one
-// request goes to the origin, the rest wait for its result (classic
-// singleflight, so a popular cold document costs one origin round trip).
-type inflightFetch struct {
-	done chan struct{}
+// upstreamDoc is a completed origin acquisition, shared across coalesced
+// upstream fetches.
+type upstreamDoc struct {
 	body []byte
 	meta docMeta
-	err  error
 }
 
 // fetchUpstream obtains the document from the origin, producing and
 // recording its watermark (§6.1: the proxy signs on first acquisition).
-// Concurrent fetches of one URL are coalesced; waiters still honor their
-// own context.
+// Concurrent fetches of one URL are coalesced through the flight group: one
+// leader pays the origin round trip, followers share its result, a failed
+// leader's followers retry independently, and waiters still honor their own
+// context.
 func (s *Server) fetchUpstream(ctx context.Context, url string) ([]byte, docMeta, error) {
-	s.inflightMu.Lock()
-	if f, ok := s.inflight[url]; ok {
-		s.inflightMu.Unlock()
-		select {
-		case <-f.done:
-			return f.body, f.meta, f.err
-		case <-ctx.Done():
-			return nil, docMeta{}, ctx.Err()
+	d, _, err := s.originFlight.Do(ctx, url, func() (upstreamDoc, error) {
+		body, meta, ferr := s.fetchUpstreamUncoalesced(ctx, url)
+		if ferr != nil {
+			return upstreamDoc{}, ferr
 		}
+		return upstreamDoc{body: body, meta: meta}, nil
+	})
+	if err != nil {
+		return nil, docMeta{}, err
 	}
-	f := &inflightFetch{done: make(chan struct{})}
-	s.inflight[url] = f
-	s.inflightMu.Unlock()
-	defer func() {
-		s.inflightMu.Lock()
-		delete(s.inflight, url)
-		s.inflightMu.Unlock()
-		close(f.done)
-	}()
-	f.body, f.meta, f.err = s.fetchUpstreamUncoalesced(ctx, url)
-	return f.body, f.meta, f.err
+	return d.body, d.meta, nil
 }
 
 // upstreamStatusError reports a non-200 origin response.
@@ -296,7 +395,7 @@ func (e *upstreamStatusError) Error() string { return "status " + e.status }
 
 // transientUpstream classifies failures worth retrying: transport-level
 // errors (refused, reset, timed out) and throttling/5xx statuses. Client
-// errors (4xx) and local failures (signing, read) are terminal.
+// errors (4xx) and local failures (signing, read, oversize) are terminal.
 func transientUpstream(err error) bool {
 	var se *upstreamStatusError
 	if errors.As(err, &se) {
@@ -338,35 +437,43 @@ func (s *Server) fetchUpstreamUncoalesced(ctx context.Context, url string) ([]by
 	return nil, docMeta{}, lastErr
 }
 
-// originAttempt performs one origin round trip.
+// originAttempt performs one origin round trip: the body is read in a single
+// pass (pre-sized from Content-Length, MD5 hashed as it streams in), the
+// watermark is signed over that incremental digest, and the buffer moves
+// into the cache without a defensive copy.
 func (s *Server) originAttempt(ctx context.Context, url string) ([]byte, docMeta, error) {
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, docMeta{}, err
 	}
-	resp, err := s.httpClient.Do(req)
+	resp, err := s.originClient.Do(req)
 	if err != nil {
 		return nil, docMeta{}, err
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		DrainClose(resp)
 		return nil, docMeta{}, &upstreamStatusError{code: resp.StatusCode, status: resp.Status}
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 128<<20))
+	defer resp.Body.Close()
+	h := md5.New()
+	body, err := readDoc(resp.Body, resp.ContentLength, h)
 	if err != nil {
+		if errors.Is(err, ErrDocTooLarge) {
+			s.m.docTooLarge.Inc()
+		}
 		return nil, docMeta{}, err
 	}
 	version, _ := strconv.ParseInt(resp.Header.Get("X-Origin-Version"), 10, 64)
-	mark, err := s.signer.Watermark(body)
+	digest := h.Sum(nil)
+	mark, err := s.signer.WatermarkDigest(digest)
 	if err != nil {
 		return nil, docMeta{}, err
 	}
 	meta := docMeta{
 		version:   version,
 		size:      int64(len(body)),
-		digest:    integrity.Digest(body),
+		digest:    digest,
 		watermark: mark,
 	}
 	s.storeDoc(url, body, meta)
@@ -381,21 +488,21 @@ var errPeerStale = errors.New("stale index entry")
 
 // resolveRemote walks the index's holders for url. In fetch-forward mode
 // the proxy retrieves and verifies the body itself; in direct-forward mode
-// it opens an anonymous relay drop and instructs the holder to push there;
-// in onion-forward mode it launches the document onto a covert path of
-// relay browsers and reports viaOnion (no body passes through). ticket is
-// non-empty for direct-forward deliveries (requester-side watermark
-// rejections reference it in /report-bad).
+// it opens an anonymous relay drop and instructs the holder to push there,
+// returning the push as a live stream; in onion-forward mode it launches the
+// document onto a covert path of relay browsers and reports viaOnion (no
+// body passes through). ticket is non-empty for direct-forward deliveries
+// (requester-side watermark rejections reference it in /report-bad).
 //
 // Candidates are gated by the per-peer circuit breaker: a tripped peer is
 // skipped entirely (all its entries sit in quarantine), except that once
 // its cooldown elapses one request is admitted as a half-open probe — a
 // success re-admits every quarantined entry in one step.
-func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (body []byte, meta docMeta, ticket string, viaOnion, ok bool) {
+func (s *Server) resolveRemote(ctx context.Context, url string, requester int) peerOutcome {
 	doc, known := s.syms.Lookup(url)
 	if !known {
 		// Never indexed by any browser: no holders can exist.
-		return nil, docMeta{}, "", false, false
+		return peerOutcome{}
 	}
 	candidates := s.idx.Ordered(doc, requester)
 	// Quarantined holders come last, as half-open probe candidates.
@@ -405,7 +512,7 @@ func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (
 	}
 	for _, e := range candidates {
 		if ctx.Err() != nil {
-			return nil, docMeta{}, "", false, false
+			return peerOutcome{}
 		}
 		if !s.health.Allow(e.Client) {
 			continue // breaker open
@@ -418,21 +525,22 @@ func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (
 			continue
 		}
 		start := time.Now()
+		var p peerOutcome
 		var err error
 		switch s.cfg.Forward {
 		case FetchForward:
-			body, meta, err = s.fetchFromPeer(ctx, peer, url)
+			p.body, p.meta, err = s.fetchFromPeer(ctx, peer, url)
 		case OnionForward:
 			err = s.onionFromPeer(ctx, peer, url, requester)
-			viaOnion = err == nil
+			p.viaOnion = err == nil
 		default:
-			body, meta, ticket, err = s.relayFromPeer(ctx, peer, url)
+			p.stream, p.meta, p.ticket, err = s.relayFromPeer(ctx, peer, url)
 		}
 		if err != nil {
 			if ctx.Err() != nil {
 				// The requester canceled (or the hedge already won);
 				// not the peer's fault — record nothing.
-				return nil, docMeta{}, "", false, false
+				return peerOutcome{}
 			}
 			s.m.falsePeer.Inc()
 			obs.SpanFrom(ctx).Event("peer_miss", err.Error())
@@ -460,53 +568,63 @@ func (s *Server) resolveRemote(ctx context.Context, url string, requester int) (
 		s.idx.AccountServe(e.Client)
 		s.m.peerFetchDur.Observe(elapsed.Seconds())
 		s.m.peerServes.WithInt(e.Client).Inc()
-		// Onion deliveries bypass the proxy, so the body size comes from
-		// the index entry rather than the (empty) relayed payload.
-		served := meta.size
-		if viaOnion {
+		// Onion deliveries bypass the proxy and streamed relays are still
+		// in flight, so the served size comes from the index entry when
+		// the relayed payload length is unknown.
+		served := p.meta.size
+		if p.viaOnion || served < 0 {
 			served = e.Size
 		}
 		s.m.peerServeBytes.WithInt(e.Client).Add(served)
 		obs.SpanFrom(ctx).Event("peer_serve", "client "+strconv.Itoa(e.Client))
 		if s.cfg.Forward == FetchForward && s.cfg.CachePeerDocs {
-			s.storeDoc(url, body, meta)
+			s.storeDoc(url, p.body, p.meta)
 		}
-		return body, meta, ticket, viaOnion, true
+		p.ok = true
+		return p
 	}
-	return nil, docMeta{}, "", false, false
+	return peerOutcome{}
 }
 
 // fetchFromPeer retrieves url from a holder's peer server and verifies the
 // body against the proxy's recorded digest (§6.1 enforced proxy-side: a
-// tampering holder is pruned and skipped).
+// tampering holder is pruned and skipped). The digest is computed
+// incrementally while the body streams in — one pass, no re-hash.
 func (s *Server) fetchFromPeer(ctx context.Context, peer peerInfo, url string) ([]byte, docMeta, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer.baseURL+"/peer/doc?url="+urlQueryEscape(url), nil)
 	if err != nil {
 		return nil, docMeta{}, err
 	}
 	req.Header.Set(HeaderToken, peer.token)
-	resp, err := s.httpClient.Do(req)
+	resp, err := s.peerClient.Do(req)
 	if err != nil {
 		return nil, docMeta{}, err
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
+		DrainClose(resp)
 		return nil, docMeta{}, fmt.Errorf("client %d: %w", peer.id, errPeerStale)
 	}
 	if resp.StatusCode != http.StatusOK {
+		DrainClose(resp)
 		return nil, docMeta{}, fmt.Errorf("peer status %s", resp.Status)
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 128<<20))
+	defer resp.Body.Close()
+	h := md5.New()
+	body, err := readDoc(resp.Body, resp.ContentLength, h)
 	if err != nil {
+		if errors.Is(err, ErrDocTooLarge) {
+			s.m.docTooLarge.Inc()
+		}
 		return nil, docMeta{}, err
 	}
+	digest := h.Sum(nil)
 	version, _ := strconv.ParseInt(resp.Header.Get(HeaderVersion), 10, 64)
 
 	s.mu.Lock()
 	known, haveMeta := s.meta[url]
 	s.mu.Unlock()
 	if haveMeta && known.version == version {
-		if !bytes.Equal(integrity.Digest(body), known.digest) {
+		if !bytes.Equal(digest, known.digest) {
 			s.m.watermarkRejected.Inc()
 			return nil, docMeta{}, fmt.Errorf("digest mismatch from client %d", peer.id)
 		}
@@ -517,19 +635,25 @@ func (s *Server) fetchFromPeer(ctx context.Context, peer peerInfo, url string) (
 	// the holder's stored watermark only if it verifies under our key.
 	markB64 := resp.Header.Get(HeaderWatermark)
 	mark, err := base64.StdEncoding.DecodeString(markB64)
-	if err != nil || integrity.Verify(s.signer.Public(), body, mark) != nil {
+	if err != nil || integrity.VerifyDigest(s.signer.Public(), digest, mark) != nil {
 		s.m.watermarkRejected.Inc()
 		return nil, docMeta{}, fmt.Errorf("unverifiable peer content from client %d", peer.id)
 	}
 	s.m.watermarkVerified.Inc()
-	meta := docMeta{version: version, size: int64(len(body)), digest: integrity.Digest(body), watermark: mark}
+	meta := docMeta{version: version, size: int64(len(body)), digest: digest, watermark: mark}
 	return body, meta, nil
 }
 
 // relayFromPeer implements direct-forward: issue a one-time ticket, tell the
-// holder to push the document to the relay drop, and wait for delivery. The
-// holder learns only the relay URL; the requester never learns the holder.
-func (s *Server) relayFromPeer(ctx context.Context, peer peerInfo, url string) ([]byte, docMeta, string, error) {
+// holder to push the document to the relay drop, and hand the arriving push
+// back as a live stream. The holder learns only the relay URL; the requester
+// never learns the holder.
+//
+// The send instruction is dispatched asynchronously: with streamed relays
+// the holder's push completes only after the requester consumes it, which in
+// turn happens only after this function returns — awaiting the send's HTTP
+// response first would deadlock the pipeline.
+func (s *Server) relayFromPeer(ctx context.Context, peer peerInfo, url string) (*relayStream, docMeta, string, error) {
 	ticket, err := s.tickets.Issue([]byte(url))
 	if err != nil {
 		return nil, docMeta{}, "", err
@@ -551,35 +675,49 @@ func (s *Server) relayFromPeer(ctx context.Context, peer peerInfo, url string) (
 	}
 	req.Header.Set(HeaderToken, peer.token)
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := s.httpClient.Do(req)
-	if err != nil {
-		return nil, docMeta{}, "", err
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return nil, docMeta{}, "", fmt.Errorf("client %d: %w", peer.id, errPeerStale)
-	}
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
-		return nil, docMeta{}, "", fmt.Errorf("peer send status %s", resp.Status)
-	}
+	sendCh := make(chan error, 1)
+	go func() {
+		resp, serr := s.peerClient.Do(req)
+		if serr != nil {
+			sendCh <- serr
+			return
+		}
+		defer DrainClose(resp)
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			sendCh <- fmt.Errorf("client %d: %w", peer.id, errPeerStale)
+		case resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent:
+			sendCh <- fmt.Errorf("peer send status %s", resp.Status)
+		default:
+			sendCh <- nil
+		}
+	}()
 
-	select {
-	case d := <-session.ch:
-		version, _ := strconv.ParseInt(d.version, 10, 64)
-		mark, _ := base64.StdEncoding.DecodeString(d.watermark)
-		meta := docMeta{version: version, size: int64(len(d.body)), watermark: mark}
-		// Remember which holder served this ticket so a later
-		// /report-bad can prune it without exposing its identity.
-		s.rememberTicket(string(ticket), peer.id)
-		// The proxy relays without inspecting the body (anonymizing
-		// relay); the requester verifies the watermark end-to-end.
-		return d.body, meta, string(ticket), nil
-	case <-time.After(s.cfg.PeerTimeout):
-		s.m.relayTimeouts.Inc()
-		return nil, docMeta{}, "", fmt.Errorf("relay timeout waiting for client %d", peer.id)
-	case <-ctx.Done():
-		return nil, docMeta{}, "", ctx.Err()
+	timeout := time.NewTimer(s.cfg.PeerTimeout)
+	defer timeout.Stop()
+	for {
+		select {
+		case d := <-session.ch:
+			version, _ := strconv.ParseInt(d.version, 10, 64)
+			mark, _ := base64.StdEncoding.DecodeString(d.watermark)
+			meta := docMeta{version: version, size: d.stream.length, watermark: mark}
+			// Remember which holder served this ticket so a later
+			// /report-bad can prune it without exposing its identity.
+			s.rememberTicket(string(ticket), peer.id)
+			// The proxy relays without inspecting the body (anonymizing
+			// relay); the requester verifies the watermark end-to-end.
+			return d.stream, meta, string(ticket), nil
+		case serr := <-sendCh:
+			if serr != nil {
+				return nil, docMeta{}, "", serr
+			}
+			sendCh = nil // send acknowledged; keep waiting for the push
+		case <-timeout.C:
+			s.m.relayTimeouts.Inc()
+			return nil, docMeta{}, "", fmt.Errorf("relay timeout waiting for client %d", peer.id)
+		case <-ctx.Done():
+			return nil, docMeta{}, "", ctx.Err()
+		}
 	}
 }
 
@@ -607,7 +745,10 @@ func (s *Server) rememberTicket(ticket string, holder int) {
 	}
 }
 
-// handleRelay accepts a holder's push at /relay/{ticket}.
+// handleRelay accepts a holder's push at /relay/{ticket} and hands the
+// request body to the waiting /fetch goroutine as a live stream, blocking
+// the push until the requester has consumed it (or abandoned it). The
+// document itself never enters proxy memory.
 func (s *Server) handleRelay(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
@@ -625,21 +766,54 @@ func (s *Server) handleRelay(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "proxy: no relay session", http.StatusGone)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 128<<20))
-	if err != nil {
-		http.Error(w, "proxy: relay read", http.StatusBadRequest)
+	if r.ContentLength > maxDocBytes {
+		s.m.docTooLarge.Inc()
+		http.Error(w, "proxy: document too large", http.StatusRequestEntityTooLarge)
 		return
 	}
+	stream := newRelayStream(newCappedReader(r.Body, maxDocBytes), r.ContentLength)
 	select {
 	case session.ch <- relayDelivery{
-		body:      body,
+		stream:    stream,
 		watermark: r.Header.Get(HeaderWatermark),
 		version:   r.Header.Get(HeaderVersion),
 	}:
 	default:
 		// Duplicate push; the ticket store already prevents this.
+		http.Error(w, "proxy: duplicate relay push", http.StatusConflict)
+		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	// Phase 1: wait for a consumer to claim the stream (or for the
+	// delivery to be abandoned / time out unclaimed).
+	unclaimed := time.NewTimer(s.cfg.PeerTimeout)
+	defer unclaimed.Stop()
+	select {
+	case <-stream.claimed:
+	case err := <-stream.done:
+		if err != nil {
+			http.Error(w, "proxy: relay abandoned", http.StatusGone)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	case <-unclaimed.C:
+		s.m.relayStreamErrors.Inc()
+		http.Error(w, "proxy: relay unclaimed", http.StatusGatewayTimeout)
+		return
+	case <-r.Context().Done():
+		return
+	}
+	// Phase 2: a consumer is copying; hold the push open until it finishes.
+	select {
+	case err := <-stream.done:
+		if err != nil {
+			http.Error(w, "proxy: relay stream aborted", http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case <-r.Context().Done():
+		// Holder gave up mid-push; the consumer sees the read error.
+	}
 }
 
 // handleReportBad processes a requester's watermark-rejection report for a

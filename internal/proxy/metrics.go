@@ -34,10 +34,17 @@ type serverMetrics struct {
 	outProxyHit, outPeerFetch, outPeerDirect, outPeerOnion *obs.Counter
 	outOrigin, outOriginHedged, outError, outCanceled      *obs.Counter
 
+	// coalesced counts requests that attached to another request's
+	// in-flight miss resolution instead of resolving themselves, labeled
+	// by the outcome they shared.
+	coalesced *obs.CounterVec
+
 	falsePeer         *obs.Counter
 	watermarkVerified *obs.Counter
 	watermarkRejected *obs.Counter
 	relayTimeouts     *obs.Counter
+	relayStreamErrors *obs.Counter
+	docTooLarge       *obs.Counter
 	originRetries     *obs.Counter
 	heartbeats        *obs.Counter
 	heartbeatMisses   *obs.Counter
@@ -80,6 +87,14 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	m.outError = m.outcomes.With(outError)
 	m.outCanceled = m.outcomes.With(outCanceled)
 
+	m.coalesced = reg.CounterVec("baps_proxy_coalesced_total",
+		"Requests served from another request's in-flight miss resolution.", "outcome")
+	// Pre-register the outcomes a coalesced (fetch-forward or origin-only)
+	// resolution can produce, so exposition shows them at zero.
+	for _, o := range []string{outPeerFetch, outOrigin, outOriginHedged, outError, outCanceled} {
+		m.coalesced.With(o)
+	}
+
 	m.falsePeer = reg.Counter("baps_proxy_false_peer_total",
 		"Index hits that failed to produce the document from the peer.")
 	m.watermarkVerified = reg.Counter("baps_proxy_watermark_verified_total",
@@ -88,6 +103,10 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		"Peer-served bodies rejected by digest/watermark verification or reported bad.")
 	m.relayTimeouts = reg.Counter("baps_proxy_relay_timeouts_total",
 		"Direct-forward relays that timed out waiting for the holder push.")
+	m.relayStreamErrors = reg.Counter("baps_proxy_relay_stream_errors_total",
+		"Direct-forward streamed relays that aborted mid-copy or went unclaimed.")
+	m.docTooLarge = reg.Counter("baps_proxy_doc_too_large_total",
+		"Document bodies rejected for exceeding MaxDocBytes.")
 	m.originRetries = reg.Counter("baps_proxy_origin_retries_total",
 		"Backoff retries against the origin.")
 	m.heartbeats = reg.Counter("baps_proxy_heartbeats_total",

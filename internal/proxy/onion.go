@@ -7,7 +7,6 @@ import (
 	"encoding/base64"
 	"encoding/gob"
 	"fmt"
-	"io"
 	"math/big"
 	"net/http"
 
@@ -87,12 +86,11 @@ func (s *Server) onionFromPeer(ctx context.Context, holder peerInfo, url string,
 	}
 	httpReq.Header.Set(HeaderToken, holder.token)
 	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := s.httpClient.Do(httpReq)
+	resp, err := s.peerClient.Do(httpReq)
 	if err != nil {
 		return err
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	DrainClose(resp)
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
 		return fmt.Errorf("onion: holder status %s", resp.Status)
 	}

@@ -43,6 +43,7 @@ import (
 
 	"baps/internal/anonymity"
 	"baps/internal/cache"
+	"baps/internal/flight"
 	"baps/internal/index"
 	"baps/internal/integrity"
 	"baps/internal/intern"
@@ -180,7 +181,7 @@ type relaySession struct {
 }
 
 type relayDelivery struct {
-	body      []byte
+	stream    *relayStream
 	watermark string
 	version   string
 }
@@ -216,15 +217,24 @@ type Server struct {
 	usedHead       int
 	maxUsedTickets int
 
-	inflightMu sync.Mutex
-	inflight   map[string]*inflightFetch
+	// Request-coalescing planes: missFlight collapses concurrent /fetch
+	// misses for one URL into a single resolution (fetch-forward only;
+	// direct/onion deliveries are requester-specific), originFlight
+	// collapses concurrent origin acquisitions regardless of mode.
+	missFlight   flight.Group[fetchResult]
+	originFlight flight.Group[upstreamDoc]
 
-	httpClient *http.Client
-	listener   net.Listener
-	httpSrv    *http.Server
-	baseURL    string
-	stopSweep  chan struct{}
-	sweepOnce  sync.Once
+	// peerClient carries proxy→browser traffic (shallow per-host pools,
+	// many hosts); originClient carries proxy→origin traffic (deep pool,
+	// few hosts, no overall timeout — request contexts bound it).
+	peerClient   *http.Client
+	originClient *http.Client
+
+	listener  net.Listener
+	httpSrv   *http.Server
+	baseURL   string
+	stopSweep chan struct{}
+	sweepOnce sync.Once
 
 	// Observability plane: all counters live in m's registry (served at
 	// /metrics, snapshotted into the /stats wire shape), spans in tracer.
@@ -279,14 +289,20 @@ func New(cfg Config) (*Server, error) {
 		relays:         make(map[anonymity.Ticket]*relaySession),
 		usedTickets:    make(map[string]int),
 		maxUsedTickets: 4096,
-		inflight:       make(map[string]*inflightFetch),
-		httpClient: &http.Client{
-			Timeout:   cfg.PeerTimeout,
-			Transport: cfg.Transport,
-		},
-		stopSweep: make(chan struct{}),
-		started:   time.Now(),
+		stopSweep:      make(chan struct{}),
+		started:        time.Now(),
 	}
+	// Outbound traffic splits by class so origin keep-alive pools (few
+	// hosts, deep) and peer pools (many hosts, shallow) are tuned
+	// separately. A Config.Transport override (the chaos harness's fault
+	// injector) applies to both.
+	peerRT := http.RoundTripper(NewTransport(PeerIdleConnsPerHost))
+	originRT := http.RoundTripper(NewTransport(OriginIdleConnsPerHost))
+	if cfg.Transport != nil {
+		peerRT, originRT = cfg.Transport, cfg.Transport
+	}
+	s.peerClient = &http.Client{Timeout: cfg.PeerTimeout, Transport: peerRT}
+	s.originClient = &http.Client{Timeout: cfg.PeerTimeout, Transport: originRT}
 	tc, err := cache.NewTwoTier(cfg.Policy, cfg.CacheCapacity,
 		int64(float64(cfg.CacheCapacity)*cfg.MemFraction),
 		cache.Options{OnEvict: func(d cache.Doc) { delete(s.bodies, d.Key) }})
@@ -319,7 +335,11 @@ func (s *Server) Start(addr string) error {
 	}
 	s.listener = ln
 	s.baseURL = "http://" + ln.Addr().String()
-	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go s.httpSrv.Serve(ln)
 	if s.cfg.HeartbeatTimeout > 0 {
 		go s.heartbeatSweeper()
@@ -608,12 +628,11 @@ func (s *Server) ResyncAll() int {
 			continue
 		}
 		req.Header.Set(HeaderToken, p.token)
-		resp, err := s.httpClient.Do(req)
+		resp, err := s.peerClient.Do(req)
 		if err != nil {
 			continue
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		DrainClose(resp)
 		if resp.StatusCode == http.StatusOK {
 			acked++
 		}
@@ -642,6 +661,8 @@ func (s *Server) Snapshot() Stats {
 		FalsePeerHits:      m.falsePeer.Value(),
 		TamperRejected:     m.watermarkRejected.Value(),
 		RelayTimeouts:      m.relayTimeouts.Value(),
+		Coalesced:          m.coalesced.Sum(),
+		DocTooLarge:        m.docTooLarge.Value(),
 		OriginRetries:      m.originRetries.Value(),
 		HedgedWins:         m.outOriginHedged.Value(),
 		Heartbeats:         m.heartbeats.Value(),

@@ -133,6 +133,11 @@ type Stats struct {
 	FalsePeerHits  int64 `json:"false_peer_hits"`
 	TamperRejected int64 `json:"tamper_rejected"`
 	RelayTimeouts  int64 `json:"relay_timeouts"`
+	// Coalesced counts requests that attached to another request's
+	// in-flight miss resolution (summed over outcomes).
+	Coalesced int64 `json:"coalesced"`
+	// DocTooLarge counts bodies rejected for exceeding MaxDocBytes.
+	DocTooLarge int64 `json:"doc_too_large"`
 	// Churn-resilience counters.
 	OriginRetries   int64 `json:"origin_retries"`   // backoff retries against the origin
 	HedgedWins      int64 `json:"hedged_wins"`      // origin beat a slow peer path past the soft deadline
