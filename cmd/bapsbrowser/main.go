@@ -34,7 +34,7 @@ import (
 func main() {
 	proxyURL := flag.String("proxy", "", "browsers-aware proxy base URL")
 	cacheCap := flag.Int64("cache", 8<<20, "browser cache capacity in bytes")
-	indexMode := flag.String("index", "immediate", "index update protocol: immediate or periodic")
+	indexMode := flag.String("index", "immediate", "index update protocol: immediate, periodic, or batched")
 	threshold := flag.Float64("threshold", 0.05, "periodic re-sync threshold")
 	noVerify := flag.Bool("no-verify", false, "skip watermark verification")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "liveness beacon period (0 disables)")
@@ -63,6 +63,8 @@ func main() {
 		cfg.IndexMode = browser.Immediate
 	case "periodic":
 		cfg.IndexMode = browser.Periodic
+	case "batched":
+		cfg.IndexMode = browser.Batched
 	default:
 		fmt.Fprintf(os.Stderr, "bapsbrowser: unknown index mode %q\n", *indexMode)
 		os.Exit(2)

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"baps/internal/browser"
 	"baps/internal/origin"
 	"baps/internal/proxy"
 )
@@ -63,6 +64,20 @@ type result struct {
 	// (in-process mode only): with coalescing and caching working, this
 	// stays far below Requests.
 	OriginFetches int64 `json:"origin_fetches,omitempty"`
+
+	// Index-maintenance accounting (agent-driven runs, -indexmode set).
+	// IndexRequests sums every index-maintenance HTTP request the agents
+	// issued (immediate ops + full syncs + batches), snapshotted after the
+	// agents close so drained final batches are included.
+	IndexMode            string `json:"index_mode,omitempty"`
+	IndexRequests        int64  `json:"index_requests,omitempty"`
+	IndexPublishFailures int64  `json:"index_publish_failures,omitempty"`
+	// NonLocalFetches counts requests that left the browser cache — each
+	// one can mutate the directory, so it is the natural denominator for
+	// index-maintenance overhead.
+	NonLocalFetches      int64   `json:"non_local_fetches,omitempty"`
+	IndexReqsPerFetch float64 `json:"index_requests_per_fetch,omitempty"`
+	AgentLocalHits    int64   `json:"agent_local_hits,omitempty"`
 }
 
 // TargetRPS keeps the zero value out of the report when unlimited.
@@ -98,7 +113,16 @@ func main() {
 	targetRPS := flag.Float64("rps", 0, "aggregate request-rate cap (0 = unlimited)")
 	inprocess := flag.Bool("inprocess", false, "run origin + proxy on loopback inside this process")
 	seed := flag.Uint64("seed", 1, "workload PRNG seed")
+	indexMode := flag.String("indexmode", "", "drive full browser agents with this index protocol: immediate, periodic, or batched (default: raw /fetch clients, no index traffic)")
+	agentCache := flag.Int64("agentcache", 2<<20, "per-agent browser cache bytes (-indexmode runs; small caches force evictions)")
 	flag.Parse()
+
+	if *indexMode != "" {
+		if _, err := parseIndexMode(*indexMode); err != nil {
+			fmt.Fprintf(os.Stderr, "bapsload: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *inprocess {
 		oURL, pURL, shutdown, err := startCluster()
@@ -122,7 +146,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := run(*proxyURL, *originURL, *clients, *docs, *zipfS, *duration, *targetRPS, *seed)
+	res := run(*proxyURL, *originURL, *clients, *docs, *zipfS, *duration, *targetRPS, *seed, *indexMode, *agentCache)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(res)
@@ -171,11 +195,52 @@ var inproc struct {
 	proxy  *proxy.Server
 }
 
-func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration time.Duration, targetRPS float64, seed uint64) *result {
+// parseIndexMode maps the -indexmode flag to a browser protocol.
+func parseIndexMode(s string) (browser.IndexMode, error) {
+	switch s {
+	case "immediate":
+		return browser.Immediate, nil
+	case "periodic":
+		return browser.Periodic, nil
+	case "batched":
+		return browser.Batched, nil
+	}
+	return 0, fmt.Errorf("unknown -indexmode %q (want immediate, periodic, or batched)", s)
+}
+
+func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration time.Duration, targetRPS float64, seed uint64, indexMode string, agentCache int64) *result {
 	// One shared keep-alive transport: all clients hit the same proxy
 	// host, so the pool depth scales with the client count.
 	transport := proxy.NewTransport(clients)
 	httpClient := &http.Client{Timeout: 30 * time.Second, Transport: transport}
+
+	// Agent-driven mode: every closed-loop client is a full browser agent
+	// (cache + peer server + index maintenance), so the run measures the
+	// index protocol's overhead, not just raw /fetch throughput.
+	var agents []*browser.Agent
+	if indexMode != "" {
+		mode, err := parseIndexMode(indexMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bapsload: %v\n", err)
+			os.Exit(2)
+		}
+		for c := 0; c < clients; c++ {
+			cfg := browser.DefaultConfig(proxyURL)
+			cfg.IndexMode = mode
+			cfg.CacheCapacity = agentCache
+			cfg.Timeout = 30 * time.Second
+			// Skip RSA watermark verification: the run isolates index-
+			// maintenance cost, and per-document signature checks would
+			// dominate the client CPU budget.
+			cfg.Verify = false
+			ag, err := browser.New(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bapsload: agent %d: %v\n", c, err)
+				os.Exit(1)
+			}
+			agents = append(agents, ag)
+		}
+	}
 
 	// Global pacer for -rps: a token drops every 1/rps seconds; each
 	// request consumes one. Closed-loop clients block on it.
@@ -213,7 +278,11 @@ func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration 
 					}
 				}
 				doc := zipf.Uint64()
-				st.do(ctx, httpClient, proxyURL, originURL, doc)
+				if agents != nil {
+					st.doAgent(ctx, agents[c], originURL, doc)
+				} else {
+					st.do(ctx, httpClient, proxyURL, originURL, doc)
+				}
 			}
 		}()
 	}
@@ -221,6 +290,29 @@ func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration 
 	wall := time.Since(start)
 
 	res := &result{Sources: make(map[string]int64)}
+	if agents != nil {
+		// Close first (drains the Batched publish queues), then snapshot,
+		// so the index-request totals include the final flushed batches.
+		var sum browser.Metrics
+		for _, ag := range agents {
+			ag.Close()
+			m := ag.Snapshot()
+			sum.Requests += m.Requests
+			sum.LocalHits += m.LocalHits
+			sum.IndexOps += m.IndexOps
+			sum.IndexSyncs += m.IndexSyncs
+			sum.IndexBatches += m.IndexBatches
+			sum.IndexPublishFailures += m.IndexPublishFailures
+		}
+		res.IndexMode = indexMode
+		res.IndexRequests = sum.IndexOps + sum.IndexSyncs + sum.IndexBatches
+		res.IndexPublishFailures = sum.IndexPublishFailures
+		res.AgentLocalHits = sum.LocalHits
+		res.NonLocalFetches = sum.Requests - sum.LocalHits
+		if res.NonLocalFetches > 0 {
+			res.IndexReqsPerFetch = float64(res.IndexRequests) / float64(res.NonLocalFetches)
+		}
+	}
 	res.Config.Proxy = proxyURL
 	res.Config.Origin = originURL
 	res.Config.Clients = clients
@@ -287,6 +379,23 @@ func (st *clientStats) do(ctx context.Context, c *http.Client, proxyURL, originU
 		src = "unknown"
 	}
 	st.sources[src]++
+}
+
+// doAgent issues one document request through a full browser agent,
+// recording the resolution source (local / proxy / remote / origin).
+func (st *clientStats) doAgent(ctx context.Context, ag *browser.Agent, originURL string, doc uint64) {
+	docURL := fmt.Sprintf("%s/doc/%d", originURL, doc)
+	t0 := time.Now()
+	body, src, err := ag.Get(ctx, docURL)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.errs++
+		}
+		return
+	}
+	st.lat = append(st.lat, time.Since(t0))
+	st.bytes += int64(len(body))
+	st.sources[string(src)]++
 }
 
 // summarize sorts the merged latencies and extracts the report percentiles.

@@ -9,6 +9,7 @@
 package bloom
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -129,6 +130,61 @@ func (f *Filter) FillRatio() float64 {
 // ratio: fpr = fill^k.
 func (f *Filter) EstimatedFPR() float64 {
 	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+// Equal reports whether f and other have identical parameters and bit
+// arrays. Two filters built by inserting the same set of keys into the same
+// (m, k) geometry are bit-identical, so Equal detects directory drift between
+// a browser's cache and the proxy's believed view of it without shipping the
+// URL list (the Summary-Cache digest comparison behind /index/batch).
+func (f *Filter) Equal(other *Filter) bool {
+	if other == nil || f.m != other.m || f.k != other.k {
+		return false
+	}
+	for i := range f.bits {
+		if f.bits[i] != other.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal header: magic "bf1" + k, then m and n, then the bit words.
+const marshalHeaderLen = 4 + 8 + 8
+
+// MarshalBinary serializes the filter (parameters + bit array) for the wire.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	if f.k > 255 {
+		return nil, fmt.Errorf("bloom: k=%d exceeds the encodable range", f.k)
+	}
+	buf := make([]byte, marshalHeaderLen+len(f.bits)*8)
+	copy(buf, "bf1")
+	buf[3] = byte(f.k)
+	binary.LittleEndian.PutUint64(buf[4:], f.m)
+	binary.LittleEndian.PutUint64(buf[12:], uint64(f.n))
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(buf[marshalHeaderLen+i*8:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalFilter reconstructs a filter serialized by MarshalBinary.
+func UnmarshalFilter(data []byte) (*Filter, error) {
+	if len(data) < marshalHeaderLen || string(data[:3]) != "bf1" {
+		return nil, fmt.Errorf("bloom: bad filter encoding")
+	}
+	k := int(data[3])
+	m := binary.LittleEndian.Uint64(data[4:])
+	n := binary.LittleEndian.Uint64(data[12:])
+	words := (m + 63) / 64
+	if k < 1 || m == 0 || m%64 != 0 || uint64(len(data)-marshalHeaderLen) != words*8 {
+		return nil, fmt.Errorf("bloom: inconsistent filter encoding (m=%d k=%d len=%d)", m, k, len(data))
+	}
+	f := &Filter{bits: make([]uint64, words), m: m, k: k, n: int(n)}
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(data[marshalHeaderLen+i*8:])
+	}
+	return f, nil
 }
 
 func popcount(x uint64) int {

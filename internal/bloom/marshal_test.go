@@ -1,0 +1,96 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMarshalRoundtrip(t *testing.T) {
+	f, err := NewFilterForFPR(200, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		f.Add(fmt.Sprintf("http://origin/doc/%d", i))
+	}
+	raw, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalFilter(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.K() != f.K() || g.Count() != f.Count() {
+		t.Fatalf("roundtrip changed parameters: m=%d/%d k=%d/%d n=%d/%d",
+			g.Bits(), f.Bits(), g.K(), f.K(), g.Count(), f.Count())
+	}
+	if !g.Equal(f) || !f.Equal(g) {
+		t.Fatal("roundtrip filter not Equal to original")
+	}
+	for i := 0; i < 200; i++ {
+		if !g.Contains(fmt.Sprintf("http://origin/doc/%d", i)) {
+			t.Fatalf("roundtrip lost key %d", i)
+		}
+	}
+}
+
+func TestEqualDetectsDrift(t *testing.T) {
+	build := func(n int) *Filter {
+		f, err := NewFilter(4096, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			f.Add(fmt.Sprintf("key-%d", i))
+		}
+		return f
+	}
+	a, b := build(50), build(50)
+	if !a.Equal(b) {
+		t.Fatal("same key set, same geometry: must be Equal")
+	}
+	b.Add("key-extra")
+	if a.Equal(b) {
+		t.Fatal("one-key drift went undetected")
+	}
+	small, err := NewFilter(2048, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(small) {
+		t.Fatal("different geometry reported Equal")
+	}
+	if a.Equal(nil) {
+		t.Fatal("nil reported Equal")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	f, _ := NewFilter(256, 3)
+	raw, _ := f.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       raw[:marshalHeaderLen-1],
+		"bad magic":   append([]byte("xyz"), raw[3:]...),
+		"truncated":   raw[:len(raw)-8],
+		"trailing":    append(append([]byte{}, raw...), 0),
+		"zero k":      func() []byte { d := append([]byte{}, raw...); d[3] = 0; return d }(),
+		"unaligned m": func() []byte { d := append([]byte{}, raw...); d[4] = 1; return d }(),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalFilter(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMarshalRejectsWideK(t *testing.T) {
+	f, err := NewFilter(64, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.MarshalBinary(); err == nil {
+		t.Fatal("k=300 marshaled despite one-byte encoding")
+	}
+}

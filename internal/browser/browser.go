@@ -59,6 +59,14 @@ const (
 	// Periodic batches changes and re-syncs the full directory when more
 	// than Threshold of the cache has changed.
 	Periodic
+	// Batched coalesces changes in a per-agent publish queue (last write
+	// wins per URL) and ships only the net deltas as generation-numbered
+	// POST /index/batch messages, flushed by count, bytes, or interval
+	// from a dedicated goroutine — store() never does network I/O. Drift
+	// (a lost batch, a proxy restart) is detected by generation gaps and
+	// periodic Bloom digests and repaired by the proxy's /peer/resync
+	// pull.
+	Batched
 )
 
 // Config parameterizes an agent.
@@ -74,6 +82,16 @@ type Config struct {
 	// IndexMode and Threshold configure index updates.
 	IndexMode IndexMode
 	Threshold float64
+	// Batched-mode publish-queue tuning (ignored in other modes). A flush
+	// is triggered by whichever limit trips first: BatchMaxCount coalesced
+	// deltas, BatchMaxBytes of estimated wire size, or BatchMaxDelay since
+	// the previous flush. Zero values take the DefaultConfig defaults.
+	BatchMaxDelay time.Duration
+	BatchMaxCount int
+	BatchMaxBytes int64
+	// DigestEvery attaches a Bloom digest of the full directory to every
+	// n-th batch so the proxy can detect drift; 0 disables digests.
+	DigestEvery int
 	// Verify enables watermark verification on every non-local document.
 	Verify bool
 	// Timeout bounds proxy calls.
@@ -106,6 +124,10 @@ func DefaultConfig(proxyURL string) Config {
 		Verify:            true,
 		Timeout:           10 * time.Second,
 		HeartbeatInterval: 5 * time.Second,
+		BatchMaxDelay:     100 * time.Millisecond,
+		BatchMaxCount:     128,
+		BatchMaxBytes:     256 << 10,
+		DigestEvery:       8,
 	}
 }
 
@@ -120,7 +142,17 @@ type Metrics struct {
 	TamperSeen   int64
 	IndexSyncs   int64
 	IndexOps     int64
-	OnionRelayed int64
+	IndexBatches int64
+	// IndexPublishFailures counts index messages (any protocol) that
+	// errored or came back non-2xx. Batched-mode failures are retried —
+	// the pending deltas stay queued — so a failure here is load-shedding
+	// visibility, not data loss.
+	IndexPublishFailures int64
+	// DirSnapshotMisses counts directory-snapshot entries skipped because
+	// the key vanished between Keys() and Peek() (should stay zero: the
+	// snapshot runs under the cache lock).
+	DirSnapshotMisses int64
+	OnionRelayed      int64
 }
 
 // Agent is one live browser client.
@@ -137,6 +169,11 @@ type Agent struct {
 	marks  map[string]storedMark
 	// Periodic-mode pending change counter.
 	changes int
+	// deltaSeq orders Batched-mode deltas by cache mutation: assigned
+	// under a.mu at mutation time, compared by the publisher when
+	// coalescing, so out-of-order channel arrival cannot resurrect an
+	// evicted document.
+	deltaSeq uint64
 	// Waiters for onion-routed deliveries, by document URL.
 	pendingOnion map[string]chan onionDeliveryMsg
 
@@ -148,6 +185,9 @@ type Agent struct {
 	listener   net.Listener
 	httpSrv    *http.Server
 	peerURL    string
+
+	// pubq is the Batched-mode publish queue (nil in other modes).
+	pubq *publisher
 
 	stopHeartbeat chan struct{}
 	closeOnce     sync.Once
@@ -176,6 +216,20 @@ func New(cfg Config) (*Agent, error) {
 	}
 	if cfg.IndexMode == Periodic && (cfg.Threshold <= 0 || cfg.Threshold > 1) {
 		return nil, fmt.Errorf("browser: Threshold %g out of (0,1] for periodic mode", cfg.Threshold)
+	}
+	if cfg.IndexMode == Batched {
+		if cfg.BatchMaxDelay <= 0 {
+			cfg.BatchMaxDelay = 100 * time.Millisecond
+		}
+		if cfg.BatchMaxCount <= 0 {
+			cfg.BatchMaxCount = 128
+		}
+		if cfg.BatchMaxBytes <= 0 {
+			cfg.BatchMaxBytes = 256 << 10
+		}
+		if cfg.DigestEvery < 0 {
+			return nil, fmt.Errorf("browser: DigestEvery %d must be >= 0", cfg.DigestEvery)
+		}
 	}
 	a := &Agent{
 		cfg:    cfg,
@@ -223,6 +277,12 @@ func New(cfg Config) (*Agent, error) {
 		a.Close()
 		return nil, err
 	}
+	// The publish queue needs the registration id/token, so it starts only
+	// after a successful register.
+	if cfg.IndexMode == Batched {
+		a.pubq = newPublisher(a)
+		go a.pubq.loop()
+	}
 	if cfg.HeartbeatInterval > 0 {
 		go a.heartbeatLoop()
 	}
@@ -263,12 +323,16 @@ func (a *Agent) register() error {
 	return nil
 }
 
-// Close departs gracefully: it stops the heartbeat loop, deregisters from
-// the proxy (POST /unregister, so the proxy drops the agent's index entries
-// immediately instead of discovering the departure through failed fetches),
-// and shuts the peer server down.
+// Close departs gracefully: it stops the heartbeat loop, drains the Batched
+// publish queue (final flush, so no coalesced delta is lost), deregisters
+// from the proxy (POST /unregister, so the proxy drops the agent's index
+// entries immediately instead of discovering the departure through failed
+// fetches), and shuts the peer server down.
 func (a *Agent) Close() error {
 	a.closeOnce.Do(func() { close(a.stopHeartbeat) })
+	if a.pubq != nil {
+		a.pubq.stop(true)
+	}
 	if a.token != "" {
 		a.unregister()
 	}
@@ -285,6 +349,9 @@ func (a *Agent) Close() error {
 // learns of the departure through failed fetches and missed heartbeats.
 func (a *Agent) Kill() {
 	a.closeOnce.Do(func() { close(a.stopHeartbeat) })
+	if a.pubq != nil {
+		a.pubq.stop(false) // abrupt: queued deltas are dropped, no flush
+	}
 	if a.httpSrv != nil {
 		a.httpSrv.Close()
 	}
@@ -357,6 +424,12 @@ func (a *Agent) registerMetrics() {
 		func(m *Metrics) int64 { return m.IndexSyncs })
 	counter("baps_browser_index_ops_total", "Immediate index add/remove messages sent.",
 		func(m *Metrics) int64 { return m.IndexOps })
+	counter("baps_browser_index_batches_total", "Batched delta messages accepted by the proxy.",
+		func(m *Metrics) int64 { return m.IndexBatches })
+	counter("baps_browser_index_publish_failures_total", "Index messages that errored or came back non-2xx.",
+		func(m *Metrics) int64 { return m.IndexPublishFailures })
+	counter("baps_browser_dir_snapshot_misses_total", "Directory-snapshot entries skipped by a Keys/Peek race.",
+		func(m *Metrics) int64 { return m.DirSnapshotMisses })
 	counter("baps_browser_onion_relayed_total", "Onion-path hops relayed for other peers.",
 		func(m *Metrics) int64 { return m.OnionRelayed })
 	a.obs.GaugeFunc("baps_browser_cache_docs", "Documents in the local cache.", func() float64 {

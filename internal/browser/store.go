@@ -14,10 +14,15 @@ import (
 	"baps/internal/proxy"
 )
 
+// nowStamp is the index-entry timestamp: seconds since the epoch.
+func nowStamp() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
 // store caches a received document locally and publishes the index update
 // under the configured §2 protocol. Evictions forced by the insertion are
-// published as invalidations (immediate) or batched (periodic).
+// published as invalidations (immediate), folded into the change counter
+// (periodic), or coalesced into the publish queue (batched).
 func (a *Agent) store(docURL string, body []byte, mark []byte, version int64) {
+	now := nowStamp()
 	a.mu.Lock()
 	evicted, admitted := a.cache.Put(cache.Doc{Key: docURL, Size: int64(len(body)), Version: version})
 	if admitted {
@@ -30,6 +35,21 @@ func (a *Agent) store(docURL string, body []byte, mark []byte, version int64) {
 	}
 	resident := a.cache.Len()
 	mode := a.cfg.IndexMode
+	var deltas []seqDelta
+	if mode == Batched {
+		// Seq numbers are assigned here, under the same lock as the cache
+		// mutation; the enqueue itself happens after unlock.
+		if admitted {
+			a.deltaSeq++
+			deltas = append(deltas, seqDelta{seq: a.deltaSeq, d: proxy.IndexDelta{
+				URL: docURL, Size: int64(len(body)), Version: version, Stamp: now,
+			}})
+		}
+		for _, d := range evicted {
+			a.deltaSeq++
+			deltas = append(deltas, seqDelta{seq: a.deltaSeq, d: proxy.IndexDelta{URL: d.Key, Remove: true}})
+		}
+	}
 	var syncEntries []proxy.IndexEntry
 	if mode == Periodic {
 		a.changes += len(evicted)
@@ -37,19 +57,19 @@ func (a *Agent) store(docURL string, body []byte, mark []byte, version int64) {
 			a.changes++
 		}
 		if float64(a.changes) >= a.cfg.Threshold*float64(max(resident, 1)) {
-			syncEntries = a.directoryLocked()
+			syncEntries = a.directoryLocked(now)
 			a.changes = 0
 		}
 	}
 	a.mu.Unlock()
 
-	// Network I/O happens outside the lock.
+	// Network I/O happens outside the lock; in Batched mode there is none
+	// here at all — the publish goroutine owns it.
 	switch mode {
 	case Immediate:
 		if admitted {
 			a.indexOp(true, proxy.IndexEntry{
-				URL: docURL, Size: int64(len(body)), Version: version,
-				Stamp: float64(time.Now().UnixNano()) / 1e9,
+				URL: docURL, Size: int64(len(body)), Version: version, Stamp: now,
 			})
 		}
 		for _, d := range evicted {
@@ -57,19 +77,26 @@ func (a *Agent) store(docURL string, body []byte, mark []byte, version int64) {
 		}
 	case Periodic:
 		if syncEntries != nil {
-			a.indexSync(syncEntries)
+			a.indexSync(syncEntries, 0)
+		}
+	case Batched:
+		for _, sd := range deltas {
+			a.pubq.enqueue(sd)
 		}
 	}
 }
 
-// directoryLocked snapshots the cache directory; the caller holds a.mu.
-func (a *Agent) directoryLocked() []proxy.IndexEntry {
+// directoryLocked snapshots the cache directory, stamping every entry with
+// the caller-supplied time; the caller holds a.mu. A key returned by Keys()
+// that Peek cannot find would mean the snapshot is inconsistent — counted,
+// never silently dropped.
+func (a *Agent) directoryLocked(now float64) []proxy.IndexEntry {
 	keys := a.cache.Keys()
 	entries := make([]proxy.IndexEntry, 0, len(keys))
-	now := float64(time.Now().UnixNano()) / 1e9
 	for _, k := range keys {
 		d, ok := a.cache.Peek(k)
 		if !ok {
+			a.metrics.DirSnapshotMisses++
 			continue
 		}
 		entries = append(entries, proxy.IndexEntry{
@@ -79,7 +106,21 @@ func (a *Agent) directoryLocked() []proxy.IndexEntry {
 	return entries
 }
 
-// indexOp sends one immediate add/remove message.
+// indexPublishFailure counts one failed index message and logs it.
+func (a *Agent) indexPublishFailure(kind string, err error, status int) {
+	a.addMetric(func(m *Metrics) { m.IndexPublishFailures++ })
+	if a.logger == nil {
+		return
+	}
+	if err != nil {
+		a.logger.Warn("index publish failed", "kind", kind, "err", err)
+	} else {
+		a.logger.Warn("index publish rejected", "kind", kind, "status", status)
+	}
+}
+
+// indexOp sends one immediate add/remove message. Only a 2xx acceptance
+// counts as a sent op; errors and rejections count as publish failures.
 func (a *Agent) indexOp(add bool, entry proxy.IndexEntry) {
 	path := "/index/remove"
 	if add {
@@ -92,25 +133,42 @@ func (a *Agent) indexOp(add bool, entry proxy.IndexEntry) {
 	}
 	a.authHeaders(req)
 	req.Header.Set("Content-Type", "application/json")
-	if resp, err := a.httpClient.Do(req); err == nil {
-		proxy.DrainClose(resp)
-		a.addMetric(func(m *Metrics) { m.IndexOps++ })
+	resp, err := a.httpClient.Do(req)
+	if err != nil {
+		a.indexPublishFailure("op", err, 0)
+		return
 	}
+	proxy.DrainClose(resp)
+	if resp.StatusCode/100 != 2 {
+		a.indexPublishFailure("op", nil, resp.StatusCode)
+		return
+	}
+	a.addMetric(func(m *Metrics) { m.IndexOps++ })
 }
 
-// indexSync sends a periodic full re-sync.
-func (a *Agent) indexSync(entries []proxy.IndexEntry) {
-	body, _ := json.Marshal(proxy.IndexSync{ClientID: a.id, Entries: entries})
+// indexSync sends a full directory re-sync and reports acceptance. A
+// non-zero gen re-seats the proxy's batch-generation counter (Batched
+// mode); Periodic callers pass 0.
+func (a *Agent) indexSync(entries []proxy.IndexEntry, gen uint64) bool {
+	body, _ := json.Marshal(proxy.IndexSync{ClientID: a.id, Entries: entries, Gen: gen})
 	req, err := http.NewRequest(http.MethodPost, a.cfg.ProxyURL+"/index/sync", bytes.NewReader(body))
 	if err != nil {
-		return
+		return false
 	}
 	a.authHeaders(req)
 	req.Header.Set("Content-Type", "application/json")
-	if resp, err := a.httpClient.Do(req); err == nil {
-		proxy.DrainClose(resp)
-		a.addMetric(func(m *Metrics) { m.IndexSyncs++ })
+	resp, err := a.httpClient.Do(req)
+	if err != nil {
+		a.indexPublishFailure("sync", err, 0)
+		return false
 	}
+	proxy.DrainClose(resp)
+	if resp.StatusCode/100 != 2 {
+		a.indexPublishFailure("sync", nil, resp.StatusCode)
+		return false
+	}
+	a.addMetric(func(m *Metrics) { m.IndexSyncs++ })
+	return true
 }
 
 // handlePeerResync lets the proxy ask this browser for a full directory
@@ -127,13 +185,20 @@ func (a *Agent) handlePeerResync(w http.ResponseWriter, r *http.Request) {
 }
 
 // SyncIndexNow forces a full directory re-sync (used at startup/shutdown
-// boundaries and by tests of the periodic protocol).
+// boundaries, by the proxy's /peer/resync recovery pull, and by tests). In
+// Batched mode it routes through the publish goroutine so the sync
+// supersedes the pending deltas and the generation counter stays coherent.
 func (a *Agent) SyncIndexNow() {
+	if a.pubq != nil {
+		a.pubq.syncNow()
+		return
+	}
+	now := nowStamp()
 	a.mu.Lock()
-	entries := a.directoryLocked()
+	entries := a.directoryLocked(now)
 	a.changes = 0
 	a.mu.Unlock()
-	a.indexSync(entries)
+	a.indexSync(entries, 0)
 }
 
 // Evict drops a document from the local cache (a user clearing an entry),
@@ -144,12 +209,24 @@ func (a *Agent) Evict(docURL string) bool {
 	delete(a.bodies, docURL)
 	delete(a.marks, docURL)
 	mode := a.cfg.IndexMode
-	if ok && mode == Periodic {
-		a.changes++
+	var seq uint64
+	if ok {
+		switch mode {
+		case Periodic:
+			a.changes++
+		case Batched:
+			a.deltaSeq++
+			seq = a.deltaSeq
+		}
 	}
 	a.mu.Unlock()
-	if ok && mode == Immediate {
-		a.indexOp(false, proxy.IndexEntry{URL: docURL})
+	if ok {
+		switch mode {
+		case Immediate:
+			a.indexOp(false, proxy.IndexEntry{URL: docURL})
+		case Batched:
+			a.pubq.enqueue(seqDelta{seq: seq, d: proxy.IndexDelta{URL: docURL, Remove: true}})
+		}
 	}
 	return ok
 }

@@ -250,8 +250,9 @@ func (c *Config) Validate() error {
 	if c.BrowserMemFraction < 0 || c.BrowserMemFraction > 1 {
 		return fmt.Errorf("core: BrowserMemFraction %g out of [0,1]", c.BrowserMemFraction)
 	}
-	if c.IndexMode == index.Periodic && (c.IndexThreshold <= 0 || c.IndexThreshold > 1) {
-		return fmt.Errorf("core: IndexThreshold %g out of (0,1] for periodic mode", c.IndexThreshold)
+	if (c.IndexMode == index.Periodic || c.IndexMode == index.Batched) &&
+		(c.IndexThreshold <= 0 || c.IndexThreshold > 1) {
+		return fmt.Errorf("core: IndexThreshold %g out of (0,1] for %s mode", c.IndexThreshold, c.IndexMode)
 	}
 	if c.DocTTLSec < 0 {
 		return fmt.Errorf("core: negative DocTTLSec")
@@ -579,6 +580,19 @@ func (s *System) FlushIndex() {
 			p.Flush()
 		}
 	}
+}
+
+// IndexMessageStats totals the §5 index-maintenance traffic across all
+// publishers: protocol messages sent and the index entries they carried.
+// Zero when the organization has no index.
+func (s *System) IndexMessageStats() (msgs, entriesShipped int64) {
+	for _, p := range s.pubs {
+		if p != nil {
+			msgs += p.Messages()
+			entriesShipped += p.EntriesShipped()
+		}
+	}
+	return msgs, entriesShipped
 }
 
 // Proxy exposes the proxy cache (nil when the organization has none).

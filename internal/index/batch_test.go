@@ -1,0 +1,214 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"baps/internal/intern"
+)
+
+// randomDeltas builds n deltas over a doc space, ~1/3 removals, at most one
+// delta per doc (the batch sender coalesces per URL).
+func randomDeltas(rng *rand.Rand, n, docSpace int) []Delta {
+	seen := make(map[intern.ID]bool)
+	deltas := make([]Delta, 0, n)
+	for len(deltas) < n {
+		doc := intern.ID(rng.Intn(docSpace))
+		if seen[doc] {
+			continue
+		}
+		seen[doc] = true
+		if rng.Intn(3) == 0 {
+			deltas = append(deltas, Delta{Entry: Entry{Doc: doc}, Remove: true})
+		} else {
+			deltas = append(deltas, Delta{Entry: Entry{
+				Doc: doc, Size: int64(rng.Intn(1 << 16)), Version: int64(rng.Intn(5)),
+				Stamp: rng.Float64() * 1e4,
+			}})
+		}
+	}
+	return deltas
+}
+
+// applySequential is the per-entry reference semantics ApplyBatch must match.
+func applySequential(add func(Entry), remove func(int, intern.ID), client int, deltas []Delta) {
+	for _, d := range deltas {
+		if d.Remove {
+			remove(client, d.Doc)
+		} else {
+			e := d.Entry
+			e.Client = client
+			add(e)
+		}
+	}
+}
+
+func TestIndexApplyBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	batched := New(SelectMostRecent)
+	seq := New(SelectMostRecent)
+	for round := 0; round < 20; round++ {
+		client := round % 4
+		deltas := randomDeltas(rng, 64, 512)
+		batched.ApplyBatch(client, deltas)
+		applySequential(seq.Add, func(c int, d intern.ID) { seq.Remove(c, d) }, client, deltas)
+	}
+	if batched.Len() != seq.Len() {
+		t.Fatalf("Len diverged: batch=%d seq=%d", batched.Len(), seq.Len())
+	}
+	for client := 0; client < 4; client++ {
+		want := seq.ClientDocs(client)
+		for _, e := range want {
+			got, ok := batched.Get(client, e.Doc)
+			if !ok {
+				t.Fatalf("client %d doc %d missing after ApplyBatch", client, e.Doc)
+			}
+			if got != e {
+				t.Fatalf("client %d doc %d entry diverged: %+v vs %+v", client, e.Doc, got, e)
+			}
+		}
+		if len(want) != len(batched.ClientDocs(client)) {
+			t.Fatalf("client %d directory size diverged", client)
+		}
+	}
+}
+
+func TestShardedApplyBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	batched := NewSharded(SelectMostRecent, 16)
+	seq := NewSharded(SelectMostRecent, 16)
+	for round := 0; round < 20; round++ {
+		client := round % 4
+		deltas := randomDeltas(rng, 64, 512)
+		batched.ApplyBatch(client, deltas)
+		applySequential(seq.Add, func(c int, d intern.ID) { seq.Remove(c, d) }, client, deltas)
+	}
+	if batched.Len() != seq.Len() {
+		t.Fatalf("Len diverged: batch=%d seq=%d", batched.Len(), seq.Len())
+	}
+	for client := 0; client < 4; client++ {
+		for _, e := range seq.ClientDocs(client) {
+			got, ok := batched.Get(client, e.Doc)
+			if !ok || got != e {
+				t.Fatalf("client %d doc %d diverged (ok=%v): %+v vs %+v", client, e.Doc, ok, got, e)
+			}
+		}
+		if len(seq.ClientDocs(client)) != len(batched.ClientDocs(client)) {
+			t.Fatalf("client %d directory size diverged", client)
+		}
+	}
+}
+
+func TestApplyBatchForcesClient(t *testing.T) {
+	x := New(SelectFirst)
+	// A delta claiming another client id must be applied under the
+	// authenticated id — the wire batch carries no per-delta client.
+	x.ApplyBatch(3, []Delta{{Entry: Entry{Client: 99, Doc: docID("u"), Size: 8}}})
+	if !x.Has(3, docID("u")) {
+		t.Fatal("entry not applied under batch client")
+	}
+	if x.Has(99, docID("u")) {
+		t.Fatal("delta's own client id leaked through")
+	}
+	x.ApplyBatch(3, []Delta{{Entry: Entry{Doc: docID("u")}, Remove: true}})
+	if x.Has(3, docID("u")) {
+		t.Fatal("batched remove not applied")
+	}
+}
+
+func TestApplyBatchRemoveAbsentIsNoop(t *testing.T) {
+	s := NewSharded(SelectFirst, 4)
+	s.ApplyBatch(1, []Delta{
+		{Entry: Entry{Doc: intern.ID(5)}, Remove: true}, // never added
+		{Entry: Entry{Doc: intern.ID(6), Size: 1}},
+	})
+	if s.Len() != 1 || !s.Has(1, intern.ID(6)) {
+		t.Fatalf("batch with absent removal misapplied: len=%d", s.Len())
+	}
+}
+
+// benchDeltas builds a fixed batch: 96 upserts + 32 removals of previously
+// added docs, the shape a browser flush produces under cache churn.
+func benchDeltas(docBase int) []Delta {
+	deltas := make([]Delta, 0, 128)
+	for i := 0; i < 96; i++ {
+		deltas = append(deltas, Delta{Entry: Entry{
+			Doc: intern.ID(docBase + i), Size: 8192, Stamp: float64(i),
+		}})
+	}
+	for i := 0; i < 32; i++ {
+		deltas = append(deltas, Delta{Entry: Entry{Doc: intern.ID(docBase + 96 + i)}, Remove: true})
+	}
+	return deltas
+}
+
+// BenchmarkApplyBatch measures the grouped per-shard application of one
+// 128-delta batch against the sharded index.
+func BenchmarkApplyBatch(b *testing.B) {
+	s := NewSharded(SelectMostRecent, 16)
+	deltas := benchDeltas(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ApplyBatch(i%64, deltas)
+	}
+}
+
+// BenchmarkApplyBatchPerEntry is the baseline: the same 128 deltas applied
+// as individual Add/Remove calls (one lock acquisition each), the cost the
+// batched endpoint replaces.
+func BenchmarkApplyBatchPerEntry(b *testing.B) {
+	s := NewSharded(SelectMostRecent, 16)
+	deltas := benchDeltas(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client := i % 64
+		for _, d := range deltas {
+			if d.Remove {
+				s.Remove(client, d.Doc)
+			} else {
+				e := d.Entry
+				e.Client = client
+				s.Add(e)
+			}
+		}
+	}
+}
+
+// Parallel variants: the batched win is lock-acquisition count under
+// contention — many agents flushing into the shared index at once, the
+// /index/batch serving situation — not single-threaded throughput.
+func BenchmarkApplyBatchContended(b *testing.B) {
+	s := NewSharded(SelectMostRecent, 16)
+	deltas := benchDeltas(0)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		client := 0
+		for pb.Next() {
+			client++
+			s.ApplyBatch(client%64, deltas)
+		}
+	})
+}
+
+func BenchmarkApplyBatchPerEntryContended(b *testing.B) {
+	s := NewSharded(SelectMostRecent, 16)
+	deltas := benchDeltas(0)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		client := 0
+		for pb.Next() {
+			client++
+			for _, d := range deltas {
+				if d.Remove {
+					s.Remove(client%64, d.Doc)
+				} else {
+					e := d.Entry
+					e.Client = client % 64
+					s.Add(e)
+				}
+			}
+		}
+	})
+}

@@ -23,6 +23,12 @@ const (
 	// browser already evicted (false hits) and miss documents the
 	// browser holds (lost sharing opportunities).
 	Periodic
+	// Batched coalesces changes like Periodic (same delay-threshold
+	// trigger) but ships only the net per-document deltas instead of
+	// re-sending the full directory — the §5 message-volume remedy. Index
+	// staleness between flushes is identical to Periodic; only the bytes
+	// and entries on the wire shrink.
+	Batched
 )
 
 // String names the mode.
@@ -32,9 +38,21 @@ func (m Mode) String() string {
 		return "immediate"
 	case Periodic:
 		return "periodic"
+	case Batched:
+		return "batched"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
+}
+
+// ParseMode resolves a mode name as printed by String.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{Immediate, Periodic, Batched} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("index: unknown mode %q", s)
 }
 
 // Publisher mediates one browser cache's updates to the shared Index under
@@ -51,17 +69,28 @@ type Publisher struct {
 	pendingRemove map[intern.ID]struct{}
 	changes       int
 	flushes       int
+
+	// resident is the browser cache's document count as last reported by
+	// OnInsert/OnEvict, so an externally triggered Flush can account a
+	// Periodic full re-send without a fresh resident figure.
+	resident int
+	// §5 message-volume accounting: msgs counts protocol messages on the
+	// (simulated) wire, entriesShipped the index entries they carried —
+	// one entry per Immediate op, the full directory per Periodic flush,
+	// only the net deltas per Batched flush.
+	msgs           int64
+	entriesShipped int64
 }
 
 // NewPublisher creates a publisher for client against idx. threshold is the
-// changed fraction that triggers a periodic flush (ignored for Immediate);
-// it must be in (0, 1] for Periodic mode.
+// changed fraction that triggers a periodic or batched flush (ignored for
+// Immediate); it must be in (0, 1] for those modes.
 func NewPublisher(idx *Index, client int, mode Mode, threshold float64) (*Publisher, error) {
 	if idx == nil {
 		return nil, fmt.Errorf("index: nil Index")
 	}
-	if mode == Periodic && (threshold <= 0 || threshold > 1) {
-		return nil, fmt.Errorf("index: periodic threshold %g out of (0,1]", threshold)
+	if (mode == Periodic || mode == Batched) && (threshold <= 0 || threshold > 1) {
+		return nil, fmt.Errorf("index: %s threshold %g out of (0,1]", mode, threshold)
 	}
 	return &Publisher{
 		idx:           idx,
@@ -77,8 +106,11 @@ func NewPublisher(idx *Index, client int, mode Mode, threshold float64) (*Publis
 // browser cache's current document count, used for the periodic threshold.
 func (p *Publisher) OnInsert(e Entry, resident int) {
 	e.Client = p.client
+	p.resident = resident
 	if p.mode == Immediate {
 		p.idx.Add(e)
+		p.msgs++
+		p.entriesShipped++
 		return
 	}
 	delete(p.pendingRemove, e.Doc)
@@ -89,8 +121,11 @@ func (p *Publisher) OnInsert(e Entry, resident int) {
 
 // OnEvict records that the browser evicted (or invalidated) a document.
 func (p *Publisher) OnEvict(doc intern.ID, resident int) {
+	p.resident = resident
 	if p.mode == Immediate {
 		p.idx.Remove(p.client, doc)
+		p.msgs++
+		p.entriesShipped++
 		return
 	}
 	delete(p.pendingAdd, doc)
@@ -123,6 +158,18 @@ func (p *Publisher) Flush() {
 		p.idx.addLocked(e)
 	}
 	p.idx.mu.Unlock()
+	p.msgs++
+	if p.mode == Batched {
+		// One batch message carrying only the net deltas.
+		p.entriesShipped += int64(len(p.pendingAdd) + len(p.pendingRemove))
+	} else {
+		// Periodic re-sends the whole resident directory.
+		r := p.resident
+		if r < 1 {
+			r = 1
+		}
+		p.entriesShipped += int64(r)
+	}
 	clear(p.pendingAdd)
 	clear(p.pendingRemove)
 	p.changes = 0
@@ -136,6 +183,9 @@ func (p *Publisher) Reset(threshold float64) {
 	clear(p.pendingRemove)
 	p.changes = 0
 	p.flushes = 0
+	p.resident = 0
+	p.msgs = 0
+	p.entriesShipped = 0
 	p.threshold = threshold
 }
 
@@ -144,6 +194,15 @@ func (p *Publisher) Pending() int { return p.changes }
 
 // Flushes reports how many batched flushes have occurred.
 func (p *Publisher) Flushes() int { return p.flushes }
+
+// Messages reports the number of index-protocol messages the publisher has
+// put on the (simulated) wire: one per Immediate op, one per Periodic or
+// Batched flush.
+func (p *Publisher) Messages() int64 { return p.msgs }
+
+// EntriesShipped reports the total index entries those messages carried —
+// the §5 overhead figure that separates the three protocols.
+func (p *Publisher) EntriesShipped() int64 { return p.entriesShipped }
 
 // Mode reports the configured protocol.
 func (p *Publisher) Mode() Mode { return p.mode }

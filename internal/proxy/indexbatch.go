@@ -1,0 +1,201 @@
+package proxy
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"baps/internal/bloom"
+	"baps/internal/index"
+)
+
+// batchState is the proxy-side bookkeeping of the batched index protocol:
+// the last applied generation per client and the rate limiter for
+// /peer/resync pulls, so a burst of gap/digest anomalies from one client
+// collapses into a single recovery pull.
+type batchState struct {
+	mu         sync.Mutex
+	gen        map[int]uint64
+	lastResync map[int]time.Time
+}
+
+func newBatchState() *batchState {
+	return &batchState{gen: make(map[int]uint64), lastResync: make(map[int]time.Time)}
+}
+
+// observe applies the generation rules for a received batch generation and
+// reports whether a gap was detected. The new generation is adopted either
+// way: after a gap the recovery pull re-fetches the full directory, so the
+// proxy should track the sender's numbering from here on.
+func (b *batchState) observe(client int, gen uint64) (gap bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	last := b.gen[client]
+	gap = gen != last+1 && gen != last
+	b.gen[client] = gen
+	return gap
+}
+
+// seed re-seats a client's generation (after a full /index/sync).
+func (b *batchState) seed(client int, gen uint64) {
+	b.mu.Lock()
+	b.gen[client] = gen
+	b.mu.Unlock()
+}
+
+// forget drops a departed client's state.
+func (b *batchState) forget(client int) {
+	b.mu.Lock()
+	delete(b.gen, client)
+	delete(b.lastResync, client)
+	b.mu.Unlock()
+}
+
+// shouldResync rate-limits recovery pulls to one per client per window.
+func (b *batchState) shouldResync(client int, window time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	if last, ok := b.lastResync[client]; ok && now.Sub(last) < window {
+		return false
+	}
+	b.lastResync[client] = now
+	return true
+}
+
+// resyncRateWindow bounds how often the proxy pulls a full re-sync from one
+// client in response to batch anomalies.
+const resyncRateWindow = 500 * time.Millisecond
+
+// handleIndexBatch applies a batched delta update (POST /index/batch): the
+// asynchronous replacement for per-change /index/add//index/remove traffic.
+// All of a batch's deltas are grouped per index shard and applied under one
+// lock acquisition per shard. A generation gap or Bloom-digest mismatch
+// schedules an asynchronous /peer/resync pull — the existing §2 recovery
+// path — instead of trusting a drifted view.
+func (s *Server) handleIndexBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id, ok := s.authClient(r)
+	if !ok {
+		http.Error(w, "proxy: bad client credentials", http.StatusForbidden)
+		return
+	}
+	var batch IndexBatch
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&batch); err != nil {
+		http.Error(w, "proxy: bad batch body", http.StatusBadRequest)
+		return
+	}
+	if batch.ClientID != id {
+		http.Error(w, "proxy: client mismatch", http.StatusForbidden)
+		return
+	}
+	if batch.Gen == 0 {
+		http.Error(w, "proxy: batch generation must be positive", http.StatusBadRequest)
+		return
+	}
+
+	gap := s.batches.observe(id, batch.Gen)
+
+	deltas := make([]index.Delta, 0, len(batch.Deltas))
+	for _, d := range batch.Deltas {
+		if d.URL == "" {
+			continue
+		}
+		if d.Remove {
+			// A URL the proxy never interned has no entries to remove;
+			// skipping keeps bogus invalidations from growing the table.
+			doc, known := s.syms.Lookup(d.URL)
+			if !known {
+				continue
+			}
+			deltas = append(deltas, index.Delta{Entry: index.Entry{Doc: doc}, Remove: true})
+			continue
+		}
+		deltas = append(deltas, index.Delta{Entry: index.Entry{
+			Doc:     s.syms.Intern(d.URL),
+			Size:    d.Size,
+			Version: d.Version,
+			Stamp:   d.Stamp,
+		}})
+	}
+	s.idx.ApplyBatch(id, deltas)
+	s.m.idxBatch.Inc()
+	s.m.idxBatchDeltas.Add(int64(len(deltas)))
+
+	drift := gap
+	if gap {
+		s.m.idxGenGaps.Inc()
+		if s.logger != nil {
+			s.logger.Warn("index batch generation gap", "client", id, "gen", batch.Gen)
+		}
+	} else if batch.Digest != "" {
+		if mismatch := s.digestMismatch(id, batch.Digest); mismatch {
+			drift = true
+			s.m.idxDigestMismatch.Inc()
+			if s.logger != nil {
+				s.logger.Warn("index digest mismatch", "client", id, "gen", batch.Gen)
+			}
+		}
+	}
+	if drift && s.batches.shouldResync(id, resyncRateWindow) {
+		go s.pullResync(id)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// digestMismatch rebuilds the sender's Bloom filter geometry over the
+// proxy's believed directory for the client and compares bit-for-bit.
+// Filters over equal URL sets with equal (m, k) are identical, so any
+// difference proves the two directories have drifted. (Two *different* sets
+// can collide into the same bits at the filter's false-positive rate — such
+// drift escapes one digest but is caught by a later one as the directories
+// keep changing.)
+func (s *Server) digestMismatch(client int, digestB64 string) bool {
+	raw, err := base64.StdEncoding.DecodeString(digestB64)
+	if err != nil {
+		return true // unparseable digest: treat as drift, resync restores truth
+	}
+	theirs, err := bloom.UnmarshalFilter(raw)
+	if err != nil {
+		return true
+	}
+	ours, err := bloom.NewFilter(theirs.Bits(), theirs.K())
+	if err != nil {
+		return true
+	}
+	for _, e := range s.idx.ClientDocs(client) {
+		ours.Add(s.syms.String(e.Doc))
+	}
+	return !ours.Equal(theirs)
+}
+
+// pullResync asks one browser for a full directory re-sync (the same pull
+// ResyncAll issues to every peer after a proxy restart).
+func (s *Server) pullResync(client int) {
+	s.mu.Lock()
+	p, ok := s.peers[client]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.m.idxResyncPulls.Inc()
+	req, err := http.NewRequest(http.MethodPost, p.baseURL+"/peer/resync", nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set(HeaderToken, p.token)
+	resp, err := s.peerClient.Do(req)
+	if err != nil {
+		if s.logger != nil {
+			s.logger.Warn("resync pull failed", "client", client, "err", err)
+		}
+		return
+	}
+	DrainClose(resp)
+}

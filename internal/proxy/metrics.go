@@ -59,11 +59,18 @@ type serverMetrics struct {
 	peerServes     *obs.CounterVec // {client=...}
 	peerServeBytes *obs.CounterVec // {client=...}
 
-	indexUpdates *obs.CounterVec // {op=add|remove|resync|drop}
+	indexUpdates *obs.CounterVec // {op=add|remove|resync|drop|batch}
 	idxAdd       *obs.Counter
 	idxRemove    *obs.Counter
 	idxResync    *obs.Counter
 	idxDrop      *obs.Counter
+	idxBatch     *obs.Counter
+
+	// Batched delta-protocol plane.
+	idxBatchDeltas    *obs.Counter
+	idxGenGaps        *obs.Counter
+	idxDigestMismatch *obs.Counter
+	idxResyncPulls    *obs.Counter
 
 	fetchDur     *obs.Summary
 	peerFetchDur *obs.Summary
@@ -135,6 +142,16 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	m.idxRemove = m.indexUpdates.With("remove")
 	m.idxResync = m.indexUpdates.With("resync")
 	m.idxDrop = m.indexUpdates.With("drop")
+	m.idxBatch = m.indexUpdates.With("batch")
+
+	m.idxBatchDeltas = reg.Counter("baps_proxy_index_batch_deltas_total",
+		"Index deltas carried by applied /index/batch requests.")
+	m.idxGenGaps = reg.Counter("baps_proxy_index_gen_gaps_total",
+		"Batch generation gaps observed (triggering a resync pull).")
+	m.idxDigestMismatch = reg.Counter("baps_proxy_index_digest_mismatches_total",
+		"Bloom directory digests that disagreed with the proxy's view.")
+	m.idxResyncPulls = reg.Counter("baps_proxy_index_resync_pulls_total",
+		"/peer/resync pulls issued to recover from batch drift.")
 
 	m.fetchDur = reg.Summary("baps_proxy_fetch_duration_seconds",
 		"End-to-end /fetch latency.")

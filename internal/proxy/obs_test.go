@@ -95,6 +95,11 @@ func assertStatsMatchMetrics(t *testing.T, s *Server) {
 		{"breaker_trips", st.BreakerTrips, m[`baps_proxy_breaker_transitions_total{to="open"}`]},
 		{"breaker_readmits", st.BreakerReadmits, m[`baps_proxy_breaker_transitions_total{to="closed"}`]},
 		{"unregisters", st.Unregisters, m["baps_proxy_unregisters_total"]},
+		{"index_batches", st.IndexBatches, m[`baps_proxy_index_updates_total{op="batch"}`]},
+		{"index_batch_deltas", st.IndexBatchDeltas, m["baps_proxy_index_batch_deltas_total"]},
+		{"index_gen_gaps", st.IndexGenGaps, m["baps_proxy_index_gen_gaps_total"]},
+		{"index_digest_mismatches", st.IndexDigestMismatches, m["baps_proxy_index_digest_mismatches_total"]},
+		{"index_resync_pulls", st.IndexResyncPulls, m["baps_proxy_index_resync_pulls_total"]},
 		{"index_entries", int64(st.IndexEntries), m["baps_proxy_index_entries"]},
 		{"quarantined_entries", int64(st.QuarantinedEntries), m["baps_proxy_index_quarantined_entries"]},
 		{"cache_docs", int64(st.CacheDocs), m["baps_proxy_cache_docs"]},

@@ -205,6 +205,7 @@ type Server struct {
 	syms    *intern.Sync
 	tickets *anonymity.TicketStore
 	health  *healthTracker
+	batches *batchState
 
 	relayMu sync.Mutex
 	relays  map[anonymity.Ticket]*relaySession
@@ -286,6 +287,7 @@ func New(cfg Config) (*Server, error) {
 		syms:           intern.NewSync(),
 		tickets:        anonymity.NewTicketStore(cfg.PeerTimeout),
 		health:         newHealthTracker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		batches:        newBatchState(),
 		relays:         make(map[anonymity.Ticket]*relaySession),
 		usedTickets:    make(map[string]int),
 		maxUsedTickets: 4096,
@@ -410,6 +412,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/index/add", s.handleIndexAdd)
 	mux.HandleFunc("/index/remove", s.handleIndexRemove)
 	mux.HandleFunc("/index/sync", s.handleIndexSync)
+	mux.HandleFunc("/index/batch", s.handleIndexBatch)
 	mux.HandleFunc("/relay/", s.handleRelay)
 	mux.HandleFunc("/report-bad", s.handleReportBad)
 	mux.HandleFunc("/pubkey", s.handlePubkey)
@@ -487,6 +490,7 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	if exists {
 		s.idx.DropClient(id)
 		s.health.Forget(id)
+		s.batches.forget(id)
 		s.m.unregisters.Inc()
 		s.m.idxDrop.Inc()
 		if s.logger != nil {
@@ -598,6 +602,11 @@ func (s *Server) handleIndexSync(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.idx.ResyncClient(id, entries)
+	if sync.Gen > 0 {
+		// A generation-stamped full sync re-seats the batch sequence, so
+		// the sender's next /index/batch is judged against this point.
+		s.batches.seed(id, sync.Gen)
+	}
 	s.m.idxResync.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -657,29 +666,34 @@ func (s *Server) Snapshot() Stats {
 		RemoteHits: m.outPeerFetch.Value() +
 			m.outPeerDirect.Value() +
 			m.outPeerOnion.Value(),
-		OriginFetches:      m.outOrigin.Value() + m.outOriginHedged.Value(),
-		FalsePeerHits:      m.falsePeer.Value(),
-		TamperRejected:     m.watermarkRejected.Value(),
-		RelayTimeouts:      m.relayTimeouts.Value(),
-		Coalesced:          m.coalesced.Sum(),
-		DocTooLarge:        m.docTooLarge.Value(),
-		OriginRetries:      m.originRetries.Value(),
-		HedgedWins:         m.outOriginHedged.Value(),
-		Heartbeats:         m.heartbeats.Value(),
-		HeartbeatMisses:    m.heartbeatMisses.Value(),
-		BreakerTrips:       m.breakerOpened.Value(),
-		BreakerReadmits:    m.breakerClosed.Value(),
-		Unregisters:        m.unregisters.Value(),
-		BreakerClosed:      closed,
-		BreakerOpen:        open,
-		BreakerHalfOpen:    halfOpen,
-		QuarantinedEntries: s.idx.QuarantinedEntries(),
-		IndexEntries:       s.idx.Len(),
-		CacheDocs:          cacheDocs,
-		CacheBytes:         cacheBytes,
-		Clients:            clients,
-		UptimeSec:          time.Since(s.started).Seconds(),
-		PeerHealth:         s.health.Snapshot(),
+		OriginFetches:         m.outOrigin.Value() + m.outOriginHedged.Value(),
+		FalsePeerHits:         m.falsePeer.Value(),
+		TamperRejected:        m.watermarkRejected.Value(),
+		RelayTimeouts:         m.relayTimeouts.Value(),
+		Coalesced:             m.coalesced.Sum(),
+		DocTooLarge:           m.docTooLarge.Value(),
+		OriginRetries:         m.originRetries.Value(),
+		HedgedWins:            m.outOriginHedged.Value(),
+		Heartbeats:            m.heartbeats.Value(),
+		HeartbeatMisses:       m.heartbeatMisses.Value(),
+		BreakerTrips:          m.breakerOpened.Value(),
+		BreakerReadmits:       m.breakerClosed.Value(),
+		Unregisters:           m.unregisters.Value(),
+		BreakerClosed:         closed,
+		BreakerOpen:           open,
+		BreakerHalfOpen:       halfOpen,
+		QuarantinedEntries:    s.idx.QuarantinedEntries(),
+		IndexBatches:          m.idxBatch.Value(),
+		IndexBatchDeltas:      m.idxBatchDeltas.Value(),
+		IndexGenGaps:          m.idxGenGaps.Value(),
+		IndexDigestMismatches: m.idxDigestMismatch.Value(),
+		IndexResyncPulls:      m.idxResyncPulls.Value(),
+		IndexEntries:          s.idx.Len(),
+		CacheDocs:             cacheDocs,
+		CacheBytes:            cacheBytes,
+		Clients:               clients,
+		UptimeSec:             time.Since(s.started).Seconds(),
+		PeerHealth:            s.health.Snapshot(),
 	}
 }
 

@@ -75,6 +75,46 @@ type IndexUpdate struct {
 type IndexSync struct {
 	ClientID int          `json:"client_id"`
 	Entries  []IndexEntry `json:"entries"`
+	// Gen, when non-zero, re-seats the proxy's per-client batch generation
+	// after a full sync, so the sender's next /index/batch (Gen+1) is not
+	// misread as a generation gap. Zero (legacy Periodic-mode senders)
+	// leaves the recorded generation untouched.
+	Gen uint64 `json:"gen,omitempty"`
+}
+
+// IndexDelta is one incremental directory change inside an IndexBatch: an
+// upsert of (URL, Size, Version, Stamp), or — when Remove is set — the
+// withdrawal of URL. The batch sender has already coalesced per-URL churn
+// (last write wins), so a batch carries at most one delta per URL.
+type IndexDelta struct {
+	URL     string  `json:"url"`
+	Remove  bool    `json:"remove,omitempty"`
+	Size    int64   `json:"size,omitempty"`
+	Version int64   `json:"version,omitempty"`
+	Stamp   float64 `json:"stamp,omitempty"`
+}
+
+// IndexBatch is the body of POST /index/batch — the batched delta protocol
+// that replaces per-change Immediate messages: a generation-numbered set of
+// net directory deltas, optionally carrying a Bloom digest of the sender's
+// full directory for drift detection.
+//
+// Generation rules at the proxy, per client: Gen == last+1 is the normal
+// successor; Gen == last is an idempotent retransmit (applied again — deltas
+// are upserts/removals, so replay is harmless); anything else is a gap, and
+// the proxy schedules a /peer/resync pull to re-fetch the full directory
+// rather than trusting its drifted view.
+type IndexBatch struct {
+	ClientID int          `json:"client_id"`
+	Gen      uint64       `json:"gen"`
+	Deltas   []IndexDelta `json:"deltas"`
+	// Digest, when non-empty, is the base64 encoding of a
+	// bloom.Filter.MarshalBinary over every URL in the sender's cache
+	// directory *after* this batch's deltas. The proxy rebuilds the same
+	// filter geometry over its believed directory for the client and
+	// compares bit-for-bit; a mismatch means drift (e.g. lost batch,
+	// proxy restart) and triggers the /peer/resync pull.
+	Digest string `json:"digest,omitempty"`
 }
 
 // PeerSend is the body of POST <peer>/peer/send: the proxy instructs a
@@ -151,6 +191,13 @@ type Stats struct {
 	BreakerOpen        int `json:"breaker_open"`
 	BreakerHalfOpen    int `json:"breaker_half_open"`
 	QuarantinedEntries int `json:"quarantined_entries"`
+
+	// Batched index-protocol counters.
+	IndexBatches          int64 `json:"index_batches"`           // POST /index/batch applied
+	IndexBatchDeltas      int64 `json:"index_batch_deltas"`      // deltas those batches carried
+	IndexGenGaps          int64 `json:"index_gen_gaps"`          // batch generation gaps observed
+	IndexDigestMismatches int64 `json:"index_digest_mismatches"` // Bloom digests that disagreed
+	IndexResyncPulls      int64 `json:"index_resync_pulls"`      // /peer/resync pulls issued
 
 	IndexEntries int     `json:"index_entries"`
 	CacheDocs    int     `json:"cache_docs"`

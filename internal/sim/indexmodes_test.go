@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"baps/internal/core"
+	"baps/internal/index"
+)
+
+// TestIndexModeMessageVolume replays one trace under all three §2/§5 index
+// protocols and pins their ordering:
+//
+//   - Immediate sends one message per cache change (most messages);
+//   - Periodic sends few messages but each re-ships the full directory
+//     (most entries);
+//   - Batched sends Periodic's message count while shipping only the net
+//     deltas — strictly fewer messages than Immediate AND strictly fewer
+//     entries than Periodic.
+//
+// Hit ratios must not depend on the wire encoding: Periodic and Batched
+// flush at the same threshold, so their staleness — and therefore their hit
+// counts — are identical.
+func TestIndexModeMessageVolume(t *testing.T) {
+	tr := testTrace(t, 42)
+	run := func(mode index.Mode) Result {
+		c := DefaultConfig(core.BrowsersAware)
+		c.IndexMode = mode
+		// Coarse threshold: the small test-trace browser caches make 0.05
+		// flush on nearly every change, hiding the batching.
+		c.IndexThreshold = 0.25
+		res, err := Run(tr, nil, c)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		return res
+	}
+	imm := run(index.Immediate)
+	per := run(index.Periodic)
+	bat := run(index.Batched)
+
+	if imm.IndexMessages == 0 || per.IndexMessages == 0 || bat.IndexMessages == 0 {
+		t.Fatalf("a mode sent no index messages: imm=%d per=%d bat=%d",
+			imm.IndexMessages, per.IndexMessages, bat.IndexMessages)
+	}
+	// Immediate: exactly one entry per message.
+	if imm.IndexMessages != imm.IndexEntriesShipped {
+		t.Errorf("immediate: messages %d != entries %d", imm.IndexMessages, imm.IndexEntriesShipped)
+	}
+	// Same flush trigger → same message count and identical staleness.
+	if bat.IndexMessages != per.IndexMessages {
+		t.Errorf("batched messages %d != periodic %d (same threshold must flush identically)",
+			bat.IndexMessages, per.IndexMessages)
+	}
+	if bat.HitRatio() != per.HitRatio() {
+		t.Errorf("batched hit ratio %g != periodic %g (wire encoding changed cache behavior)",
+			bat.HitRatio(), per.HitRatio())
+	}
+	// The §5 claims: far fewer messages than Immediate, far fewer entries
+	// than Periodic. 2× is a loose floor — the measured gap is much larger.
+	if bat.IndexMessages*2 >= imm.IndexMessages {
+		t.Errorf("batched messages %d not well below immediate %d",
+			bat.IndexMessages, imm.IndexMessages)
+	}
+	if bat.IndexEntriesShipped*2 >= per.IndexEntriesShipped {
+		t.Errorf("batched entries %d not well below periodic %d",
+			bat.IndexEntriesShipped, per.IndexEntriesShipped)
+	}
+	t.Logf("messages: imm=%d per=%d bat=%d; entries: imm=%d per=%d bat=%d",
+		imm.IndexMessages, per.IndexMessages, bat.IndexMessages,
+		imm.IndexEntriesShipped, per.IndexEntriesShipped, bat.IndexEntriesShipped)
+}

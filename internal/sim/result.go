@@ -40,6 +40,15 @@ type Result struct {
 	StaleLocal     int64
 	StaleProxy     int64
 
+	// Index-maintenance traffic (§5): protocol messages from browsers to
+	// the proxy's index and the entries they carried, summed over clients
+	// for the whole replay (warm-up included — protocol chatter does not
+	// pause during warm-up). Immediate ships one entry per message;
+	// Periodic re-ships the full directory per flush; Batched ships only
+	// the net deltas per flush.
+	IndexMessages       int64
+	IndexEntriesShipped int64
+
 	// Latency accounting (seconds).
 	TotalServiceSec     float64
 	HitLatencySec       float64
@@ -150,6 +159,14 @@ func (r *Result) Check() error {
 	}
 	if r.HitLatencySec > r.TotalServiceSec+1e-9 {
 		return fmt.Errorf("sim: hit latency %g exceeds total service %g", r.HitLatencySec, r.TotalServiceSec)
+	}
+	if r.IndexMessages < 0 || r.IndexEntriesShipped < 0 {
+		return fmt.Errorf("sim: negative index-message accounting")
+	}
+	if r.IndexEntriesShipped < r.IndexMessages {
+		// Every counted message carries at least one entry.
+		return fmt.Errorf("sim: %d index messages shipped only %d entries",
+			r.IndexMessages, r.IndexEntriesShipped)
 	}
 	return nil
 }

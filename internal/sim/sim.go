@@ -379,6 +379,7 @@ func (rn *Runner) Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error
 		res.TotalServiceSec += lat
 		hist.Add(lat)
 	}
+	res.IndexMessages, res.IndexEntriesShipped = sys.IndexMessageStats()
 	res.RemoteTransferSec = bus.TransferSec - warmTransferSec
 	res.RemoteContentionSec = bus.ContentionSec - warmContentionSec
 	res.RemoteBytesOnWire = bus.Bytes - warmBytes
