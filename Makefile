@@ -8,10 +8,11 @@ COUNT ?= 5
 BENCH_PKGS = ./internal/cache ./internal/index ./internal/core ./internal/proxy .
 BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*|BenchmarkIndexAddRemoveHot|BenchmarkIndexOrdered|BenchmarkApplyBatch|BenchmarkApplyBatchContended|BenchmarkShardedOrdered|BenchmarkSimulatorBAPS|BenchmarkSimulatorProxyOnly|BenchmarkTraceStats|BenchmarkLiveFetchHot|BenchmarkLiveFetchOriginMiss)$$'
 # Packages touched by the interning/sharding refactor, the observability
-# subsystem, and the batched index publish pipeline, raced in `make check`.
-HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos ./internal/browser
+# subsystem, the batched index publish pipeline, and the crash-safe disk
+# tier, raced in `make check`.
+HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos ./internal/browser ./internal/diskstore
 
-.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare loadtest loadtest-indexmodes
+.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare loadtest loadtest-indexmodes loadtest-restart
 
 all: build vet test
 
@@ -70,6 +71,20 @@ bench-compare:
 # the JSON report lands on stdout.
 loadtest:
 	$(GO) run ./cmd/bapsload -inprocess -clients 16 -docs 5000 -zipf 1.2 -duration 10s
+
+# Crash/restart recovery gate: the in-process cluster runs with a disk tier,
+# the proxy is SIGKILLed (Crash: no flush, no state save) mid-run and
+# restarted on the same address and data directory. The report's `restart`
+# section must show the hit ratio recovering to >= 90% of steady state with
+# no post-restart origin spike beyond 2x. Writes LOAD_<date>_restart.json.
+loadtest-restart:
+	rm -rf /tmp/baps-loadtest-restart
+	$(GO) run ./cmd/bapsload -inprocess -datadir /tmp/baps-loadtest-restart \
+		-capacity 33554432 -clients 16 -docs 5000 -zipf 1.2 \
+		-duration 24s -restartat 12s -restartdown 1s > LOAD_$(DATE)_restart.json
+	@grep -E '"recovered"|"origin_spike_ok"|hit_ratio|restored_docs' LOAD_$(DATE)_restart.json
+	@grep -q '"recovered": true' LOAD_$(DATE)_restart.json || { echo "restart recovery FAILED"; exit 1; }
+	@grep -q '"origin_spike_ok": true' LOAD_$(DATE)_restart.json || { echo "origin spike gate FAILED"; exit 1; }
 
 # Index-protocol comparison: the same closed loop driven through full browser
 # agents under each §2 protocol, reporting index-maintenance requests per

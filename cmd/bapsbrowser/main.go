@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"baps/internal/browser"
@@ -78,6 +80,18 @@ func main() {
 	logger.Info("bapsbrowser ready",
 		"client", a.ID(), "proxy", *proxyURL, "peer_url", a.PeerURL(),
 		"metrics", a.PeerURL()+"/metrics")
+
+	// SIGINT/SIGTERM while blocked on stdin: close gracefully (unregister,
+	// drain the batch publisher, stop the peer server) instead of dying with
+	// updates still queued.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		logger.Info("shutting down", "signal", sig.String())
+		a.Close()
+		os.Exit(0)
+	}()
 
 	sc := bufio.NewScanner(os.Stdin)
 	ctx := context.Background()

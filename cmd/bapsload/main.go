@@ -75,9 +75,12 @@ type result struct {
 	// NonLocalFetches counts requests that left the browser cache — each
 	// one can mutate the directory, so it is the natural denominator for
 	// index-maintenance overhead.
-	NonLocalFetches      int64   `json:"non_local_fetches,omitempty"`
+	NonLocalFetches   int64   `json:"non_local_fetches,omitempty"`
 	IndexReqsPerFetch float64 `json:"index_requests_per_fetch,omitempty"`
 	AgentLocalHits    int64   `json:"agent_local_hits,omitempty"`
+
+	// Restart carries the kill/restart acceptance numbers (-restartat runs).
+	Restart *restartReport `json:"restart,omitempty"`
 }
 
 // TargetRPS keeps the zero value out of the report when unlimited.
@@ -115,6 +118,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload PRNG seed")
 	indexMode := flag.String("indexmode", "", "drive full browser agents with this index protocol: immediate, periodic, or batched (default: raw /fetch clients, no index traffic)")
 	agentCache := flag.Int64("agentcache", 2<<20, "per-agent browser cache bytes (-indexmode runs; small caches force evictions)")
+	dataDir := flag.String("datadir", "", "in-process proxy disk-tier directory (enables crash-safe persistence)")
+	capacity := flag.Int64("capacity", 256<<20, "in-process proxy cache capacity in bytes")
+	restartAt := flag.Duration("restartat", 0, "SIGKILL the in-process proxy this far into the run, then restart it (0 disables; requires -inprocess and -datadir)")
+	restartDown := flag.Duration("restartdown", 2*time.Second, "downtime between the kill and the restart")
 	flag.Parse()
 
 	if *indexMode != "" {
@@ -124,8 +131,21 @@ func main() {
 		}
 	}
 
+	var plan *restartPlan
+	if *restartAt > 0 {
+		if !*inprocess || *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "bapsload: -restartat requires -inprocess and -datadir")
+			os.Exit(2)
+		}
+		if *restartAt+*restartDown >= *duration {
+			fmt.Fprintln(os.Stderr, "bapsload: -restartat + -restartdown must leave a recovery window inside -duration")
+			os.Exit(2)
+		}
+		plan = &restartPlan{at: *restartAt, down: *restartDown}
+	}
+
 	if *inprocess {
-		oURL, pURL, shutdown, err := startCluster()
+		oURL, pURL, shutdown, err := startCluster(*dataDir, *capacity)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bapsload: in-process cluster: %v\n", err)
 			os.Exit(1)
@@ -146,7 +166,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := run(*proxyURL, *originURL, *clients, *docs, *zipfS, *duration, *targetRPS, *seed, *indexMode, *agentCache)
+	res := run(*proxyURL, *originURL, *clients, *docs, *zipfS, *duration, *targetRPS, *seed, *indexMode, *agentCache, plan)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(res)
@@ -156,8 +176,9 @@ func main() {
 }
 
 // startCluster brings up a loopback origin and proxy, returning their URLs
-// and a shutdown func.
-func startCluster() (originURL, proxyURL string, shutdown func(), err error) {
+// and a shutdown func. A non-empty datadir enables the proxy's crash-safe
+// disk tier (and makes -restartat possible).
+func startCluster(datadir string, capacity int64) (originURL, proxyURL string, shutdown func(), err error) {
 	o := origin.New(1)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -169,6 +190,8 @@ func startCluster() (originURL, proxyURL string, shutdown func(), err error) {
 
 	cfg := proxy.DefaultConfig()
 	cfg.KeyBits = 2048
+	cfg.CacheCapacity = capacity
+	cfg.DataDir = datadir
 	p, err := proxy.New(cfg)
 	if err != nil {
 		originSrv.Close()
@@ -178,21 +201,37 @@ func startCluster() (originURL, proxyURL string, shutdown func(), err error) {
 		originSrv.Close()
 		return "", "", nil, err
 	}
-	inproc = struct {
-		origin *origin.Server
-		proxy  *proxy.Server
-	}{o, p}
+	inproc.origin = o
+	inproc.pcfg = cfg
+	inproc.setProxy(p)
 	return originURL, p.BaseURL(), func() {
-		p.Close()
+		inproc.getProxy().Close()
 		originSrv.Close()
 	}, nil
 }
 
-// inproc exposes the in-process servers to the reporter (zero outside
-// -inprocess runs).
-var inproc struct {
+// inprocState exposes the in-process servers to the reporter and the
+// restart controller (zero outside -inprocess runs). The proxy handle is
+// swapped on restart, so access goes through the mutex.
+type inprocState struct {
+	mu     sync.Mutex
 	origin *origin.Server
 	proxy  *proxy.Server
+	pcfg   proxy.Config
+}
+
+var inproc inprocState
+
+func (i *inprocState) setProxy(p *proxy.Server) {
+	i.mu.Lock()
+	i.proxy = p
+	i.mu.Unlock()
+}
+
+func (i *inprocState) getProxy() *proxy.Server {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.proxy
 }
 
 // parseIndexMode maps the -indexmode flag to a browser protocol.
@@ -208,7 +247,7 @@ func parseIndexMode(s string) (browser.IndexMode, error) {
 	return 0, fmt.Errorf("unknown -indexmode %q (want immediate, periodic, or batched)", s)
 }
 
-func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration time.Duration, targetRPS float64, seed uint64, indexMode string, agentCache int64) *result {
+func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration time.Duration, targetRPS float64, seed uint64, indexMode string, agentCache int64, plan *restartPlan) *result {
 	// One shared keep-alive transport: all clients hit the same proxy
 	// host, so the pool depth scales with the client count.
 	transport := proxy.NewTransport(clients)
@@ -255,6 +294,12 @@ func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration 
 	ctx, cancel := context.WithTimeout(context.Background(), duration)
 	defer cancel()
 
+	var rc *restartController
+	if plan != nil {
+		rc = newRestartController(*plan)
+		go rc.run(ctx)
+	}
+
 	stats := make([]clientStats, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -278,10 +323,19 @@ func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration 
 					}
 				}
 				doc := zipf.Uint64()
+				var ok bool
 				if agents != nil {
-					st.doAgent(ctx, agents[c], originURL, doc)
+					ok = st.doAgent(ctx, agents[c], originURL, doc)
 				} else {
-					st.do(ctx, httpClient, proxyURL, originURL, doc)
+					ok = st.do(ctx, httpClient, proxyURL, originURL, doc)
+				}
+				if !ok && plan != nil {
+					// Proxy downtime mid-restart: back off instead of
+					// spinning a connection-refused error storm.
+					select {
+					case <-time.After(100 * time.Millisecond):
+					case <-ctx.Done():
+					}
 				}
 			}
 		}()
@@ -344,17 +398,21 @@ func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration 
 	if inproc.origin != nil {
 		res.OriginFetches = inproc.origin.Fetches()
 	}
+	if rc != nil {
+		res.Restart = rc.report(res.ProxyStats)
+	}
 	return res
 }
 
 // do issues one /fetch and records its latency, source, and byte count.
-func (st *clientStats) do(ctx context.Context, c *http.Client, proxyURL, originURL string, doc uint64) {
+// false means the request failed (the restart harness backs off on it).
+func (st *clientStats) do(ctx context.Context, c *http.Client, proxyURL, originURL string, doc uint64) bool {
 	docURL := fmt.Sprintf("%s/doc/%d", originURL, doc)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		proxyURL+"/fetch?url="+url.QueryEscape(docURL), nil)
 	if err != nil {
 		st.errs++
-		return
+		return false
 	}
 	t0 := time.Now()
 	resp, err := c.Do(req)
@@ -362,7 +420,7 @@ func (st *clientStats) do(ctx context.Context, c *http.Client, proxyURL, originU
 		if ctx.Err() == nil {
 			st.errs++
 		}
-		return
+		return false
 	}
 	n, err := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
@@ -370,7 +428,7 @@ func (st *clientStats) do(ctx context.Context, c *http.Client, proxyURL, originU
 		if ctx.Err() == nil {
 			st.errs++
 		}
-		return
+		return false
 	}
 	st.lat = append(st.lat, time.Since(t0))
 	st.bytes += n
@@ -379,11 +437,12 @@ func (st *clientStats) do(ctx context.Context, c *http.Client, proxyURL, originU
 		src = "unknown"
 	}
 	st.sources[src]++
+	return true
 }
 
 // doAgent issues one document request through a full browser agent,
 // recording the resolution source (local / proxy / remote / origin).
-func (st *clientStats) doAgent(ctx context.Context, ag *browser.Agent, originURL string, doc uint64) {
+func (st *clientStats) doAgent(ctx context.Context, ag *browser.Agent, originURL string, doc uint64) bool {
 	docURL := fmt.Sprintf("%s/doc/%d", originURL, doc)
 	t0 := time.Now()
 	body, src, err := ag.Get(ctx, docURL)
@@ -391,11 +450,12 @@ func (st *clientStats) doAgent(ctx context.Context, ag *browser.Agent, originURL
 		if ctx.Err() == nil {
 			st.errs++
 		}
-		return
+		return false
 	}
 	st.lat = append(st.lat, time.Since(t0))
 	st.bytes += int64(len(body))
 	st.sources[string(src)]++
+	return true
 }
 
 // summarize sorts the merged latencies and extracts the report percentiles.

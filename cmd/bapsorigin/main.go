@@ -7,10 +7,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"baps/internal/origin"
 )
@@ -29,9 +34,28 @@ func main() {
 	}
 	srv := origin.New(*seed)
 	srv.SetLogger(logger)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight responses.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	logger.Info("bapsorigin serving", "addr", *addr, "seed", *seed)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		logger.Error("listen failed", "addr", *addr, "err", err)
-		os.Exit(1)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("listen failed", "addr", *addr, "err", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Error("shutdown incomplete", "err", err)
+			os.Exit(1)
+		}
 	}
+	logger.Info("bapsorigin stopped")
 }

@@ -7,9 +7,17 @@
 //	          [-breaker-threshold 3] [-breaker-cooldown 10s]
 //	          [-heartbeat-timeout 30s] [-peer-soft-deadline 2.5s]
 //	          [-origin-retries 2] [-logjson]
+//	          [-datadir DIR] [-fsync interval|always|never]
+//	          [-disk-max-bytes N] [-disk-retention D]
 //
 // Browser agents (cmd/bapsbrowser or internal/browser) register at
 // POST /register and then resolve documents through GET /fetch.
+//
+// With -datadir the proxy cache is crash-safe: demoted documents spill to a
+// journaled disk store under DIR and a restart replays it, warm-starting the
+// cache, the /stats counters, and the client/generation tables. SIGINT and
+// SIGTERM shut down gracefully (in-flight requests drain, the journal
+// flushes); SIGKILL loses at most the last fsync interval.
 package main
 
 import (
@@ -17,9 +25,12 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"baps/internal/cache"
+	"baps/internal/diskstore"
 	"baps/internal/proxy"
 )
 
@@ -46,10 +57,19 @@ func main() {
 	heartbeatTimeout := flag.Duration("heartbeat-timeout", 30*time.Second, "quarantine peers silent this long (0 disables the sweep)")
 	originRetries := flag.Int("origin-retries", 2, "retries for transient origin failures (backoff + jitter)")
 	logjson := flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
+	dataDir := flag.String("datadir", "", "crash-safe disk tier directory (empty: memory only)")
+	fsync := flag.String("fsync", "interval", "disk durability: interval, always, or never")
+	diskMaxBytes := flag.Int64("disk-max-bytes", 0, "disk tier live-byte bound (0: same as -capacity)")
+	diskRetention := flag.Duration("disk-retention", 0, "evict disk documents untouched this long (0 disables)")
 	flag.Parse()
 
 	logger := newLogger(*logjson)
 	policy, err := cache.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bapsproxy: %v\n", err)
+		os.Exit(2)
+	}
+	fsyncPolicy, err := diskstore.ParseFsyncPolicy(*fsync)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bapsproxy: %v\n", err)
 		os.Exit(2)
@@ -66,6 +86,10 @@ func main() {
 	cfg.HeartbeatTimeout = *heartbeatTimeout
 	cfg.OriginRetries = *originRetries
 	cfg.DisablePeer = *noPeer
+	cfg.DataDir = *dataDir
+	cfg.DiskFsync = fsyncPolicy
+	cfg.DiskMaxBytes = *diskMaxBytes
+	cfg.DiskRetention = *diskRetention
 	switch *forward {
 	case "fetch":
 		cfg.Forward = proxy.FetchForward
@@ -86,6 +110,18 @@ func main() {
 	}
 	logger.Info("bapsproxy serving",
 		"url", s.BaseURL(), "cache_bytes", *capacity, "policy", policy.String(),
-		"forward", *forward, "metrics", s.BaseURL()+"/metrics", "trace", s.BaseURL()+"/trace")
-	select {} // serve forever
+		"forward", *forward, "datadir", *dataDir,
+		"metrics", s.BaseURL()+"/metrics", "trace", s.BaseURL()+"/trace")
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests, flush the
+	// disk journal and persist the state blob (Server.Close does all three).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigc
+	logger.Info("shutting down", "signal", sig.String())
+	if err := s.Close(); err != nil {
+		logger.Error("shutdown incomplete", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("bapsproxy stopped")
 }

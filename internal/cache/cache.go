@@ -138,6 +138,13 @@ type Options struct {
 	// OnEvict, if non-nil, is invoked for every document evicted to make
 	// room (not for Remove or for replaced versions of the same key).
 	OnEvict EvictFunc
+
+	// OnDemote, if non-nil, observes memory-tier demotions of a TwoTier
+	// cache: the document leaves the memory portion but stays resident
+	// overall. The live proxy uses it to spill bodies to the disk store.
+	// Like OnEvict, it must not call back into the cache. Ignored by
+	// single-tier caches built with New.
+	OnDemote EvictFunc
 }
 
 // ErrCapacity is returned by New for a negative capacity.

@@ -45,7 +45,7 @@ func NewTwoTier(policy Policy, capacity, memCapacity int64, opts ...Options) (*T
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	t := &TwoTier{mem: newListCache(memCapacity, true, Options{})}
+	t := &TwoTier{mem: newListCache(memCapacity, true, Options{OnEvict: o.OnDemote})}
 	user := o.OnEvict
 	inner, err := New(policy, capacity, Options{OnEvict: func(d Doc) {
 		t.mem.Remove(d.Key)
@@ -75,6 +75,27 @@ func (t *TwoTier) GetTier(key string) (Doc, Tier, bool) {
 	}
 	t.mem.Put(doc) // promote; demotions are silent
 	return doc, tier, true
+}
+
+// PeekTier looks up a document and reports its tier without updating any
+// replacement state.
+func (t *TwoTier) PeekTier(key string) (Doc, Tier, bool) {
+	doc, ok := t.inner.Peek(key)
+	if !ok {
+		return Doc{}, TierDisk, false
+	}
+	tier := TierDisk
+	if _, inMem := t.mem.Peek(key); inMem {
+		tier = TierMemory
+	}
+	return doc, tier, true
+}
+
+// Seed admits a document into the overall cache without pulling it through
+// the memory tier — used when re-seating residency from a disk-store replay,
+// where the body stays on disk until its first post-restart access.
+func (t *TwoTier) Seed(doc Doc) ([]Doc, bool) {
+	return t.inner.Put(doc)
 }
 
 // InMemory reports whether a resident document currently occupies the memory

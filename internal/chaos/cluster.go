@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"baps/internal/browser"
@@ -25,6 +26,7 @@ type ChurnCluster struct {
 	originLn  net.Listener
 	originSrv *http.Server
 	originURL string
+	pcfg      proxy.Config
 }
 
 // NewChurnCluster brings the whole deployment up on loopback. pcfg
@@ -44,6 +46,7 @@ func NewChurnCluster(n int, pcfg proxy.Config, mutate func(*browser.Config)) (*C
 	if pcfg.KeyBits == 0 {
 		pcfg.KeyBits = 1024
 	}
+	c.pcfg = pcfg
 	p, err := proxy.New(pcfg)
 	if err != nil {
 		c.Close()
@@ -112,6 +115,36 @@ func (c *ChurnCluster) RevivePeer(i int) { c.Gateways[i].SetFault(FaultNone) }
 func (c *ChurnCluster) KillAgent(i int) {
 	c.Gateways[i].SetFault(FaultDown)
 	c.Agents[i].Kill()
+}
+
+// RestartProxy replaces the proxy with a fresh instance on the same address
+// and config. graceful=false models SIGKILL (Crash: no journal flush, no
+// state save); graceful=true models SIGTERM (Close: drain and flush). With
+// a DataDir in the proxy config the replacement warm-starts from disk;
+// agents keep their registrations and talk to the same base URL throughout.
+func (c *ChurnCluster) RestartProxy(graceful bool) error {
+	addr := strings.TrimPrefix(c.Proxy.BaseURL(), "http://")
+	if graceful {
+		c.Proxy.Close()
+	} else {
+		c.Proxy.Crash()
+	}
+	p, err := proxy.New(c.pcfg)
+	if err != nil {
+		return fmt.Errorf("chaos: restart proxy: %w", err)
+	}
+	// The freed port can lag a beat on some kernels; retry briefly.
+	for i := 0; ; i++ {
+		if err = p.Start(addr); err == nil {
+			break
+		}
+		if i == 20 {
+			return fmt.Errorf("chaos: rebind %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c.Proxy = p
+	return nil
 }
 
 // Close tears the whole cluster down (survivors depart gracefully).

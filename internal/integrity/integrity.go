@@ -126,3 +126,26 @@ func ParsePublicKey(pemBytes []byte) (*rsa.PublicKey, error) {
 	}
 	return pub, nil
 }
+
+// MarshalPrivateKey encodes the signing key as PEM (PKCS#1) — the format the
+// crash-safe proxy persists under its data directory so watermarks issued
+// before a restart keep verifying after it.
+func (s *Signer) MarshalPrivateKey() []byte {
+	return pem.EncodeToMemory(&pem.Block{
+		Type:  "RSA PRIVATE KEY",
+		Bytes: x509.MarshalPKCS1PrivateKey(s.priv),
+	})
+}
+
+// ParsePrivateKey decodes a PEM (PKCS#1) RSA private key.
+func ParsePrivateKey(pemBytes []byte) (*rsa.PrivateKey, error) {
+	block, _ := pem.Decode(pemBytes)
+	if block == nil {
+		return nil, errors.New("integrity: no PEM block found")
+	}
+	priv, err := x509.ParsePKCS1PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("integrity: parse private key: %w", err)
+	}
+	return priv, nil
+}

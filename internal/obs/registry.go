@@ -262,6 +262,71 @@ func (r *Registry) GaugeValue(name string) float64 {
 	}
 }
 
+// CounterSnapshot captures the current values of every plain counter and
+// counter-vec child, keyed by family name. Callback-backed counters are
+// excluded — their owners persist their own state. The snapshot is the
+// durable half of warm restart: persist it, then RestoreCounters on boot.
+type CounterSnapshot struct {
+	Counters map[string]int64            `json:"counters,omitempty"`
+	Vecs     map[string]map[string]int64 `json:"vecs,omitempty"`
+}
+
+// SnapshotCounters returns the registry's counter state for persistence.
+func (r *Registry) SnapshotCounters() CounterSnapshot {
+	snap := CounterSnapshot{
+		Counters: make(map[string]int64),
+		Vecs:     make(map[string]map[string]int64),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, m := range r.ordered {
+		switch m.kind {
+		case kindCounter:
+			if v := m.counter.Value(); v != 0 {
+				snap.Counters[m.name] = v
+			}
+		case kindCounterVec:
+			m.vec.mu.RLock()
+			for lv, c := range m.vec.byName {
+				if v := c.Value(); v != 0 {
+					if snap.Vecs[m.name] == nil {
+						snap.Vecs[m.name] = make(map[string]int64)
+					}
+					snap.Vecs[m.name][lv] = v
+				}
+			}
+			m.vec.mu.RUnlock()
+		}
+	}
+	return snap
+}
+
+// RestoreCounters adds a persisted snapshot onto the registry's counters —
+// restore-then-count, so live increments made before the snapshot loads are
+// kept. Families the snapshot names but the registry lacks (or that are no
+// longer plain counters) are skipped: a snapshot from an older build must
+// never wedge startup.
+func (r *Registry) RestoreCounters(snap CounterSnapshot) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, v := range snap.Counters {
+		if m := r.byName[name]; m != nil && m.kind == kindCounter && v > 0 {
+			m.counter.Add(v)
+		}
+	}
+	for name, children := range snap.Vecs {
+		m := r.byName[name]
+		if m == nil || m.kind != kindCounterVec {
+			continue
+		}
+		for lv, v := range children {
+			if v > 0 {
+				m.vec.With(lv).Add(v)
+			}
+		}
+	}
+}
+
 // snapshotMetrics returns the registered families sorted by name.
 func (r *Registry) snapshotMetrics() []*metric {
 	r.mu.RLock()

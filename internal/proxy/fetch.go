@@ -93,10 +93,9 @@ type fetchResult struct {
 // the response, and reports which outcome was taken (one of the out*
 // constants).
 func (s *Server) resolveFetch(ctx context.Context, w http.ResponseWriter, url string, requester int, noPeer bool) string {
-	// 1. Proxy cache.
-	if body, meta, ok := s.cacheLookup(url); ok {
-		s.serveDoc(w, SourceProxy, body, meta)
-		return outProxyHit
+	// 1. Proxy cache: memory tier, spill stage, then the disk store.
+	if outcome, ok := s.serveLocal(w, url); ok {
+		return outcome
 	}
 
 	peerEligible := !s.cfg.DisablePeer && !noPeer
@@ -319,18 +318,26 @@ func (s *Server) serveStream(w http.ResponseWriter, res fetchResult) {
 	st.finish(err)
 }
 
-func (s *Server) serveDoc(w http.ResponseWriter, source string, body []byte, meta docMeta) {
+// writeDocHeaders commits a document response's headers (meta.size is the
+// Content-Length).
+func writeDocHeaders(w http.ResponseWriter, source string, meta docMeta) {
 	w.Header().Set(HeaderSource, source)
 	w.Header().Set(HeaderVersion, strconv.FormatInt(meta.version, 10))
 	if meta.watermark != nil {
 		w.Header().Set(HeaderWatermark, base64.StdEncoding.EncodeToString(meta.watermark))
 	}
-	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Header().Set("Content-Length", strconv.FormatInt(meta.size, 10))
 	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) serveDoc(w http.ResponseWriter, source string, body []byte, meta docMeta) {
+	meta.size = int64(len(body))
+	writeDocHeaders(w, source, meta)
 	w.Write(body)
 }
 
-// cacheLookup serves from the proxy cache, promoting on hit.
+// cacheLookup serves from the proxy's memory tier, promoting on hit (tests
+// use it to probe residency; the request path goes through serveLocal).
 func (s *Server) cacheLookup(url string) ([]byte, docMeta, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -339,10 +346,17 @@ func (s *Server) cacheLookup(url string) ([]byte, docMeta, bool) {
 	}
 	body, ok := s.bodies[url]
 	if !ok {
+		if s.ds != nil {
+			// Body lives in the spill stage or on disk; report non-resident
+			// here without shedding the entry.
+			s.drainSpillsLocked()
+			return nil, docMeta{}, false
+		}
 		// Accounting and body store disagree; treat as miss.
 		s.cache.Remove(url)
 		return nil, docMeta{}, false
 	}
+	s.drainSpillsLocked()
 	return body, s.meta[url], true
 }
 
@@ -353,9 +367,15 @@ func (s *Server) storeDoc(url string, body []byte, meta docMeta) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.meta[url] = meta
+	delete(s.durable, url) // any disk copy is now stale
 	if _, admitted := s.cache.Put(cache.Doc{Key: url, Size: int64(len(body)), Version: meta.version}); admitted {
 		s.bodies[url] = body
+		if s.ds != nil {
+			// The storing fetch is the document's first access.
+			s.hits[url]++
+		}
 	}
+	s.drainSpillsLocked()
 }
 
 // upstreamDoc is a completed origin acquisition, shared across coalesced

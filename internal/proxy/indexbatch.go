@@ -46,6 +46,17 @@ func (b *batchState) seed(client int, gen uint64) {
 	b.mu.Unlock()
 }
 
+// snapshotGens copies the per-client generation table (state persistence).
+func (b *batchState) snapshotGens() map[int]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[int]uint64, len(b.gen))
+	for id, gen := range b.gen {
+		out[id] = gen
+	}
+	return out
+}
+
 // forget drops a departed client's state.
 func (b *batchState) forget(client int) {
 	b.mu.Lock()

@@ -13,6 +13,7 @@ import (
 // onion) → origin fallback.
 const (
 	outProxyHit     = "proxy_hit"
+	outDiskHit      = "proxy_disk_hit"
 	outPeerFetch    = "peer_fetch_forward"
 	outPeerDirect   = "peer_direct_forward"
 	outPeerOnion    = "peer_onion"
@@ -31,8 +32,17 @@ type serverMetrics struct {
 	requests *obs.Counter
 	outcomes *obs.CounterVec
 	// Pre-resolved outcome children (outcomeCounter maps the string).
-	outProxyHit, outPeerFetch, outPeerDirect, outPeerOnion *obs.Counter
-	outOrigin, outOriginHedged, outError, outCanceled      *obs.Counter
+	outProxyHit, outDiskHit, outPeerFetch, outPeerDirect, outPeerOnion *obs.Counter
+	outOrigin, outOriginHedged, outError, outCanceled                  *obs.Counter
+
+	// Disk-tier plane (registered always; non-zero only with -datadir).
+	diskWrites    *obs.Counter
+	diskReads     *obs.Counter
+	diskReplays   *obs.Counter
+	diskCorrupt   *obs.Counter
+	diskEvictions *obs.Counter
+	spillSkipped  *obs.Counter // demotions shed by admission control
+	spillDropped  *obs.Counter // spills shed by backpressure or disk errors
 
 	// coalesced counts requests that attached to another request's
 	// in-flight miss resolution instead of resolving themselves, labeled
@@ -86,6 +96,7 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	m.outcomes = reg.CounterVec("baps_proxy_fetch_outcomes_total",
 		"Fetch decision-path outcomes.", "outcome")
 	m.outProxyHit = m.outcomes.With(outProxyHit)
+	m.outDiskHit = m.outcomes.With(outDiskHit)
 	m.outPeerFetch = m.outcomes.With(outPeerFetch)
 	m.outPeerDirect = m.outcomes.With(outPeerDirect)
 	m.outPeerOnion = m.outcomes.With(outPeerOnion)
@@ -101,6 +112,21 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	for _, o := range []string{outPeerFetch, outOrigin, outOriginHedged, outError, outCanceled} {
 		m.coalesced.With(o)
 	}
+
+	m.diskWrites = reg.Counter("baps_proxy_disk_writes_total",
+		"Document bodies spilled to the disk tier.")
+	m.diskReads = reg.Counter("baps_proxy_disk_reads_total",
+		"Document bodies read back from the disk tier.")
+	m.diskReplays = reg.Counter("baps_proxy_disk_replays_total",
+		"Documents re-seated from the disk journal at startup.")
+	m.diskCorrupt = reg.Counter("baps_proxy_disk_corrupt_records_total",
+		"Disk journal/body records dropped for CRC or framing damage.")
+	m.diskEvictions = reg.Counter("baps_proxy_disk_evictions_total",
+		"Disk-tier documents evicted by the retention sweep.")
+	m.spillSkipped = reg.Counter("baps_proxy_disk_spill_skipped_total",
+		"Memory-tier demotions shed by spill admission control (one-hit wonders).")
+	m.spillDropped = reg.Counter("baps_proxy_disk_spill_dropped_total",
+		"Spills shed by queue backpressure or disk write failures.")
 
 	m.falsePeer = reg.Counter("baps_proxy_false_peer_total",
 		"Index hits that failed to produce the document from the peer.")
@@ -199,6 +225,26 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 				}
 			})
 	}
+	reg.GaugeFunc("baps_proxy_disk_docs",
+		"Documents live in the disk tier.", func() float64 {
+			if s.ds == nil {
+				return 0
+			}
+			return float64(s.ds.Len())
+		})
+	reg.GaugeFunc("baps_proxy_disk_bytes",
+		"Live body bytes in the disk tier.", func() float64 {
+			if s.ds == nil {
+				return 0
+			}
+			return float64(s.ds.Used())
+		})
+	reg.GaugeFunc("baps_proxy_restored_docs",
+		"Documents re-seated from the disk journal by the last startup.",
+		func() float64 { return float64(s.restoredDocs) })
+	reg.GaugeFunc("baps_proxy_restart_to_warm_seconds",
+		"Seconds from startup until a tenth of the restored set was served locally again (0 until warm).",
+		s.restartToWarmSeconds)
 	reg.GaugeFunc("baps_proxy_uptime_seconds",
 		"Seconds since the proxy started.", func() float64 { return time.Since(s.started).Seconds() })
 	return m
@@ -209,6 +255,8 @@ func (m *serverMetrics) outcomeCounter(outcome string) *obs.Counter {
 	switch outcome {
 	case outProxyHit:
 		return m.outProxyHit
+	case outDiskHit:
+		return m.outDiskHit
 	case outPeerFetch:
 		return m.outPeerFetch
 	case outPeerDirect:

@@ -1,0 +1,600 @@
+package proxy
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"baps/internal/cache"
+	"baps/internal/diskstore"
+	"baps/internal/integrity"
+	"baps/internal/obs"
+)
+
+// The disk tier turns the proxy's two-tier cache crash-safe: memory-tier
+// demotions spill document bodies into internal/diskstore, and on startup
+// the journal replay re-seats the cache skeleton, the /stats counters, and
+// the per-client registration + batch-generation tables, so a kill/restart
+// recovers its hit ratio without a thundering herd onto the origin.
+//
+// Residency invariants with the disk tier enabled:
+//
+//   - s.bodies holds exactly the memory-tier bodies.
+//   - A resident key absent from s.bodies has its body either in
+//     s.spillStage (demoted, spill in flight) or in s.ds (durable).
+//   - s.ds is never called with s.mu held; the spill worker and the
+//     disk-store sweep take s.mu from outside any disk-store lock.
+//
+// Admission control: a body is spilled only once its key has been accessed
+// spillMinHits times (storeDoc counts the storing fetch); a one-hit wonder
+// demoted from memory is shed from the cache instead of written to disk.
+// Reading back promotes to memory on the second post-spill access — the
+// first is streamed straight from disk through a pooled buffer.
+const spillMinHits = 2
+
+// spillOp is one unit of the spill worker's queue.
+type spillOp struct {
+	key string
+	del bool // drop key from the disk store instead of spilling
+	// Write-behind ops carry their own body+meta snapshot: the document
+	// stays resident in the memory tier while a durable copy is written.
+	wb   bool
+	body []byte
+	meta docMeta
+}
+
+// wbBatchMax bounds how many memory-tier bodies one write-behind tick may
+// enqueue, so a big hot set drains over several intervals instead of
+// flooding the spill queue.
+const wbBatchMax = 128
+
+// stagedDoc parks a demoted body (and the meta it was stored under) between
+// demotion and the spill worker's disk write.
+type stagedDoc struct {
+	body []byte
+	meta docMeta
+}
+
+// persistClient is one registered browser in the persisted state blob.
+type persistClient struct {
+	ID       int    `json:"id"`
+	PeerURL  string `json:"peer_url"`
+	Token    string `json:"token"`
+	RelayKey []byte `json:"relay_key"`
+}
+
+// persistState is the owner-state blob journaled into the disk store: the
+// non-derivable proxy state a restart must re-seat (counters, client
+// registrations, batch generations). The cache skeleton itself is derived
+// from the store's own entries.
+type persistState struct {
+	SavedUnix int64               `json:"saved_unix"`
+	NextID    int                 `json:"next_id"`
+	Clients   []persistClient     `json:"clients,omitempty"`
+	Gens      map[int]uint64      `json:"gens,omitempty"`
+	Counters  obs.CounterSnapshot `json:"counters"`
+}
+
+// loadOrCreateSigner returns the proxy's watermark signer. With a data
+// directory the key lives in DIR/key.pem across restarts: watermarks stored
+// on disk (and the public key agents fetched before a kill) stay valid on
+// the reopened proxy. Without one, every start generates a fresh key.
+func loadOrCreateSigner(cfg Config) (*integrity.Signer, error) {
+	if cfg.DataDir == "" {
+		return integrity.NewSigner(cfg.KeyBits)
+	}
+	path := filepath.Join(cfg.DataDir, "key.pem")
+	if pemBytes, err := os.ReadFile(path); err == nil {
+		priv, err := integrity.ParsePrivateKey(pemBytes)
+		if err == nil {
+			return integrity.NewSignerFromKey(priv)
+		}
+		// Unreadable key file: fall through and replace it. Disk-resident
+		// watermarks made under the lost key fail digest verification on
+		// the peer path exactly like any other stale entry.
+	}
+	signer, err := integrity.NewSigner(cfg.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, signer.MarshalPrivateKey(), 0o600); err != nil {
+		return nil, err
+	}
+	return signer, nil
+}
+
+// openDiskTier opens the disk store, replays it into the cache skeleton and
+// the proxy's tables, and starts the spill worker + state-save loop. Called
+// from New when Config.DataDir is set.
+func (s *Server) openDiskTier() error {
+	dcfg := diskstore.Config{
+		MaxBytes:  s.cfg.DiskMaxBytes,
+		Retention: s.cfg.DiskRetention,
+		Fsync:     s.cfg.DiskFsync,
+		OnEvict:   s.onDiskEvict,
+		Metrics: diskstore.MetricsHooks{
+			Write:         s.m.diskWrites.Inc,
+			Read:          s.m.diskReads.Inc,
+			CorruptRecord: s.m.diskCorrupt.Inc,
+			Eviction:      s.m.diskEvictions.Inc,
+		},
+	}
+	ds, err := diskstore.Open(s.cfg.DataDir, dcfg)
+	if err != nil {
+		return err
+	}
+	s.ds = ds
+
+	// Re-seat the cache skeleton coldest-first, so the restored LRU order
+	// matches the journaled recency order. Bodies stay on disk and fault
+	// back in on access.
+	entries := ds.Entries()
+	s.mu.Lock()
+	for _, e := range entries {
+		s.meta[e.Key] = docMeta{
+			version:   e.Meta.Version,
+			size:      e.Meta.Size,
+			digest:    e.Meta.Digest,
+			watermark: e.Meta.Watermark,
+		}
+		s.cache.Seed(cache.Doc{Key: e.Key, Size: e.Meta.Size, Version: e.Meta.Version})
+	}
+	s.restoredDocs = len(entries)
+	s.mu.Unlock()
+	s.m.diskReplays.Add(int64(len(entries)))
+	if s.restoredDocs > 0 {
+		// Warm once a tenth of the restored set has been served locally.
+		s.warmTarget = int64(s.restoredDocs / 10)
+		if s.warmTarget < 1 {
+			s.warmTarget = 1
+		}
+	}
+
+	if blob := ds.State(); blob != nil {
+		s.restoreState(blob)
+	}
+	if s.logger != nil {
+		st := ds.StatsSnapshot()
+		s.logger.Info("disk tier opened",
+			"dir", s.cfg.DataDir,
+			"restored_docs", st.Restored,
+			"live_bytes", st.LiveBytes,
+			"corrupt_tail", st.CorruptTail,
+			"replay_ms", float64(st.ReplayElapsed.Microseconds())/1e3,
+			"restored_clients", s.restoredClients)
+	}
+
+	s.diskWG.Add(2)
+	go s.spillWorker()
+	go s.stateSaveLoop()
+	return nil
+}
+
+// restoreState re-seats the non-derivable proxy state from a persisted
+// blob: client registrations (tokens stay valid across the restart), batch
+// generations (a client whose live generation has moved past the snapshot
+// is caught as a gap on its next batch, forcing the /peer/resync pull), and
+// the counter families behind /stats. A blob from an older build restores
+// what it can and skips the rest.
+func (s *Server) restoreState(blob []byte) {
+	var st persistState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		if s.logger != nil {
+			s.logger.Warn("disk state blob unreadable; starting with fresh tables", "err", err)
+		}
+		return
+	}
+	s.mu.Lock()
+	if st.NextID > s.nextID {
+		s.nextID = st.NextID
+	}
+	for _, c := range st.Clients {
+		s.peers[c.ID] = peerInfo{id: c.ID, baseURL: c.PeerURL, token: c.Token, relayKey: c.RelayKey}
+		s.tokens[c.Token] = c.ID
+	}
+	s.restoredClients = len(st.Clients)
+	s.mu.Unlock()
+	for _, c := range st.Clients {
+		s.health.Track(c.ID)
+	}
+	for id, gen := range st.Gens {
+		s.batches.seed(id, gen)
+	}
+	s.m.reg.RestoreCounters(st.Counters)
+}
+
+// saveState journals a fresh state blob into the disk store.
+func (s *Server) saveState() {
+	if s.ds == nil {
+		return
+	}
+	st := persistState{
+		SavedUnix: time.Now().Unix(),
+		Counters:  s.m.reg.SnapshotCounters(),
+		Gens:      s.batches.snapshotGens(),
+	}
+	s.mu.Lock()
+	st.NextID = s.nextID
+	for _, p := range s.peers {
+		st.Clients = append(st.Clients, persistClient{ID: p.id, PeerURL: p.baseURL, Token: p.token, RelayKey: p.relayKey})
+	}
+	s.mu.Unlock()
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	s.ds.SaveState(blob)
+}
+
+// stateSaveLoop persists the state blob on an interval and write-behinds
+// the admitted memory-tier bodies that have no current disk copy. The final
+// save on graceful Close makes the snapshot exact; this loop bounds what a
+// crash can lose — including the hottest documents, which never demote out
+// of the memory tier and so would otherwise only exist in RAM.
+func (s *Server) stateSaveLoop() {
+	defer s.diskWG.Done()
+	t := time.NewTicker(s.cfg.StateSaveEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopDisk:
+			return
+		case <-t.C:
+			s.writeBehind()
+			s.saveState()
+		}
+	}
+}
+
+// writeBehind enqueues durable copies of admitted memory-tier bodies whose
+// current version is not yet on disk. Bodies are never mutated in place
+// (storeDoc replaces the slice), so the op can reference them directly.
+func (s *Server) writeBehind() {
+	s.mu.Lock()
+	var ops []spillOp
+	for key, body := range s.bodies {
+		if s.durable[key] || s.hits[key] < spillMinHits {
+			continue
+		}
+		if _, staged := s.spillStage[key]; staged {
+			continue
+		}
+		ops = append(ops, spillOp{key: key, wb: true, body: body, meta: s.meta[key]})
+		if len(ops) >= wbBatchMax {
+			break
+		}
+	}
+	s.mu.Unlock()
+	for _, op := range ops {
+		select {
+		case s.spillq <- op:
+		default:
+			return // queue saturated; the next tick retries
+		}
+	}
+}
+
+// spillWorker owns every disk-store call the request path needs: demotion
+// spills and eviction deletes, serialized off the hot path so no HTTP
+// handler ever waits on disk I/O it isn't reading.
+func (s *Server) spillWorker() {
+	defer s.diskWG.Done()
+	for {
+		select {
+		case op := <-s.spillq:
+			s.handleSpill(op)
+		case <-s.stopDisk:
+			// Drain what's queued so a graceful shutdown spills every
+			// staged body before the store's final flush.
+			for {
+				select {
+				case op := <-s.spillq:
+					s.handleSpill(op)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) handleSpill(op spillOp) {
+	if op.del {
+		s.ds.Delete(op.key)
+		return
+	}
+	if op.wb {
+		err := s.ds.Put(op.key, op.body, diskstore.Meta{
+			Version:   op.meta.version,
+			Digest:    op.meta.digest,
+			Watermark: op.meta.watermark,
+		})
+		s.mu.Lock()
+		// The disk copy matches the live document only if no newer version
+		// was stored while the write was in flight.
+		if m, ok := s.meta[op.key]; err == nil && ok && m.version == op.meta.version {
+			s.durable[op.key] = true
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	staged, ok := s.spillStage[op.key]
+	s.mu.Unlock()
+	if !ok {
+		return // re-promoted or evicted while queued
+	}
+	err := s.ds.Put(op.key, staged.body, diskstore.Meta{
+		Version:   staged.meta.version,
+		Digest:    staged.meta.digest,
+		Watermark: staged.meta.watermark,
+	})
+	s.mu.Lock()
+	delete(s.spillStage, op.key)
+	if err == nil {
+		if m, ok := s.meta[op.key]; ok && m.version == staged.meta.version {
+			s.durable[op.key] = true
+		}
+	}
+	if err != nil {
+		// The body is gone from every tier; shed the cache entry rather
+		// than leave accounting pointing at nothing.
+		if _, promoted := s.bodies[op.key]; !promoted {
+			s.cache.Remove(op.key)
+			delete(s.hits, op.key)
+		}
+		s.m.spillDropped.Inc()
+		if s.logger != nil {
+			s.logger.Warn("disk spill failed", "url", op.key, "err", err)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// onDemote observes memory-tier demotions (called by the cache under s.mu;
+// it must not call back into the cache, so the demoted docs are parked and
+// handled by drainSpillsLocked after the cache call returns).
+func (s *Server) onDemote(d cache.Doc) {
+	s.demoted = append(s.demoted, d.Key)
+}
+
+// drainSpillsLocked disposes of the demotions the last cache call produced:
+// admitted bodies move to the spill stage and queue for the worker, one-hit
+// wonders and backpressure overflow are shed from the cache. Caller holds
+// s.mu, outside any cache call.
+func (s *Server) drainSpillsLocked() {
+	if len(s.demoted) == 0 {
+		return
+	}
+	for _, key := range s.demoted {
+		body, ok := s.bodies[key]
+		if !ok {
+			continue // body already durable on disk (or in the stage)
+		}
+		delete(s.bodies, key)
+		if s.durable[key] {
+			// Write-behind already persisted this exact body: the entry
+			// just drops to the disk tier, no second write.
+			s.hits[key] = 0
+			continue
+		}
+		if s.hits[key] < spillMinHits {
+			s.cache.Remove(key)
+			delete(s.hits, key)
+			s.m.spillSkipped.Inc()
+			continue
+		}
+		// Post-spill accesses count from zero again: the first disk hit
+		// streams, the second faults the body back into memory.
+		s.hits[key] = 0
+		s.spillStage[key] = stagedDoc{body: body, meta: s.meta[key]}
+		select {
+		case s.spillq <- spillOp{key: key}:
+		default:
+			// Spill queue saturated: shed instead of stalling the request.
+			delete(s.spillStage, key)
+			s.cache.Remove(key)
+			delete(s.hits, key)
+			s.m.spillDropped.Inc()
+		}
+	}
+	s.demoted = s.demoted[:0]
+}
+
+// onDiskEvict is the disk store's retention-sweep callback (called from the
+// store's background goroutine without its locks held): drop the cache
+// accounting for documents whose only copy just left the disk.
+func (s *Server) onDiskEvict(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, inMem := s.bodies[key]; inMem {
+		return
+	}
+	if _, staged := s.spillStage[key]; staged {
+		return
+	}
+	s.cache.Remove(key)
+	delete(s.hits, key)
+	delete(s.durable, key)
+}
+
+// noteLocalHit advances the restart-to-warm tracker: the proxy counts as
+// warm once a tenth of the restored set has been served locally again.
+func (s *Server) noteLocalHit() {
+	if s.warmTarget <= 0 || s.warmAt.Load() != 0 {
+		return
+	}
+	if s.warmHits.Add(1) >= s.warmTarget {
+		s.warmAt.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// restartToWarmSeconds reports the seconds from start to warm (0 until
+// warm, or when nothing was restored).
+func (s *Server) restartToWarmSeconds() float64 {
+	at := s.warmAt.Load()
+	if at == 0 {
+		return 0
+	}
+	return time.Unix(0, at).Sub(s.started).Seconds()
+}
+
+// serveLocal resolves a /fetch against the local tiers: memory (and the
+// spill stage) first, then the disk store. The first post-spill access
+// streams straight from disk through a pooled buffer; the second faults the
+// body back into the memory tier. ok=false means not resident anywhere
+// local and the caller should run miss resolution.
+func (s *Server) serveLocal(w http.ResponseWriter, url string) (string, bool) {
+	s.mu.Lock()
+	if _, _, resident := s.cache.PeekTier(url); !resident {
+		s.mu.Unlock()
+		return "", false
+	}
+	if body, inMem := s.bodies[url]; inMem {
+		meta := s.meta[url]
+		if s.ds != nil {
+			s.hits[url]++
+		}
+		s.cache.GetTier(url)
+		s.drainSpillsLocked()
+		s.mu.Unlock()
+		s.noteLocalHit()
+		s.serveDoc(w, SourceProxy, body, meta)
+		return outProxyHit, true
+	}
+	if staged, ok := s.spillStage[url]; ok {
+		// Still parked between demotion and the disk write: promote it
+		// straight back (the queued spill op sees the empty stage and
+		// skips).
+		s.bodies[url] = staged.body
+		delete(s.spillStage, url)
+		s.hits[url]++
+		s.cache.GetTier(url)
+		s.drainSpillsLocked()
+		s.mu.Unlock()
+		s.noteLocalHit()
+		s.serveDoc(w, SourceProxy, staged.body, staged.meta)
+		return outProxyHit, true
+	}
+	if s.ds == nil {
+		// Accounting and body store disagree; treat as a miss.
+		s.cache.Remove(url)
+		s.mu.Unlock()
+		return "", false
+	}
+	s.hits[url]++
+	promote := s.hits[url] >= spillMinHits
+	meta := s.meta[url]
+	s.mu.Unlock()
+
+	if promote {
+		return s.serveDiskPromote(w, url, meta)
+	}
+	return s.serveDiskStream(w, url, meta)
+}
+
+// serveDiskPromote faults a disk-resident body back into the memory tier
+// and serves it.
+func (s *Server) serveDiskPromote(w http.ResponseWriter, url string, meta docMeta) (string, bool) {
+	body, dmeta, err := s.ds.Get(url)
+	if err != nil {
+		s.dropLostLocal(url)
+		return "", false
+	}
+	if meta.digest == nil {
+		meta = docMeta{version: dmeta.Version, size: dmeta.Size, digest: dmeta.Digest, watermark: dmeta.Watermark}
+	}
+	s.mu.Lock()
+	if _, _, resident := s.cache.PeekTier(url); resident {
+		s.bodies[url] = body
+		s.durable[url] = true // the promoted body IS the disk copy
+		s.cache.GetTier(url)
+		s.drainSpillsLocked()
+	}
+	s.mu.Unlock()
+	s.noteLocalHit()
+	s.serveDoc(w, SourceProxy, body, meta)
+	return outDiskHit, true
+}
+
+// serveDiskStream streams a disk-resident body to the response through a
+// pooled buffer without promoting it (or buffering it in proxy memory).
+// Headers are deferred to the first body byte, so a read that fails before
+// any output can still fall back to miss resolution.
+func (s *Server) serveDiskStream(w http.ResponseWriter, url string, meta docMeta) (string, bool) {
+	lw := &lazyHeaderWriter{w: w, meta: meta}
+	_, dmeta, err := s.ds.ReadTo(lw, url)
+	if err != nil {
+		if !lw.wrote {
+			s.dropLostLocal(url)
+			return "", false
+		}
+		// Mid-body failure: the short write aborts the response at the
+		// client (Content-Length was already committed).
+		return outError, true
+	}
+	if !lw.wrote {
+		lw.meta.size = dmeta.Size
+		lw.commit()
+	}
+	s.noteLocalHit()
+	return outDiskHit, true
+}
+
+// dropLostLocal sheds a key whose disk copy turned out missing or corrupt,
+// unless a live body re-appeared meanwhile.
+func (s *Server) dropLostLocal(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, inMem := s.bodies[url]; inMem {
+		return
+	}
+	if _, staged := s.spillStage[url]; staged {
+		return
+	}
+	s.cache.Remove(url)
+	delete(s.hits, url)
+	delete(s.durable, url)
+}
+
+// lazyHeaderWriter defers the response headers until the first body byte,
+// so a disk read that fails before producing output leaves the
+// ResponseWriter untouched for the miss path.
+type lazyHeaderWriter struct {
+	w     http.ResponseWriter
+	meta  docMeta
+	wrote bool
+}
+
+func (l *lazyHeaderWriter) commit() {
+	writeDocHeaders(l.w, SourceProxy, l.meta)
+	l.wrote = true
+}
+
+func (l *lazyHeaderWriter) Write(p []byte) (int, error) {
+	if !l.wrote {
+		l.commit()
+	}
+	return l.w.Write(p)
+}
+
+// Crash abandons the server abruptly — the in-process stand-in for SIGKILL
+// used by the chaos and load harnesses: the listener is torn down
+// mid-request, no journal flush, no state save. Whatever already reached
+// the OS survives for the next Open.
+func (s *Server) Crash() {
+	s.sweepOnce.Do(func() { close(s.stopSweep) })
+	if s.ds != nil {
+		s.diskOnce.Do(func() { close(s.stopDisk) })
+		s.ds.Abandon() // queued spill ops fail against the closed store
+		s.diskWG.Wait()
+	}
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+}

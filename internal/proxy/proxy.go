@@ -39,10 +39,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"baps/internal/anonymity"
 	"baps/internal/cache"
+	"baps/internal/diskstore"
 	"baps/internal/flight"
 	"baps/internal/index"
 	"baps/internal/integrity"
@@ -137,6 +139,25 @@ type Config struct {
 	// TraceSampleEvery is the sampling modulus for TraceSample (<=0
 	// disables sampling; 1 logs every span).
 	TraceSampleEvery int
+
+	// DataDir, when non-empty, enables the crash-safe disk tier: demoted
+	// memory-tier bodies spill into a diskstore journaled under this
+	// directory, and startup replays it to warm-restart the cache, the
+	// /stats counters, and the client/generation tables. Empty keeps the
+	// proxy fully in-memory (the previous behavior).
+	DataDir string
+	// DiskFsync selects the disk tier's durability policy (default
+	// interval).
+	DiskFsync diskstore.FsyncPolicy
+	// DiskMaxBytes bounds the disk tier's live bytes (<=0: CacheCapacity,
+	// so the whole two-tier residency survives a restart).
+	DiskMaxBytes int64
+	// DiskRetention drops disk-tier documents untouched for this long
+	// (0 disables age-based retention).
+	DiskRetention time.Duration
+	// StateSaveEvery is the interval between persisted state-blob
+	// snapshots (counters, clients, generations; <=0: 2s).
+	StateSaveEvery time.Duration
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -200,6 +221,27 @@ type Server struct {
 	tokens  map[string]int // token → client id
 	nextID  int
 	started time.Time
+
+	// Disk-tier plane (nil/unused without Config.DataDir). bodies then
+	// holds only memory-tier bodies; spillStage parks demoted bodies until
+	// the spill worker lands them in ds; hits counts accesses per resident
+	// key for spill admission and read-back promotion; demoted collects
+	// the keys the last cache call pushed out of the memory tier. All
+	// under mu except ds itself, which is never called with mu held.
+	ds              *diskstore.Store
+	spillStage      map[string]stagedDoc
+	hits            map[string]int
+	durable         map[string]bool // current mem body also lives on disk
+	demoted         []string
+	spillq          chan spillOp
+	stopDisk        chan struct{}
+	diskOnce        sync.Once
+	diskWG          sync.WaitGroup
+	restoredDocs    int
+	restoredClients int
+	warmTarget      int64
+	warmHits        atomic.Int64
+	warmAt          atomic.Int64 // unix nanos when warm; 0 = not yet
 
 	idx     *index.Sharded
 	syms    *intern.Sync
@@ -267,7 +309,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 10 * time.Second
 	}
-	signer, err := integrity.NewSigner(cfg.KeyBits)
+	if cfg.DiskMaxBytes <= 0 {
+		cfg.DiskMaxBytes = cfg.CacheCapacity
+	}
+	if cfg.StateSaveEvery <= 0 {
+		cfg.StateSaveEvery = 2 * time.Second
+	}
+	signer, err := loadOrCreateSigner(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -293,6 +341,11 @@ func New(cfg Config) (*Server, error) {
 		maxUsedTickets: 4096,
 		stopSweep:      make(chan struct{}),
 		started:        time.Now(),
+		spillStage:     make(map[string]stagedDoc),
+		hits:           make(map[string]int),
+		durable:        make(map[string]bool),
+		spillq:         make(chan spillOp, 256),
+		stopDisk:       make(chan struct{}),
 	}
 	// Outbound traffic splits by class so origin keep-alive pools (few
 	// hosts, deep) and peer pools (many hosts, shallow) are tuned
@@ -305,9 +358,25 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.peerClient = &http.Client{Timeout: cfg.PeerTimeout, Transport: peerRT}
 	s.originClient = &http.Client{Timeout: cfg.PeerTimeout, Transport: originRT}
+	copts := cache.Options{OnEvict: func(d cache.Doc) {
+		delete(s.bodies, d.Key)
+		delete(s.spillStage, d.Key)
+		delete(s.hits, d.Key)
+		delete(s.durable, d.Key)
+		if s.ds != nil {
+			// The disk copy dies with the accounting entry; best-effort —
+			// a full queue leaves the orphan to the retention sweep.
+			select {
+			case s.spillq <- spillOp{key: d.Key, del: true}:
+			default:
+			}
+		}
+	}}
+	if cfg.DataDir != "" {
+		copts.OnDemote = s.onDemote
+	}
 	tc, err := cache.NewTwoTier(cfg.Policy, cfg.CacheCapacity,
-		int64(float64(cfg.CacheCapacity)*cfg.MemFraction),
-		cache.Options{OnEvict: func(d cache.Doc) { delete(s.bodies, d.Key) }})
+		int64(float64(cfg.CacheCapacity)*cfg.MemFraction), copts)
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +391,11 @@ func New(cfg Config) (*Server, error) {
 		s.tracer.SetSample(cfg.TraceSample, cfg.TraceSampleEvery)
 	}
 	s.logger = cfg.Logger
+	if cfg.DataDir != "" {
+		if err := s.openDiskTier(); err != nil {
+			return nil, fmt.Errorf("proxy: disk tier: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -345,6 +419,13 @@ func (s *Server) Start(addr string) error {
 	go s.httpSrv.Serve(ln)
 	if s.cfg.HeartbeatTimeout > 0 {
 		go s.heartbeatSweeper()
+	}
+	if s.restoredClients > 0 {
+		// Warm restart with a restored client table: pull every peer's full
+		// directory, since the in-memory browser index died with the old
+		// process. Clients whose batch generation moved past the snapshot
+		// are additionally caught by the generation-gap path.
+		go s.ResyncAll()
 	}
 	return nil
 }
@@ -381,15 +462,26 @@ func (s *Server) sweepSilentPeers() {
 	}
 }
 
-// Close shuts the listener and the heartbeat sweeper down.
+// Close shuts the proxy down gracefully: drain in-flight requests, spill
+// every staged body, persist a final state snapshot, and flush the disk
+// journal to stable storage.
 func (s *Server) Close() error {
 	s.sweepOnce.Do(func() { close(s.stopSweep) })
-	if s.httpSrv == nil {
-		return nil
+	var err error
+	if s.httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err = s.httpSrv.Shutdown(ctx)
+		cancel()
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	return s.httpSrv.Shutdown(ctx)
+	if s.ds != nil {
+		s.diskOnce.Do(func() { close(s.stopDisk) })
+		s.diskWG.Wait()
+		s.saveState()
+		if cerr := s.ds.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // BaseURL reports the server's base URL after Start.
@@ -659,10 +751,14 @@ func (s *Server) Snapshot() Stats {
 	clients := len(s.peers)
 	s.mu.Unlock()
 	closed, open, halfOpen := s.health.Counts()
+	var dsStats diskstore.Stats
+	if s.ds != nil {
+		dsStats = s.ds.StatsSnapshot()
+	}
 	m := s.m
 	return Stats{
 		Requests:  m.requests.Value(),
-		ProxyHits: m.outProxyHit.Value(),
+		ProxyHits: m.outProxyHit.Value() + m.outDiskHit.Value(),
 		RemoteHits: m.outPeerFetch.Value() +
 			m.outPeerDirect.Value() +
 			m.outPeerOnion.Value(),
@@ -688,6 +784,15 @@ func (s *Server) Snapshot() Stats {
 		IndexGenGaps:          m.idxGenGaps.Value(),
 		IndexDigestMismatches: m.idxDigestMismatch.Value(),
 		IndexResyncPulls:      m.idxResyncPulls.Value(),
+		DiskHits:              m.outDiskHit.Value(),
+		DiskDocs:              dsStats.Docs,
+		DiskBytes:             dsStats.LiveBytes,
+		DiskWrites:            m.diskWrites.Value(),
+		DiskReads:             m.diskReads.Value(),
+		DiskCorrupt:           m.diskCorrupt.Value(),
+		DiskEvictions:         m.diskEvictions.Value(),
+		RestoredDocs:          s.restoredDocs,
+		RestartToWarmSec:      s.restartToWarmSeconds(),
 		IndexEntries:          s.idx.Len(),
 		CacheDocs:             cacheDocs,
 		CacheBytes:            cacheBytes,

@@ -199,6 +199,18 @@ type Stats struct {
 	IndexDigestMismatches int64 `json:"index_digest_mismatches"` // Bloom digests that disagreed
 	IndexResyncPulls      int64 `json:"index_resync_pulls"`      // /peer/resync pulls issued
 
+	// Disk-tier counters (zero without -datadir). ProxyHits above includes
+	// DiskHits: a disk-tier hit is still a proxy-cache hit.
+	DiskHits         int64   `json:"disk_hits"`           // /fetch served from the disk tier
+	DiskDocs         int     `json:"disk_docs"`           // documents live on disk
+	DiskBytes        int64   `json:"disk_bytes"`          // live body bytes on disk
+	DiskWrites       int64   `json:"disk_writes"`         // bodies spilled
+	DiskReads        int64   `json:"disk_reads"`          // bodies read back
+	DiskCorrupt      int64   `json:"disk_corrupt"`        // records dropped for CRC/framing damage
+	DiskEvictions    int64   `json:"disk_evictions"`      // retention-sweep evictions
+	RestoredDocs     int     `json:"restored_docs"`       // docs re-seated by the last startup
+	RestartToWarmSec float64 `json:"restart_to_warm_sec"` // 0 until warm
+
 	IndexEntries int     `json:"index_entries"`
 	CacheDocs    int     `json:"cache_docs"`
 	CacheBytes   int64   `json:"cache_bytes"`
