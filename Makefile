@@ -10,9 +10,9 @@ BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*
 # Packages touched by the interning/sharding refactor, the observability
 # subsystem, the batched index publish pipeline, and the crash-safe disk
 # tier, raced in `make check`.
-HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos ./internal/browser ./internal/diskstore
+HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos ./internal/browser ./internal/diskstore ./internal/breaker ./internal/federation
 
-.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare loadtest loadtest-indexmodes loadtest-restart
+.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare loadtest loadtest-indexmodes loadtest-restart loadtest-federation
 
 all: build vet test
 
@@ -85,6 +85,19 @@ loadtest-restart:
 	@grep -E '"recovered"|"origin_spike_ok"|hit_ratio|restored_docs' LOAD_$(DATE)_restart.json
 	@grep -q '"recovered": true' LOAD_$(DATE)_restart.json || { echo "restart recovery FAILED"; exit 1; }
 	@grep -q '"origin_spike_ok": true' LOAD_$(DATE)_restart.json || { echo "origin spike gate FAILED"; exit 1; }
+
+# Federation scale-out gate (DESIGN.md §13): the same closed loop against
+# in-process clusters of 1, 2, and 4 digest-exchanging proxies, each capped
+# at the same per-proxy admission rate to model one machine per proxy. The
+# combined report must show aggregate RPS at 4 proxies >= 2x the single
+# proxy with the aggregate hit ratio within 3 points (bapsload exits
+# non-zero otherwise). Writes LOAD_<date>_federation.json.
+loadtest-federation:
+	$(GO) run ./cmd/bapsload -proxysweep "1,2,4" -clients 16 -docs 5000 \
+		-zipf 1.2 -duration 8s -proxyrps 1200 -digestinterval 250ms \
+		> LOAD_$(DATE)_federation.json \
+		|| { cat LOAD_$(DATE)_federation.json; echo "federation scaling gate FAILED"; exit 1; }
+	@grep -E '"aggregate_rps"|"aggregate_hit_ratio"|"rps_scaling"|"scaling_ok"|"hit_ratio_ok"|"bloom_fp_rate"|"cross_proxy_rate"' LOAD_$(DATE)_federation.json
 
 # Index-protocol comparison: the same closed loop driven through full browser
 # agents under each §2 protocol, reporting index-maintenance requests per

@@ -1,0 +1,303 @@
+// Federation sweep mode: bring up an in-process cluster of N federated
+// proxies sharing one origin, pin each closed-loop client to its
+// rendezvous-hash home proxy, and report aggregate throughput, the
+// aggregate hit ratio, and the cross-proxy resolution economics (sibling
+// relays, Bloom false positives, digest traffic). -proxysweep runs the
+// same workload at several cluster widths and gates the scaling claim:
+// aggregate RPS must grow with proxy count while the aggregate hit ratio
+// holds, because the digest tier turns N private caches into one
+// population-wide document pool.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"baps/internal/federation"
+	"baps/internal/origin"
+	"baps/internal/proxy"
+)
+
+// fedProxyBrief is one proxy's corner of a federation run report.
+type fedProxyBrief struct {
+	Proxy            string  `json:"proxy"`
+	Clients          int     `json:"clients"`
+	Requests         int64   `json:"requests"`
+	HitRatio         float64 `json:"hit_ratio"`
+	ClusterFetches   int64   `json:"cluster_fetches"` // docs pulled FROM siblings
+	ClusterServes    int64   `json:"cluster_serves"`  // sibling relay requests served
+	ClusterServeHits int64   `json:"cluster_serve_hits"`
+	LocateConfirms   int64   `json:"locate_confirms"`
+	LocateFPs        int64   `json:"locate_fps"`
+	DigestsSent      int64   `json:"digests_sent"`
+	DigestsReceived  int64   `json:"digests_received"`
+	QuarantinedSibs  int     `json:"quarantined_siblings,omitempty"`
+	OriginFetchShare float64 `json:"origin_share"`
+}
+
+// fedRun is the report for one cluster width.
+type fedRun struct {
+	Proxies           int              `json:"proxies"`
+	ClientsTotal      int              `json:"clients_total"`
+	Requests          int64            `json:"requests"`
+	Errors            int64            `json:"errors"`
+	WallSec           float64          `json:"wall_sec"`
+	AggregateRPS      float64          `json:"aggregate_rps"`
+	AggregateHitRatio float64          `json:"aggregate_hit_ratio"`
+	Sources           map[string]int64 `json:"sources"`
+	LatencyMS         latency          `json:"latency_ms"`
+	OriginFetches     int64            `json:"origin_fetches"`
+	OriginFetchRate   float64          `json:"origin_fetch_rate"` // per completed request
+	CrossProxyFetches int64            `json:"cross_proxy_fetches"`
+	CrossProxyRate    float64          `json:"cross_proxy_rate"` // per completed request
+	BloomConfirms     int64            `json:"bloom_confirms"`
+	BloomFPs          int64            `json:"bloom_fps"`
+	BloomFPRate       float64          `json:"bloom_fp_rate"` // FPs / (FPs + confirms)
+	DigestsSent       int64            `json:"digests_sent"`
+	DigestsReceived   int64            `json:"digests_received"`
+	PerProxy          []fedProxyBrief  `json:"per_proxy"`
+}
+
+// fedSweep is the combined -proxysweep report with the scaling gates.
+type fedSweep struct {
+	Config struct {
+		Sweep           []int   `json:"sweep"`
+		ClientsPerProxy int     `json:"clients_per_proxy"`
+		Docs            int     `json:"docs"`
+		Zipf            float64 `json:"zipf"`
+		Duration        string  `json:"duration"`
+		PerProxyRPS     float64 `json:"per_proxy_rps"`
+		DigestInterval  string  `json:"digest_interval"`
+		Seed            uint64  `json:"seed"`
+	} `json:"config"`
+	Runs []*fedRun `json:"runs"`
+	// RPSScaling is last-run aggregate RPS over first-run aggregate RPS.
+	RPSScaling float64 `json:"rps_scaling"`
+	// ScalingOK gates RPSScaling >= 2.0 (the 4-proxy cluster must at least
+	// double the single proxy's throughput under the per-proxy rate cap).
+	ScalingOK bool `json:"scaling_ok"`
+	// HitRatioOK gates the widest cluster's aggregate hit ratio to within
+	// 3 points of the single proxy's — federation must not trade hits for
+	// throughput.
+	HitRatioOK    bool    `json:"hit_ratio_ok"`
+	HitRatioDelta float64 `json:"hit_ratio_delta"`
+}
+
+// parseSweep parses "1,2,4" into cluster widths.
+func parseSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -proxysweep element %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-proxysweep is empty")
+	}
+	return out, nil
+}
+
+// runFederationSweep executes the workload at each cluster width and
+// computes the scaling gates against the first (narrowest) run.
+func runFederationSweep(counts []int, clientsPerProxy, docs int, zipfS float64, duration time.Duration, perProxyRPS float64, digestInterval time.Duration, capacity int64, seed uint64) *fedSweep {
+	sw := &fedSweep{}
+	sw.Config.Sweep = counts
+	sw.Config.ClientsPerProxy = clientsPerProxy
+	sw.Config.Docs = docs
+	sw.Config.Zipf = zipfS
+	sw.Config.Duration = duration.String()
+	sw.Config.PerProxyRPS = perProxyRPS
+	sw.Config.DigestInterval = digestInterval.String()
+	sw.Config.Seed = seed
+	for _, n := range counts {
+		fmt.Fprintf(os.Stderr, "bapsload: federation run: %d proxies, %d clients, %s\n",
+			n, n*clientsPerProxy, duration)
+		run, err := runFederationOnce(n, clientsPerProxy, docs, zipfS, duration, perProxyRPS, digestInterval, capacity, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bapsload: federation run (%d proxies): %v\n", n, err)
+			os.Exit(1)
+		}
+		sw.Runs = append(sw.Runs, run)
+	}
+	first, last := sw.Runs[0], sw.Runs[len(sw.Runs)-1]
+	if first.AggregateRPS > 0 {
+		sw.RPSScaling = last.AggregateRPS / first.AggregateRPS
+	}
+	sw.ScalingOK = len(sw.Runs) == 1 || sw.RPSScaling >= 2.0
+	sw.HitRatioDelta = last.AggregateHitRatio - first.AggregateHitRatio
+	sw.HitRatioOK = sw.HitRatioDelta >= -0.03
+	return sw
+}
+
+// runFederationOnce runs the closed loop against an n-proxy federated
+// cluster and one shared origin, all in-process on loopback.
+func runFederationOnce(n, clientsPerProxy, docs int, zipfS float64, duration time.Duration, perProxyRPS float64, digestInterval time.Duration, capacity int64, seed uint64) (*fedRun, error) {
+	o := origin.New(int64(seed))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	originSrv := &http.Server{Handler: o.Handler()}
+	go originSrv.Serve(ln)
+	originURL := "http://" + ln.Addr().String()
+	defer originSrv.Close()
+
+	proxies := make([]*proxy.Server, n)
+	for i := range proxies {
+		cfg := proxy.DefaultConfig()
+		cfg.KeyBits = 1024
+		cfg.CacheCapacity = capacity
+		cfg.MaxFetchRPS = int(perProxyRPS)
+		cfg.DigestInterval = digestInterval
+		p, err := proxy.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Start("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		defer p.Close()
+		proxies[i] = p
+	}
+	nodes := make([]string, n)
+	byNode := make(map[string]*proxy.Server, n)
+	for i, p := range proxies {
+		nodes[i] = p.BaseURL()
+		byNode[p.BaseURL()] = p
+	}
+	if n > 1 {
+		for i, p := range proxies {
+			peers := make([]string, 0, n-1)
+			for j, u := range nodes {
+				if j != i {
+					peers = append(peers, u)
+				}
+			}
+			if err := p.JoinCluster(peers); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Each client is pinned to its rendezvous-hash home proxy — the same
+	// placement a client-side stub or front balancer would compute — so
+	// adding proxies re-shards the population instead of mirroring it.
+	total := n * clientsPerProxy
+	clientProxy := make([]string, total)
+	clientCount := make(map[string]int, n)
+	for c := range clientProxy {
+		owner := federation.Owner(nodes, fmt.Sprintf("client-%d", c))
+		clientProxy[c] = owner
+		clientCount[owner]++
+	}
+
+	transport := proxy.NewTransport(total)
+	httpClient := &http.Client{Timeout: 30 * time.Second, Transport: transport}
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	stats := make([]clientStats, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < total; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := &stats[c]
+			st.sources = make(map[string]int64)
+			rng := rand.New(rand.NewPCG(seed, uint64(c)*0x9E3779B9+1))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(docs-1))
+			for ctx.Err() == nil {
+				st.do(ctx, httpClient, clientProxy[c], originURL, zipf.Uint64())
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	run := &fedRun{
+		Proxies:      n,
+		ClientsTotal: total,
+		Sources:      make(map[string]int64),
+		WallSec:      wall.Seconds(),
+	}
+	var all []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		all = append(all, st.lat...)
+		run.Errors += st.errs
+		for s, cnt := range st.sources {
+			run.Sources[s] += cnt
+		}
+	}
+	run.Requests = int64(len(all)) + run.Errors
+	if run.WallSec > 0 {
+		run.AggregateRPS = float64(run.Requests) / run.WallSec
+	}
+	run.LatencyMS = summarize(all)
+	run.OriginFetches = o.Fetches()
+
+	completed := run.Requests - run.Errors
+	if completed > 0 {
+		run.AggregateHitRatio = float64(completed-run.Sources[proxy.SourceOrigin]) / float64(completed)
+		run.OriginFetchRate = float64(run.OriginFetches) / float64(completed)
+	}
+
+	for _, p := range proxies {
+		st := p.Snapshot()
+		brief := fedProxyBrief{
+			Proxy:            p.BaseURL(),
+			Clients:          clientCount[p.BaseURL()],
+			Requests:         st.Requests,
+			ClusterFetches:   st.ClusterFetches,
+			ClusterServes:    st.ClusterServes,
+			ClusterServeHits: st.ClusterServeHits,
+			LocateConfirms:   st.ClusterLocateConfirms,
+			LocateFPs:        st.ClusterLocateFPs,
+			DigestsSent:      st.DigestsSent,
+			DigestsReceived:  st.DigestsReceived,
+		}
+		if st.Requests > 0 {
+			hits := st.ProxyHits + st.RemoteHits + st.ClusterFetches
+			brief.HitRatio = float64(hits) / float64(st.Requests)
+			brief.OriginFetchShare = float64(st.OriginFetches) / float64(st.Requests)
+		}
+		if st.Federation != nil {
+			for _, sib := range st.Federation.Siblings {
+				if sib.Stale || sib.Breaker == "open" {
+					brief.QuarantinedSibs++
+				}
+			}
+		}
+		run.CrossProxyFetches += st.ClusterFetches
+		run.BloomConfirms += st.ClusterLocateConfirms
+		run.BloomFPs += st.ClusterLocateFPs
+		run.DigestsSent += st.DigestsSent
+		run.DigestsReceived += st.DigestsReceived
+		run.PerProxy = append(run.PerProxy, brief)
+	}
+	sort.Slice(run.PerProxy, func(i, j int) bool { return run.PerProxy[i].Proxy < run.PerProxy[j].Proxy })
+	if completed > 0 {
+		run.CrossProxyRate = float64(run.CrossProxyFetches) / float64(completed)
+	}
+	if lookups := run.BloomConfirms + run.BloomFPs; lookups > 0 {
+		run.BloomFPRate = float64(run.BloomFPs) / float64(lookups)
+	}
+	return run, nil
+}

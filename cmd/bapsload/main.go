@@ -8,6 +8,8 @@
 //	bapsload -proxy http://127.0.0.1:8081 -origin http://127.0.0.1:8080 \
 //	         [-clients 32] [-docs 20000] [-zipf 1.2] [-duration 30s] [-rps 0]
 //	bapsload -inprocess [-clients 32] ...   # self-contained loopback cluster
+//	bapsload -proxysweep "1,2,4" [-proxyrps 1200] [-digestinterval 250ms] ...
+//	                                        # federated scale-out sweep (§13)
 //
 // Closed loop: each client waits for its response before issuing the next
 // request, so offered load adapts to the system's capacity. -rps > 0 adds a
@@ -122,7 +124,34 @@ func main() {
 	capacity := flag.Int64("capacity", 256<<20, "in-process proxy cache capacity in bytes")
 	restartAt := flag.Duration("restartat", 0, "SIGKILL the in-process proxy this far into the run, then restart it (0 disables; requires -inprocess and -datadir)")
 	restartDown := flag.Duration("restartdown", 2*time.Second, "downtime between the kill and the restart")
+	proxies := flag.Int("proxies", 0, "federation mode: in-process cluster of N digest-exchanging proxies (clients are per proxy)")
+	proxySweep := flag.String("proxysweep", "", "federation sweep: comma-separated cluster widths, e.g. \"1,2,4\" (implies -proxies)")
+	proxyRPS := flag.Float64("proxyrps", 1200, "federation mode: per-proxy fetch admission cap, modeling one machine per proxy")
+	digestInterval := flag.Duration("digestinterval", 250*time.Millisecond, "federation mode: sibling Bloom-digest push period")
 	flag.Parse()
+
+	if *proxies > 0 || *proxySweep != "" {
+		counts := []int{*proxies}
+		if *proxySweep != "" {
+			var err error
+			if counts, err = parseSweep(*proxySweep); err != nil {
+				fmt.Fprintf(os.Stderr, "bapsload: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if *zipfS <= 1 || *clients <= 0 || *docs <= 0 {
+			fmt.Fprintln(os.Stderr, "bapsload: -zipf must be > 1 and -clients/-docs positive")
+			os.Exit(2)
+		}
+		sw := runFederationSweep(counts, *clients, *docs, *zipfS, *duration, *proxyRPS, *digestInterval, *capacity, *seed)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sw)
+		if !sw.ScalingOK || !sw.HitRatioOK {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *indexMode != "" {
 		if _, err := parseIndexMode(*indexMode); err != nil {

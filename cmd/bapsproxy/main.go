@@ -26,6 +26,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +62,9 @@ func main() {
 	fsync := flag.String("fsync", "interval", "disk durability: interval, always, or never")
 	diskMaxBytes := flag.Int64("disk-max-bytes", 0, "disk tier live-byte bound (0: same as -capacity)")
 	diskRetention := flag.Duration("disk-retention", 0, "evict disk documents untouched this long (0 disables)")
+	peers := flag.String("peers", "", "comma-separated sibling proxy base URLs to federate with (empty: standalone)")
+	digestInterval := flag.Duration("digest-interval", time.Second, "sibling Bloom-digest push period (federated runs)")
+	maxRPS := flag.Int("max-rps", 0, "fetch admission cap in requests/sec (0: unlimited)")
 	flag.Parse()
 
 	logger := newLogger(*logjson)
@@ -90,6 +94,8 @@ func main() {
 	cfg.DiskFsync = fsyncPolicy
 	cfg.DiskMaxBytes = *diskMaxBytes
 	cfg.DiskRetention = *diskRetention
+	cfg.DigestInterval = *digestInterval
+	cfg.MaxFetchRPS = *maxRPS
 	switch *forward {
 	case "fetch":
 		cfg.Forward = proxy.FetchForward
@@ -107,6 +113,20 @@ func main() {
 	if err := s.Start(*addr); err != nil {
 		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
+	}
+	if *peers != "" {
+		var sibs []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				sibs = append(sibs, p)
+			}
+		}
+		if err := s.JoinCluster(sibs); err != nil {
+			logger.Error("federation join failed", "err", err)
+			s.Close()
+			os.Exit(1)
+		}
+		logger.Info("federated", "siblings", len(sibs), "digest_interval", *digestInterval)
 	}
 	logger.Info("bapsproxy serving",
 		"url", s.BaseURL(), "cache_bytes", *capacity, "policy", policy.String(),

@@ -1,0 +1,125 @@
+// Package breaker implements the three-state circuit breaker used to
+// quarantine failing endpoints: browser peers in internal/proxy (where the
+// state machine originated) and sibling proxies in internal/federation.
+//
+//	closed    → normal operation; consecutive failures count up.
+//	open      → the endpoint tripped (threshold consecutive failures, or a
+//	            forced Trip by a liveness sweep); callers skip it.
+//	half-open → after the cooldown one probe request is admitted; a success
+//	            closes the breaker, a failure re-opens it.
+//
+// A Breaker holds no lock and no clock: callers serialize access under their
+// own mutex and pass `now` in, which keeps the state machine testable with a
+// fake clock and embeddable inside larger locked records.
+package breaker
+
+import "time"
+
+// State is a breaker's position in the closed/open/half-open cycle.
+type State int
+
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String names the state (used in /stats).
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is one endpoint's circuit-breaker record. The zero value is a
+// closed breaker. Not safe for concurrent use on its own.
+type Breaker struct {
+	state       State
+	consecFails int
+	openedAt    time.Time // when the breaker last opened
+	probeAt     time.Time // when the in-flight half-open probe started
+	probing     bool
+}
+
+// State reports the current position.
+func (b *Breaker) State() State { return b.state }
+
+// ConsecFails reports the running count of consecutive failures.
+func (b *Breaker) ConsecFails() int { return b.consecFails }
+
+// Allow reports whether a request may be sent. With the breaker open it
+// returns false until cooldown elapses from the trip, then transitions to
+// half-open and admits exactly one probe (a stuck probe is replaced after
+// another cooldown). threshold <= 0 disables the breaker entirely.
+func (b *Breaker) Allow(now time.Time, threshold int, cooldown time.Duration) bool {
+	if threshold <= 0 {
+		return true
+	}
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now.Sub(b.openedAt) < cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		b.probeAt = now
+		return true
+	default: // HalfOpen
+		if b.probing && now.Sub(b.probeAt) < cooldown {
+			return false // a probe is already in flight
+		}
+		b.probing = true
+		b.probeAt = now
+		return true
+	}
+}
+
+// Success records a served request. readmitted is true when this success
+// closed a non-closed breaker — the caller then restores whatever it had
+// quarantined in one step.
+func (b *Breaker) Success() (readmitted bool) {
+	b.consecFails = 0
+	if b.state != Closed {
+		b.state = Closed
+		b.probing = false
+		return true
+	}
+	return false
+}
+
+// Failure records a transport failure or integrity violation. tripped is
+// true when this failure opened a previously closed breaker — the caller
+// then quarantines the endpoint in one step. A failed half-open probe
+// silently re-opens (the endpoint was already quarantined).
+func (b *Breaker) Failure(now time.Time, threshold int) (tripped bool) {
+	b.consecFails++
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = now
+		b.probing = false
+		return false
+	case Closed:
+		if threshold > 0 && b.consecFails >= threshold {
+			b.state = Open
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// Trip force-opens the breaker (liveness sweeps use it for endpoints that
+// went silent without a failed request).
+func (b *Breaker) Trip(now time.Time) {
+	b.state = Open
+	b.openedAt = now
+	b.probing = false
+}

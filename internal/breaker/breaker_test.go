@@ -1,0 +1,109 @@
+package breaker
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTripAfterThreshold(t *testing.T) {
+	var b Breaker
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if tripped := b.Failure(now, 3); tripped {
+			t.Fatalf("tripped after %d failures, want 3", i+1)
+		}
+	}
+	if !b.Failure(now, 3) {
+		t.Fatal("third failure did not trip")
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want Open", b.State())
+	}
+	if b.Allow(now, 3, 10*time.Second) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+}
+
+func TestHalfOpenProbeCycle(t *testing.T) {
+	var b Breaker
+	now := time.Unix(1000, 0)
+	b.Trip(now)
+
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(11 * time.Second)
+	if !b.Allow(now, 3, 10*time.Second) {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want HalfOpen", b.State())
+	}
+	if b.Allow(now.Add(time.Second), 3, 10*time.Second) {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+
+	// Failed probe re-opens without reporting a fresh trip.
+	if b.Failure(now, 3) {
+		t.Fatal("failed probe reported tripped=true")
+	}
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want Open", b.State())
+	}
+
+	// Second probe succeeds and re-admits.
+	now = now.Add(11 * time.Second)
+	if !b.Allow(now, 3, 10*time.Second) {
+		t.Fatal("second cooldown elapsed but no probe admitted")
+	}
+	if !b.Success() {
+		t.Fatal("probe success did not report readmitted")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want Closed", b.State())
+	}
+}
+
+func TestStuckProbeReplaced(t *testing.T) {
+	var b Breaker
+	now := time.Unix(1000, 0)
+	b.Trip(now)
+	now = now.Add(11 * time.Second)
+	if !b.Allow(now, 3, 10*time.Second) {
+		t.Fatal("no probe admitted after cooldown")
+	}
+	// The probe never reports back; after another cooldown a new one goes.
+	now = now.Add(11 * time.Second)
+	if !b.Allow(now, 3, 10*time.Second) {
+		t.Fatal("stuck probe was not replaced after a second cooldown")
+	}
+}
+
+func TestSuccessResetsFailureCount(t *testing.T) {
+	var b Breaker
+	now := time.Unix(1000, 0)
+	b.Failure(now, 3)
+	b.Failure(now, 3)
+	if b.Success() {
+		t.Fatal("success on a closed breaker reported readmitted")
+	}
+	if b.ConsecFails() != 0 {
+		t.Fatalf("consecFails = %d after success, want 0", b.ConsecFails())
+	}
+	b.Failure(now, 3)
+	b.Failure(now, 3)
+	if b.State() != Closed {
+		t.Fatal("tripped before reaching the threshold after a reset")
+	}
+}
+
+func TestDisabledThreshold(t *testing.T) {
+	var b Breaker
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		if b.Failure(now, 0) {
+			t.Fatal("disabled breaker tripped")
+		}
+	}
+	if !b.Allow(now, 0, time.Second) {
+		t.Fatal("disabled breaker refused a request")
+	}
+}

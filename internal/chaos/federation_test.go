@@ -1,0 +1,203 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"baps/internal/federation"
+	"baps/internal/origin"
+	"baps/internal/proxy"
+)
+
+// fedCluster is a full-mesh federated proxy cluster over one origin, with
+// raw closed-loop clients pinned to their rendezvous-hash home proxy.
+type fedCluster struct {
+	origin    *origin.Server
+	originSrv *http.Server
+	originURL string
+	proxies   []*proxy.Server
+	nodes     []string
+	client    *http.Client
+}
+
+func newFedCluster(t *testing.T, n int, mutate func(*proxy.Config)) *fedCluster {
+	t.Helper()
+	fc := &fedCluster{origin: origin.New(99)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("origin listen: %v", err)
+	}
+	fc.originURL = "http://" + ln.Addr().String()
+	fc.originSrv = &http.Server{Handler: fc.origin.Handler()}
+	go fc.originSrv.Serve(ln)
+	t.Cleanup(func() { fc.originSrv.Close() })
+
+	for i := 0; i < n; i++ {
+		cfg := proxy.DefaultConfig()
+		cfg.KeyBits = 1024
+		cfg.CacheCapacity = 64 << 20
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		p, err := proxy.New(cfg)
+		if err != nil {
+			t.Fatalf("proxy %d: %v", i, err)
+		}
+		if err := p.Start(""); err != nil {
+			t.Fatalf("proxy %d start: %v", i, err)
+		}
+		t.Cleanup(func() { p.Close() })
+		fc.proxies = append(fc.proxies, p)
+		fc.nodes = append(fc.nodes, p.BaseURL())
+	}
+	for i, p := range fc.proxies {
+		peers := make([]string, 0, n-1)
+		for j, u := range fc.nodes {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		if err := p.JoinCluster(peers); err != nil {
+			t.Fatalf("proxy %d join: %v", i, err)
+		}
+	}
+	fc.client = &http.Client{Timeout: 10 * time.Second, Transport: proxy.NewTransport(16)}
+	return fc
+}
+
+// drive issues total Zipf-distributed fetches across workers clients, each
+// pinned by rendezvous hash to a proxy in nodes. Returns per-source counts
+// and the error count.
+func (fc *fedCluster) drive(t *testing.T, nodes []string, workers, total, docs int, seed uint64) (map[string]int64, int64) {
+	t.Helper()
+	type tally struct {
+		sources map[string]int64
+		errs    int64
+	}
+	per := total / workers
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		home := federation.Owner(nodes, fmt.Sprintf("client-%d", w))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl := &tallies[w]
+			tl.sources = make(map[string]int64)
+			rng := rand.New(rand.NewPCG(seed, uint64(w)+1))
+			zipf := rand.NewZipf(rng, 1.3, 1, uint64(docs-1))
+			for i := 0; i < per; i++ {
+				docURL := fmt.Sprintf("%s/doc/%d", fc.originURL, zipf.Uint64())
+				resp, err := fc.client.Get(home + "/fetch?url=" + url.QueryEscape(docURL))
+				if err != nil {
+					tl.errs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					tl.errs++
+					continue
+				}
+				src := resp.Header.Get(proxy.HeaderSource)
+				tl.sources[src]++
+			}
+		}()
+	}
+	wg.Wait()
+	sources := make(map[string]int64)
+	var errs int64
+	for i := range tallies {
+		errs += tallies[i].errs
+		for s, n := range tallies[i].sources {
+			sources[s] += n
+		}
+	}
+	return sources, errs
+}
+
+func hitRatio(sources map[string]int64, errs int64) float64 {
+	var completed int64
+	for _, n := range sources {
+		completed += n
+	}
+	if completed == 0 {
+		return 0
+	}
+	return float64(completed-sources[proxy.SourceOrigin]) / float64(completed)
+}
+
+// TestFederationSiblingDeath kills one of four federated proxies mid-run:
+// its digests stop, the survivors quarantine it (staleness or tripped
+// breaker), its clients re-home by rendezvous hash, and the surviving
+// cluster's hit ratio must hold at >= 90% of steady state — the paper's
+// resilience claim extended to the proxy tier itself.
+func TestFederationSiblingDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federation chaos test skipped in -short")
+	}
+	const (
+		docs    = 500
+		workers = 8
+	)
+	fc := newFedCluster(t, 4, func(c *proxy.Config) {
+		c.DigestInterval = 100 * time.Millisecond
+		c.BreakerThreshold = 2
+		c.BreakerCooldown = 10 * time.Second // a dead sibling stays out
+	})
+
+	// Warm every proxy's cache, then measure the steady-state hit ratio.
+	fc.drive(t, fc.nodes, workers, 1600, docs, 7)
+	steadySrc, steadyErrs := fc.drive(t, fc.nodes, workers, 800, docs, 8)
+	steady := hitRatio(steadySrc, steadyErrs)
+	if steady < 0.5 {
+		t.Fatalf("steady-state hit ratio %.3f too low for a meaningful kill test", steady)
+	}
+
+	// Kill one proxy hard: listener down, digest pushes stop.
+	dead := fc.proxies[3]
+	deadURL := fc.nodes[3]
+	dead.Crash()
+	survivors := fc.nodes[:3]
+
+	// Give staleness (4x digest interval) room to quarantine the corpse.
+	time.Sleep(600 * time.Millisecond)
+
+	postSrc, postErrs := fc.drive(t, survivors, workers, 800, docs, 9)
+	post := hitRatio(postSrc, postErrs)
+	if postErrs > 0 {
+		t.Fatalf("post-crash errors = %d: survivors must absorb the dead proxy's clients", postErrs)
+	}
+	if post < 0.9*steady {
+		t.Fatalf("post-crash hit ratio %.3f < 90%% of steady %.3f (sources %v)", post, steady, postSrc)
+	}
+
+	// Every survivor must have quarantined the dead sibling.
+	for i, p := range fc.proxies[:3] {
+		st := p.Snapshot()
+		if st.Federation == nil {
+			t.Fatalf("survivor %d: no federation stats", i)
+		}
+		found := false
+		for _, sib := range st.Federation.Siblings {
+			if sib.URL != deadURL {
+				continue
+			}
+			found = true
+			if !sib.Stale && sib.Breaker != "open" {
+				t.Fatalf("survivor %d still trusts dead sibling: %+v", i, sib)
+			}
+		}
+		if !found {
+			t.Fatalf("survivor %d: dead sibling missing from stats", i)
+		}
+	}
+}

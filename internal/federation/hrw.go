@@ -1,0 +1,68 @@
+package federation
+
+// Rendezvous (highest-random-weight) hashing places keys on cluster nodes:
+// every node scores hash(node, key) and the highest score owns the key. When
+// a node dies, only its keys move — each to the survivor that already scored
+// second for it — which is exactly the client-placement stability the
+// federation needs under sibling churn (no ring metadata, no token shuffle).
+
+// fnv1a64 is FNV-1a over two strings separated by a NUL (inlined to keep the
+// scorer allocation-free).
+func fnv1a64(node, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= prime64
+	}
+	h ^= 0
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// hrwScore mixes the FNV hash once more (splitmix64 finalizer) so nearby
+// node/key strings spread across the full 64-bit range.
+func hrwScore(node, key string) uint64 {
+	x := fnv1a64(node, key)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the node with the highest rendezvous score for key, or ""
+// when nodes is empty. Ties break toward the lexically earlier node so every
+// caller agrees.
+func Owner(nodes []string, key string) string {
+	best := ""
+	var bestScore uint64
+	for _, n := range nodes {
+		s := hrwScore(n, key)
+		if best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// RankNodes orders nodes by descending rendezvous score for key (the
+// requester's preference order over siblings holding a document).
+func RankNodes(nodes []string, key string) []string {
+	out := append([]string(nil), nodes...)
+	// Insertion sort: cluster sizes are single digits.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && hrwScore(out[j], key) > hrwScore(out[j-1], key); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerDeterministic(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("client-%d", i)
+		first := Owner(nodes, key)
+		if first == "" {
+			t.Fatalf("Owner(%q) returned empty", key)
+		}
+		if again := Owner(nodes, key); again != first {
+			t.Fatalf("Owner(%q) unstable: %q then %q", key, first, again)
+		}
+	}
+	if Owner(nil, "x") != "" {
+		t.Fatal("Owner with no nodes should return empty")
+	}
+}
+
+func TestOwnerDistribution(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[Owner(nodes, fmt.Sprintf("client-%d", i))]++
+	}
+	for _, node := range nodes {
+		got := counts[node]
+		// Fair share is 1000; allow a wide band — we only care that no
+		// node is starved or hot by construction.
+		if got < n/8 || got > n/2 {
+			t.Fatalf("node %s owns %d of %d keys (counts %v)", node, got, n, counts)
+		}
+	}
+}
+
+func TestOwnerStabilityUnderNodeLoss(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	survivors := nodes[:3] // d dies
+	moved := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("client-%d", i)
+		before := Owner(nodes, key)
+		after := Owner(survivors, key)
+		if before != nodes[3] && before != after {
+			t.Fatalf("key %q moved from surviving node %q to %q", key, before, after)
+		}
+		if before == nodes[3] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead node owned zero keys; distribution is broken")
+	}
+}
+
+func TestRankNodesAgreesWithOwner(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		ranked := RankNodes(nodes, key)
+		if len(ranked) != len(nodes) {
+			t.Fatalf("RankNodes returned %d nodes, want %d", len(ranked), len(nodes))
+		}
+		if ranked[0] != Owner(nodes, key) {
+			t.Fatalf("RankNodes[0] = %q, Owner = %q for key %q", ranked[0], Owner(nodes, key), key)
+		}
+		for j := 1; j < len(ranked); j++ {
+			if hrwScore(ranked[j], key) > hrwScore(ranked[j-1], key) {
+				t.Fatalf("RankNodes not descending at %d for key %q: %v", j, key, ranked)
+			}
+		}
+	}
+}

@@ -435,6 +435,19 @@ func (x *Index) ClientDocs(client int) []Entry {
 	return out
 }
 
+// ForEachClientDoc calls fn for every document client currently holds. The
+// index lock is held read-side during the walk; fn must be cheap and must
+// not call back into the index. Allocation-free, unlike ClientDocs.
+func (x *Index) ForEachClientDoc(client int, fn func(doc intern.ID)) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	for doc := range x.byDoc {
+		if _, found := holderPos(x.byDoc[doc], client); found {
+			fn(intern.ID(doc))
+		}
+	}
+}
+
 // dropEntries removes every entry of client, leaving served/quarantine state
 // untouched. Returns the number of entries removed.
 func (x *Index) dropEntries(client int) int {
@@ -487,6 +500,20 @@ func (x *Index) Len() int {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	return x.entries
+}
+
+// ForEachDoc calls fn for every document with at least one recorded holder.
+// The index lock is held read-side for the whole walk; fn must be cheap and
+// must not call back into the index. The federation layer uses it to build
+// Bloom digests of the aggregate directory.
+func (x *Index) ForEachDoc(fn func(doc intern.ID)) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	for doc, hs := range x.byDoc {
+		if len(hs) > 0 {
+			fn(intern.ID(doc))
+		}
+	}
 }
 
 // URLCount reports the number of distinct documents currently indexed.

@@ -135,6 +135,15 @@ func (s *Sharded) ClientDocs(client int) []Entry {
 	return out
 }
 
+// ForEachClientDoc calls fn for every document client holds, shard by
+// shard. Each shard's lock is held read-side while it is walked; fn must be
+// cheap and must not call back into the index.
+func (s *Sharded) ForEachClientDoc(client int, fn func(doc intern.ID)) {
+	for _, sh := range s.shards {
+		sh.ForEachClientDoc(client, fn)
+	}
+}
+
 // DropClient removes every entry for a departed client across all shards.
 func (s *Sharded) DropClient(client int) int {
 	n := 0
@@ -166,6 +175,15 @@ func (s *Sharded) Len() int {
 		n += sh.Len()
 	}
 	return n
+}
+
+// ForEachDoc calls fn for every document with at least one recorded holder,
+// shard by shard. Each shard's lock is held read-side while it is walked;
+// fn must be cheap and must not call back into the index.
+func (s *Sharded) ForEachDoc(fn func(doc intern.ID)) {
+	for _, sh := range s.shards {
+		sh.ForEachDoc(fn)
+	}
 }
 
 // URLCount reports the number of distinct documents currently indexed.

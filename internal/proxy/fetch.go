@@ -37,6 +37,12 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	if r.Header.Get(HeaderClusterHop) == "1" {
+		// A sibling proxy's one-hop relay: local tiers + own browsers
+		// only, separate accounting, no admission pacing (see cluster.go).
+		s.handleClusterFetch(w, r, url)
+		return
+	}
 	// A caller claiming a client identity must prove it with the
 	// registration token, exactly like /index/* and /report-bad —
 	// otherwise any caller could impersonate a requester and skew
@@ -50,6 +56,16 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		requester = id
+	}
+	if s.pacer != nil {
+		// Admission pacing: each client-facing fetch waits for its
+		// capacity slot (MaxFetchRPS models per-instance capacity).
+		if err := s.pacer.wait(ctx); err != nil {
+			s.m.requests.Inc()
+			s.m.outCanceled.Inc()
+			http.Error(w, "proxy: request canceled", http.StatusGatewayTimeout)
+			return
+		}
 	}
 	s.m.requests.Inc()
 	start := time.Now()
@@ -134,6 +150,11 @@ func (s *Server) resolveMiss(ctx context.Context, url string, requester int, pee
 	if peerEligible {
 		if res, handled, err := s.raceRemoteOrigin(ctx, url, requester); handled {
 			return res, err
+		}
+		// Cluster tier: local browsers came up empty; check the sibling
+		// proxies' digests before paying for an origin round trip.
+		if res, ok := s.resolveCluster(ctx, url); ok {
+			return res, nil
 		}
 	}
 	body, meta, err := s.fetchUpstream(ctx, url)
@@ -376,6 +397,10 @@ func (s *Server) storeDoc(url string, body []byte, meta docMeta) {
 		}
 	}
 	s.drainSpillsLocked()
+	// Every cache store widens the local resolvable set the federation
+	// digest advertises (no-op unfederated; lock order is s.mu → fed.mu,
+	// and the digest builder's source snapshot never runs under fed.mu).
+	s.fedNote(1)
 }
 
 // upstreamDoc is a completed origin acquisition, shared across coalesced
@@ -519,6 +544,13 @@ var errPeerStale = errors.New("stale index entry")
 // its cooldown elapses one request is admitted as a half-open probe — a
 // success re-admits every quarantined entry in one step.
 func (s *Server) resolveRemote(ctx context.Context, url string, requester int) peerOutcome {
+	return s.resolveRemoteMode(ctx, url, requester, s.cfg.Forward)
+}
+
+// resolveRemoteMode is resolveRemote with an explicit delivery mode: the
+// cluster-hop serve path forces FetchForward regardless of the configured
+// mode, since a sibling proxy needs a buffered body, not a relay ticket.
+func (s *Server) resolveRemoteMode(ctx context.Context, url string, requester int, mode ForwardMode) peerOutcome {
 	doc, known := s.syms.Lookup(url)
 	if !known {
 		// Never indexed by any browser: no holders can exist.
@@ -547,7 +579,7 @@ func (s *Server) resolveRemote(ctx context.Context, url string, requester int) p
 		start := time.Now()
 		var p peerOutcome
 		var err error
-		switch s.cfg.Forward {
+		switch mode {
 		case FetchForward:
 			p.body, p.meta, err = s.fetchFromPeer(ctx, peer, url)
 		case OnionForward:
@@ -597,7 +629,7 @@ func (s *Server) resolveRemote(ctx context.Context, url string, requester int) p
 		}
 		s.m.peerServeBytes.WithInt(e.Client).Add(served)
 		obs.SpanFrom(ctx).Event("peer_serve", "client "+strconv.Itoa(e.Client))
-		if s.cfg.Forward == FetchForward && s.cfg.CachePeerDocs {
+		if mode == FetchForward && s.cfg.CachePeerDocs {
 			s.storeDoc(url, p.body, p.meta)
 		}
 		p.ok = true

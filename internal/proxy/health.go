@@ -21,40 +21,21 @@ package proxy
 // Stale-entry responses (a live peer that already evicted the document) do
 // not count against the breaker — only transport-level failures and
 // integrity violations do.
+//
+// The state machine itself lives in internal/breaker (shared with the
+// sibling-proxy quarantine in internal/federation); this file keeps the
+// per-peer bookkeeping around it.
 
 import (
 	"sync"
 	"time"
+
+	"baps/internal/breaker"
 )
-
-// breakerState is the circuit-breaker state of one peer.
-type breakerState int
-
-const (
-	breakerClosed breakerState = iota
-	breakerOpen
-	breakerHalfOpen
-)
-
-// String names the state (used in /stats).
-func (b breakerState) String() string {
-	switch b {
-	case breakerOpen:
-		return "open"
-	case breakerHalfOpen:
-		return "half-open"
-	default:
-		return "closed"
-	}
-}
 
 // peerHealth is the mutable health record of one registered peer.
 type peerHealth struct {
-	state       breakerState
-	consecFails int
-	openedAt    time.Time // when the breaker last opened
-	probeAt     time.Time // when the in-flight half-open probe started
-	probing     bool
+	br          breaker.Breaker
 	lastSeen    time.Time // registration, heartbeat, or successful serve
 	ewmaLatency time.Duration
 	successes   int64
@@ -124,26 +105,7 @@ func (h *healthTracker) Allow(id int) bool {
 	if !ok {
 		return true // untracked peers (e.g. pre-breaker entries) pass through
 	}
-	now := h.now()
-	switch p.state {
-	case breakerClosed:
-		return true
-	case breakerOpen:
-		if now.Sub(p.openedAt) < h.cooldown {
-			return false
-		}
-		p.state = breakerHalfOpen
-		p.probing = true
-		p.probeAt = now
-		return true
-	default: // breakerHalfOpen
-		if p.probing && now.Sub(p.probeAt) < h.cooldown {
-			return false // a probe is already in flight
-		}
-		p.probing = true
-		p.probeAt = now
-		return true
-	}
+	return p.br.Allow(h.now(), h.threshold, h.cooldown)
 }
 
 // Success records a served request with its latency. readmitted is true when
@@ -157,19 +119,13 @@ func (h *healthTracker) Success(id int, latency time.Duration) (readmitted bool)
 		return false
 	}
 	p.successes++
-	p.consecFails = 0
 	p.lastSeen = h.now()
 	if p.ewmaLatency == 0 {
 		p.ewmaLatency = latency
 	} else {
 		p.ewmaLatency = time.Duration((1-ewmaAlpha)*float64(p.ewmaLatency) + ewmaAlpha*float64(latency))
 	}
-	if p.state != breakerClosed {
-		p.state = breakerClosed
-		p.probing = false
-		return true
-	}
-	return false
+	return p.br.Success()
 }
 
 // Touch refreshes a peer's last-seen time without affecting the breaker —
@@ -194,22 +150,7 @@ func (h *healthTracker) Failure(id int) (tripped bool) {
 		return false
 	}
 	p.failures++
-	p.consecFails++
-	switch p.state {
-	case breakerHalfOpen:
-		// Failed probe: back to open, entries stay quarantined.
-		p.state = breakerOpen
-		p.openedAt = h.now()
-		p.probing = false
-		return false
-	case breakerClosed:
-		if h.threshold > 0 && p.consecFails >= h.threshold {
-			p.state = breakerOpen
-			p.openedAt = h.now()
-			return true
-		}
-	}
-	return false
+	return p.br.Failure(h.now(), h.threshold)
 }
 
 // SweepSilent trips the breaker of every closed-state peer not seen for
@@ -221,9 +162,8 @@ func (h *healthTracker) SweepSilent(maxAge time.Duration) []int {
 	now := h.now()
 	var tripped []int
 	for id, p := range h.peers {
-		if p.state == breakerClosed && now.Sub(p.lastSeen) > maxAge {
-			p.state = breakerOpen
-			p.openedAt = now
+		if p.br.State() == breaker.Closed && now.Sub(p.lastSeen) > maxAge {
+			p.br.Trip(now)
 			tripped = append(tripped, id)
 		}
 	}
@@ -235,10 +175,10 @@ func (h *healthTracker) Counts() (closed, open, halfOpen int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, p := range h.peers {
-		switch p.state {
-		case breakerOpen:
+		switch p.br.State() {
+		case breaker.Open:
 			open++
-		case breakerHalfOpen:
+		case breaker.HalfOpen:
 			halfOpen++
 		default:
 			closed++
@@ -268,8 +208,8 @@ func (h *healthTracker) Snapshot() []PeerHealthStat {
 	for id, p := range h.peers {
 		out = append(out, PeerHealthStat{
 			Client:         id,
-			Breaker:        p.state.String(),
-			ConsecFails:    p.consecFails,
+			Breaker:        p.br.State().String(),
+			ConsecFails:    p.br.ConsecFails(),
 			Successes:      p.successes,
 			Failures:       p.failures,
 			Heartbeats:     p.heartbeats,

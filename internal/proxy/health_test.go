@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -394,5 +395,69 @@ func TestHedgedOriginWinsOverSlowPeer(t *testing.T) {
 	}
 	if st := s.Snapshot(); st.HedgedWins != 1 {
 		t.Fatalf("hedged win not recorded: %+v", st)
+	}
+}
+
+// TestReRegisterSupersedesQuarantinedIdentity: a browser that crashed,
+// was quarantined by the silence sweep, and came back on the same peer URL
+// with a fresh /register must fully displace its old identity. The
+// regression this guards: the old client id's index entries survived as
+// quarantined holders of a registration that would never heartbeat again —
+// unservable, unsweepable, and shadowing the live replacement.
+func TestReRegisterSupersedesQuarantinedIdentity(t *testing.T) {
+	s := testServer(t, nil)
+	const peerURL = "http://127.0.0.1:45678"
+	u := "http://example.com/super/doc"
+
+	reg1 := register(t, s, peerURL)
+	addIndexEntry(t, s, reg1, u, 11)
+	// The silence sweep quarantined the crashed browser's id.
+	s.Index().Quarantine(reg1.ClientID)
+	if s.Index().QuarantinedEntries() != 1 {
+		t.Fatalf("setup: quarantined entries = %d, want 1", s.Index().QuarantinedEntries())
+	}
+
+	// Crash-restart: same peer URL, new registration.
+	reg2 := register(t, s, peerURL)
+	if reg2.ClientID == reg1.ClientID {
+		t.Fatalf("re-register reused client id %d", reg2.ClientID)
+	}
+	if reg2.Token == reg1.Token {
+		t.Fatal("re-register reused token")
+	}
+
+	// The old identity is gone root and branch: no index entries (not even
+	// quarantined ones), and the old token no longer authenticates.
+	doc, ok := s.Syms().Lookup(u)
+	if !ok {
+		t.Fatal("doc not interned")
+	}
+	if s.Index().Has(reg1.ClientID, doc) {
+		t.Fatal("old client id still holds an index entry after re-register")
+	}
+	if n := s.Index().QuarantinedEntries(); n != 0 {
+		t.Fatalf("quarantined entries after re-register = %d, want 0", n)
+	}
+	body, _ := jsonBytes(IndexUpdate{ClientID: reg1.ClientID, Entry: IndexEntry{URL: u, Size: 11}})
+	req, _ := http.NewRequest(http.MethodPost, s.BaseURL()+"/index/add", bytes.NewReader(body))
+	req.Header.Set(HeaderClient, fmt.Sprint(reg1.ClientID))
+	req.Header.Set(HeaderToken, reg1.Token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("stale token index add: status %d, want 403", resp.StatusCode)
+	}
+
+	// The replacement identity is fully live.
+	addIndexEntry(t, s, reg2, u, 11)
+	if !s.Index().Has(reg2.ClientID, doc) {
+		t.Fatal("new client id's entry missing")
+	}
+	if got := len(s.Index().Ordered(doc, -1)); got != 1 {
+		t.Fatalf("orderable holders = %d, want 1 (the new id)", got)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"baps/internal/bloom"
 	"baps/internal/index"
+	"baps/internal/intern"
 )
 
 // batchState is the proxy-side bookkeeping of the batched index protocol:
@@ -20,10 +21,42 @@ type batchState struct {
 	mu         sync.Mutex
 	gen        map[int]uint64
 	lastResync map[int]time.Time
+	// scratch pools one digest-comparison filter per client: senders keep a
+	// stable filter geometry across batches, so the same bit array is
+	// Reset and refilled instead of reallocated on every digest-bearing
+	// batch. Checkout semantics (take, then stash back) keep two
+	// concurrent batches from one client off the same buffer.
+	scratch map[int]*bloom.Filter
 }
 
 func newBatchState() *batchState {
-	return &batchState{gen: make(map[int]uint64), lastResync: make(map[int]time.Time)}
+	return &batchState{
+		gen:        make(map[int]uint64),
+		lastResync: make(map[int]time.Time),
+		scratch:    make(map[int]*bloom.Filter),
+	}
+}
+
+// checkoutScratch hands out the client's pooled comparison filter, reset and
+// ready, when its geometry matches; otherwise it allocates fresh. The caller
+// must stash the filter back when done.
+func (b *batchState) checkoutScratch(client int, bits uint64, k int) (*bloom.Filter, error) {
+	b.mu.Lock()
+	f := b.scratch[client]
+	delete(b.scratch, client)
+	b.mu.Unlock()
+	if f != nil && f.Bits() == bits && f.K() == k {
+		f.Reset()
+		return f, nil
+	}
+	return bloom.NewFilter(bits, k)
+}
+
+// stashScratch returns a comparison filter to the client's pool slot.
+func (b *batchState) stashScratch(client int, f *bloom.Filter) {
+	b.mu.Lock()
+	b.scratch[client] = f
+	b.mu.Unlock()
 }
 
 // observe applies the generation rules for a received batch generation and
@@ -62,6 +95,7 @@ func (b *batchState) forget(client int) {
 	b.mu.Lock()
 	delete(b.gen, client)
 	delete(b.lastResync, client)
+	delete(b.scratch, client)
 	b.mu.Unlock()
 }
 
@@ -138,6 +172,7 @@ func (s *Server) handleIndexBatch(w http.ResponseWriter, r *http.Request) {
 	s.idx.ApplyBatch(id, deltas)
 	s.m.idxBatch.Inc()
 	s.m.idxBatchDeltas.Add(int64(len(deltas)))
+	s.fedNote(len(deltas))
 
 	drift := gap
 	if gap {
@@ -176,13 +211,14 @@ func (s *Server) digestMismatch(client int, digestB64 string) bool {
 	if err != nil {
 		return true
 	}
-	ours, err := bloom.NewFilter(theirs.Bits(), theirs.K())
+	ours, err := s.batches.checkoutScratch(client, theirs.Bits(), theirs.K())
 	if err != nil {
 		return true
 	}
-	for _, e := range s.idx.ClientDocs(client) {
-		ours.Add(s.syms.String(e.Doc))
-	}
+	defer s.batches.stashScratch(client, ours)
+	s.idx.ForEachClientDoc(client, func(doc intern.ID) {
+		ours.Add(s.syms.String(doc))
+	})
 	return !ours.Equal(theirs)
 }
 

@@ -17,6 +17,7 @@ const (
 	outPeerFetch    = "peer_fetch_forward"
 	outPeerDirect   = "peer_direct_forward"
 	outPeerOnion    = "peer_onion"
+	outClusterHit   = "cluster_fetch"
 	outOrigin       = "origin"
 	outOriginHedged = "origin_hedged"
 	outError        = "error"
@@ -33,7 +34,7 @@ type serverMetrics struct {
 	outcomes *obs.CounterVec
 	// Pre-resolved outcome children (outcomeCounter maps the string).
 	outProxyHit, outDiskHit, outPeerFetch, outPeerDirect, outPeerOnion *obs.Counter
-	outOrigin, outOriginHedged, outError, outCanceled                  *obs.Counter
+	outClusterHit, outOrigin, outOriginHedged, outError, outCanceled   *obs.Counter
 
 	// Disk-tier plane (registered always; non-zero only with -datadir).
 	diskWrites    *obs.Counter
@@ -82,6 +83,15 @@ type serverMetrics struct {
 	idxDigestMismatch *obs.Counter
 	idxResyncPulls    *obs.Counter
 
+	// Federation plane (all zero on an unfederated proxy).
+	clusterFetches        *obs.Counter
+	clusterServes         *obs.Counter
+	clusterServeHits      *obs.Counter
+	clusterLocateConfirms *obs.Counter
+	clusterLocateFPs      *obs.Counter
+	digestsSent           *obs.Counter
+	digestsRecv           *obs.Counter
+
 	fetchDur     *obs.Summary
 	peerFetchDur *obs.Summary
 	originFetch  *obs.Summary
@@ -100,6 +110,7 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	m.outPeerFetch = m.outcomes.With(outPeerFetch)
 	m.outPeerDirect = m.outcomes.With(outPeerDirect)
 	m.outPeerOnion = m.outcomes.With(outPeerOnion)
+	m.outClusterHit = m.outcomes.With(outClusterHit)
 	m.outOrigin = m.outcomes.With(outOrigin)
 	m.outOriginHedged = m.outcomes.With(outOriginHedged)
 	m.outError = m.outcomes.With(outError)
@@ -109,7 +120,7 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		"Requests served from another request's in-flight miss resolution.", "outcome")
 	// Pre-register the outcomes a coalesced (fetch-forward or origin-only)
 	// resolution can produce, so exposition shows them at zero.
-	for _, o := range []string{outPeerFetch, outOrigin, outOriginHedged, outError, outCanceled} {
+	for _, o := range []string{outPeerFetch, outClusterHit, outOrigin, outOriginHedged, outError, outCanceled} {
 		m.coalesced.With(o)
 	}
 
@@ -178,6 +189,21 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		"Bloom directory digests that disagreed with the proxy's view.")
 	m.idxResyncPulls = reg.Counter("baps_proxy_index_resync_pulls_total",
 		"/peer/resync pulls issued to recover from batch drift.")
+
+	m.clusterFetches = reg.Counter("baps_proxy_cluster_fetches_total",
+		"Documents relayed in from sibling proxies (federation tier).")
+	m.clusterServes = reg.Counter("baps_proxy_cluster_serves_total",
+		"Cluster-hop requests received from sibling proxies.")
+	m.clusterServeHits = reg.Counter("baps_proxy_cluster_serve_hits_total",
+		"Cluster-hop requests answered with a document body.")
+	m.clusterLocateConfirms = reg.Counter("baps_proxy_cluster_locate_confirms_total",
+		"Sibling /peer/locate probes answered held.")
+	m.clusterLocateFPs = reg.Counter("baps_proxy_cluster_locate_fps_total",
+		"Sibling digest claims denied by /peer/locate (Bloom false positives).")
+	m.digestsSent = reg.Counter("baps_proxy_digests_sent_total",
+		"Federation digests delivered to siblings.")
+	m.digestsRecv = reg.Counter("baps_proxy_digests_received_total",
+		"Federation digests ingested from siblings.")
 
 	m.fetchDur = reg.Summary("baps_proxy_fetch_duration_seconds",
 		"End-to-end /fetch latency.")
@@ -263,6 +289,8 @@ func (m *serverMetrics) outcomeCounter(outcome string) *obs.Counter {
 		return m.outPeerDirect
 	case outPeerOnion:
 		return m.outPeerOnion
+	case outClusterHit:
+		return m.outClusterHit
 	case outOrigin:
 		return m.outOrigin
 	case outOriginHedged:

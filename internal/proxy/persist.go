@@ -589,6 +589,11 @@ func (l *lazyHeaderWriter) Write(p []byte) (int, error) {
 // the OS survives for the next Open.
 func (s *Server) Crash() {
 	s.sweepOnce.Do(func() { close(s.stopSweep) })
+	// A killed process stops pushing federation digests; siblings must
+	// notice via staleness, so the push loop dies with the listener.
+	if fed := s.fed.Load(); fed != nil {
+		fed.Stop()
+	}
 	if s.ds != nil {
 		s.diskOnce.Do(func() { close(s.stopDisk) })
 		s.ds.Abandon() // queued spill ops fail against the closed store

@@ -45,6 +45,7 @@ import (
 	"baps/internal/anonymity"
 	"baps/internal/cache"
 	"baps/internal/diskstore"
+	"baps/internal/federation"
 	"baps/internal/flight"
 	"baps/internal/index"
 	"baps/internal/integrity"
@@ -158,6 +159,24 @@ type Config struct {
 	// StateSaveEvery is the interval between persisted state-blob
 	// snapshots (counters, clients, generations; <=0: 2s).
 	StateSaveEvery time.Duration
+
+	// Federation knobs (active once JoinCluster is called; see cluster.go).
+	// DigestInterval is the sibling digest push period (<=0: 1s).
+	DigestInterval time.Duration
+	// DigestStaleAfter quarantines a sibling whose last digest is older
+	// than this (<=0: 4×DigestInterval) — pushed digests double as the
+	// inter-proxy liveness signal.
+	DigestStaleAfter time.Duration
+	// DigestFPR is the digest Bloom filter's false-positive target
+	// (<=0: 0.01). Every false positive costs one wasted /peer/locate.
+	DigestFPR float64
+	// ClusterDriftThreshold forces an early digest push after this many
+	// local directory mutations (<=0: 256).
+	ClusterDriftThreshold int
+	// MaxFetchRPS paces client-facing /fetch admission to this rate,
+	// modeling one proxy process as one machine of bounded capacity
+	// (<=0 disables; cluster-hop serves for siblings are never paced).
+	MaxFetchRPS int
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -263,9 +282,17 @@ type Server struct {
 	// Request-coalescing planes: missFlight collapses concurrent /fetch
 	// misses for one URL into a single resolution (fetch-forward only;
 	// direct/onion deliveries are requester-specific), originFlight
-	// collapses concurrent origin acquisitions regardless of mode.
-	missFlight   flight.Group[fetchResult]
-	originFlight flight.Group[upstreamDoc]
+	// collapses concurrent origin acquisitions regardless of mode, and
+	// clusterFlight collapses concurrent sibling walks for one URL.
+	missFlight    flight.Group[fetchResult]
+	originFlight  flight.Group[upstreamDoc]
+	clusterFlight flight.Group[clusterRes]
+
+	// Federation plane: fed is set by JoinCluster (after Start, while
+	// requests may already be flowing — hence the atomic pointer); pacer
+	// gates client-facing fetch admission under Config.MaxFetchRPS.
+	fed   atomic.Pointer[federation.Cluster]
+	pacer *fetchPacer
 
 	// peerClient carries proxy→browser traffic (shallow per-host pools,
 	// many hosts); originClient carries proxy→origin traffic (deep pool,
@@ -346,6 +373,9 @@ func New(cfg Config) (*Server, error) {
 		durable:        make(map[string]bool),
 		spillq:         make(chan spillOp, 256),
 		stopDisk:       make(chan struct{}),
+	}
+	if cfg.MaxFetchRPS > 0 {
+		s.pacer = newFetchPacer(cfg.MaxFetchRPS)
 	}
 	// Outbound traffic splits by class so origin keep-alive pools (few
 	// hosts, deep) and peer pools (many hosts, shallow) are tuned
@@ -467,6 +497,14 @@ func (s *Server) sweepSilentPeers() {
 // journal to stable storage.
 func (s *Server) Close() error {
 	s.sweepOnce.Do(func() { close(s.stopSweep) })
+	if fed := s.fed.Load(); fed != nil {
+		fed.Stop()
+	}
+	// Drop our own pooled keep-alive connections to siblings and browsers.
+	// An idle (or raced-but-unused) outbound connection pins the remote
+	// server's graceful Shutdown until it times out, so a departing proxy
+	// hangs up before draining its own listeners.
+	s.peerClient.CloseIdleConnections()
 	var err error
 	if s.httpSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -505,6 +543,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/index/remove", s.handleIndexRemove)
 	mux.HandleFunc("/index/sync", s.handleIndexSync)
 	mux.HandleFunc("/index/batch", s.handleIndexBatch)
+	mux.HandleFunc("/peer/digest", s.handlePeerDigest)
+	mux.HandleFunc("/peer/locate", s.handlePeerLocate)
 	mux.HandleFunc("/relay/", s.handleRelay)
 	mux.HandleFunc("/report-bad", s.handleReportBad)
 	mux.HandleFunc("/pubkey", s.handlePubkey)
@@ -540,12 +580,37 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	token := base64.RawURLEncoding.EncodeToString(tok[:16])
+	peerURL := strings.TrimRight(req.PeerURL, "/")
 	s.mu.Lock()
+	// A browser re-registering its peer URL (crash-restart without a clean
+	// /unregister) supersedes its previous identity. Dropping the old
+	// registration here — not just shadowing it — keeps a quarantined old
+	// id's stale index entries from resolving to a registration the sweep
+	// can never clear (the new id heartbeats; the old one never will).
+	oldID := -1
+	for pid, p := range s.peers {
+		if p.baseURL == peerURL {
+			oldID = pid
+			delete(s.peers, pid)
+			delete(s.tokens, p.token)
+			break
+		}
+	}
 	id := s.nextID
 	s.nextID++
-	s.peers[id] = peerInfo{id: id, baseURL: strings.TrimRight(req.PeerURL, "/"), token: token, relayKey: relayKey}
+	s.peers[id] = peerInfo{id: id, baseURL: peerURL, token: token, relayKey: relayKey}
 	s.tokens[token] = id
 	s.mu.Unlock()
+	if oldID >= 0 {
+		s.idx.DropClient(oldID)
+		s.health.Forget(oldID)
+		s.batches.forget(oldID)
+		s.fedNote(1)
+		if s.logger != nil {
+			s.logger.Info("client re-registered; superseding old identity",
+				"old_client", oldID, "client", id, "peer_url", peerURL)
+		}
+	}
 	s.health.Track(id)
 	s.m.registers.Inc()
 	if s.logger != nil {
@@ -583,6 +648,7 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 		s.idx.DropClient(id)
 		s.health.Forget(id)
 		s.batches.forget(id)
+		s.fedNote(1)
 		s.m.unregisters.Inc()
 		s.m.idxDrop.Inc()
 		if s.logger != nil {
@@ -665,6 +731,7 @@ func (s *Server) handleIndexUpdate(w http.ResponseWriter, r *http.Request, add b
 		// interning here keeps bogus invalidations from growing the table.
 		s.idx.Remove(id, doc)
 	}
+	s.fedNote(1)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -694,6 +761,7 @@ func (s *Server) handleIndexSync(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.idx.ResyncClient(id, entries)
+	s.fedNote(len(entries) + 1)
 	if sync.Gen > 0 {
 		// A generation-stamped full sync re-seats the batch sequence, so
 		// the sender's next /index/batch is judged against this point.
@@ -755,6 +823,11 @@ func (s *Server) Snapshot() Stats {
 	if s.ds != nil {
 		dsStats = s.ds.StatsSnapshot()
 	}
+	var fedStats *federation.Stats
+	if fed := s.fed.Load(); fed != nil {
+		fs := fed.Snapshot()
+		fedStats = &fs
+	}
 	m := s.m
 	return Stats{
 		Requests:  m.requests.Value(),
@@ -793,6 +866,14 @@ func (s *Server) Snapshot() Stats {
 		DiskEvictions:         m.diskEvictions.Value(),
 		RestoredDocs:          s.restoredDocs,
 		RestartToWarmSec:      s.restartToWarmSeconds(),
+		ClusterFetches:        m.clusterFetches.Value(),
+		ClusterServes:         m.clusterServes.Value(),
+		ClusterServeHits:      m.clusterServeHits.Value(),
+		ClusterLocateConfirms: m.clusterLocateConfirms.Value(),
+		ClusterLocateFPs:      m.clusterLocateFPs.Value(),
+		DigestsSent:           m.digestsSent.Value(),
+		DigestsReceived:       m.digestsRecv.Value(),
+		Federation:            fedStats,
 		IndexEntries:          s.idx.Len(),
 		CacheDocs:             cacheDocs,
 		CacheBytes:            cacheBytes,

@@ -3,6 +3,8 @@ package proxy
 // Wire types shared between the browsers-aware proxy and the browser agents
 // (internal/browser imports these; the dependency is one-way).
 
+import "baps/internal/federation"
+
 // Header names of the BAPS protocol.
 const (
 	// HeaderClient carries the requesting client's id on /fetch and the
@@ -29,6 +31,11 @@ const (
 	// HeaderOnionRoute carries the base64 route onion on browser-to-
 	// browser /peer/onion deliveries; the body is the sealed payload.
 	HeaderOnionRoute = "X-BAPS-Onion-Route"
+	// HeaderClusterHop, set to "1" on a sibling proxy's /fetch, marks a
+	// cross-proxy relay: the receiver resolves only its local tiers (cache
+	// + its own browsers), never its own cluster tier or the origin, and
+	// answers 404 when it does not hold the document. One hop, no loops.
+	HeaderClusterHop = "X-BAPS-Cluster-Hop"
 )
 
 // Source values for HeaderSource.
@@ -36,6 +43,9 @@ const (
 	SourceProxy  = "proxy"
 	SourceRemote = "remote"
 	SourceOrigin = "origin"
+	// SourceCluster marks a document relayed from a sibling proxy in the
+	// federation (its cache or one of its browsers).
+	SourceCluster = "cluster"
 )
 
 // RegisterRequest is the body of POST /register.
@@ -155,6 +165,18 @@ type OnionDelivery struct {
 	Body      []byte
 }
 
+// LocateResponse is the reply to GET /peer/locate?url=U — a sibling proxy's
+// membership-check confirmation step. A Bloom digest can only say "maybe";
+// locate turns that into a committed yes (200 + this body) or no (404),
+// charging the requester one tiny round trip instead of a relayed fetch that
+// would 404 at the filter's false-positive rate.
+type LocateResponse struct {
+	Held bool `json:"held"`
+	// Via reports which local tier backs the claim: "cache" (the sibling's
+	// own proxy cache) or "browser" (at least one of its indexed browsers).
+	Via string `json:"via,omitempty"`
+}
+
 // BadContentReport is the body of POST /report-bad: a requester whose
 // watermark verification failed reports the document; the proxy, which knows
 // which holder served the relay ticket, prunes that holder's index entry.
@@ -198,6 +220,21 @@ type Stats struct {
 	IndexGenGaps          int64 `json:"index_gen_gaps"`          // batch generation gaps observed
 	IndexDigestMismatches int64 `json:"index_digest_mismatches"` // Bloom digests that disagreed
 	IndexResyncPulls      int64 `json:"index_resync_pulls"`      // /peer/resync pulls issued
+
+	// Federation counters (zero on an unfederated proxy). ClusterServes
+	// counts sibling-originated cluster-hop requests and is deliberately
+	// kept out of Requests/ProxyHits, so per-proxy hit ratios still
+	// describe this proxy's own client population.
+	ClusterFetches        int64 `json:"cluster_fetches"`         // docs relayed in from sibling proxies
+	ClusterServes         int64 `json:"cluster_serves"`          // cluster-hop requests received
+	ClusterServeHits      int64 `json:"cluster_serve_hits"`      // cluster-hop requests answered with a body
+	ClusterLocateConfirms int64 `json:"cluster_locate_confirms"` // /peer/locate probes answered "held"
+	ClusterLocateFPs      int64 `json:"cluster_locate_fps"`      // digest claims locate denied (Bloom FPs)
+	DigestsSent           int64 `json:"digests_sent"`            // /peer/digest pushes delivered
+	DigestsReceived       int64 `json:"digests_received"`        // sibling digests ingested
+	// Federation is the membership snapshot (per-sibling digest age,
+	// breaker state, FP counts); nil on an unfederated proxy.
+	Federation *federation.Stats `json:"federation,omitempty"`
 
 	// Disk-tier counters (zero without -datadir). ProxyHits above includes
 	// DiskHits: a disk-tier hit is still a proxy-cache hit.
