@@ -5,14 +5,14 @@ COUNT ?= 5
 # micro-benchmarks, the end-to-end simulator replays, and the live HTTP-path
 # benchmarks, skipping the long-running figure regenerations in the root
 # package.
-BENCH_PKGS = ./internal/cache ./internal/index ./internal/core ./internal/proxy .
-BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*|BenchmarkIndexAddRemoveHot|BenchmarkIndexOrdered|BenchmarkApplyBatch|BenchmarkApplyBatchContended|BenchmarkShardedOrdered|BenchmarkSimulatorBAPS|BenchmarkSimulatorProxyOnly|BenchmarkTraceStats|BenchmarkLiveFetchHot|BenchmarkLiveFetchOriginMiss)$$'
+BENCH_PKGS = ./internal/cache ./internal/index ./internal/core ./internal/proxy ./internal/workqueue .
+BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*|BenchmarkIndexAddRemoveHot|BenchmarkIndexOrdered|BenchmarkApplyBatch|BenchmarkApplyBatchContended|BenchmarkShardedOrdered|BenchmarkSimulatorBAPS|BenchmarkSimulatorProxyOnly|BenchmarkTraceStats|BenchmarkLiveFetchHot|BenchmarkLiveFetchOriginMiss|BenchmarkWorkqueue[A-Z].*)$$'
 # Packages touched by the interning/sharding refactor, the observability
-# subsystem, the batched index publish pipeline, and the crash-safe disk
-# tier, raced in `make check`.
-HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos ./internal/browser ./internal/diskstore ./internal/breaker ./internal/federation
+# subsystem, the batched index publish pipeline, the crash-safe disk
+# tier, and the background work plane, raced in `make check`.
+HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos ./internal/browser ./internal/diskstore ./internal/breaker ./internal/federation ./internal/workqueue
 
-.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare loadtest loadtest-indexmodes loadtest-restart loadtest-federation
+.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare loadtest loadtest-indexmodes loadtest-restart loadtest-federation loadtest-invalidation
 
 all: build vet test
 
@@ -98,6 +98,18 @@ loadtest-federation:
 		> LOAD_$(DATE)_federation.json \
 		|| { cat LOAD_$(DATE)_federation.json; echo "federation scaling gate FAILED"; exit 1; }
 	@grep -E '"aggregate_rps"|"aggregate_hit_ratio"|"rps_scaling"|"scaling_ok"|"hit_ratio_ok"|"bloom_fp_rate"|"cross_proxy_rate"' LOAD_$(DATE)_federation.json
+
+# Invalidation-pipeline gate (DESIGN.md §14): modification churn against a
+# 2-proxy federated cluster, run twice — background pipeline off, then on.
+# bapsload exits non-zero unless the pipeline cuts the stale-serve rate >= 5x
+# while origin fetches per modification stay <= 2 (steady state: one
+# conditional refetch per modification). Writes LOAD_<date>_invalidation.json
+# carrying both runs' reports.
+loadtest-invalidation:
+	$(GO) run ./cmd/bapsload -modrate 6 -proxies 2 -clients 8 -docs 400 \
+		-zipf 1.3 -duration 8s > LOAD_$(DATE)_invalidation.json \
+		|| { cat LOAD_$(DATE)_invalidation.json; echo "invalidation pipeline gate FAILED"; exit 1; }
+	@grep -E '"stale_serves_total"|"origin_fetches_per_modification"|"stale_reduction"|"stale_ok"|"origin_ok"' LOAD_$(DATE)_invalidation.json
 
 # Index-protocol comparison: the same closed loop driven through full browser
 # agents under each §2 protocol, reporting index-maintenance requests per

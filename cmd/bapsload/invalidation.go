@@ -1,0 +1,321 @@
+// Invalidation-churn mode (-modrate): measure what the background pipeline
+// buys under document modification churn. The same closed-loop Zipf workload
+// runs twice against a fresh in-process federated cluster — once with the
+// pipeline disabled (the request-coupled §2 baseline: a modification is only
+// discovered when a request happens to miss) and once with background
+// revalidation + invalidation fan-out enabled — while a modifier goroutine
+// bumps Zipf-chosen document versions at -modrate per second.
+//
+// A stale serve is a 200 whose X-BAPS-Version is below the origin's version
+// as snapshotted BEFORE the request was issued, so the count is a race-free
+// lower bound and is computed identically for both runs. The report gates:
+//
+//   - stale_ok: the pipeline run's stale-serve rate is ≥ 5x below baseline;
+//   - origin_ok: the pipeline run's origin fetches per modification stay
+//     ≤ 2.0 — steady state is one conditional refetch per modification
+//     (304s are free; sibling invalidation makes the second proxy re-pull
+//     through the digest tier, not the origin), so 2x bounds the thrash.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"baps/internal/federation"
+	"baps/internal/origin"
+	"baps/internal/proxy"
+)
+
+// invalRun is one half (baseline or pipeline) of the churn report.
+type invalRun struct {
+	Pipeline bool    `json:"pipeline"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	WallSec  float64 `json:"wall_sec"`
+	RPS      float64 `json:"rps"`
+
+	Modifications    int64   `json:"modifications"`
+	StaleServesTotal int64   `json:"stale_serves_total"`
+	StaleServeRate   float64 `json:"stale_serve_rate"` // per completed request
+
+	// OriginFetches counts measurement-window origin document serves (304
+	// revalidation answers are not fetches). Per modification ≈ 1 is the
+	// pipeline's steady state: each modified resident doc refetched once.
+	OriginFetches                int64   `json:"origin_fetches"`
+	OriginFetchesPerModification float64 `json:"origin_fetches_per_modification"`
+
+	// Pipeline-side accounting summed over the cluster (zero in baseline).
+	Revalidations         int64 `json:"revalidations"`
+	RevalidationsChanged  int64 `json:"revalidations_changed"`
+	InvalidationsSent     int64 `json:"invalidations_sent"`
+	InvalidationsReceived int64 `json:"invalidations_received"`
+	CrossProxyFetches     int64 `json:"cross_proxy_fetches"`
+	DeadLettered          int64 `json:"dead_lettered"`
+}
+
+// invalReport is the combined -modrate report with the acceptance gates.
+type invalReport struct {
+	Config struct {
+		Proxies         int     `json:"proxies"`
+		Clients         int     `json:"clients"`
+		Docs            int     `json:"docs"`
+		Zipf            float64 `json:"zipf"`
+		Duration        string  `json:"duration"`
+		ModRate         float64 `json:"mod_rate"`
+		RevalidateAfter string  `json:"revalidate_after"`
+		Seed            uint64  `json:"seed"`
+	} `json:"config"`
+	Baseline *invalRun `json:"baseline"`
+	Pipeline *invalRun `json:"pipeline"`
+
+	// StaleReduction is baseline stale rate over pipeline stale rate (0 when
+	// the pipeline run served nothing stale at all — the best outcome).
+	StaleReduction float64 `json:"stale_reduction,omitempty"`
+	StaleOK        bool    `json:"stale_ok"`
+	OriginOK       bool    `json:"origin_ok"`
+}
+
+// runInvalidationScenario executes the churn workload twice and gates.
+func runInvalidationScenario(n, clients, docs int, zipfS float64, duration time.Duration, modRate float64, capacity int64, seed uint64) *invalReport {
+	rep := &invalReport{}
+	rep.Config.Proxies = n
+	rep.Config.Clients = clients
+	rep.Config.Docs = docs
+	rep.Config.Zipf = zipfS
+	rep.Config.Duration = duration.String()
+	rep.Config.ModRate = modRate
+	rep.Config.RevalidateAfter = invalRevalidateAfter.String()
+	rep.Config.Seed = seed
+
+	for _, pipeline := range []bool{false, true} {
+		label := "baseline (pipeline off)"
+		if pipeline {
+			label = "pipeline (revalidation + invalidation on)"
+		}
+		fmt.Fprintf(os.Stderr, "bapsload: churn run: %s, %d proxies, %d clients, %s\n",
+			label, n, clients, duration)
+		run, err := runInvalidationOnce(pipeline, n, clients, docs, zipfS, duration, modRate, capacity, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bapsload: churn run (%s): %v\n", label, err)
+			os.Exit(1)
+		}
+		if pipeline {
+			rep.Pipeline = run
+		} else {
+			rep.Baseline = run
+		}
+	}
+
+	base, pipe := rep.Baseline, rep.Pipeline
+	if pipe.StaleServeRate > 0 {
+		rep.StaleReduction = base.StaleServeRate / pipe.StaleServeRate
+	}
+	rep.StaleOK = pipe.StaleServeRate*5 <= base.StaleServeRate && base.StaleServesTotal > 0
+	rep.OriginOK = pipe.Modifications > 0 && pipe.OriginFetchesPerModification <= 2.0
+	return rep
+}
+
+const (
+	invalRevalidateAfter = 200 * time.Millisecond
+	invalRevalidateEvery = 75 * time.Millisecond
+	invalDigestInterval  = 100 * time.Millisecond
+)
+
+// runInvalidationOnce drives one warm-then-measure churn run against a fresh
+// n-proxy federated cluster over a fresh origin.
+func runInvalidationOnce(pipeline bool, n, clients, docs int, zipfS float64, duration time.Duration, modRate float64, capacity int64, seed uint64) (*invalRun, error) {
+	o := origin.New(int64(seed))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	originSrv := &http.Server{Handler: o.Handler()}
+	go originSrv.Serve(ln)
+	originURL := "http://" + ln.Addr().String()
+	defer originSrv.Close()
+
+	proxies := make([]*proxy.Server, n)
+	for i := range proxies {
+		cfg := proxy.DefaultConfig()
+		cfg.KeyBits = 1024
+		cfg.CacheCapacity = capacity
+		cfg.DigestInterval = invalDigestInterval
+		if pipeline {
+			cfg.RevalidateAfter = invalRevalidateAfter
+			cfg.RevalidateEvery = invalRevalidateEvery
+			cfg.RevalidateRPS = 2048
+		}
+		p, err := proxy.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Start("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		defer p.Close()
+		proxies[i] = p
+	}
+	nodes := make([]string, n)
+	for i, p := range proxies {
+		nodes[i] = p.BaseURL()
+	}
+	if n > 1 {
+		for i, p := range proxies {
+			peers := make([]string, 0, n-1)
+			for j, u := range nodes {
+				if j != i {
+					peers = append(peers, u)
+				}
+			}
+			if err := p.JoinCluster(peers); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	httpClient := &http.Client{Timeout: 30 * time.Second, Transport: proxy.NewTransport(clients)}
+
+	// Warm: same workload, no churn, nothing counted. Half the measurement
+	// window is enough for the Zipf head to go resident on every proxy and
+	// for at least one digest round to cover it cluster-wide.
+	warmCtx, cancelWarm := context.WithTimeout(context.Background(), duration/2)
+	driveChurnClients(warmCtx, httpClient, o, nodes, originURL, clients, docs, zipfS, seed, nil)
+	cancelWarm()
+
+	fetchesWarm := o.Fetches()
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	// Modifier: bump Zipf-chosen documents (same skew, decorrelated stream)
+	// so churn lands mostly on resident, actively requested documents.
+	var mods int64
+	var modWG sync.WaitGroup
+	modWG.Add(1)
+	go func() {
+		defer modWG.Done()
+		rng := rand.New(rand.NewPCG(seed, 0xC0FFEE))
+		zipf := rand.NewZipf(rng, zipfS, 1, uint64(docs-1))
+		tick := time.NewTicker(time.Duration(float64(time.Second) / modRate))
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				o.Modify(fmt.Sprintf("/doc/%d", zipf.Uint64()))
+				atomic.AddInt64(&mods, 1)
+			}
+		}
+	}()
+
+	run := &invalRun{Pipeline: pipeline}
+	start := time.Now()
+	driveChurnClients(ctx, httpClient, o, nodes, originURL, clients, docs, zipfS, seed+1, run)
+	run.WallSec = time.Since(start).Seconds()
+	modWG.Wait()
+
+	// Let in-flight background refetches land before the origin snapshot:
+	// they are part of this run's cost, not the shutdown's.
+	if pipeline {
+		time.Sleep(2 * invalRevalidateEvery)
+	}
+	run.Modifications = atomic.LoadInt64(&mods)
+	run.OriginFetches = o.Fetches() - fetchesWarm
+	if run.Modifications > 0 {
+		run.OriginFetchesPerModification = float64(run.OriginFetches) / float64(run.Modifications)
+	}
+	if completed := run.Requests - run.Errors; completed > 0 {
+		run.StaleServeRate = float64(run.StaleServesTotal) / float64(completed)
+	}
+	if run.WallSec > 0 {
+		run.RPS = float64(run.Requests) / run.WallSec
+	}
+	for _, p := range proxies {
+		st := p.Snapshot()
+		run.Revalidations += st.Revalidations
+		run.RevalidationsChanged += st.RevalidationsChanged
+		run.InvalidationsSent += st.InvalidationsSent
+		run.InvalidationsReceived += st.InvalidationsReceived
+		run.CrossProxyFetches += st.ClusterFetches
+		if st.Workqueue != nil {
+			run.DeadLettered += st.Workqueue.DeadLettered
+		}
+	}
+	return run, nil
+}
+
+// driveChurnClients runs the closed loop until ctx expires. With run non-nil
+// it tallies requests, errors, and stale serves (response version below the
+// origin version snapshotted before the request went out).
+func driveChurnClients(ctx context.Context, c *http.Client, o *origin.Server, nodes []string, originURL string, clients, docs int, zipfS float64, seed uint64, run *invalRun) {
+	type tally struct{ requests, errs, stale int64 }
+	tallies := make([]tally, clients)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		w := w
+		home := federation.Owner(nodes, fmt.Sprintf("client-%d", w))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl := &tallies[w]
+			rng := rand.New(rand.NewPCG(seed, uint64(w)*0x9E3779B9+1))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(docs-1))
+			for ctx.Err() == nil {
+				path := fmt.Sprintf("/doc/%d", zipf.Uint64())
+				var expected int64
+				if run != nil {
+					expected = o.Version(path)
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+					home+"/fetch?url="+url.QueryEscape(originURL+path), nil)
+				if err != nil {
+					tl.errs++
+					continue
+				}
+				resp, err := c.Do(req)
+				if err != nil {
+					if ctx.Err() == nil {
+						tl.requests++
+						tl.errs++
+					}
+					continue
+				}
+				_, cerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if ctx.Err() != nil {
+					return
+				}
+				tl.requests++
+				if cerr != nil || resp.StatusCode != http.StatusOK {
+					tl.errs++
+					continue
+				}
+				if run != nil {
+					got, _ := strconv.ParseInt(resp.Header.Get(proxy.HeaderVersion), 10, 64)
+					if got < expected {
+						tl.stale++
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if run == nil {
+		return
+	}
+	for i := range tallies {
+		run.Requests += tallies[i].requests
+		run.Errors += tallies[i].errs
+		run.StaleServesTotal += tallies[i].stale
+	}
+}

@@ -128,7 +128,27 @@ func main() {
 	proxySweep := flag.String("proxysweep", "", "federation sweep: comma-separated cluster widths, e.g. \"1,2,4\" (implies -proxies)")
 	proxyRPS := flag.Float64("proxyrps", 1200, "federation mode: per-proxy fetch admission cap, modeling one machine per proxy")
 	digestInterval := flag.Duration("digestinterval", 250*time.Millisecond, "federation mode: sibling Bloom-digest push period")
+	modRate := flag.Float64("modrate", 0, "churn mode: origin modifications per second; runs the workload against a federated cluster twice (pipeline off, then on) and gates the stale-serve reduction")
 	flag.Parse()
+
+	if *modRate > 0 {
+		n := *proxies
+		if n <= 0 {
+			n = 2
+		}
+		if *zipfS <= 1 || *clients <= 0 || *docs <= 0 {
+			fmt.Fprintln(os.Stderr, "bapsload: -zipf must be > 1 and -clients/-docs positive")
+			os.Exit(2)
+		}
+		rep := runInvalidationScenario(n, *clients, *docs, *zipfS, *duration, *modRate, *capacity, *seed)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		if !rep.StaleOK || !rep.OriginOK {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *proxies > 0 || *proxySweep != "" {
 		counts := []int{*proxies}

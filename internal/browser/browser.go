@@ -153,6 +153,12 @@ type Metrics struct {
 	// snapshot runs under the cache lock).
 	DirSnapshotMisses int64
 	OnionRelayed      int64
+	// Background-pipeline traffic (DESIGN.md §14): proxy-initiated cache
+	// pushes accepted into / declined by this cache, and proxy-initiated
+	// invalidations applied to it.
+	PushesAccepted int64
+	PushesDeclined int64
+	Invalidations  int64
 }
 
 // Agent is one live browser client.
@@ -176,6 +182,15 @@ type Agent struct {
 	deltaSeq uint64
 	// Waiters for onion-routed deliveries, by document URL.
 	pendingOnion map[string]chan onionDeliveryMsg
+	// invalidated tombstones proxy-invalidated documents: url → minimum
+	// acceptable version. Copies below the floor are never stored and
+	// never served to peers (410), even across the Close() window — a
+	// stale body must not leave this agent with a valid watermark.
+	invalidated map[string]int64
+	// closing marks shutdown: peer-serve and push handlers refuse once
+	// Close/Kill has begun, so the graceful-shutdown window cannot serve
+	// a document the proxy believes withdrawn.
+	closing bool
 
 	metrics Metrics
 	obs     *obs.Registry
@@ -232,9 +247,10 @@ func New(cfg Config) (*Agent, error) {
 		}
 	}
 	a := &Agent{
-		cfg:    cfg,
-		bodies: make(map[string][]byte),
-		marks:  make(map[string]storedMark),
+		cfg:         cfg,
+		bodies:      make(map[string][]byte),
+		marks:       make(map[string]storedMark),
+		invalidated: make(map[string]int64),
 		// Keep-alive-tuned transport toward the agent's one proxy host:
 		// the stock transport's 2 idle connections per host re-dial
 		// constantly under concurrent fetch + index-update traffic.
@@ -269,6 +285,8 @@ func New(cfg Config) (*Agent, error) {
 	mux.HandleFunc("/peer/onion-send", a.handlePeerOnionSend)
 	mux.HandleFunc("/peer/onion", a.handlePeerOnion)
 	mux.HandleFunc("/peer/resync", a.handlePeerResync)
+	mux.HandleFunc("/cache/push", a.handleCachePush)
+	mux.HandleFunc("/cache/invalidate", a.handleCacheInvalidate)
 	mux.Handle("/metrics", a.obs.Handler())
 	a.httpSrv = &http.Server{Handler: mux}
 	go a.httpSrv.Serve(ln)
@@ -329,7 +347,12 @@ func (a *Agent) register() error {
 // entries immediately instead of discovering the departure through failed
 // fetches), and shuts the peer server down.
 func (a *Agent) Close() error {
-	a.closeOnce.Do(func() { close(a.stopHeartbeat) })
+	a.closeOnce.Do(func() {
+		close(a.stopHeartbeat)
+		a.mu.Lock()
+		a.closing = true
+		a.mu.Unlock()
+	})
 	if a.pubq != nil {
 		a.pubq.stop(true)
 	}
@@ -348,7 +371,12 @@ func (a *Agent) Close() error {
 // simulating a browser that crashes or loses its network. The proxy only
 // learns of the departure through failed fetches and missed heartbeats.
 func (a *Agent) Kill() {
-	a.closeOnce.Do(func() { close(a.stopHeartbeat) })
+	a.closeOnce.Do(func() {
+		close(a.stopHeartbeat)
+		a.mu.Lock()
+		a.closing = true
+		a.mu.Unlock()
+	})
 	if a.pubq != nil {
 		a.pubq.stop(false) // abrupt: queued deltas are dropped, no flush
 	}
@@ -432,6 +460,12 @@ func (a *Agent) registerMetrics() {
 		func(m *Metrics) int64 { return m.DirSnapshotMisses })
 	counter("baps_browser_onion_relayed_total", "Onion-path hops relayed for other peers.",
 		func(m *Metrics) int64 { return m.OnionRelayed })
+	counter("baps_browser_pushes_accepted_total", "Proxy-initiated cache pushes stored locally.",
+		func(m *Metrics) int64 { return m.PushesAccepted })
+	counter("baps_browser_pushes_declined_total", "Proxy-initiated cache pushes refused (closing or tombstoned).",
+		func(m *Metrics) int64 { return m.PushesDeclined })
+	counter("baps_browser_invalidations_total", "Proxy-initiated invalidations applied to the local cache.",
+		func(m *Metrics) int64 { return m.Invalidations })
 	a.obs.GaugeFunc("baps_browser_cache_docs", "Documents in the local cache.", func() float64 {
 		a.mu.Lock()
 		defer a.mu.Unlock()

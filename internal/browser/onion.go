@@ -65,12 +65,17 @@ func (a *Agent) handlePeerOnionSend(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	body, ok := a.bodies[send.URL]
 	mark := a.marks[send.URL]
-	if ok {
+	refused := a.closing || (ok && mark.version < a.invalidated[send.URL])
+	if ok && !refused {
 		a.cache.GetTier(send.URL)
 		a.metrics.PeerServes++
 	}
 	tamper := a.Tamper
 	a.mu.Unlock()
+	if refused {
+		http.Error(w, "browser: gone", http.StatusGone)
+		return
+	}
 	if !ok {
 		http.Error(w, "browser: not cached", http.StatusNotFound)
 		return

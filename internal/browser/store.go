@@ -24,6 +24,17 @@ func nowStamp() float64 { return float64(time.Now().UnixNano()) / 1e9 }
 func (a *Agent) store(docURL string, body []byte, mark []byte, version int64) {
 	now := nowStamp()
 	a.mu.Lock()
+	// A tombstoned version must never re-enter the cache: an in-flight
+	// fetch that raced a /cache/invalidate would otherwise resurrect the
+	// stale body for peer serving. A version at or past the floor clears
+	// the tombstone — the document is current again.
+	if floor, dead := a.invalidated[docURL]; dead {
+		if version < floor {
+			a.mu.Unlock()
+			return
+		}
+		delete(a.invalidated, docURL)
+	}
 	evicted, admitted := a.cache.Put(cache.Doc{Key: docURL, Size: int64(len(body)), Version: version})
 	if admitted {
 		a.bodies[docURL] = body
@@ -243,12 +254,20 @@ func (a *Agent) handlePeerDoc(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	body, ok := a.bodies[docURL]
 	mark := a.marks[docURL]
-	if ok {
+	// Never hand out a copy the proxy has withdrawn, or anything once
+	// shutdown has begun: a stale-but-validly-watermarked body leaving
+	// this agent would verify at the requester and defeat invalidation.
+	refused := a.closing || (ok && mark.version < a.invalidated[docURL])
+	if ok && !refused {
 		a.cache.GetTier(docURL) // a peer read references the cache entry
 		a.metrics.PeerServes++
 	}
 	tamper := a.Tamper
 	a.mu.Unlock()
+	if refused {
+		http.Error(w, "browser: gone", http.StatusGone)
+		return
+	}
 	if !ok {
 		http.Error(w, "browser: not cached", http.StatusNotFound)
 		return
@@ -282,12 +301,17 @@ func (a *Agent) handlePeerSend(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	body, ok := a.bodies[ps.URL]
 	mark := a.marks[ps.URL]
-	if ok {
+	refused := a.closing || (ok && mark.version < a.invalidated[ps.URL])
+	if ok && !refused {
 		a.cache.GetTier(ps.URL)
 		a.metrics.PeerServes++
 	}
 	tamper := a.Tamper
 	a.mu.Unlock()
+	if refused {
+		http.Error(w, "browser: gone", http.StatusGone)
+		return
+	}
 	if !ok {
 		http.Error(w, "browser: not cached", http.StatusNotFound)
 		return

@@ -18,6 +18,7 @@ import (
 
 	"baps/internal/cache"
 	"baps/internal/index"
+	"baps/internal/intern"
 	"baps/internal/trace"
 )
 
@@ -214,6 +215,23 @@ type Config struct {
 	// Zero disables expiry.
 	DocTTLSec float64
 
+	// RevalidateAfterSec, when positive, models the live system's
+	// background revalidation producer (DESIGN.md §14): a proxy copy whose
+	// last known-fresh contact is older than this age has been
+	// conditionally re-checked in the background, so an origin-side
+	// modification surfaces as a fresh proxy hit (plus a background origin
+	// fetch, counted via Outcome.Revalidated) instead of a user-visible
+	// stale miss. Zero reproduces the paper (no revalidation).
+	RevalidateAfterSec float64
+
+	// PrefetchMinHits, when positive under the browsers-aware
+	// organization, models the popularity-driven prefetch producer: once a
+	// document's proxy-level access count reaches this threshold, the
+	// proxy pushes a copy into one browser cache that does not yet hold it
+	// (round-robin over clients), publishing the index entry. Zero
+	// disables prefetch.
+	PrefetchMinHits int
+
 	// ParentCapacity, when positive, inserts an upper-level proxy cache
 	// between the organization and the origin (the paper's "upper level
 	// proxy" that misses are forwarded to). It is consulted after every
@@ -260,6 +278,12 @@ func (c *Config) Validate() error {
 	if c.ParentCapacity < 0 {
 		return fmt.Errorf("core: negative ParentCapacity")
 	}
+	if c.RevalidateAfterSec < 0 {
+		return fmt.Errorf("core: negative RevalidateAfterSec")
+	}
+	if c.PrefetchMinHits < 0 {
+		return fmt.Errorf("core: negative PrefetchMinHits")
+	}
 	return nil
 }
 
@@ -283,6 +307,13 @@ type Outcome struct {
 	// so the copy could not be used (counted as a miss there, §3.2).
 	StaleLocal bool
 	StaleProxy bool
+	// Revalidated reports a proxy hit that only exists because background
+	// revalidation refreshed a modified copy before this access (one
+	// background origin fetch was spent on it).
+	Revalidated bool
+	// PrefetchPushed reports that this access tripped the popularity
+	// threshold and pushed a copy into an idle browser cache.
+	PrefetchPushed bool
 }
 
 // System is one configured caching organization processing a request
@@ -300,6 +331,14 @@ type System struct {
 	// ordBuf is the reused holder-candidate buffer for remoteLookup, so a
 	// proxy miss costs no allocation.
 	ordBuf []index.Entry
+
+	// Background-pipeline policy state (nil/empty when disabled).
+	// revalStamp[doc] is the proxy copy's last known-fresh time;
+	// popCount[doc] is the proxy-level access count driving prefetch;
+	// prefetchCursor round-robins push placement over clients.
+	revalStamp     []float64
+	popCount       []int32
+	prefetchCursor int
 }
 
 // New builds a System from cfg.
@@ -363,19 +402,44 @@ func New(cfg Config) (*System, error) {
 			s.browsers[i] = b
 		}
 	}
+	s.armPipelinePolicies()
 	return s, nil
+}
+
+// armPipelinePolicies (re)allocates the background-policy state to match the
+// current configuration: revalidation needs a proxy; prefetch needs the full
+// browsers-aware triple (proxy + index + browser caches).
+func (s *System) armPipelinePolicies() {
+	s.revalStamp, s.popCount, s.prefetchCursor = nil, nil, 0
+	if s.cfg.RevalidateAfterSec > 0 && s.proxy != nil {
+		s.revalStamp = make([]float64, s.cfg.NumDocs)
+	}
+	if s.cfg.PrefetchMinHits > 0 && s.proxy != nil && s.idx != nil && s.browsers != nil {
+		s.popCount = make([]int32, s.cfg.NumDocs)
+	}
 }
 
 // Access resolves one request through the organization's layers and returns
 // where it was satisfied. Requests must be presented in trace order.
 func (s *System) Access(r trace.Request) Outcome {
 	out := s.access(r)
+	// Popularity accounting mirrors the live proxy: every request that
+	// reached the proxy layer (anything but a local-browser hit) counts.
+	if s.popCount != nil && out.Class != HitLocalBrowser {
+		out.PrefetchPushed = s.notePrefetch(r)
+	}
 	if m := s.cfg.Metrics; m != nil {
 		m.Requests.Inc()
 		m.Outcomes[out.Class].Inc()
 		m.BytesRequested.Add(out.Size)
 		if out.FalseIndexHits > 0 {
 			m.FalseIndexHits.Add(int64(out.FalseIndexHits))
+		}
+		if out.Revalidated {
+			m.Revalidations.Inc()
+		}
+		if out.PrefetchPushed {
+			m.PrefetchPushes.Inc()
 		}
 	}
 	return out
@@ -407,8 +471,23 @@ func (s *System) access(r trace.Request) Outcome {
 	if s.cfg.Organization.hasProxy() {
 		if doc, tier, ok := s.proxy.GetTier(r.Doc); ok {
 			if doc.Size == r.Size {
+				s.stampFresh(r.Doc)
 				out.Class = HitProxy
 				out.Tier = tier
+				s.deliverToBrowser(r)
+				return out
+			}
+			// Modified at the origin. With the revalidation producer
+			// enabled, a copy past the freshness age has already been
+			// conditionally re-fetched in the background: the request
+			// sees a current proxy hit at the price of one background
+			// origin fetch instead of a stale miss.
+			if s.revalStamp != nil && s.now-s.freshStamp(r.Doc) >= s.cfg.RevalidateAfterSec {
+				s.proxy.Put(cache.IDDoc{ID: r.Doc, Size: r.Size})
+				s.stampFresh(r.Doc)
+				out.Class = HitProxy
+				out.Tier = cache.TierMemory // refetched bodies land in memory
+				out.Revalidated = true
 				s.deliverToBrowser(r)
 				return out
 			}
@@ -460,9 +539,69 @@ func (s *System) access(r trace.Request) Outcome {
 	}
 	if s.cfg.Organization.hasProxy() {
 		s.proxy.Put(cache.IDDoc{ID: r.Doc, Size: r.Size})
+		s.stampFresh(r.Doc)
 	}
 	s.deliverToBrowser(r)
 	return out
+}
+
+// stampFresh records the proxy copy's last known-fresh time (no-op with
+// revalidation disabled). The slice grows lazily for traces that did not
+// pre-declare NumDocs.
+func (s *System) stampFresh(doc intern.ID) {
+	if s.revalStamp == nil {
+		return
+	}
+	for int(doc) >= len(s.revalStamp) {
+		s.revalStamp = append(s.revalStamp, 0)
+	}
+	s.revalStamp[int(doc)] = s.now
+}
+
+// freshStamp reads the last known-fresh time for doc (zero when unseen).
+func (s *System) freshStamp(doc intern.ID) float64 {
+	if int(doc) >= len(s.revalStamp) {
+		return 0
+	}
+	return s.revalStamp[int(doc)]
+}
+
+// notePrefetch advances doc's proxy-level access count and, exactly at the
+// popularity threshold, pushes a copy into the next browser cache (round-
+// robin) that does not already hold it, publishing the index entry so the
+// placement is immediately resolvable. Reports whether a push happened.
+func (s *System) notePrefetch(r trace.Request) bool {
+	for int(r.Doc) >= len(s.popCount) {
+		s.popCount = append(s.popCount, 0)
+	}
+	s.popCount[int(r.Doc)]++
+	if int(s.popCount[int(r.Doc)]) != s.cfg.PrefetchMinHits {
+		return false
+	}
+	n := s.cfg.NumClients
+	for i := 0; i < n; i++ {
+		c := (s.prefetchCursor + i) % n
+		if c == r.Client {
+			continue
+		}
+		b := s.browsers[c]
+		if _, held := b.Peek(r.Doc); held {
+			continue
+		}
+		if _, admitted := b.Put(cache.IDDoc{ID: r.Doc, Size: r.Size}); !admitted {
+			continue
+		}
+		if s.pubs != nil {
+			e := index.Entry{Doc: r.Doc, Size: r.Size, Stamp: s.now}
+			if s.cfg.DocTTLSec > 0 {
+				e.Expire = s.now + s.cfg.DocTTLSec
+			}
+			s.pubs[c].OnInsert(e, b.Len())
+		}
+		s.prefetchCursor = (c + 1) % n
+		return true
+	}
+	return false
 }
 
 // deliverToBrowser stores the delivered document in the requester's browser
@@ -569,6 +708,7 @@ func (s *System) Reset(cfg Config) bool {
 	}
 	s.cfg = cfg
 	s.now = 0
+	s.armPipelinePolicies()
 	return true
 }
 

@@ -15,6 +15,12 @@ type AccessMetrics struct {
 	FalseIndexHits *obs.Counter
 	// BytesRequested sums delivered body sizes.
 	BytesRequested *obs.Counter
+	// Revalidations counts proxy hits rescued by background revalidation
+	// (each cost one background origin fetch).
+	Revalidations *obs.Counter
+	// PrefetchPushes counts popularity-driven placements into browser
+	// caches.
+	PrefetchPushes *obs.Counter
 }
 
 // NewAccessMetrics registers the simulator-core metric families on reg and
@@ -27,6 +33,10 @@ func NewAccessMetrics(reg *obs.Registry) *AccessMetrics {
 			"Remote-browser contacts wasted on stale index entries."),
 		BytesRequested: reg.Counter("baps_sim_bytes_requested_total",
 			"Body bytes delivered to requesters."),
+		Revalidations: reg.Counter("baps_sim_revalidations_total",
+			"Stale proxy copies refreshed by background revalidation before access."),
+		PrefetchPushes: reg.Counter("baps_sim_prefetch_pushes_total",
+			"Popularity-driven pushes into browser caches."),
 	}
 	vec := reg.CounterVec("baps_sim_requests_by_class_total",
 		"Requests by resolution class (Figure 3 breakdown plus parent/miss).", "class")

@@ -1,0 +1,137 @@
+package origin
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// condGet issues a GET with optional If-None-Match / If-Modified-Since
+// headers and returns the response.
+func condGet(t *testing.T, url, inm, ims string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	if ims != "" {
+		req.Header.Set("If-Modified-Since", ims)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, body
+}
+
+// TestConditionalGetMatrix covers the 200/304 decision table for the two
+// validators across unmodified and modified documents.
+func TestConditionalGetMatrix(t *testing.T) {
+	o, ts := startOrigin(t)
+	url := ts.URL + "/docs/cond"
+
+	// Unconditional GET: 200 with both validators.
+	resp, body := condGet(t, url, "", "")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("unconditional = %d (%d bytes), want 200 with body", resp.StatusCode, len(body))
+	}
+	etag := resp.Header.Get("ETag")
+	lastMod := resp.Header.Get("Last-Modified")
+	if etag != `"v0"` {
+		t.Fatalf("ETag = %q, want %q", etag, `"v0"`)
+	}
+	if _, err := http.ParseTime(lastMod); err != nil {
+		t.Fatalf("Last-Modified %q: %v", lastMod, err)
+	}
+
+	cases := []struct {
+		name     string
+		inm, ims string
+		modify   bool // bump the version first
+		want     int
+	}{
+		{name: "etag match", inm: etag, want: http.StatusNotModified},
+		{name: "etag star", inm: "*", want: http.StatusNotModified},
+		{name: "etag mismatch", inm: `"v99"`, want: http.StatusOK},
+		{name: "ims current", ims: lastMod, want: http.StatusNotModified},
+		{name: "ims future", ims: time.Now().Add(time.Hour).UTC().Format(http.TimeFormat), want: http.StatusNotModified},
+		{name: "ims stale", ims: time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), want: http.StatusOK},
+		{name: "ims malformed", ims: "not-a-date", want: http.StatusOK},
+		{name: "etag wins over ims", inm: `"v99"`, ims: time.Now().Add(time.Hour).UTC().Format(http.TimeFormat), want: http.StatusOK},
+		{name: "etag stale after modify", inm: etag, modify: true, want: http.StatusOK},
+		{name: "ims stale after modify", ims: time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), modify: true, want: http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := "/docs/cond"
+			u := url
+			if tc.modify {
+				// Modified cases get their own path so earlier
+				// subtests keep seeing version 0.
+				path = "/docs/cond-" + tc.name
+				u = ts.URL + path
+				condGet(t, u, "", "")
+				o.Modify(path)
+			}
+			resp, body := condGet(t, u, tc.inm, tc.ims)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			if tc.want == http.StatusNotModified {
+				if len(body) != 0 {
+					t.Fatalf("304 carried %d body bytes", len(body))
+				}
+				if resp.Header.Get("ETag") == "" || resp.Header.Get("Last-Modified") == "" {
+					t.Fatal("304 missing validators")
+				}
+			} else if len(body) == 0 {
+				t.Fatal("200 served no body")
+			}
+		})
+	}
+}
+
+// TestConditionalCounters: 304s count as notModified, not as fetches, so
+// the load gate's origin_fetches_per_modification only counts full bodies.
+func TestConditionalCounters(t *testing.T) {
+	o, ts := startOrigin(t)
+	url := ts.URL + "/docs/count"
+	resp, _ := condGet(t, url, "", "")
+	etag := resp.Header.Get("ETag")
+	before := o.Fetches()
+	for i := 0; i < 3; i++ {
+		if r, _ := condGet(t, url, etag, ""); r.StatusCode != http.StatusNotModified {
+			t.Fatalf("conditional %d = %d, want 304", i, r.StatusCode)
+		}
+	}
+	if got := o.Fetches(); got != before {
+		t.Fatalf("fetches grew %d→%d on 304s", before, got)
+	}
+	if got := o.NotModified(); got != 3 {
+		t.Fatalf("notModified = %d, want 3", got)
+	}
+	if v := o.Obs().CounterValue("baps_origin_not_modified_total"); v != 3 {
+		t.Fatalf("metric = %d, want 3", v)
+	}
+}
+
+// TestModifyAdvancesLastModified: a modification moves the Last-Modified
+// validator forward so date-only clients revalidate correctly.
+func TestModifyAdvancesLastModified(t *testing.T) {
+	o, _ := startOrigin(t)
+	lm0 := o.LastModified("/docs/x")
+	time.Sleep(5 * time.Millisecond)
+	o.Modify("/docs/x")
+	if lm1 := o.LastModified("/docs/x"); !lm1.After(lm0) {
+		t.Fatalf("Last-Modified did not advance: %v → %v", lm0, lm1)
+	}
+}

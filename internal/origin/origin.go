@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"baps/internal/obs"
 )
@@ -20,11 +21,14 @@ import (
 // typically serve with net/http/httptest in tests or cmd/bapsorigin in
 // deployments.
 type Server struct {
-	seed uint64
+	seed  uint64
+	start time.Time
 
-	mu       sync.RWMutex
-	versions map[string]int64
-	fetches  int64
+	mu          sync.RWMutex
+	versions    map[string]int64
+	modTimes    map[string]time.Time
+	fetches     int64
+	notModified int64
 
 	obs        *obs.Registry
 	bytesOut   *obs.Counter
@@ -35,7 +39,12 @@ type Server struct {
 
 // New creates a server whose document contents derive from seed.
 func New(seed int64) *Server {
-	s := &Server{seed: uint64(seed), versions: make(map[string]int64)}
+	s := &Server{
+		seed:     uint64(seed),
+		start:    time.Now(),
+		versions: make(map[string]int64),
+		modTimes: make(map[string]time.Time),
+	}
 	s.attachRegistry(obs.NewRegistry())
 	return s
 }
@@ -57,6 +66,9 @@ func (s *Server) attachRegistry(reg *obs.Registry) {
 		"Origin-side document modifications (version bumps).")
 	s.badRequest = reg.Counter("baps_origin_bad_requests_total",
 		"Requests rejected with a 4xx status.")
+	reg.CounterFunc("baps_origin_not_modified_total",
+		"Conditional requests answered 304 Not Modified (no body served).",
+		func() int64 { return s.NotModified() })
 	reg.GaugeFunc("baps_origin_modified_docs",
 		"Documents whose version has been bumped at least once.", func() float64 {
 			s.mu.RLock()
@@ -97,6 +109,24 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Path
 	s.mu.Lock()
 	version := s.versions[path]
+	lastMod := s.lastModLocked(path)
+	// Conditional GET (revalidation): the strong validator is the ETag
+	// ("v<version>"); If-Modified-Since is honored at HTTP's one-second
+	// date resolution for clients that only kept the date.
+	etag := fmt.Sprintf("%q", "v"+strconv.FormatInt(version, 10))
+	if notModified(r, etag, lastMod) {
+		s.notModified++
+		s.mu.Unlock()
+		h := w.Header()
+		h.Set("ETag", etag)
+		h.Set("Last-Modified", lastMod.UTC().Format(http.TimeFormat))
+		h.Set("X-Origin-Version", strconv.FormatInt(version, 10))
+		w.WriteHeader(http.StatusNotModified)
+		if s.logger != nil {
+			s.logger.Info("not-modified", "path", path, "version", version)
+		}
+		return
+	}
 	s.fetches++
 	s.mu.Unlock()
 
@@ -114,6 +144,8 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.Header().Set("X-Origin-Version", strconv.FormatInt(version, 10))
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Last-Modified", lastMod.UTC().Format(http.TimeFormat))
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 	s.bytesOut.Add(size)
@@ -137,6 +169,7 @@ func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.versions[path]++
 	v := s.versions[path]
+	s.modTimes[path] = time.Now()
 	s.mu.Unlock()
 	s.modifies.Inc()
 	if s.logger != nil {
@@ -172,8 +205,50 @@ func (s *Server) Modify(path string) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.versions[path]++
+	s.modTimes[path] = time.Now()
 	s.modifies.Inc()
 	return s.versions[path]
+}
+
+// NotModified reports how many conditional requests were answered 304.
+func (s *Server) NotModified() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.notModified
+}
+
+// LastModified reports a document's modification time (server start for
+// never-modified paths).
+func (s *Server) LastModified(path string) time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastModLocked(path)
+}
+
+// lastModLocked reads a path's modification time with s.mu held.
+func (s *Server) lastModLocked(path string) time.Time {
+	if t, ok := s.modTimes[path]; ok {
+		return t
+	}
+	return s.start
+}
+
+// notModified decides the conditional-GET outcome. The ETag comparison is
+// exact (strong validator); the If-Modified-Since comparison truncates to
+// seconds, matching the HTTP-date wire resolution.
+func notModified(r *http.Request, etag string, lastMod time.Time) bool {
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		return inm == etag || inm == "*"
+	}
+	ims := r.Header.Get("If-Modified-Since")
+	if ims == "" {
+		return false
+	}
+	since, err := http.ParseTime(ims)
+	if err != nil {
+		return false
+	}
+	return !lastMod.Truncate(time.Second).After(since)
 }
 
 // Version reports a document's current version.

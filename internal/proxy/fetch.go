@@ -68,6 +68,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.m.requests.Inc()
+	s.notePop(url)
 	start := time.Now()
 	sp := s.tracer.StartSpan("fetch")
 	sp.SetClient(requester)
@@ -385,8 +386,16 @@ func (s *Server) cacheLookup(url string) ([]byte, docMeta, bool) {
 // ownership of body — every call site passes a buffer it freshly read off
 // the wire and only ever reads afterwards, so no defensive copy is taken.
 func (s *Server) storeDoc(url string, body []byte, meta docMeta) {
+	if meta.storedAt.IsZero() {
+		meta.storedAt = time.Now()
+	}
+	modified := false
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if old, existed := s.meta[url]; existed && meta.version > old.version {
+		// An observed origin-side modification: stale copies may still
+		// live in browsers and sibling proxies (handled after unlock).
+		modified = true
+	}
 	s.meta[url] = meta
 	delete(s.durable, url) // any disk copy is now stale
 	if _, admitted := s.cache.Put(cache.Doc{Key: url, Size: int64(len(body)), Version: meta.version}); admitted {
@@ -401,6 +410,10 @@ func (s *Server) storeDoc(url string, body []byte, meta docMeta) {
 	// digest advertises (no-op unfederated; lock order is s.mu → fed.mu,
 	// and the digest builder's source snapshot never runs under fed.mu).
 	s.fedNote(1)
+	s.mu.Unlock()
+	if modified {
+		s.onModified(url, meta.version, false)
+	}
 }
 
 // upstreamDoc is a completed origin acquisition, shared across coalesced
@@ -520,6 +533,8 @@ func (s *Server) originAttempt(ctx context.Context, url string) ([]byte, docMeta
 		size:      int64(len(body)),
 		digest:    digest,
 		watermark: mark,
+		lastMod:   resp.Header.Get("Last-Modified"),
+		storedAt:  time.Now(),
 	}
 	s.storeDoc(url, body, meta)
 	s.m.originFetch.Observe(time.Since(start).Seconds())

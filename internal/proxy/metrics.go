@@ -92,6 +92,19 @@ type serverMetrics struct {
 	digestsSent           *obs.Counter
 	digestsRecv           *obs.Counter
 
+	// Background pipeline plane (pipeline.go).
+	revalidations    *obs.CounterVec // {result=fresh|changed|error}
+	revalFresh       *obs.Counter
+	revalChanged     *obs.Counter
+	revalErrors      *obs.Counter
+	prefetchPushes   *obs.Counter
+	prefetchDeclined *obs.Counter
+	invalidations    *obs.CounterVec // {target=local|browser|sibling}
+	invalLocal       *obs.Counter
+	invalBrowser     *obs.Counter
+	invalSibling     *obs.Counter
+	invalRecv        *obs.Counter
+
 	fetchDur     *obs.Summary
 	peerFetchDur *obs.Summary
 	originFetch  *obs.Summary
@@ -204,6 +217,23 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		"Federation digests delivered to siblings.")
 	m.digestsRecv = reg.Counter("baps_proxy_digests_received_total",
 		"Federation digests ingested from siblings.")
+
+	m.revalidations = reg.CounterVec("baps_proxy_revalidations_total",
+		"Background origin revalidations by result.", "result")
+	m.revalFresh = m.revalidations.With("fresh")
+	m.revalChanged = m.revalidations.With("changed")
+	m.revalErrors = m.revalidations.With("error")
+	m.prefetchPushes = reg.Counter("baps_proxy_prefetch_pushes_total",
+		"Hot documents pushed into under-loaded browser caches.")
+	m.prefetchDeclined = reg.Counter("baps_proxy_prefetch_declined_total",
+		"Prefetch pushes the target browser declined.")
+	m.invalidations = reg.CounterVec("baps_proxy_invalidations_total",
+		"Invalidation fan-out jobs completed, by target tier.", "target")
+	m.invalLocal = m.invalidations.With("local")
+	m.invalBrowser = m.invalidations.With("browser")
+	m.invalSibling = m.invalidations.With("sibling")
+	m.invalRecv = reg.Counter("baps_proxy_peer_invalidations_received_total",
+		"Cluster invalidations ingested from federation siblings.")
 
 	m.fetchDur = reg.Summary("baps_proxy_fetch_duration_seconds",
 		"End-to-end /fetch latency.")

@@ -589,6 +589,11 @@ func (l *lazyHeaderWriter) Write(p []byte) (int, error) {
 // the OS survives for the next Open.
 func (s *Server) Crash() {
 	s.sweepOnce.Do(func() { close(s.stopSweep) })
+	// The background pipeline dies abruptly: queued jobs drop, in-flight
+	// attempts are cancelled, nothing retries (workqueue.Kill, not Close).
+	s.pipeOnce.Do(func() { close(s.stopPipeline) })
+	s.pipelineWG.Wait()
+	s.wq.Kill()
 	// A killed process stops pushing federation digests; siblings must
 	// notice via staleness, so the push loop dies with the listener.
 	if fed := s.fed.Load(); fed != nil {

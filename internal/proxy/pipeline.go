@@ -1,0 +1,530 @@
+// Background work plane (DESIGN.md §14): the three producers that ride the
+// workqueue, decoupling consistency upkeep and proactive placement from the
+// request path.
+//
+//   - Origin revalidation: resident documents past RevalidateAfter are
+//     conditionally re-fetched (If-None-Match + If-Modified-Since against
+//     the origin's validators). A 304 just refreshes the freshness clock; a
+//     200 with a new version replaces the local copy and fans the
+//     invalidation out before a client ever sees the stale body.
+//   - Popularity-driven prefetch: per-doc access accounting nominates hot
+//     resident documents; the least-loaded registered browsers (fewest
+//     indexed documents) receive them via authenticated POST /cache/push,
+//     turning the browser index into a placement engine.
+//   - Invalidation fan-out: any observed modification (revalidation,
+//     refetch, or a sibling's /peer/invalidate) enqueues jobs that purge
+//     the local tiers, notify indexed browser holders (POST
+//     /cache/invalidate), and forward one hop to federation siblings whose
+//     digests may cover the URL (POST /peer/invalidate).
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"crypto/md5"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"baps/internal/index"
+	"baps/internal/obs"
+	"baps/internal/workqueue"
+)
+
+// Job kinds on the workqueue (rate-limit and metric labels).
+const (
+	kindRevalidate   = "revalidate"
+	kindPrefetch     = "prefetch"
+	kindInvalLocal   = "invalidate_local"
+	kindInvalBrowser = "invalidate_browser"
+	kindInvalSibling = "invalidate_sibling"
+)
+
+const (
+	// revalScanBatch bounds the revalidation nominations per scan round so
+	// one huge cache cannot flood the queue (the next round picks up the
+	// rest — the scan is cheap).
+	revalScanBatch = 256
+	// maxPopEntries bounds the popularity table; beyond it only already
+	// tracked documents accrue hits until decay frees room.
+	maxPopEntries = 65536
+	// pushedTTL is how long a (url, client) push is remembered, so the
+	// prefetcher does not re-push a hot document the target just evicted.
+	pushedTTL = 30 * time.Second
+)
+
+// newWorkqueue builds the proxy's background queue from Config. The queue
+// shares the server's metric registry, so baps_wq_* series appear on the
+// same /metrics page as the proxy's own counters.
+func (s *Server) newWorkqueue(reg *obs.Registry) *workqueue.Queue {
+	limits := map[string]float64{}
+	if s.cfg.RevalidateRPS > 0 {
+		limits[kindRevalidate] = s.cfg.RevalidateRPS
+	}
+	if s.cfg.PrefetchRPS > 0 {
+		limits[kindPrefetch] = s.cfg.PrefetchRPS
+	}
+	return workqueue.New(workqueue.Config{
+		Workers:      s.cfg.QueueWorkers,
+		Capacity:     s.cfg.QueueCapacity,
+		MaxAttempts:  s.cfg.QueueMaxAttempts,
+		RetryBackoff: s.cfg.QueueRetryBackoff,
+		JobTimeout:   s.cfg.QueueJobTimeout,
+		RateLimits:   limits,
+		Metrics:      reg,
+	})
+}
+
+// notePop records one client-facing access for prefetch popularity
+// accounting (no-op with the prefetch producer disabled).
+func (s *Server) notePop(url string) {
+	if s.cfg.PrefetchInterval <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if len(s.pop) < maxPopEntries {
+		s.pop[url]++
+	} else if s.pop[url] > 0 {
+		s.pop[url]++
+	}
+	s.mu.Unlock()
+}
+
+// startPipeline launches the enabled scanning producers. The workqueue
+// itself is always live (invalidation fan-out needs no scanner).
+func (s *Server) startPipeline() {
+	if s.cfg.RevalidateAfter > 0 {
+		s.pipelineWG.Add(1)
+		go s.scanLoop(s.cfg.RevalidateEvery, s.revalidateScan)
+	}
+	if s.cfg.PrefetchInterval > 0 {
+		s.pipelineWG.Add(1)
+		go s.scanLoop(s.cfg.PrefetchInterval, s.prefetchScan)
+	}
+}
+
+// scanLoop ticks scan until the pipeline stops.
+func (s *Server) scanLoop(every time.Duration, scan func()) {
+	defer s.pipelineWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopPipeline:
+			return
+		case <-t.C:
+			scan()
+		}
+	}
+}
+
+// revalidateScan nominates resident documents whose last acquisition or
+// freshness check is older than RevalidateAfter.
+func (s *Server) revalidateScan() {
+	now := time.Now()
+	s.mu.Lock()
+	due := make([]string, 0, 64)
+	for url, m := range s.meta {
+		if _, resident := s.cache.Peek(url); !resident {
+			continue
+		}
+		last := m.storedAt
+		if m.checkedAt.After(last) {
+			last = m.checkedAt
+		}
+		if now.Sub(last) >= s.cfg.RevalidateAfter {
+			due = append(due, url)
+			if len(due) == revalScanBatch {
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, url := range due {
+		// ErrDuplicate/ErrFull are fine: the document stays due and the
+		// next round renominates it.
+		s.wq.Submit(workqueue.Job{
+			Kind: kindRevalidate, Key: url, Priority: workqueue.Normal,
+			Run: s.revalidateJob(url),
+		})
+	}
+}
+
+// revalidateJob performs one background conditional GET. 304 refreshes the
+// freshness clock; 200 with a changed version stores the new body (which
+// triggers the invalidation fan-out via storeDoc's modification detection).
+func (s *Server) revalidateJob(url string) func(context.Context) error {
+	return func(ctx context.Context) error {
+		s.mu.Lock()
+		prior, ok := s.meta[url]
+		if ok {
+			_, ok = s.cache.Peek(url)
+		}
+		s.mu.Unlock()
+		if !ok {
+			return nil // evicted since nomination
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("If-None-Match", fmt.Sprintf("%q", "v"+strconv.FormatInt(prior.version, 10)))
+		if prior.lastMod != "" {
+			req.Header.Set("If-Modified-Since", prior.lastMod)
+		}
+		resp, err := s.originClient.Do(req)
+		if err != nil {
+			s.m.revalErrors.Inc()
+			return err
+		}
+		if resp.StatusCode == http.StatusNotModified {
+			DrainClose(resp)
+			s.mu.Lock()
+			if cur, live := s.meta[url]; live && cur.version == prior.version {
+				cur.checkedAt = time.Now()
+				s.meta[url] = cur
+			}
+			s.mu.Unlock()
+			s.m.revalFresh.Inc()
+			return nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			DrainClose(resp)
+			s.m.revalErrors.Inc()
+			return &upstreamStatusError{code: resp.StatusCode, status: resp.Status}
+		}
+		defer resp.Body.Close()
+		h := md5.New()
+		body, err := readDoc(resp.Body, resp.ContentLength, h)
+		if err != nil {
+			s.m.revalErrors.Inc()
+			return err
+		}
+		version, _ := strconv.ParseInt(resp.Header.Get("X-Origin-Version"), 10, 64)
+		digest := h.Sum(nil)
+		mark, err := s.signer.WatermarkDigest(digest)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		s.m.revalChanged.Inc()
+		s.storeDoc(url, body, docMeta{
+			version: version, size: int64(len(body)), digest: digest, watermark: mark,
+			lastMod: resp.Header.Get("Last-Modified"), storedAt: now, checkedAt: now,
+		})
+		return nil
+	}
+}
+
+// prefetchScan decays the popularity table, picks the hottest memory-
+// resident documents, and pushes up to PrefetchFanout of them into the
+// least-loaded registered browsers that do not already hold them.
+func (s *Server) prefetchScan() {
+	now := time.Now()
+	type hotDoc struct {
+		url string
+		n   int64
+	}
+	s.mu.Lock()
+	hots := make([]hotDoc, 0, 16)
+	for url, n := range s.pop {
+		if n >= int64(s.cfg.PrefetchMinHits) {
+			if _, inMem := s.bodies[url]; inMem {
+				hots = append(hots, hotDoc{url, n})
+			}
+		}
+		// Exponential decay keeps the table bounded and biased to recent
+		// popularity.
+		if n >>= 1; n == 0 {
+			delete(s.pop, url)
+		} else {
+			s.pop[url] = n
+		}
+	}
+	for k, t := range s.pushed {
+		if now.Sub(t) > pushedTTL {
+			delete(s.pushed, k)
+		}
+	}
+	peers := make([]peerInfo, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	if len(hots) == 0 || len(peers) == 0 {
+		return
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].n > hots[j].n })
+	// Load = how many documents the index believes each browser holds;
+	// prefetch fills the emptiest caches first (ties broken by id for
+	// determinism).
+	loads := make(map[int]int, len(peers))
+	for _, p := range peers {
+		loads[p.id] = len(s.idx.ClientDocs(p.id))
+	}
+	sort.Slice(peers, func(i, j int) bool {
+		if loads[peers[i].id] != loads[peers[j].id] {
+			return loads[peers[i].id] < loads[peers[j].id]
+		}
+		return peers[i].id < peers[j].id
+	})
+	submitted := 0
+	for _, h := range hots {
+		if submitted >= s.cfg.PrefetchFanout {
+			break
+		}
+		holders := make(map[int]bool)
+		if doc, known := s.syms.Lookup(h.url); known {
+			for _, e := range s.idx.Lookup(doc) {
+				holders[e.Client] = true
+			}
+		}
+		for _, p := range peers {
+			if holders[p.id] {
+				continue
+			}
+			key := h.url + "\x00" + strconv.Itoa(p.id)
+			s.mu.Lock()
+			_, recent := s.pushed[key]
+			if !recent {
+				s.pushed[key] = now
+			}
+			s.mu.Unlock()
+			if recent {
+				break // this doc was just pushed; move to the next one
+			}
+			s.wq.Submit(workqueue.Job{
+				Kind: kindPrefetch, Key: key, Priority: workqueue.Low,
+				Run: s.prefetchJob(p.id, h.url),
+			})
+			submitted++
+			break
+		}
+	}
+}
+
+// prefetchJob pushes one hot document into one browser cache.
+func (s *Server) prefetchJob(client int, url string) func(context.Context) error {
+	return func(ctx context.Context) error {
+		s.mu.Lock()
+		peer, registered := s.peers[client]
+		body, inMem := s.bodies[url]
+		meta := s.meta[url]
+		s.mu.Unlock()
+		if !registered || !inMem {
+			return nil // nomination went stale; nothing to push
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			peer.baseURL+"/cache/push?url="+urlQueryEscape(url), bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set(HeaderToken, peer.token)
+		req.Header.Set(HeaderVersion, strconv.FormatInt(meta.version, 10))
+		if meta.watermark != nil {
+			req.Header.Set(HeaderWatermark, base64.StdEncoding.EncodeToString(meta.watermark))
+		}
+		resp, err := s.peerClient.Do(req)
+		if err != nil {
+			return err
+		}
+		DrainClose(resp)
+		switch {
+		case resp.StatusCode/100 == 2:
+			s.m.prefetchPushes.Inc()
+			// The agent publishes the add through its own index protocol
+			// too (idempotent upsert); recording it here makes the
+			// placement resolvable immediately.
+			s.idx.Add(index.Entry{
+				Client: client, Doc: s.syms.Intern(url),
+				Size: int64(len(body)), Version: meta.version,
+				Stamp: float64(time.Now().UnixNano()) / 1e9,
+			})
+			s.fedNote(1)
+			return nil
+		case resp.StatusCode == http.StatusConflict || resp.StatusCode == http.StatusGone:
+			// The agent declined (doc invalidated there, or closing).
+			s.m.prefetchDeclined.Inc()
+			return nil
+		default:
+			return fmt.Errorf("prefetch push status %s", resp.Status)
+		}
+	}
+}
+
+// onModified fans out invalidation work for url at version. fromSibling
+// marks a /peer/invalidate ingest: the local tiers are purged too (this
+// proxy did not just store the fresh body) and the fan-out stops here —
+// one hop, never a cascade.
+func (s *Server) onModified(url string, version int64, fromSibling bool) {
+	if s.wq == nil {
+		return
+	}
+	vkey := url + "\x00" + strconv.FormatInt(version, 10)
+	if fromSibling {
+		s.wq.Submit(workqueue.Job{
+			Kind: kindInvalLocal, Key: vkey, Priority: workqueue.High,
+			Run: func(context.Context) error {
+				s.purgeStale(url, version)
+				s.m.invalLocal.Inc()
+				return nil
+			},
+		})
+	}
+	if doc, known := s.syms.Lookup(url); known {
+		for _, e := range s.idx.Lookup(doc) {
+			if e.Version >= version {
+				continue // that copy is already current
+			}
+			client := e.Client
+			s.wq.Submit(workqueue.Job{
+				Kind: kindInvalBrowser, Key: vkey + "\x00" + strconv.Itoa(client),
+				Priority: workqueue.High,
+				Run:      s.invalidateBrowserJob(client, url, version),
+			})
+		}
+	}
+	if fromSibling {
+		return
+	}
+	if fed := s.fed.Load(); fed != nil {
+		for _, sib := range fed.Candidates(url) {
+			s.wq.Submit(workqueue.Job{
+				Kind: kindInvalSibling, Key: vkey + "\x00" + sib,
+				Priority: workqueue.Normal,
+				Run:      s.invalidateSiblingJob(sib, url, version),
+			})
+		}
+	}
+}
+
+// purgeStale removes url's copies older than version from every local tier
+// (memory, spill stage, disk). A copy already at or past version survives:
+// the purge job may run after a refetch has landed the fresh body.
+func (s *Server) purgeStale(url string, version int64) {
+	s.mu.Lock()
+	if m, ok := s.meta[url]; ok && m.version >= version {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.meta, url)
+	delete(s.bodies, url)
+	delete(s.spillStage, url)
+	delete(s.hits, url)
+	delete(s.durable, url)
+	delete(s.pop, url)
+	s.cache.Remove(url)
+	if s.ds != nil {
+		select {
+		case s.spillq <- spillOp{key: url, del: true}:
+		default: // full queue: the orphan falls to the retention sweep
+		}
+	}
+	s.fedNote(1)
+	s.mu.Unlock()
+}
+
+// invalidateBrowserJob notifies one indexed holder that its copy is stale,
+// then drops the index entry so no requester is routed there meanwhile.
+func (s *Server) invalidateBrowserJob(client int, url string, version int64) func(context.Context) error {
+	return func(ctx context.Context) error {
+		s.mu.Lock()
+		peer, registered := s.peers[client]
+		s.mu.Unlock()
+		if !registered {
+			return nil // departed; its entries die with it
+		}
+		body, err := jsonBytes(InvalidateRequest{URL: url, Version: version})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			peer.baseURL+"/cache/invalidate", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set(HeaderToken, peer.token)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := s.peerClient.Do(req)
+		if err != nil {
+			return err
+		}
+		DrainClose(resp)
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("browser invalidate status %s", resp.Status)
+		}
+		if doc, known := s.syms.Lookup(url); known {
+			s.idx.Remove(client, doc)
+			s.fedNote(1)
+		}
+		s.m.invalBrowser.Inc()
+		return nil
+	}
+}
+
+// invalidateSiblingJob forwards the invalidation one hop to a federation
+// sibling whose digest may cover the URL. A dead sibling costs MaxAttempts
+// timed-out tries and a dead letter, never a wedged queue.
+func (s *Server) invalidateSiblingJob(sib, url string, version int64) func(context.Context) error {
+	return func(ctx context.Context) error {
+		body, err := jsonBytes(InvalidateRequest{URL: url, Version: version, From: s.baseURL})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			sib+"/peer/invalidate", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := s.peerClient.Do(req)
+		if err != nil {
+			return err
+		}
+		DrainClose(resp)
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("sibling invalidate status %s", resp.Status)
+		}
+		s.m.invalSibling.Inc()
+		return nil
+	}
+}
+
+// handlePeerInvalidate ingests a sibling proxy's invalidation: purge the
+// local tiers, notify this proxy's own browsers, and stop — the fan-out is
+// one hop (the originator reaches every sibling directly), so clusters can
+// never invalidate in a loop.
+func (s *Server) handlePeerInvalidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	fed := s.fed.Load()
+	if fed == nil {
+		http.Error(w, "proxy: not federated", http.StatusServiceUnavailable)
+		return
+	}
+	var req InvalidateRequest
+	if err := jsonDecode(io.LimitReader(r.Body, 1<<16), &req); err != nil || req.URL == "" {
+		http.Error(w, "proxy: bad invalidate body", http.StatusBadRequest)
+		return
+	}
+	known := false
+	for _, n := range fed.Nodes() {
+		if n == req.From && n != fed.Self() {
+			known = true
+			break
+		}
+	}
+	if !known {
+		http.Error(w, "proxy: unknown sibling", http.StatusForbidden)
+		return
+	}
+	s.m.invalRecv.Inc()
+	s.onModified(req.URL, req.Version, true)
+	w.WriteHeader(http.StatusNoContent)
+}

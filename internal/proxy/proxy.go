@@ -51,6 +51,7 @@ import (
 	"baps/internal/integrity"
 	"baps/internal/intern"
 	"baps/internal/obs"
+	"baps/internal/workqueue"
 )
 
 // ForwardMode mirrors core.ForwardMode for the live system.
@@ -177,6 +178,42 @@ type Config struct {
 	// modeling one proxy process as one machine of bounded capacity
 	// (<=0 disables; cluster-hop serves for siblings are never paced).
 	MaxFetchRPS int
+
+	// Background work plane (pipeline.go, DESIGN.md §14). The workqueue
+	// itself always runs — invalidation fan-out rides on it whenever a
+	// modification is observed — but the two scanning producers are
+	// opt-in: RevalidateAfter > 0 enables background origin revalidation,
+	// PrefetchInterval > 0 enables popularity-driven pushes into
+	// under-loaded browser caches.
+	//
+	// RevalidateAfter is the age past which a resident document is
+	// conditionally re-fetched (If-None-Match + If-Modified-Since) in the
+	// background.
+	RevalidateAfter time.Duration
+	// RevalidateEvery is the revalidation scan period (<=0:
+	// RevalidateAfter/4, min 25ms).
+	RevalidateEvery time.Duration
+	// RevalidateRPS rate-limits revalidate jobs (<=0: 256/s).
+	RevalidateRPS float64
+	// PrefetchInterval is the popularity scan period; each round the
+	// hottest resident documents are pushed to the least-loaded agents.
+	PrefetchInterval time.Duration
+	// PrefetchMinHits is the access count that makes a document a
+	// prefetch candidate (<=0: 3).
+	PrefetchMinHits int
+	// PrefetchFanout bounds pushes per scan round (<=0: 4).
+	PrefetchFanout int
+	// PrefetchRPS rate-limits prefetch push jobs (<=0: 64/s).
+	PrefetchRPS float64
+	// QueueWorkers / QueueCapacity / QueueMaxAttempts / QueueRetryBackoff
+	// / QueueJobTimeout tune the workqueue; zero values take the
+	// workqueue defaults (4 workers, 1024/level, 3 attempts, 100ms,
+	// 10s), except QueueJobTimeout which defaults to PeerTimeout.
+	QueueWorkers      int
+	QueueCapacity     int
+	QueueMaxAttempts  int
+	QueueRetryBackoff time.Duration
+	QueueJobTimeout   time.Duration
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -212,6 +249,12 @@ type docMeta struct {
 	size      int64
 	digest    []byte // MD5
 	watermark []byte // RSA signature over digest
+	// Revalidation bookkeeping (pipeline.go): when the body was acquired,
+	// when a background conditional GET last confirmed it fresh, and the
+	// origin's Last-Modified text for If-Modified-Since.
+	storedAt  time.Time
+	checkedAt time.Time
+	lastMod   string
 }
 
 type relaySession struct {
@@ -294,6 +337,17 @@ type Server struct {
 	fed   atomic.Pointer[federation.Cluster]
 	pacer *fetchPacer
 
+	// Background work plane (pipeline.go): wq runs the revalidation,
+	// prefetch, and invalidation jobs; pop counts per-doc accesses for
+	// prefetch nomination (under mu); pushed dedups recent pushes so one
+	// hot document is not re-pushed to the same agent every round.
+	wq           *workqueue.Queue
+	pop          map[string]int64
+	pushed       map[string]time.Time
+	stopPipeline chan struct{}
+	pipelineWG   sync.WaitGroup
+	pipeOnce     sync.Once
+
 	// peerClient carries proxy→browser traffic (shallow per-host pools,
 	// many hosts); originClient carries proxy→origin traffic (deep pool,
 	// few hosts, no overall timeout — request contexts bound it).
@@ -342,6 +396,27 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StateSaveEvery <= 0 {
 		cfg.StateSaveEvery = 2 * time.Second
 	}
+	if cfg.RevalidateAfter > 0 && cfg.RevalidateEvery <= 0 {
+		cfg.RevalidateEvery = cfg.RevalidateAfter / 4
+		if cfg.RevalidateEvery < 25*time.Millisecond {
+			cfg.RevalidateEvery = 25 * time.Millisecond
+		}
+	}
+	if cfg.RevalidateRPS <= 0 {
+		cfg.RevalidateRPS = 256
+	}
+	if cfg.PrefetchMinHits <= 0 {
+		cfg.PrefetchMinHits = 3
+	}
+	if cfg.PrefetchFanout <= 0 {
+		cfg.PrefetchFanout = 4
+	}
+	if cfg.PrefetchRPS <= 0 {
+		cfg.PrefetchRPS = 64
+	}
+	if cfg.QueueJobTimeout <= 0 {
+		cfg.QueueJobTimeout = cfg.PeerTimeout
+	}
 	signer, err := loadOrCreateSigner(cfg)
 	if err != nil {
 		return nil, err
@@ -373,6 +448,9 @@ func New(cfg Config) (*Server, error) {
 		durable:        make(map[string]bool),
 		spillq:         make(chan spillOp, 256),
 		stopDisk:       make(chan struct{}),
+		pop:            make(map[string]int64),
+		pushed:         make(map[string]time.Time),
+		stopPipeline:   make(chan struct{}),
 	}
 	if cfg.MaxFetchRPS > 0 {
 		s.pacer = newFetchPacer(cfg.MaxFetchRPS)
@@ -416,6 +494,7 @@ func New(cfg Config) (*Server, error) {
 		reg = obs.NewRegistry()
 	}
 	s.m = newServerMetrics(reg, s)
+	s.wq = s.newWorkqueue(reg)
 	s.tracer = obs.NewTracer(cfg.TraceDepth)
 	if cfg.TraceSample != nil {
 		s.tracer.SetSample(cfg.TraceSample, cfg.TraceSampleEvery)
@@ -457,6 +536,7 @@ func (s *Server) Start(addr string) error {
 		// are additionally caught by the generation-gap path.
 		go s.ResyncAll()
 	}
+	s.startPipeline()
 	return nil
 }
 
@@ -497,6 +577,13 @@ func (s *Server) sweepSilentPeers() {
 // journal to stable storage.
 func (s *Server) Close() error {
 	s.sweepOnce.Do(func() { close(s.stopSweep) })
+	// Stop the background producers first (no new jobs), then drain the
+	// workqueue: every accepted revalidation/prefetch/invalidation job
+	// completes or dead-letters before the server tears down the clients
+	// those jobs use.
+	s.pipeOnce.Do(func() { close(s.stopPipeline) })
+	s.pipelineWG.Wait()
+	s.wq.Close()
 	if fed := s.fed.Load(); fed != nil {
 		fed.Stop()
 	}
@@ -545,6 +632,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/index/batch", s.handleIndexBatch)
 	mux.HandleFunc("/peer/digest", s.handlePeerDigest)
 	mux.HandleFunc("/peer/locate", s.handlePeerLocate)
+	mux.HandleFunc("/peer/invalidate", s.handlePeerInvalidate)
 	mux.HandleFunc("/relay/", s.handleRelay)
 	mux.HandleFunc("/report-bad", s.handleReportBad)
 	mux.HandleFunc("/pubkey", s.handlePubkey)
@@ -828,6 +916,7 @@ func (s *Server) Snapshot() Stats {
 		fs := fed.Snapshot()
 		fedStats = &fs
 	}
+	wqStats := s.wq.Stats()
 	m := s.m
 	return Stats{
 		Requests:  m.requests.Value(),
@@ -874,6 +963,12 @@ func (s *Server) Snapshot() Stats {
 		DigestsSent:           m.digestsSent.Value(),
 		DigestsReceived:       m.digestsRecv.Value(),
 		Federation:            fedStats,
+		Revalidations:         m.revalFresh.Value() + m.revalChanged.Value(),
+		RevalidationsChanged:  m.revalChanged.Value(),
+		PrefetchPushes:        m.prefetchPushes.Value(),
+		InvalidationsSent:     m.invalLocal.Value() + m.invalBrowser.Value() + m.invalSibling.Value(),
+		InvalidationsReceived: m.invalRecv.Value(),
+		Workqueue:             &wqStats,
 		IndexEntries:          s.idx.Len(),
 		CacheDocs:             cacheDocs,
 		CacheBytes:            cacheBytes,

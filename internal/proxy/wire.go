@@ -3,7 +3,10 @@ package proxy
 // Wire types shared between the browsers-aware proxy and the browser agents
 // (internal/browser imports these; the dependency is one-way).
 
-import "baps/internal/federation"
+import (
+	"baps/internal/federation"
+	"baps/internal/workqueue"
+)
 
 // Header names of the BAPS protocol.
 const (
@@ -177,6 +180,20 @@ type LocateResponse struct {
 	Via string `json:"via,omitempty"`
 }
 
+// InvalidateRequest is the body of POST /cache/invalidate (proxy →
+// browser) and POST /peer/invalidate (proxy → federation sibling): copies
+// of URL older than Version are stale and must stop being served.
+type InvalidateRequest struct {
+	URL     string `json:"url"`
+	Version int64  `json:"version"`
+	// From is the sender proxy's cluster identity (its base URL) on
+	// sibling fan-out; the receiver accepts the message only from known
+	// cluster members and never re-forwards it (one hop, like cluster
+	// fetches). Empty on proxy→browser invalidations, which authenticate
+	// with the registration token instead.
+	From string `json:"from,omitempty"`
+}
+
 // BadContentReport is the body of POST /report-bad: a requester whose
 // watermark verification failed reports the document; the proxy, which knows
 // which holder served the relay ticket, prunes that holder's index entry.
@@ -235,6 +252,17 @@ type Stats struct {
 	// Federation is the membership snapshot (per-sibling digest age,
 	// breaker state, FP counts); nil on an unfederated proxy.
 	Federation *federation.Stats `json:"federation,omitempty"`
+
+	// Background pipeline counters (zero with the producers disabled;
+	// invalidation fan-out can fire regardless — any observed
+	// modification enqueues it).
+	Revalidations         int64 `json:"revalidations"`          // background conditional GETs completed
+	RevalidationsChanged  int64 `json:"revalidations_changed"`  // revalidations that found a new version
+	PrefetchPushes        int64 `json:"prefetch_pushes"`        // hot docs pushed into browser caches
+	InvalidationsSent     int64 `json:"invalidations_sent"`     // invalidation jobs completed (all targets)
+	InvalidationsReceived int64 `json:"invalidations_received"` // sibling invalidations ingested
+	// Workqueue is the background work plane's queue snapshot.
+	Workqueue *workqueue.Stats `json:"workqueue,omitempty"`
 
 	// Disk-tier counters (zero without -datadir). ProxyHits above includes
 	// DiskHits: a disk-tier hit is still a proxy-cache hit.

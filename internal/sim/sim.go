@@ -111,6 +111,21 @@ type Config struct {
 	// remote hits. 0 (the paper's evaluation setting) disables it.
 	DocTTLSec float64
 
+	// RevalidateAfterSec, when positive, enables the background
+	// revalidation policy (DESIGN.md §14): proxy copies older than this
+	// age are kept fresh against origin modifications by background
+	// conditional fetches, converting stale-proxy misses into proxy hits
+	// at the cost of counted background origin fetches. 0 reproduces the
+	// paper.
+	RevalidateAfterSec float64
+
+	// PrefetchMinHits, when positive under the browsers-aware
+	// organization, enables popularity-driven prefetch: documents whose
+	// proxy-level access count reaches the threshold are pushed into idle
+	// browser caches, seeding future remote-browser (or even local) hits.
+	// 0 disables.
+	PrefetchMinHits int
+
 	// ParentRelativeSize, when positive, adds an upper-level proxy of
 	// that fraction of the infinite cache size between the organization
 	// and the origin (the hierarchy extension; the paper's evaluation
@@ -212,6 +227,8 @@ func buildCoreConfig(st *trace.Stats, c Config) core.Config {
 		ProxyCachesPeerDocs: c.ProxyCachesPeerDocs,
 		CacheRemoteHits:     c.CacheRemoteHits,
 		DocTTLSec:           c.DocTTLSec,
+		RevalidateAfterSec:  c.RevalidateAfterSec,
+		PrefetchMinHits:     c.PrefetchMinHits,
 		ParentCapacity:      int64(c.ParentRelativeSize * float64(st.InfiniteCacheBytes)),
 	}
 }
@@ -375,6 +392,12 @@ func (rn *Runner) Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error
 		}
 		if out.StaleProxy {
 			res.StaleProxy++
+		}
+		if out.Revalidated {
+			res.Revalidations++
+		}
+		if out.PrefetchPushed {
+			res.PrefetchPushes++
 		}
 		res.TotalServiceSec += lat
 		hist.Add(lat)
