@@ -12,7 +12,7 @@ BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*
 # tier, and the background work plane, raced in `make check`.
 HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos ./internal/browser ./internal/diskstore ./internal/breaker ./internal/federation ./internal/workqueue
 
-.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare loadtest loadtest-indexmodes loadtest-restart loadtest-federation loadtest-invalidation
+.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare loadtest loadtest-indexmodes loadtest-restart loadtest-federation loadtest-invalidation soak soak-smoke
 
 all: build vet test
 
@@ -87,17 +87,46 @@ loadtest-restart:
 	@grep -q '"origin_spike_ok": true' LOAD_$(DATE)_restart.json || { echo "origin spike gate FAILED"; exit 1; }
 
 # Federation scale-out gate (DESIGN.md §13): the same closed loop against
-# in-process clusters of 1, 2, and 4 digest-exchanging proxies, each capped
-# at the same per-proxy admission rate to model one machine per proxy. The
-# combined report must show aggregate RPS at 4 proxies >= 2x the single
-# proxy with the aggregate hit ratio within 3 points (bapsload exits
-# non-zero otherwise). Writes LOAD_<date>_federation.json.
+# in-process clusters of 1, 2, 4, and 8 digest-exchanging proxies, each
+# capped at the same per-proxy admission rate to model one machine per
+# proxy. With three doublings in the sweep the gate is per doubling: the
+# combined report must show aggregate RPS growing >= 1.7x per doubling with
+# the aggregate hit ratio within 3 points (bapsload exits non-zero
+# otherwise). Writes LOAD_<date>_federation.json.
 loadtest-federation:
-	$(GO) run ./cmd/bapsload -proxysweep "1,2,4" -clients 16 -docs 5000 \
-		-zipf 1.2 -duration 8s -proxyrps 1200 -digestinterval 250ms \
+	$(GO) run ./cmd/bapsload -proxysweep "1,2,4,8" -clients 12 -docs 5000 \
+		-zipf 1.2 -duration 8s -proxyrps 450 -digestinterval 250ms \
 		> LOAD_$(DATE)_federation.json \
 		|| { cat LOAD_$(DATE)_federation.json; echo "federation scaling gate FAILED"; exit 1; }
-	@grep -E '"aggregate_rps"|"aggregate_hit_ratio"|"rps_scaling"|"scaling_ok"|"hit_ratio_ok"|"bloom_fp_rate"|"cross_proxy_rate"' LOAD_$(DATE)_federation.json
+	@grep -E '"aggregate_rps"|"aggregate_hit_ratio"|"rps_scaling"|"scaling_per_doubling"|"scaling_ok"|"hit_ratio_ok"|"bloom_fp_rate"|"cross_proxy_rate"' LOAD_$(DATE)_federation.json
+
+# Lean-agent soak gate (DESIGN.md §15): 50,000 hosted agents across 8
+# AgentHosts under 10 minutes of sustained closed-loop load with 30% fleet
+# churn (individual kills and whole-host kills) and origin modification
+# churn, sampling RSS / goroutines / RPS / p99 every second. Gates: hosted
+# hit ratio within 2 points of the per-agent-server parity baseline, and
+# peak RSS per agent <= 50 KiB. Writes LOAD_<date>_soak.json.
+soak:
+	$(GO) run ./cmd/bapsload -soak -agenthosts 8 -agentsperhost 6250 \
+		-clients 64 -docs 20000 -zipf 1.2 -duration 10m -churn 0.3 \
+		-modrate 5 -docsize 1024 -agentcache 16384 -capacity 67108864 \
+		> LOAD_$(DATE)_soak.json \
+		|| { grep -vE '"t_sec"|"rss_bytes"|"goroutines"|"rps"|"p99_ms"|"live_agents"|[{}],?$$' LOAD_$(DATE)_soak.json; echo "soak gate FAILED"; exit 1; }
+	@grep -E '"agents"|"hit_ratio_delta"|"hit_ratio_ok"|"rss_per_agent_bytes"|"rss_per_agent_ok"|"agent_kills"|"host_kills"|"ok"' LOAD_$(DATE)_soak.json
+
+# 60-second soak smoke for CI: a scaled-down fleet with the same churn
+# profile, gated against the checked-in baseline (RPS >= 0.6x, p99 <= 2.5x,
+# RSS per agent <= 1.4x) via -soakcompare. Writes LOAD_soak_smoke.json.
+# Set SOAK_BASELINE= to record a fresh baseline without comparing.
+SOAK_BASELINE ?= LOAD_soak_smoke_baseline.json
+soak-smoke:
+	$(GO) run ./cmd/bapsload -soak -agenthosts 4 -agentsperhost 500 \
+		-clients 48 -docs 8000 -zipf 1.2 -duration 60s -churn 0.3 \
+		-modrate 5 -docsize 1024 -agentcache 16384 -capacity 67108864 \
+		$(if $(SOAK_BASELINE),-soakcompare $(SOAK_BASELINE),) \
+		> LOAD_soak_smoke.json \
+		|| { grep -vE '"t_sec"|"rss_bytes"|"goroutines"|"rps"|"p99_ms"|"live_agents"|[{}],?$$' LOAD_soak_smoke.json; echo "soak smoke gate FAILED"; exit 1; }
+	@grep -E '"hit_ratio_delta"|"hit_ratio_ok"|"rss_per_agent_bytes"|"rss_per_agent_ok"|"rps_ratio"|"p99_ratio"|"rss_per_agent_ratio"|"ok"' LOAD_soak_smoke.json
 
 # Invalidation-pipeline gate (DESIGN.md §14): modification churn against a
 # 2-proxy federated cluster, run twice — background pipeline off, then on.

@@ -129,7 +129,51 @@ func main() {
 	proxyRPS := flag.Float64("proxyrps", 1200, "federation mode: per-proxy fetch admission cap, modeling one machine per proxy")
 	digestInterval := flag.Duration("digestinterval", 250*time.Millisecond, "federation mode: sibling Bloom-digest push period")
 	modRate := flag.Float64("modrate", 0, "churn mode: origin modifications per second; runs the workload against a federated cluster twice (pipeline off, then on) and gates the stale-serve reduction")
+	agentHosts := flag.Int("agenthosts", 0, "lean agent mode: multiplex -indexmode agents across N AgentHosts instead of one server per agent (0 = standalone agents)")
+	agentsPerHost := flag.Int("agentsperhost", 0, "-soak: hosted agents per AgentHost (default 6250)")
+	soak := flag.Bool("soak", false, "soak mode: AgentHost fleet under sustained load with churn; gates hit-ratio parity and RSS per agent (see -agenthosts/-agentsperhost/-churn)")
+	churnFrac := flag.Float64("churn", 0.3, "-soak: fraction of the fleet killed and replaced over the run")
+	docSize := flag.Int("docsize", 1024, "-soak: document body size in bytes")
+	parityAgents := flag.Int("parityagents", 48, "-soak: client count for the standalone-vs-hosted hit-ratio parity legs")
+	soakCompare := flag.String("soakcompare", "", "-soak: previous soak report JSON to gate RPS/p99/RSS-per-agent against")
 	flag.Parse()
+
+	if *soak {
+		if *zipfS <= 1 || *docs <= 0 {
+			fmt.Fprintln(os.Stderr, "bapsload: -zipf must be > 1 and -docs positive")
+			os.Exit(2)
+		}
+		opts := soakOpts{
+			hosts:      *agentHosts,
+			perHost:    *agentsPerHost,
+			parity:     *parityAgents,
+			workers:    *clients,
+			docs:       *docs,
+			zipfS:      *zipfS,
+			docSize:    *docSize,
+			duration:   *duration,
+			churn:      *churnFrac,
+			modRate:    *modRate,
+			capacity:   *capacity,
+			agentCache: *agentCache,
+			seed:       *seed,
+			compare:    *soakCompare,
+		}
+		if opts.hosts <= 0 {
+			opts.hosts = 8
+		}
+		if opts.perHost <= 0 {
+			opts.perHost = 6250
+		}
+		rep := runSoak(opts)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		if !rep.OK {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *modRate > 0 {
 		n := *proxies
@@ -215,7 +259,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := run(*proxyURL, *originURL, *clients, *docs, *zipfS, *duration, *targetRPS, *seed, *indexMode, *agentCache, plan)
+	if *agentHosts > 0 && *indexMode == "" {
+		fmt.Fprintln(os.Stderr, "bapsload: -agenthosts requires -indexmode (hosted clients are full browser agents)")
+		os.Exit(2)
+	}
+
+	res := run(*proxyURL, *originURL, *clients, *docs, *zipfS, *duration, *targetRPS, *seed, *indexMode, *agentCache, *agentHosts, plan)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(res)
@@ -296,7 +345,7 @@ func parseIndexMode(s string) (browser.IndexMode, error) {
 	return 0, fmt.Errorf("unknown -indexmode %q (want immediate, periodic, or batched)", s)
 }
 
-func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration time.Duration, targetRPS float64, seed uint64, indexMode string, agentCache int64, plan *restartPlan) *result {
+func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration time.Duration, targetRPS float64, seed uint64, indexMode string, agentCache int64, agentHosts int, plan *restartPlan) *result {
 	// One shared keep-alive transport: all clients hit the same proxy
 	// host, so the pool depth scales with the client count.
 	transport := proxy.NewTransport(clients)
@@ -306,27 +355,50 @@ func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration 
 	// (cache + peer server + index maintenance), so the run measures the
 	// index protocol's overhead, not just raw /fetch throughput.
 	var agents []*browser.Agent
+	var hosts []*browser.AgentHost
 	if indexMode != "" {
 		mode, err := parseIndexMode(indexMode)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bapsload: %v\n", err)
 			os.Exit(2)
 		}
-		for c := 0; c < clients; c++ {
-			cfg := browser.DefaultConfig(proxyURL)
-			cfg.IndexMode = mode
-			cfg.CacheCapacity = agentCache
-			cfg.Timeout = 30 * time.Second
-			// Skip RSA watermark verification: the run isolates index-
-			// maintenance cost, and per-document signature checks would
-			// dominate the client CPU budget.
-			cfg.Verify = false
-			ag, err := browser.New(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "bapsload: agent %d: %v\n", c, err)
-				os.Exit(1)
+		cfg := browser.DefaultConfig(proxyURL)
+		cfg.IndexMode = mode
+		cfg.CacheCapacity = agentCache
+		cfg.Timeout = 30 * time.Second
+		// Skip RSA watermark verification: the run isolates index-
+		// maintenance cost, and per-document signature checks would
+		// dominate the client CPU budget.
+		cfg.Verify = false
+		if agentHosts > 0 {
+			// Lean agent mode: clients ride round-robin on shared
+			// AgentHosts — one listener, one transport, one batched index
+			// publisher per host instead of per agent.
+			for h := 0; h < agentHosts; h++ {
+				host, err := browser.NewHost(browser.HostConfig{Agent: cfg})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bapsload: agent host %d: %v\n", h, err)
+					os.Exit(1)
+				}
+				hosts = append(hosts, host)
 			}
-			agents = append(agents, ag)
+			for c := 0; c < clients; c++ {
+				ag, err := hosts[c%agentHosts].Spawn()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bapsload: hosted agent %d: %v\n", c, err)
+					os.Exit(1)
+				}
+				agents = append(agents, ag)
+			}
+		} else {
+			for c := 0; c < clients; c++ {
+				ag, err := browser.New(cfg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bapsload: agent %d: %v\n", c, err)
+					os.Exit(1)
+				}
+				agents = append(agents, ag)
+			}
 		}
 	}
 
@@ -406,6 +478,9 @@ func run(proxyURL, originURL string, clients, docs int, zipfS float64, duration 
 			sum.IndexSyncs += m.IndexSyncs
 			sum.IndexBatches += m.IndexBatches
 			sum.IndexPublishFailures += m.IndexPublishFailures
+		}
+		for _, h := range hosts {
+			h.Close() // agents are already removed; stops listener + publisher
 		}
 		res.IndexMode = indexMode
 		res.IndexRequests = sum.IndexOps + sum.IndexSyncs + sum.IndexBatches

@@ -161,7 +161,12 @@ type Metrics struct {
 	Invalidations  int64
 }
 
-// Agent is one live browser client.
+// Agent is one live browser client. It runs in one of two shapes: a
+// standalone agent owns a listener, HTTP server, transport pool, publish
+// goroutine, and heartbeat goroutine; a hosted agent (AgentHost.Spawn) is
+// just this struct — the host supplies a shared server, shared transport,
+// one multiplexed publisher, and one heartbeat pacer for all its agents, so
+// per-agent overhead stays flat at fleet scale.
 type Agent struct {
 	cfg      Config
 	id       int
@@ -169,10 +174,12 @@ type Agent struct {
 	pub      *rsa.PublicKey
 	relayKey []byte // covert-path key issued at registration
 
-	mu     sync.Mutex
-	cache  *cache.TwoTier
-	bodies map[string][]byte
-	marks  map[string]storedMark
+	mu    sync.Mutex
+	cache *cache.TwoTier
+	// docs holds body, watermark, and version per cached URL in one map:
+	// one lookup (and at fleet scale, one bucket array) where the old
+	// bodies/marks pair cost two.
+	docs map[string]cachedDoc
 	// Periodic-mode pending change counter.
 	changes int
 	// deltaSeq orders Batched-mode deltas by cache mutation: assigned
@@ -196,15 +203,30 @@ type Agent struct {
 	obs     *obs.Registry
 	logger  *slog.Logger
 
+	// httpClient is per-agent for standalone agents; hosted agents share
+	// their host's one tuned transport. listener/httpSrv are nil when
+	// hosted — the host's shared server routes to this agent by slot.
 	httpClient *http.Client
 	listener   net.Listener
 	httpSrv    *http.Server
 	peerURL    string
 
-	// pubq is the Batched-mode publish queue (nil in other modes).
-	pubq *publisher
+	// sink is the Batched-mode index publisher (nil in other modes): a
+	// dedicated per-agent goroutine when standalone, a thin handle onto the
+	// host's multiplexed publisher when hosted.
+	sink indexSink
+
+	// Host plumbing (nil/0 when standalone).
+	host *AgentHost
+	slot int
 
 	stopHeartbeat chan struct{}
+	// heartbeatDone is closed when the heartbeat goroutine exits; Close
+	// waits on it before unregistering, so a beat in flight cannot land at
+	// the proxy after the unregister wiped the agent's health record (a
+	// resurrection the silence sweep could never clear). Nil when no
+	// heartbeat loop runs (hosted agents, HeartbeatInterval 0).
+	heartbeatDone chan struct{}
 	closeOnce     sync.Once
 
 	// Tamper is a test hook: when non-nil, bodies served to peers (via
@@ -212,25 +234,28 @@ type Agent struct {
 	Tamper func(url string, body []byte) []byte
 }
 
-type storedMark struct {
-	version   int64
+// cachedDoc is one locally cached document: the body plus the proxy
+// watermark and version needed to re-serve it to peers.
+type cachedDoc struct {
+	body      []byte
 	watermark []byte
+	version   int64
 }
 
-// New starts an agent: it brings up the peer server on a loopback port and
-// registers with the proxy.
-func New(cfg Config) (*Agent, error) {
+// normalizeConfig validates cfg and fills Batched-mode defaults; shared by
+// the standalone and hosted constructors.
+func normalizeConfig(cfg Config) (Config, error) {
 	if cfg.ProxyURL == "" {
-		return nil, errors.New("browser: missing ProxyURL")
+		return cfg, errors.New("browser: missing ProxyURL")
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
 	if cfg.MemFraction <= 0 || cfg.MemFraction > 1 {
-		return nil, fmt.Errorf("browser: MemFraction %g out of (0,1]", cfg.MemFraction)
+		return cfg, fmt.Errorf("browser: MemFraction %g out of (0,1]", cfg.MemFraction)
 	}
 	if cfg.IndexMode == Periodic && (cfg.Threshold <= 0 || cfg.Threshold > 1) {
-		return nil, fmt.Errorf("browser: Threshold %g out of (0,1] for periodic mode", cfg.Threshold)
+		return cfg, fmt.Errorf("browser: Threshold %g out of (0,1] for periodic mode", cfg.Threshold)
 	}
 	if cfg.IndexMode == Batched {
 		if cfg.BatchMaxDelay <= 0 {
@@ -243,29 +268,78 @@ func New(cfg Config) (*Agent, error) {
 			cfg.BatchMaxBytes = 256 << 10
 		}
 		if cfg.DigestEvery < 0 {
-			return nil, fmt.Errorf("browser: DigestEvery %d must be >= 0", cfg.DigestEvery)
+			return cfg, fmt.Errorf("browser: DigestEvery %d must be >= 0", cfg.DigestEvery)
 		}
 	}
-	a := &Agent{
-		cfg:         cfg,
-		bodies:      make(map[string][]byte),
-		marks:       make(map[string]storedMark),
-		invalidated: make(map[string]int64),
-		// Keep-alive-tuned transport toward the agent's one proxy host:
-		// the stock transport's 2 idle connections per host re-dial
-		// constantly under concurrent fetch + index-update traffic.
-		httpClient: &http.Client{
-			Timeout:   cfg.Timeout,
-			Transport: proxy.NewTransport(proxy.AgentIdleConnsPerHost),
-		},
-		stopHeartbeat: make(chan struct{}),
-	}
+	return cfg, nil
+}
+
+// initAgent fills in the agent core — cache, doc map, tombstones — on a
+// caller-allocated struct (hosts place agents in arena chunks) using the
+// caller's HTTP client. Config must already be normalized.
+func initAgent(a *Agent, cfg Config, client *http.Client) error {
 	tc, err := cache.NewTwoTier(cfg.Policy, cfg.CacheCapacity,
 		int64(float64(cfg.CacheCapacity)*cfg.MemFraction))
 	if err != nil {
+		return err
+	}
+	a.cfg = cfg
+	a.cache = tc
+	a.docs = make(map[string]cachedDoc)
+	a.invalidated = make(map[string]int64)
+	a.httpClient = client
+	a.stopHeartbeat = make(chan struct{})
+	a.logger = cfg.Logger
+	return nil
+}
+
+// peerPaths is the peer-server route table, shared by the standalone mux
+// and the AgentHost path router. Every handler is path-independent — it
+// reads only query/body/headers — which is what makes prefix-routed hosting
+// possible without touching the wire protocol.
+var peerPaths = []string{
+	"/peer/doc", "/peer/send", "/peer/onion-send", "/peer/onion",
+	"/peer/resync", "/cache/push", "/cache/invalidate",
+}
+
+// dispatch maps a peer-server path to its handler (nil when unknown).
+func (a *Agent) dispatch(path string) http.HandlerFunc {
+	switch path {
+	case "/peer/doc":
+		return a.handlePeerDoc
+	case "/peer/send":
+		return a.handlePeerSend
+	case "/peer/onion-send":
+		return a.handlePeerOnionSend
+	case "/peer/onion":
+		return a.handlePeerOnion
+	case "/peer/resync":
+		return a.handlePeerResync
+	case "/cache/push":
+		return a.handleCachePush
+	case "/cache/invalidate":
+		return a.handleCacheInvalidate
+	}
+	return nil
+}
+
+// New starts a standalone agent: it brings up the peer server on a loopback
+// port and registers with the proxy.
+func New(cfg Config) (*Agent, error) {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
 		return nil, err
 	}
-	a.cache = tc
+	a := &Agent{}
+	// Keep-alive-tuned transport toward the agent's one proxy host: the
+	// stock transport's 2 idle connections per host re-dial constantly
+	// under concurrent fetch + index-update traffic.
+	if err := initAgent(a, cfg, &http.Client{
+		Timeout:   cfg.Timeout,
+		Transport: proxy.NewTransport(proxy.AgentIdleConnsPerHost),
+	}); err != nil {
+		return nil, err
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -273,20 +347,15 @@ func New(cfg Config) (*Agent, error) {
 	}
 	a.listener = ln
 	a.peerURL = "http://" + ln.Addr().String()
-	a.logger = cfg.Logger
 	a.obs = cfg.Metrics
 	if a.obs == nil {
 		a.obs = obs.NewRegistry()
 	}
 	a.registerMetrics()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/peer/doc", a.handlePeerDoc)
-	mux.HandleFunc("/peer/send", a.handlePeerSend)
-	mux.HandleFunc("/peer/onion-send", a.handlePeerOnionSend)
-	mux.HandleFunc("/peer/onion", a.handlePeerOnion)
-	mux.HandleFunc("/peer/resync", a.handlePeerResync)
-	mux.HandleFunc("/cache/push", a.handleCachePush)
-	mux.HandleFunc("/cache/invalidate", a.handleCacheInvalidate)
+	for _, p := range peerPaths {
+		mux.HandleFunc(p, a.dispatch(p))
+	}
 	mux.Handle("/metrics", a.obs.Handler())
 	a.httpSrv = &http.Server{Handler: mux}
 	go a.httpSrv.Serve(ln)
@@ -298,10 +367,12 @@ func New(cfg Config) (*Agent, error) {
 	// The publish queue needs the registration id/token, so it starts only
 	// after a successful register.
 	if cfg.IndexMode == Batched {
-		a.pubq = newPublisher(a)
-		go a.pubq.loop()
+		pub := newPublisher(a)
+		a.sink = pub
+		go pub.loop()
 	}
 	if cfg.HeartbeatInterval > 0 {
+		a.heartbeatDone = make(chan struct{})
 		go a.heartbeatLoop()
 	}
 	return a, nil
@@ -341,20 +412,44 @@ func (a *Agent) register() error {
 	return nil
 }
 
-// Close departs gracefully: it stops the heartbeat loop, drains the Batched
-// publish queue (final flush, so no coalesced delta is lost), deregisters
-// from the proxy (POST /unregister, so the proxy drops the agent's index
-// entries immediately instead of discovering the departure through failed
-// fetches), and shuts the peer server down.
-func (a *Agent) Close() error {
+// beginClose flips the agent into the closing state exactly once: the
+// heartbeat loop is told to stop and the serve/store paths start refusing.
+func (a *Agent) beginClose() {
 	a.closeOnce.Do(func() {
 		close(a.stopHeartbeat)
 		a.mu.Lock()
 		a.closing = true
 		a.mu.Unlock()
 	})
-	if a.pubq != nil {
-		a.pubq.stop(true)
+}
+
+// isClosing reports whether Close/Kill has begun (host heartbeat pacer).
+func (a *Agent) isClosing() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closing
+}
+
+// Close departs gracefully: it stops the heartbeat loop AND waits for it to
+// exit (a beat that raced the shutdown has fully completed, so it cannot
+// re-animate this agent's health record after the unregister below), drains
+// the Batched publish queue (final flush, so no coalesced delta is lost),
+// deregisters from the proxy (POST /unregister, so the proxy drops the
+// agent's index entries immediately instead of discovering the departure
+// through failed fetches), and shuts the peer server down. Hosted agents
+// delegate to their host, which frees the slot and flushes their share of
+// the multiplexed publisher.
+func (a *Agent) Close() error {
+	if a.host != nil {
+		a.host.remove(a, true)
+		return nil
+	}
+	a.beginClose()
+	if a.heartbeatDone != nil {
+		<-a.heartbeatDone
+	}
+	if a.sink != nil {
+		a.sink.stop(true)
 	}
 	if a.token != "" {
 		a.unregister()
@@ -371,18 +466,32 @@ func (a *Agent) Close() error {
 // simulating a browser that crashes or loses its network. The proxy only
 // learns of the departure through failed fetches and missed heartbeats.
 func (a *Agent) Kill() {
-	a.closeOnce.Do(func() {
-		close(a.stopHeartbeat)
-		a.mu.Lock()
-		a.closing = true
-		a.mu.Unlock()
-	})
-	if a.pubq != nil {
-		a.pubq.stop(false) // abrupt: queued deltas are dropped, no flush
+	if a.host != nil {
+		a.host.remove(a, false)
+		return
+	}
+	a.beginClose()
+	if a.sink != nil {
+		a.sink.stop(false) // abrupt: queued deltas are dropped, no flush
 	}
 	if a.httpSrv != nil {
 		a.httpSrv.Close()
 	}
+}
+
+// releaseMemory drops the agent's cached bodies and cache accounting after
+// close. Hosted fleets churn thousands of agents per run; a dead agent must
+// cost a bare struct, not its full cache. Reads of the nil doc map miss and
+// deletes no-op, and store() refuses once closing is set, so late handlers
+// see an empty-but-valid agent.
+func (a *Agent) releaseMemory() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, k := range a.cache.Keys() {
+		a.cache.Remove(k)
+	}
+	a.docs = nil
+	a.invalidated = nil
 }
 
 // unregister tells the proxy this client is leaving (best-effort).
@@ -397,8 +506,11 @@ func (a *Agent) unregister() {
 	}
 }
 
-// heartbeatLoop posts liveness beacons until the agent closes.
+// heartbeatLoop posts liveness beacons until the agent closes. Closing
+// heartbeatDone on exit is what lets Close order the last beat before the
+// unregister.
 func (a *Agent) heartbeatLoop() {
+	defer close(a.heartbeatDone)
 	t := time.NewTicker(a.cfg.HeartbeatInterval)
 	defer t.Stop()
 	for {
@@ -515,7 +627,7 @@ func (a *Agent) Get(ctx context.Context, docURL string) ([]byte, Source, error) 
 	a.mu.Lock()
 	a.metrics.Requests++
 	if _, _, ok := a.cache.GetTier(docURL); ok {
-		body := a.bodies[docURL]
+		body := a.docs[docURL].body
 		a.metrics.LocalHits++
 		a.mu.Unlock()
 		return body, SourceLocal, nil

@@ -1,0 +1,406 @@
+package browser
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"baps/internal/proxy"
+)
+
+// hostSink adapts one hosted agent onto the host's multiplexed publisher; it
+// satisfies indexSink so store()/Evict()/SyncIndexNow work identically in
+// both agent shapes.
+type hostSink struct {
+	p *hostPublisher
+	a *Agent
+}
+
+func (s *hostSink) enqueue(sd seqDelta) { s.p.enqueue(hostDelta{a: s.a, sd: sd}) }
+func (s *hostSink) syncNow()            { s.p.syncAgent(s.a) }
+func (s *hostSink) stop(graceful bool)  { s.p.leave(s.a, graceful) }
+
+// hostDelta is one agent's delta in the shared ingress channel.
+type hostDelta struct {
+	a  *Agent
+	sd seqDelta
+}
+
+// agentPending is the publisher's per-agent ledger: the coalesced delta map
+// and the agent's OWN generation counter — multiplexing changes the carrier,
+// not the per-client protocol, so the proxy's gap/digest drift detection
+// keeps working unchanged.
+type agentPending struct {
+	pending map[string]seqDelta
+	bytes   int64
+	gen     uint64
+	batches uint64
+}
+
+// hostPublisher replaces N per-agent publish goroutines with ONE: every
+// hosted agent's deltas funnel into a shared channel, coalesce per (agent,
+// URL), and ship as a single POST /index/multibatch carrying one
+// generation-numbered sub-batch per dirty agent, each authenticated by that
+// agent's own token.
+//
+// Reliability matches the per-agent publisher: a transport failure keeps
+// every pending map and generation intact (the retry is an idempotent
+// retransmit), while a per-sub-batch rejection (the proxy refused that
+// agent's token — it unregistered or was superseded) drops only that agent's
+// pending set. Per-agent Bloom digests ride every DigestEvery-th sub-batch
+// exactly as before.
+type hostPublisher struct {
+	h *AgentHost
+
+	ch       chan hostDelta
+	syncReq  chan hostSyncReq
+	leaveReq chan hostLeaveReq
+	quit     chan struct{} // graceful: drain + final flush
+	abort    chan struct{} // abrupt (Kill): stop without flushing
+	done     chan struct{}
+
+	// mu guards closed; same discipline as publisher: senders hold the
+	// read lock across their channel send, so stop()'s write lock cannot
+	// land mid-send.
+	mu     sync.RWMutex
+	closed bool
+
+	// Loop-owned state; never touched outside the loop goroutine.
+	state        map[*Agent]*agentPending
+	totalPending int
+	totalBytes   int64
+}
+
+type hostSyncReq struct {
+	a   *Agent
+	ack chan struct{}
+}
+
+type hostLeaveReq struct {
+	a        *Agent
+	graceful bool
+	ack      chan struct{}
+}
+
+func newHostPublisher(h *AgentHost) *hostPublisher {
+	return &hostPublisher{
+		h:        h,
+		ch:       make(chan hostDelta, 4096),
+		syncReq:  make(chan hostSyncReq),
+		leaveReq: make(chan hostLeaveReq),
+		quit:     make(chan struct{}),
+		abort:    make(chan struct{}),
+		done:     make(chan struct{}),
+		state:    make(map[*Agent]*agentPending),
+	}
+}
+
+// enqueue hands one agent's delta to the shared loop. Blocks when the
+// channel is full (lossless backpressure); no-op after stop. Callers must
+// not hold the agent's mu (the loop takes agent locks for digests/syncs).
+func (p *hostPublisher) enqueue(hd hostDelta) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return
+	}
+	p.ch <- hd
+}
+
+// syncAgent asks the loop to replace agent a's pending deltas with a full
+// /index/sync and waits for it (no-op after stop).
+func (p *hostPublisher) syncAgent(a *Agent) {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return
+	}
+	req := hostSyncReq{a: a, ack: make(chan struct{})}
+	select {
+	case p.syncReq <- req:
+	case <-p.quit:
+		p.mu.RUnlock()
+		return
+	case <-p.abort:
+		p.mu.RUnlock()
+		return
+	}
+	p.mu.RUnlock()
+	<-req.ack
+}
+
+// leave detaches agent a: graceful flushes its share of the pending set as a
+// final single-agent batch; abrupt drops it. Waits for the loop to process
+// the departure (no-op after stop).
+func (p *hostPublisher) leave(a *Agent, graceful bool) {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return
+	}
+	req := hostLeaveReq{a: a, graceful: graceful, ack: make(chan struct{})}
+	select {
+	case p.leaveReq <- req:
+	case <-p.quit:
+		p.mu.RUnlock()
+		return
+	case <-p.abort:
+		p.mu.RUnlock()
+		return
+	}
+	p.mu.RUnlock()
+	<-req.ack
+}
+
+// stop shuts the loop down; graceful drains and final-flushes every agent's
+// pending deltas. Safe to call more than once.
+func (p *hostPublisher) stop(graceful bool) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if graceful {
+		close(p.quit)
+	} else {
+		close(p.abort)
+	}
+	<-p.done
+}
+
+// loop is the single publish goroutine shared by every hosted agent.
+func (p *hostPublisher) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.h.cfg.Agent.BatchMaxDelay)
+	defer t.Stop()
+	for {
+		select {
+		case hd := <-p.ch:
+			p.absorb(hd)
+			if p.totalPending >= p.h.cfg.FlushMaxDeltas || p.totalBytes >= p.h.cfg.FlushMaxBytes {
+				p.flush()
+			}
+		case <-t.C:
+			if p.totalPending > 0 {
+				p.flush()
+			}
+		case req := <-p.syncReq:
+			p.drainQueued()
+			p.fullSync(req.a)
+			close(req.ack)
+		case req := <-p.leaveReq:
+			p.drainQueued()
+			if req.graceful {
+				p.flushAgent(req.a)
+			}
+			p.dropAgent(req.a)
+			close(req.ack)
+		case <-p.quit:
+			p.drainQueued()
+			if p.totalPending > 0 {
+				p.flush()
+			}
+			return
+		case <-p.abort:
+			return
+		}
+	}
+}
+
+// absorb folds one delta into its agent's pending map (highest seq wins, as
+// in the per-agent publisher), creating the ledger entry on first use.
+func (p *hostPublisher) absorb(hd hostDelta) {
+	if hd.sd.d.URL == "" {
+		return
+	}
+	st := p.state[hd.a]
+	if st == nil {
+		st = &agentPending{pending: make(map[string]seqDelta)}
+		p.state[hd.a] = st
+	}
+	prev, dup := st.pending[hd.sd.d.URL]
+	if dup && prev.seq > hd.sd.seq {
+		return
+	}
+	if !dup {
+		n := int64(len(hd.sd.d.URL)) + deltaOverhead
+		st.bytes += n
+		p.totalBytes += n
+		p.totalPending++
+	}
+	st.pending[hd.sd.d.URL] = hd.sd
+}
+
+// drainQueued empties the ingress channel without blocking.
+func (p *hostPublisher) drainQueued() {
+	for {
+		select {
+		case hd := <-p.ch:
+			p.absorb(hd)
+		default:
+			return
+		}
+	}
+}
+
+// clearAgent empties one agent's pending set, adjusting the host totals.
+func (p *hostPublisher) clearAgent(st *agentPending) {
+	p.totalPending -= len(st.pending)
+	p.totalBytes -= st.bytes
+	clear(st.pending)
+	st.bytes = 0
+}
+
+// dropAgent removes one agent's ledger entirely (departure).
+func (p *hostPublisher) dropAgent(a *Agent) {
+	if st, ok := p.state[a]; ok {
+		p.totalPending -= len(st.pending)
+		p.totalBytes -= st.bytes
+		delete(p.state, a)
+	}
+}
+
+// buildBatch assembles one agent's generation-numbered sub-batch (with its
+// periodic Bloom digest) from the pending ledger.
+func (p *hostPublisher) buildBatch(a *Agent, st *agentPending) proxy.IndexBatch {
+	st.batches++
+	b := proxy.IndexBatch{ClientID: a.id, Gen: st.gen + 1}
+	if every := a.cfg.DigestEvery; every > 0 && st.batches%uint64(every) == 0 {
+		b.Digest = a.directoryDigest()
+	}
+	b.Deltas = make([]proxy.IndexDelta, 0, len(st.pending))
+	for _, sd := range st.pending {
+		b.Deltas = append(b.Deltas, sd.d)
+	}
+	return b
+}
+
+// flush ships every dirty agent's sub-batch as one /index/multibatch. On
+// transport failure nothing advances (idempotent retransmit); on success
+// each accepted agent's generation advances and its pending clears, while
+// rejected agents (token refused — unregistered or superseded at the proxy)
+// lose their ledger: the proxy no longer believes in them.
+func (p *hostPublisher) flush() {
+	members := make([]*Agent, 0, len(p.state))
+	batches := make([]proxy.HostBatch, 0, len(p.state))
+	for a, st := range p.state {
+		if len(st.pending) == 0 {
+			continue
+		}
+		members = append(members, a)
+		batches = append(batches, proxy.HostBatch{IndexBatch: p.buildBatch(a, st), Token: a.token})
+	}
+	if len(batches) == 0 {
+		return
+	}
+	resp, ok := p.postMultiBatch(batches)
+	if !ok {
+		return
+	}
+	rejected := make(map[int]bool, len(resp.Rejected))
+	for _, id := range resp.Rejected {
+		rejected[id] = true
+	}
+	for i, a := range members {
+		st := p.state[a]
+		if rejected[a.id] {
+			a.indexPublishFailure("multibatch", nil, http.StatusForbidden)
+			p.dropAgent(a)
+			continue
+		}
+		st.gen = batches[i].Gen
+		p.clearAgent(st)
+		a.addMetric(func(m *Metrics) { m.IndexBatches++ })
+	}
+}
+
+// flushAgent final-flushes ONE departing agent's pending deltas as an
+// ordinary single-agent /index/batch (the departure path should not force a
+// fleet-wide flush).
+func (p *hostPublisher) flushAgent(a *Agent) {
+	st := p.state[a]
+	if st == nil || len(st.pending) == 0 {
+		return
+	}
+	batch := p.buildBatch(a, st)
+	if a.postBatch(batch) {
+		st.gen = batch.Gen
+		p.clearAgent(st)
+	}
+}
+
+// fullSync replaces one agent's pending deltas with a full directory
+// re-sync, exactly like the per-agent publisher's fullSync: the sync carries
+// the next generation so the proxy re-seats its counter, and on failure the
+// snapshot re-queues as pending adds.
+func (p *hostPublisher) fullSync(a *Agent) {
+	st := p.state[a]
+	if st == nil {
+		st = &agentPending{pending: make(map[string]seqDelta)}
+		p.state[a] = st
+	}
+	now := nowStamp()
+	a.mu.Lock()
+	entries := a.directoryLocked(now)
+	a.changes = 0
+	snapSeq := a.deltaSeq
+	a.mu.Unlock()
+	gen := st.gen + 1
+	if a.indexSync(entries, gen) {
+		st.gen = gen
+		p.clearAgent(st)
+		return
+	}
+	for _, e := range entries {
+		p.absorb(hostDelta{a: a, sd: seqDelta{seq: snapSeq, d: proxy.IndexDelta{
+			URL: e.URL, Size: e.Size, Version: e.Version, Stamp: e.Stamp,
+		}}})
+	}
+}
+
+// postMultiBatch POSTs one /index/multibatch over the host's shared client.
+// Transport errors and non-2xx statuses report failure against every member
+// agent (the whole carrier failed, not any one client).
+func (p *hostPublisher) postMultiBatch(batches []proxy.HostBatch) (proxy.MultiBatchResponse, bool) {
+	var out proxy.MultiBatchResponse
+	body, _ := json.Marshal(proxy.IndexMultiBatch{Batches: batches})
+	req, err := http.NewRequest(http.MethodPost, p.h.cfg.Agent.ProxyURL+"/index/multibatch", bytes.NewReader(body))
+	if err != nil {
+		return out, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.h.client.Do(req)
+	if err != nil {
+		p.multiFailure(err, 0)
+		return out, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		proxy.DrainClose(resp)
+		p.multiFailure(nil, resp.StatusCode)
+		return out, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		p.multiFailure(err, 0)
+		return out, false
+	}
+	return out, true
+}
+
+// multiFailure counts one failed carrier POST against the host log (agents'
+// pending sets are intact, so this is visibility, not loss).
+func (p *hostPublisher) multiFailure(err error, status int) {
+	if p.h.logger == nil {
+		return
+	}
+	if err != nil {
+		p.h.logger.Warn("multibatch publish failed", "err", err)
+	} else {
+		p.h.logger.Warn("multibatch publish rejected", "status", status)
+	}
+}

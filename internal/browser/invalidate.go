@@ -91,6 +91,13 @@ func (a *Agent) handleCacheInvalidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.mu.Lock()
+	// A closing agent's maps may already be released (hosted agents hand
+	// memory back to the arena); there is nothing left worth tombstoning.
+	if a.closing {
+		a.mu.Unlock()
+		http.Error(w, "browser: closing", http.StatusConflict)
+		return
+	}
 	if req.Version > a.invalidated[req.URL] {
 		if len(a.invalidated) >= maxTombstones {
 			for k := range a.invalidated {
@@ -100,10 +107,9 @@ func (a *Agent) handleCacheInvalidate(w http.ResponseWriter, r *http.Request) {
 		}
 		a.invalidated[req.URL] = req.Version
 	}
-	if m, held := a.marks[req.URL]; held && m.version < req.Version {
+	if d, held := a.docs[req.URL]; held && d.version < req.Version {
 		a.cache.Remove(req.URL)
-		delete(a.bodies, req.URL)
-		delete(a.marks, req.URL)
+		delete(a.docs, req.URL)
 	}
 	a.metrics.Invalidations++
 	a.mu.Unlock()

@@ -56,7 +56,7 @@ func TestInvalidatedDocNeverServedToPeers(t *testing.T) {
 		t.Fatalf("pre-invalidate peer serve: %d", rec.Code)
 	}
 	a.mu.Lock()
-	mark := a.marks[u]
+	mark := a.docs[u]
 	a.mu.Unlock()
 
 	invalidatePost(t, a, u, mark.version+1)

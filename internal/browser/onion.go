@@ -63,9 +63,8 @@ func (a *Agent) handlePeerOnionSend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.mu.Lock()
-	body, ok := a.bodies[send.URL]
-	mark := a.marks[send.URL]
-	refused := a.closing || (ok && mark.version < a.invalidated[send.URL])
+	d, ok := a.docs[send.URL]
+	refused := a.closing || (ok && d.version < a.invalidated[send.URL])
 	if ok && !refused {
 		a.cache.GetTier(send.URL)
 		a.metrics.PeerServes++
@@ -80,12 +79,13 @@ func (a *Agent) handlePeerOnionSend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "browser: not cached", http.StatusNotFound)
 		return
 	}
+	body := d.body
 	if tamper != nil {
 		body = tamper(send.URL, body)
 	}
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(proxy.OnionDelivery{
-		URL: send.URL, Version: mark.version, Watermark: mark.watermark, Body: body,
+		URL: send.URL, Version: d.version, Watermark: d.watermark, Body: body,
 	}); err != nil {
 		http.Error(w, "browser: encode", http.StatusInternalServerError)
 		return

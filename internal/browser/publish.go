@@ -12,6 +12,16 @@ import (
 	"baps/internal/proxy"
 )
 
+// indexSink is the Batched-mode publish abstraction: standalone agents own a
+// dedicated publisher goroutine; hosted agents share their AgentHost's
+// hostPublisher, which multiplexes every hosted agent's deltas onto one
+// /index/multibatch stream while keeping per-client generations intact.
+type indexSink interface {
+	enqueue(sd seqDelta)
+	syncNow()
+	stop(graceful bool)
+}
+
 // publisher is the Batched-mode publish queue: a dedicated goroutine that
 // owns all index network I/O so store() and Evict() only enqueue. Deltas
 // coalesce per URL (last write wins — a document cached and evicted between

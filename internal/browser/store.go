@@ -24,6 +24,12 @@ func nowStamp() float64 { return float64(time.Now().UnixNano()) / 1e9 }
 func (a *Agent) store(docURL string, body []byte, mark []byte, version int64) {
 	now := nowStamp()
 	a.mu.Lock()
+	// Nothing enters a closing agent's cache: a fetch completing mid-Close
+	// would otherwise repopulate a cache the host has already released.
+	if a.closing {
+		a.mu.Unlock()
+		return
+	}
 	// A tombstoned version must never re-enter the cache: an in-flight
 	// fetch that raced a /cache/invalidate would otherwise resurrect the
 	// stale body for peer serving. A version at or past the floor clears
@@ -37,12 +43,10 @@ func (a *Agent) store(docURL string, body []byte, mark []byte, version int64) {
 	}
 	evicted, admitted := a.cache.Put(cache.Doc{Key: docURL, Size: int64(len(body)), Version: version})
 	if admitted {
-		a.bodies[docURL] = body
-		a.marks[docURL] = storedMark{version: version, watermark: mark}
+		a.docs[docURL] = cachedDoc{body: body, watermark: mark, version: version}
 	}
 	for _, d := range evicted {
-		delete(a.bodies, d.Key)
-		delete(a.marks, d.Key)
+		delete(a.docs, d.Key)
 	}
 	resident := a.cache.Len()
 	mode := a.cfg.IndexMode
@@ -92,7 +96,7 @@ func (a *Agent) store(docURL string, body []byte, mark []byte, version int64) {
 		}
 	case Batched:
 		for _, sd := range deltas {
-			a.pubq.enqueue(sd)
+			a.sink.enqueue(sd)
 		}
 	}
 }
@@ -200,8 +204,8 @@ func (a *Agent) handlePeerResync(w http.ResponseWriter, r *http.Request) {
 // Batched mode it routes through the publish goroutine so the sync
 // supersedes the pending deltas and the generation counter stays coherent.
 func (a *Agent) SyncIndexNow() {
-	if a.pubq != nil {
-		a.pubq.syncNow()
+	if a.sink != nil {
+		a.sink.syncNow()
 		return
 	}
 	now := nowStamp()
@@ -217,8 +221,7 @@ func (a *Agent) SyncIndexNow() {
 func (a *Agent) Evict(docURL string) bool {
 	a.mu.Lock()
 	ok := a.cache.Remove(docURL)
-	delete(a.bodies, docURL)
-	delete(a.marks, docURL)
+	delete(a.docs, docURL)
 	mode := a.cfg.IndexMode
 	var seq uint64
 	if ok {
@@ -236,7 +239,7 @@ func (a *Agent) Evict(docURL string) bool {
 		case Immediate:
 			a.indexOp(false, proxy.IndexEntry{URL: docURL})
 		case Batched:
-			a.pubq.enqueue(seqDelta{seq: seq, d: proxy.IndexDelta{URL: docURL, Remove: true}})
+			a.sink.enqueue(seqDelta{seq: seq, d: proxy.IndexDelta{URL: docURL, Remove: true}})
 		}
 	}
 	return ok
@@ -252,12 +255,11 @@ func (a *Agent) handlePeerDoc(w http.ResponseWriter, r *http.Request) {
 	}
 	docURL := r.URL.Query().Get("url")
 	a.mu.Lock()
-	body, ok := a.bodies[docURL]
-	mark := a.marks[docURL]
+	d, ok := a.docs[docURL]
 	// Never hand out a copy the proxy has withdrawn, or anything once
 	// shutdown has begun: a stale-but-validly-watermarked body leaving
 	// this agent would verify at the requester and defeat invalidation.
-	refused := a.closing || (ok && mark.version < a.invalidated[docURL])
+	refused := a.closing || (ok && d.version < a.invalidated[docURL])
 	if ok && !refused {
 		a.cache.GetTier(docURL) // a peer read references the cache entry
 		a.metrics.PeerServes++
@@ -272,11 +274,12 @@ func (a *Agent) handlePeerDoc(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "browser: not cached", http.StatusNotFound)
 		return
 	}
+	body := d.body
 	if tamper != nil {
 		body = tamper(docURL, body)
 	}
-	w.Header().Set(proxy.HeaderVersion, strconv.FormatInt(mark.version, 10))
-	w.Header().Set(proxy.HeaderWatermark, base64.StdEncoding.EncodeToString(mark.watermark))
+	w.Header().Set(proxy.HeaderVersion, strconv.FormatInt(d.version, 10))
+	w.Header().Set(proxy.HeaderWatermark, base64.StdEncoding.EncodeToString(d.watermark))
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
@@ -299,9 +302,8 @@ func (a *Agent) handlePeerSend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.mu.Lock()
-	body, ok := a.bodies[ps.URL]
-	mark := a.marks[ps.URL]
-	refused := a.closing || (ok && mark.version < a.invalidated[ps.URL])
+	d, ok := a.docs[ps.URL]
+	refused := a.closing || (ok && d.version < a.invalidated[ps.URL])
 	if ok && !refused {
 		a.cache.GetTier(ps.URL)
 		a.metrics.PeerServes++
@@ -316,6 +318,7 @@ func (a *Agent) handlePeerSend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "browser: not cached", http.StatusNotFound)
 		return
 	}
+	body := d.body
 	if tamper != nil {
 		body = tamper(ps.URL, body)
 	}
@@ -324,8 +327,8 @@ func (a *Agent) handlePeerSend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "browser: relay request", http.StatusInternalServerError)
 		return
 	}
-	req.Header.Set(proxy.HeaderVersion, strconv.FormatInt(mark.version, 10))
-	req.Header.Set(proxy.HeaderWatermark, base64.StdEncoding.EncodeToString(mark.watermark))
+	req.Header.Set(proxy.HeaderVersion, strconv.FormatInt(d.version, 10))
+	req.Header.Set(proxy.HeaderWatermark, base64.StdEncoding.EncodeToString(d.watermark))
 	resp, err := a.httpClient.Do(req)
 	if err != nil {
 		http.Error(w, "browser: relay push failed", http.StatusBadGateway)

@@ -22,6 +22,11 @@ type ChurnCluster struct {
 	Proxy    *proxy.Server
 	Agents   []*browser.Agent
 	Gateways []*Gateway
+	// Hosts are lean multiplexed agent fleets (AddHost): churn can kill
+	// individual hosted agents or a whole host — one listener, one
+	// transport, one publisher — in a single blow.
+	Hosts  []*browser.AgentHost
+	Hosted [][]*browser.Agent
 
 	originLn  net.Listener
 	originSrv *http.Server
@@ -117,6 +122,56 @@ func (c *ChurnCluster) KillAgent(i int) {
 	c.Agents[i].Kill()
 }
 
+// AddHost attaches a lean AgentHost to the cluster's proxy and spawns
+// perHost hosted agents on it, returning the host's index. Hosted agents
+// talk to the proxy directly (no per-agent gateway): host-level churn is
+// injected by killing agents or the whole host, not by fronting faults.
+func (c *ChurnCluster) AddHost(perHost int, mutate func(*browser.Config)) (int, error) {
+	acfg := browser.DefaultConfig(c.Proxy.BaseURL())
+	acfg.CacheCapacity = 1 << 20
+	if mutate != nil {
+		mutate(&acfg)
+	}
+	h, err := browser.NewHost(browser.HostConfig{Agent: acfg})
+	if err != nil {
+		return 0, fmt.Errorf("chaos: host: %w", err)
+	}
+	var agents []*browser.Agent
+	for i := 0; i < perHost; i++ {
+		a, err := h.Spawn()
+		if err != nil {
+			h.Close()
+			return 0, fmt.Errorf("chaos: hosted agent %d: %w", i, err)
+		}
+		agents = append(agents, a)
+	}
+	c.Hosts = append(c.Hosts, h)
+	c.Hosted = append(c.Hosted, agents)
+	return len(c.Hosts) - 1, nil
+}
+
+// KillHostedAgent abruptly kills agent i of host h: its slot frees for
+// reuse, its share of the multiplexed publisher is dropped, and its
+// /a/<slot> route answers 410 until a replacement takes the slot.
+func (c *ChurnCluster) KillHostedAgent(h, i int) { c.Hosted[h][i].Kill() }
+
+// SpawnHostedAgent adds one agent to host h (churn replacement: freed slots
+// are reused LIFO, so the newcomer re-advertises a dead agent's URL and the
+// proxy's register-supersede retires the stale registration).
+func (c *ChurnCluster) SpawnHostedAgent(h int) (*browser.Agent, error) {
+	a, err := c.Hosts[h].Spawn()
+	if err != nil {
+		return nil, err
+	}
+	c.Hosted[h] = append(c.Hosted[h], a)
+	return a, nil
+}
+
+// KillHost takes down host h whole — listener, shared transport, publisher,
+// and every hosted agent at once, with no unregisters — the box-level
+// failure mode a lean fleet introduces.
+func (c *ChurnCluster) KillHost(h int) { c.Hosts[h].Kill() }
+
 // RestartProxy replaces the proxy with a fresh instance on the same address
 // and config. graceful=false models SIGKILL (Crash: no journal flush, no
 // state save); graceful=true models SIGTERM (Close: drain and flush). With
@@ -151,6 +206,9 @@ func (c *ChurnCluster) RestartProxy(graceful bool) error {
 func (c *ChurnCluster) Close() {
 	for _, a := range c.Agents {
 		a.Close()
+	}
+	for _, h := range c.Hosts {
+		h.Close()
 	}
 	for _, g := range c.Gateways {
 		g.Close()

@@ -144,7 +144,15 @@ func (s *Server) handleIndexBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "proxy: batch generation must be positive", http.StatusBadRequest)
 		return
 	}
+	s.applyIndexBatch(id, batch)
+	w.WriteHeader(http.StatusNoContent)
+}
 
+// applyIndexBatch is the authenticated core of the batched protocol, shared
+// by /index/batch and each sub-batch of /index/multibatch: generation
+// observation, shard-grouped delta application, and drift-triggered recovery
+// pulls.
+func (s *Server) applyIndexBatch(id int, batch IndexBatch) {
 	gap := s.batches.observe(id, batch.Gen)
 
 	deltas := make([]index.Delta, 0, len(batch.Deltas))
@@ -192,7 +200,46 @@ func (s *Server) handleIndexBatch(w http.ResponseWriter, r *http.Request) {
 	if drift && s.batches.shouldResync(id, resyncRateWindow) {
 		go s.pullResync(id)
 	}
-	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleIndexMultiBatch applies an agent host's multiplexed carrier (POST
+// /index/multibatch): one HTTP request bearing one generation-numbered
+// sub-batch per hosted agent. There is no carrier-level identity — each
+// sub-batch authenticates with its own agent's token, exactly as if it had
+// arrived on /index/batch — so a host can never speak for an agent the proxy
+// did not register. Sub-batches that fail authentication (the agent
+// unregistered or was superseded mid-flight) are reported back by client id
+// in Rejected; valid siblings in the same carrier still apply.
+func (s *Server) handleIndexMultiBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "proxy: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var multi IndexMultiBatch
+	if err := json.NewDecoder(io.LimitReader(r.Body, 32<<20)).Decode(&multi); err != nil {
+		http.Error(w, "proxy: bad multibatch body", http.StatusBadRequest)
+		return
+	}
+	var resp MultiBatchResponse
+	for _, hb := range multi.Batches {
+		if hb.Gen == 0 || !s.authToken(hb.Token, hb.ClientID) {
+			resp.Rejected = append(resp.Rejected, hb.ClientID)
+			continue
+		}
+		s.applyIndexBatch(hb.ClientID, hb.IndexBatch)
+		resp.Accepted++
+	}
+	s.m.idxMultiBatch.Inc()
+	writeJSON(w, resp)
+}
+
+// authToken validates one (token, client id) pair — the header-free variant
+// of authClient for multiplexed sub-batches.
+func (s *Server) authToken(token string, id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner, ok := s.tokens[token]
+	return ok && owner == id
 }
 
 // digestMismatch rebuilds the sender's Bloom filter geometry over the

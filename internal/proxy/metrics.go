@@ -79,6 +79,7 @@ type serverMetrics struct {
 
 	// Batched delta-protocol plane.
 	idxBatchDeltas    *obs.Counter
+	idxMultiBatch     *obs.Counter
 	idxGenGaps        *obs.Counter
 	idxDigestMismatch *obs.Counter
 	idxResyncPulls    *obs.Counter
@@ -196,6 +197,8 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 
 	m.idxBatchDeltas = reg.Counter("baps_proxy_index_batch_deltas_total",
 		"Index deltas carried by applied /index/batch requests.")
+	m.idxMultiBatch = reg.Counter("baps_proxy_index_multibatch_total",
+		"Multiplexed /index/multibatch carriers processed.")
 	m.idxGenGaps = reg.Counter("baps_proxy_index_gen_gaps_total",
 		"Batch generation gaps observed (triggering a resync pull).")
 	m.idxDigestMismatch = reg.Counter("baps_proxy_index_digest_mismatches_total",

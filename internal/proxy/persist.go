@@ -195,6 +195,7 @@ func (s *Server) restoreState(blob []byte) {
 	}
 	for _, c := range st.Clients {
 		s.peers[c.ID] = peerInfo{id: c.ID, baseURL: c.PeerURL, token: c.Token, relayKey: c.RelayKey}
+		s.peersByURL[c.PeerURL] = c.ID
 		s.tokens[c.Token] = c.ID
 	}
 	s.restoredClients = len(st.Clients)

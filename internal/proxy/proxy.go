@@ -280,7 +280,12 @@ type Server struct {
 	bodies  map[string][]byte
 	meta    map[string]docMeta
 	peers   map[int]peerInfo
-	tokens  map[string]int // token → client id
+	// peersByURL indexes registrations by advertised base URL so the
+	// re-register supersede path is a lookup, not a scan — at agent-host
+	// scale (tens of thousands of registrations, constant churn) the old
+	// O(peers) walk per /register dominated registration cost.
+	peersByURL map[string]int
+	tokens     map[string]int // token → client id
 	nextID  int
 	started time.Time
 
@@ -432,6 +437,7 @@ func New(cfg Config) (*Server, error) {
 		bodies:         make(map[string][]byte),
 		meta:           make(map[string]docMeta),
 		peers:          make(map[int]peerInfo),
+		peersByURL:     make(map[string]int),
 		tokens:         make(map[string]int),
 		idx:            index.NewSharded(cfg.Strategy, cfg.IndexShards),
 		syms:           intern.NewSync(),
@@ -630,6 +636,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/index/remove", s.handleIndexRemove)
 	mux.HandleFunc("/index/sync", s.handleIndexSync)
 	mux.HandleFunc("/index/batch", s.handleIndexBatch)
+	mux.HandleFunc("/index/multibatch", s.handleIndexMultiBatch)
+	mux.HandleFunc("/queue/deadletter", s.handleQueueDeadLetter)
+	mux.HandleFunc("/queue/replay", s.handleQueueReplay)
 	mux.HandleFunc("/peer/digest", s.handlePeerDigest)
 	mux.HandleFunc("/peer/locate", s.handlePeerLocate)
 	mux.HandleFunc("/peer/invalidate", s.handlePeerInvalidate)
@@ -676,17 +685,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// id's stale index entries from resolving to a registration the sweep
 	// can never clear (the new id heartbeats; the old one never will).
 	oldID := -1
-	for pid, p := range s.peers {
-		if p.baseURL == peerURL {
-			oldID = pid
-			delete(s.peers, pid)
-			delete(s.tokens, p.token)
-			break
-		}
+	if pid, ok := s.peersByURL[peerURL]; ok {
+		oldID = pid
+		delete(s.tokens, s.peers[pid].token)
+		delete(s.peers, pid)
 	}
 	id := s.nextID
 	s.nextID++
 	s.peers[id] = peerInfo{id: id, baseURL: peerURL, token: token, relayKey: relayKey}
+	s.peersByURL[peerURL] = id
 	s.tokens[token] = id
 	s.mu.Unlock()
 	if oldID >= 0 {
@@ -730,6 +737,9 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	if exists {
 		delete(s.peers, id)
 		delete(s.tokens, p.token)
+		if s.peersByURL[p.baseURL] == id {
+			delete(s.peersByURL, p.baseURL)
+		}
 	}
 	s.mu.Unlock()
 	if exists {

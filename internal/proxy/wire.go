@@ -130,6 +130,46 @@ type IndexBatch struct {
 	Digest string `json:"digest,omitempty"`
 }
 
+// HostBatch is one agent's sub-batch inside an IndexMultiBatch. The token is
+// carried per sub-batch — not per carrier — because the multiplexing agent
+// host has no identity of its own at the proxy: each hosted agent
+// authenticates exactly as it would on /index/batch.
+type HostBatch struct {
+	IndexBatch
+	Token string `json:"token"`
+}
+
+// IndexMultiBatch is the body of POST /index/multibatch: an agent host's
+// single carrier for every hosted agent's pending index deltas. Per-client
+// generation rules are unchanged — the carrier changes the transport cost
+// (one request, one connection, one JSON envelope for N agents), not the
+// protocol.
+type IndexMultiBatch struct {
+	Batches []HostBatch `json:"batches"`
+}
+
+// MultiBatchResponse reports per-sub-batch outcomes: Rejected lists the
+// client ids whose sub-batch failed authentication (unregistered or
+// superseded), so the host can drop their pending state instead of
+// retransmitting forever. A transport-level failure returns no response at
+// all and the host keeps everything (idempotent retransmit).
+type MultiBatchResponse struct {
+	Accepted int   `json:"accepted"`
+	Rejected []int `json:"rejected,omitempty"`
+}
+
+// DeadLetterResponse is the body of GET /queue/deadletter: the background
+// queue's retained retry-exhausted jobs, newest last.
+type DeadLetterResponse struct {
+	DeadLetters []workqueue.DeadLetter `json:"dead_letters"`
+}
+
+// ReplayResponse is the body of POST /queue/replay.
+type ReplayResponse struct {
+	Replayed int `json:"replayed"`
+	Skipped  int `json:"skipped"`
+}
+
 // PeerSend is the body of POST <peer>/peer/send: the proxy instructs a
 // holder to push a document to an anonymous relay drop (direct-forward
 // mode). The holder learns only the relay URL, never the requester.

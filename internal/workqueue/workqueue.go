@@ -118,11 +118,15 @@ var ErrFull = errors.New("workqueue: queue full")
 // already pending. The earlier job stands.
 var ErrDuplicate = errors.New("workqueue: duplicate job")
 
-// job is the queued form of a Job.
+// job is the queued form of a Job. Dead-lettered jobs are retained whole —
+// Run closure included — so the admin replay path can re-enqueue them with a
+// fresh attempt budget; lastErr/deadAt record why and when they died.
 type job struct {
 	Job
 	attempts int
 	accepted time.Time
+	lastErr  string
+	deadAt   time.Time
 }
 
 // limiter is a per-kind token bucket: rate tokens/sec, burst = one second
@@ -189,7 +193,7 @@ type Queue struct {
 	rng      *rand.Rand
 
 	stats   Stats
-	recent  []DeadLetter // ring of the last few dead letters
+	recent  []*job // ring of the last few dead letters (oldest first)
 	wg      sync.WaitGroup
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -394,10 +398,9 @@ func (q *Queue) worker() {
 		if jb.attempts >= q.cfg.MaxAttempts {
 			q.stats.DeadLettered++
 			q.deadLettered.With(jb.Kind).Inc()
-			q.recent = append(q.recent, DeadLetter{
-				Kind: jb.Kind, Key: jb.Key, Attempts: jb.attempts,
-				Err: err.Error(), At: time.Now(),
-			})
+			jb.lastErr = err.Error()
+			jb.deadAt = time.Now()
+			q.recent = append(q.recent, jb)
 			if len(q.recent) > deadLetterRing {
 				q.recent = q.recent[len(q.recent)-deadLetterRing:]
 			}
@@ -525,7 +528,63 @@ func (q *Queue) Stats() Stats {
 func (q *Queue) DeadLetters() []DeadLetter {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make([]DeadLetter, len(q.recent))
-	copy(out, q.recent)
+	out := make([]DeadLetter, 0, len(q.recent))
+	for _, jb := range q.recent {
+		out = append(out, DeadLetter{
+			Kind: jb.Kind, Key: jb.Key, Attempts: jb.attempts,
+			Err: jb.lastErr, At: jb.deadAt,
+		})
+	}
 	return out
+}
+
+// Replay re-enqueues up to n retained dead letters, oldest first, each with
+// a fresh attempt budget (the operator fixed whatever was failing; the jobs
+// should run as if newly submitted). A dead letter whose (Kind, Key) is
+// pending again is skipped AND dropped from the ring — the live job
+// supersedes it; one whose lane is full is skipped but retained for a later
+// replay. Returns how many were re-enqueued and how many skipped. A closed
+// queue replays nothing.
+func (q *Queue) Replay(n int) (replayed, skipped int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || n <= 0 {
+		return 0, 0
+	}
+	if n > len(q.recent) {
+		n = len(q.recent)
+	}
+	keep := q.recent[n:]
+	remainder := make([]*job, 0, n)
+	for _, jb := range q.recent[:n] {
+		if jb.Key != "" {
+			if _, dup := q.pending[dedupKey(jb.Kind, jb.Key)]; dup {
+				skipped++
+				q.stats.Deduped++
+				q.deduped.With(jb.Kind).Inc()
+				continue
+			}
+		}
+		if len(q.queues[jb.Priority]) >= q.cfg.Capacity {
+			skipped++
+			remainder = append(remainder, jb)
+			continue
+		}
+		jb.attempts = 0
+		jb.lastErr = ""
+		jb.deadAt = time.Time{}
+		jb.accepted = time.Now()
+		q.queues[jb.Priority] = append(q.queues[jb.Priority], jb)
+		if jb.Key != "" {
+			q.pending[dedupKey(jb.Kind, jb.Key)] = struct{}{}
+		}
+		q.stats.Submitted++
+		q.submitted.With(jb.Kind).Inc()
+		replayed++
+	}
+	q.recent = append(remainder, keep...)
+	if replayed > 0 {
+		q.cond.Broadcast()
+	}
+	return replayed, skipped
 }
