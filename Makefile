@@ -5,14 +5,21 @@ COUNT ?= 5
 # micro-benchmarks, the end-to-end simulator replays, and the live HTTP-path
 # benchmarks, skipping the long-running figure regenerations in the root
 # package.
-BENCH_PKGS = ./internal/cache ./internal/index ./internal/core ./internal/proxy ./internal/workqueue .
-BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*|BenchmarkIndexAddRemoveHot|BenchmarkIndexOrdered|BenchmarkApplyBatch|BenchmarkApplyBatchContended|BenchmarkShardedOrdered|BenchmarkSimulatorBAPS|BenchmarkSimulatorProxyOnly|BenchmarkTraceStats|BenchmarkLiveFetchHot|BenchmarkLiveFetchOriginMiss|BenchmarkWorkqueue[A-Z].*)$$'
+BENCH_PKGS = ./internal/cache ./internal/index ./internal/core ./internal/proxy ./internal/workqueue ./internal/trace .
+BENCH_FILTER = '^(BenchmarkAccess|BenchmarkAccessProxyOnly|BenchmarkCache[A-Z].*|BenchmarkIndexAddRemoveHot|BenchmarkIndexOrdered|BenchmarkApplyBatch|BenchmarkApplyBatchContended|BenchmarkShardedOrdered|BenchmarkSimulatorBAPS|BenchmarkSimulatorProxyOnly|BenchmarkTraceStats|BenchmarkTraceRead|BenchmarkTraceReadBTR|BenchmarkLiveFetchHot|BenchmarkLiveFetchOriginMiss|BenchmarkWorkqueue[A-Z].*)$$'
+# Replay/driver-suite benchmark set (§16): the whole experiment-driver suite
+# timed as one unit (BenchmarkAllExperiments) plus out-of-core streaming
+# replay throughput (BenchmarkReplayStream). benchtime=1x because one
+# "iteration" is a full multi-second driver sweep.
+REPLAY_BENCH_FILTER = '^(BenchmarkAllExperiments|BenchmarkReplayStream)$$'
+REPLAY_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*_replay_baseline.json)))
+REPLAY_RECORD ?= $(lastword $(sort $(filter-out %_baseline.json,$(wildcard BENCH_*_replay.json))))
 # Packages touched by the interning/sharding refactor, the observability
 # subsystem, the batched index publish pipeline, the crash-safe disk
 # tier, and the background work plane, raced in `make check`.
 HOT_PKGS = ./internal/intern ./internal/cache ./internal/index ./internal/core ./internal/sim ./internal/trace ./internal/proxy ./internal/obs ./internal/chaos ./internal/browser ./internal/diskstore ./internal/breaker ./internal/federation ./internal/workqueue
 
-.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare loadtest loadtest-indexmodes loadtest-restart loadtest-federation loadtest-invalidation soak soak-smoke
+.PHONY: all build vet test race short bench check staticcheck bench-baseline bench-compare bench-replay bench-replay-compare stream-smoke loadtest loadtest-indexmodes loadtest-restart loadtest-federation loadtest-invalidation soak soak-smoke
 
 all: build vet test
 
@@ -65,6 +72,34 @@ bench-compare:
 	@test -n "$(BASELINE)" || { echo "usage: make bench-compare BASELINE=BENCH_<date>.json"; exit 2; }
 	$(GO) test -bench=$(BENCH_FILTER) -benchmem -count=$(COUNT) -run=^$$ $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -compare $(BASELINE)
+
+# Record the replay/driver-suite benchmark as BENCH_<date>_replay.json.
+bench-replay:
+	$(GO) test -bench=$(REPLAY_BENCH_FILTER) -benchmem -benchtime=1x -count=3 -run=^$$ . \
+		| $(GO) run ./cmd/benchjson > BENCH_$(DATE)_replay.json
+
+# Replay speedup gate: the checked-in post-optimization record must show
+# the driver suite >= 1.5x faster than the checked-in sequential baseline
+# (both measured on the same hardware — cross-machine ns/op ratios are
+# meaningless, which is why the gate reads the two committed records
+# instead of re-measuring on whatever box runs it).
+bench-replay-compare:
+	@test -n "$(REPLAY_BASELINE)" || { echo "no BENCH_*_replay_baseline.json found"; exit 2; }
+	@test -n "$(REPLAY_RECORD)" || { echo "no BENCH_*_replay.json record found"; exit 2; }
+	$(GO) run ./cmd/benchjson -compare $(REPLAY_BASELINE) -input $(REPLAY_RECORD) \
+		-mingain BenchmarkAllExperiments=1.5
+
+# 100k-client out-of-core replay smoke (CI): constant-memory generation of
+# a 2M-request trace from the streaming synth profile, then a full
+# streaming replay gated at a 1 GiB peak-RSS budget with progress logging.
+# The replay report lands in STREAM_smoke_100k.txt (uploaded as a CI
+# artifact).
+stream-smoke:
+	$(GO) run ./cmd/tracegen -profile synth-1m -clients 100000 -requests 2000000 \
+		-stream -btr -o /tmp/baps-smoke-100k.btr
+	$(GO) run ./cmd/bapsim -stream /tmp/baps-smoke-100k.btr -parallel 2 \
+		-maxrss 1073741824 -progress 30s replay | tee STREAM_smoke_100k.txt
+	rm -f /tmp/baps-smoke-100k.btr
 
 # 10-second closed-loop load smoke against an in-process loopback cluster
 # (origin + proxy inside the bapsload process). Fails if nothing succeeds;

@@ -1,0 +1,64 @@
+package baps
+
+import (
+	"fmt"
+	"io"
+)
+
+// AllReports runs every simulator-driven experiment that `bapsim all`
+// regenerates — the tables, figures, and ablation studies — writing the
+// rendered tables to w. It excludes only the live-HTTP cross-check
+// (livecheck), which exercises real sockets rather than the simulator. It
+// exists so the whole driver suite can be measured as one unit
+// (BenchmarkAllExperiments) and regression-gated; cmd/bapsim remains the
+// interactive front end.
+func AllReports(o Options, w io.Writer) error {
+	show := func(v interface{ String() string }, err error) error {
+		if err != nil {
+			return err
+		}
+		_, werr := fmt.Fprintln(w, v.String())
+		return werr
+	}
+	series := func(h, b *Series, err error) error {
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, h.Table().String()); err != nil {
+			return err
+		}
+		_, werr := fmt.Fprintln(w, b.Table().String())
+		return werr
+	}
+
+	type step struct {
+		name string
+		run  func() error
+	}
+	steps := []step{
+		{"table1", func() error { t, err := Table1(o); return show(t, err) }},
+		{"fig2", func() error { h, b, err := Figure2(o); return series(h, b, err) }},
+		{"fig3", func() error { h, b, err := Figure3(o); return series(h, b, err) }},
+		{"fig4", func() error { h, b, err := Figure4(o); return series(h, b, err) }},
+		{"fig5", func() error { h, b, err := Figure5(o); return series(h, b, err) }},
+		{"fig6", func() error { h, b, err := Figure6(o); return series(h, b, err) }},
+		{"fig7", func() error { h, b, err := Figure7(o); return series(h, b, err) }},
+		{"fig8", func() error { h, b, err := Figure8(o); return series(h, b, err) }},
+		{"memory", func() error { t, err := MemoryStudyReport(o); return show(t, err) }},
+		{"overhead", func() error { t, err := OverheadReport(o); return show(t, err) }},
+		{"compression", func() error { t, err := IndexCompressionReport(o, "nlanr-bo1", 0); return show(t, err) }},
+		{"security", func() error { t, err := SecurityReport(2048, 8<<10); return show(t, err) }},
+		{"ablation", func() error { t, err := AblationReport(o, "nlanr-bo1"); return show(t, err) }},
+		{"cooperative", func() error { t, err := CooperativeReport(o, "nlanr-bo1", []int{2, 4, 8}); return show(t, err) }},
+		{"hierarchy", func() error { t, err := HierarchyReport(o, "nlanr-bo1"); return show(t, err) }},
+		{"latency", func() error { t, err := LatencyReport(o, "nlanr-bo1"); return show(t, err) }},
+		{"metrics", func() error { t, err := MetricsReport(o, "nlanr-bo1", nil); return show(t, err) }},
+		{"replicate", func() error { t, err := ReplicationReport(o, 5); return show(t, err) }},
+	}
+	for _, s := range steps {
+		if err := s.run(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return nil
+}

@@ -14,15 +14,19 @@ package baps
 // paper-scale numbers is what cmd/bapsim is for.
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"baps/internal/anonymity"
 	"baps/internal/bloom"
 	"baps/internal/cache"
+	"baps/internal/core"
 	"baps/internal/index"
 	"baps/internal/integrity"
 	"baps/internal/intern"
@@ -543,4 +547,93 @@ func BenchmarkLiveRemoteHit(b *testing.B) {
 			b.Fatalf("src=%v err=%v", src, err)
 		}
 	}
+}
+
+// BenchmarkAllExperiments measures the whole bapsim-all driver suite at a
+// reduced scale — the wall-clock regression gate for the driver layer (see
+// make bench-replay). Each iteration models a fresh bapsim process: the
+// cross-driver trace memo is reset up front, so the measured win from
+// memoization is the within-run dedup of trace generation, never warm-cache
+// carry-over between iterations.
+func BenchmarkAllExperiments(b *testing.B) {
+	o := Options{Scale: 0.1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		resetTraceMemo()
+		if err := AllReports(o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayStream measures out-of-core replay throughput end to end: a
+// .btr trace file is streamed through the stats pass and then the replay
+// pass, exactly as bapsim's replay experiment does, with the trace never
+// resident. The req/s metric is the replay-throughput number recorded in
+// BENCH_*_replay.json.
+func BenchmarkReplayStream(b *testing.B) {
+	p := synth.Scaled(synth.Profiles()[1], 0.25) // nlanr-bo1 shape at 40k requests
+	g, err := synth.NewStream(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.btr")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw, err := trace.NewBTRWriter(f, p.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]trace.Request, trace.StreamBatchSize)
+	for {
+		n, err := g.Next(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := bw.WriteRequest(buf[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := bw.Finish(g.NumClients(), g.NumDocs(), nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	cfg := sim.DefaultConfig(core.BrowsersAware)
+	open := func() *trace.BTRReader {
+		rf, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { rf.Close() })
+		br, err := trace.OpenBTR(bufio.NewReaderSize(rf, 1<<20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return br
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := trace.StreamStats(open())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.RunStream(open(), &st, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != int64(p.Requests) {
+			b.Fatalf("replayed %d, want %d", res.Requests, p.Requests)
+		}
+	}
+	b.ReportMetric(float64(b.N*p.Requests)/b.Elapsed().Seconds(), "req/s")
 }

@@ -22,7 +22,8 @@
 //	security    §6 integrity + anonymity overheads
 //	ablation    design-choice ablations
 //	metrics     per-policy observability dumps (see -metricsout)
-//	all         everything above
+//	replay      out-of-core streaming replay of a trace file (-stream, §16)
+//	all         everything above except replay (which needs -stream)
 //
 // Flags:
 //
@@ -31,6 +32,10 @@
 //	-profile p      profile for compression/ablation/metrics (default nlanr-bo1)
 //	-chart          also print ASCII charts for figures
 //	-metricsout f   write per-policy Prometheus expositions to f (metrics experiment)
+//	-stream f       trace file for the replay experiment (.btr or text)
+//	-parallel n     replay shard workers (0 = GOMAXPROCS)
+//	-maxrss n       replay peak-RSS budget in bytes (exceeding it fails the run)
+//	-progress d     replay progress-report interval (e.g. 2s; 0 = off)
 //	-cpuprofile f   write a CPU profile of the run to f (go tool pprof)
 //	-memprofile f   write a heap profile on exit to f
 package main
@@ -80,6 +85,10 @@ func main() {
 	profile := flag.String("profile", "nlanr-bo1", "profile for compression/ablation")
 	chart := flag.Bool("chart", false, "print ASCII charts for figures")
 	metricsout := flag.String("metricsout", "", "write per-policy Prometheus expositions to this file (metrics experiment)")
+	streamFile := flag.String("stream", "", "trace file for the replay experiment (.btr or text; see tracegen -stream)")
+	parallel := flag.Int("parallel", 0, "replay shard workers (0 = GOMAXPROCS)")
+	maxRSS := flag.Int64("maxrss", 0, "replay peak-RSS budget in bytes (0 = report only)")
+	progressEvery := flag.Duration("progress", 0, "replay progress-report interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
@@ -235,6 +244,15 @@ func main() {
 			}
 		case "livecheck":
 			if err := runLiveCheck(); err != nil {
+				return err
+			}
+		case "replay":
+			if err := runReplay(replayOpts{
+				path:     *streamFile,
+				parallel: *parallel,
+				maxRSS:   *maxRSS,
+				progress: *progressEvery,
+			}); err != nil {
 				return err
 			}
 		case "replicate":

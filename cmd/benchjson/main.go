@@ -46,11 +46,11 @@ type Benchmark struct {
 
 // File is the checked-in baseline document.
 type File struct {
-	Date   string            `json:"date"`
-	Goos   string            `json:"goos,omitempty"`
-	Goarch string            `json:"goarch,omitempty"`
-	CPU    string            `json:"cpu,omitempty"`
-	Benchmarks []*Benchmark  `json:"benchmarks"`
+	Date       string       `json:"date"`
+	Goos       string       `json:"goos,omitempty"`
+	Goarch     string       `json:"goarch,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
 }
 
 func parse(r *bufio.Scanner) (*File, error) {
@@ -123,15 +123,28 @@ func zeroSafe(b *Benchmark, m string) (float64, bool) {
 	return 0, false
 }
 
-func compare(oldPath string, cur *File) error {
-	raw, err := os.ReadFile(oldPath)
+// loadFile reads a checked-in BENCH_*.json document.
+func loadFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	var old File
-	if err := json.Unmarshal(raw, &old); err != nil {
-		return fmt.Errorf("%s: %w", oldPath, err)
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	return &f, nil
+}
+
+// compare prints the per-benchmark comparison table and returns each
+// benchmark's old/new ns/op geomean ratio keyed by bare benchmark name
+// (>1 means the new side is faster).
+func compare(oldPath string, cur *File) (map[string]float64, error) {
+	old, err := loadFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	ratios := map[string]float64{}
 	oldBy := map[string]*Benchmark{}
 	for _, b := range old.Benchmarks {
 		oldBy[b.Pkg+" "+b.Name] = b
@@ -155,6 +168,7 @@ func compare(oldPath string, cur *File) error {
 		if ov, ook := geomean(ob, "ns/op"); ook {
 			if nv, nok := geomean(nb, "ns/op"); nok && nv > 0 {
 				line += fmt.Sprintf(" %13.2fx", ov/nv)
+				ratios[nb.Name] = ov / nv
 			}
 		}
 		if ov, ook := zeroSafe(ob, "allocs/op"); ook {
@@ -168,23 +182,67 @@ func compare(oldPath string, cur *File) error {
 		}
 		fmt.Println(line)
 	}
+	return ratios, nil
+}
+
+// checkMinGains enforces a "-mingain Name=ratio[,Name=ratio...]" spec
+// against the measured old/new ns/op ratios, returning an error naming the
+// first benchmark that missed its floor (or was absent from the comparison).
+func checkMinGains(spec string, ratios map[string]float64) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, want, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("-mingain: bad entry %q (want Name=ratio)", entry)
+		}
+		floor, err := strconv.ParseFloat(want, 64)
+		if err != nil {
+			return fmt.Errorf("-mingain: bad ratio in %q: %v", entry, err)
+		}
+		got, have := ratios[name]
+		if !have {
+			return fmt.Errorf("-mingain: benchmark %s missing from comparison", name)
+		}
+		if got < floor {
+			return fmt.Errorf("-mingain: %s speedup %.2fx below required %.2fx", name, got, floor)
+		}
+		fmt.Printf("gate ok: %s %.2fx >= %.2fx\n", name, got, floor)
+	}
 	return nil
 }
 
 func main() {
 	comparePath := flag.String("compare", "", "baseline BENCH_*.json to compare stdin against instead of emitting JSON")
+	inputPath := flag.String("input", "", "read the current side from this BENCH_*.json record instead of parsing bench text on stdin")
+	minGain := flag.String("mingain", "", "with -compare: fail unless each Name=ratio entry's old/new ns/op speedup holds (comma-separated)")
 	flag.Parse()
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	f, err := parse(sc)
+	var f *File
+	var err error
+	if *inputPath != "" {
+		f, err = loadFile(*inputPath)
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		f, err = parse(sc)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 	if *comparePath != "" {
-		if err := compare(*comparePath, f); err != nil {
+		ratios, err := compare(*comparePath, f)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
+		}
+		if *minGain != "" {
+			if err := checkMinGains(*minGain, ratios); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -3,6 +3,7 @@ package baps
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"baps/internal/anonymity"
@@ -37,12 +38,78 @@ type Options struct {
 	Seed int64
 }
 
-func (o Options) trace(profile string) (*Trace, error) {
+// traceKey identifies a memoized workload. The drivers ask for the same
+// (profile, seed, scale) traces over and over — `bapsim all` regenerates
+// nlanr-bo1 nine times — so generation (and the Compute stats pass) is
+// cached per process. Cached traces are safe to share: the simulator and
+// every driver treat a generated trace as read-only.
+type traceKey struct {
+	profile string
+	seed    int64
+	scale   float64
+}
+
+type traceEntry struct {
+	tr *Trace
+	st *trace.Stats // lazily filled by traceStats
+}
+
+var traceMemo = struct {
+	sync.Mutex
+	m map[traceKey]*traceEntry
+}{m: make(map[traceKey]*traceEntry)}
+
+// resetTraceMemo drops the cross-driver trace cache (benchmarks call it so
+// each iteration models a fresh process).
+func resetTraceMemo() {
+	traceMemo.Lock()
+	traceMemo.m = make(map[traceKey]*traceEntry)
+	traceMemo.Unlock()
+}
+
+func (o Options) memoEntry(profile string) (*traceEntry, error) {
 	scale := o.Scale
 	if scale == 0 {
 		scale = 1
 	}
-	return GenerateTraceScaled(profile, o.Seed, scale)
+	key := traceKey{profile, o.Seed, scale}
+	traceMemo.Lock()
+	defer traceMemo.Unlock()
+	if e, ok := traceMemo.m[key]; ok {
+		return e, nil
+	}
+	tr, err := GenerateTraceScaled(profile, o.Seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	tr.Intern() // intern once, before the trace is shared across drivers
+	e := &traceEntry{tr: tr}
+	traceMemo.m[key] = e
+	return e, nil
+}
+
+func (o Options) trace(profile string) (*Trace, error) {
+	e, err := o.memoEntry(profile)
+	if err != nil {
+		return nil, err
+	}
+	return e.tr, nil
+}
+
+// traceStats returns the memoized trace together with its Compute stats.
+// Stats are computed once per cached trace; callers must not mutate them.
+func (o Options) traceStats(profile string) (*Trace, *trace.Stats, error) {
+	e, err := o.memoEntry(profile)
+	if err != nil {
+		return nil, nil, err
+	}
+	traceMemo.Lock()
+	defer traceMemo.Unlock()
+	if e.st == nil {
+		st := trace.Compute(e.tr)
+		e.st = &st
+	}
+	return e.tr, e.st, nil
 }
 
 // Table1 regenerates the paper's Table 1 ("Selected Web Traces") over the
@@ -51,11 +118,10 @@ func Table1(o Options) (*Table, error) {
 	t := stats.NewTable("Table 1: Selected Web Traces (synthetic stand-ins)",
 		"Trace", "Requests", "Total", "Infinite Cache", "Clients", "Max Hit Ratio", "Max Byte Hit Ratio")
 	for _, p := range synth.Profiles() {
-		tr, err := o.trace(p.Name)
+		_, s, err := o.traceStats(p.Name)
 		if err != nil {
 			return nil, err
 		}
-		s := trace.Compute(tr)
 		t.AddRow(p.Name,
 			fmt.Sprintf("%d", s.NumRequests),
 			stats.Bytes(s.TotalBytes),
@@ -268,13 +334,14 @@ func OverheadReport(o Options) (*Table, error) {
 	t := stats.NewTable("§5 overhead estimation (browsers-aware proxy, 10% relative size, average browser caches)",
 		"Trace", "Remote comm / service time", "Contention / comm time", "Remote transfers",
 		"False index hits", "Index entries", "Exact index", "Bloom index (16c/doc)")
+	var rn sim.Runner // pooled across the per-profile runs
 	for _, p := range synth.Profiles() {
-		tr, err := o.trace(p.Name)
+		tr, st, err := o.traceStats(p.Name)
 		if err != nil {
 			return nil, err
 		}
 		cfg := figureConfig(sim.SizingAverage)
-		res, err := sim.Run(tr, nil, cfg)
+		res, err := rn.Run(tr, st, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -308,13 +375,12 @@ func OverheadReport(o Options) (*Table, error) {
 // filters at Summary Cache's recommended ≈16 counters per expected cached
 // document.
 func IndexCompressionReport(o Options, profile string, countersPerClient uint64) (*Table, error) {
-	tr, err := o.trace(profile)
+	tr, st, err := o.traceStats(profile)
 	if err != nil {
 		return nil, err
 	}
-	st := trace.Compute(tr)
 	cfg := figureConfig(sim.SizingAverage)
-	ccfg := coreConfigFor(&st, cfg)
+	ccfg := coreConfigFor(st, cfg)
 	if countersPerClient == 0 {
 		// Measuring pre-pass: replay once to learn the steady-state
 		// directory size, then apply Summary Cache's ≈16 counters per
@@ -502,19 +568,19 @@ func SecurityReport(keyBits int, docBytes int) (*Table, error) {
 // vs periodic at several staleness thresholds — the Fan et al. delay
 // discussion of §5).
 func AblationReport(o Options, profile string) (*Table, error) {
-	tr, err := o.trace(profile)
+	tr, st, err := o.traceStats(profile)
 	if err != nil {
 		return nil, err
 	}
-	st := trace.Compute(tr)
 	t := stats.NewTable(fmt.Sprintf("Ablations (%s, browsers-aware proxy @10%%, average browser caches)", profile),
 		"Variant", "Hit ratio", "Byte hit ratio", "Remote hit ratio", "False index hits")
+	var rn sim.Runner // pooled across the variant runs
 	run := func(label string, mutate func(*SimConfig)) error {
 		cfg := figureConfig(sim.SizingAverage)
 		if mutate != nil {
 			mutate(&cfg)
 		}
-		res, err := sim.Run(tr, &st, cfg)
+		res, err := rn.Run(tr, st, cfg)
 		if err != nil {
 			return err
 		}
@@ -565,11 +631,10 @@ func AblationReport(o Options, profile string) (*Table, error) {
 // registry's full Prometheus exposition is appended to it behind a
 // "# policy: <name>" comment line (bapsim's -metricsout flag).
 func MetricsReport(o Options, profile string, dump io.Writer) (*Table, error) {
-	tr, err := o.trace(profile)
+	tr, st, err := o.traceStats(profile)
 	if err != nil {
 		return nil, err
 	}
-	st := trace.Compute(tr)
 	t := stats.NewTable(fmt.Sprintf("Per-policy metrics dumps (%s, browsers-aware proxy @10%%)", profile),
 		"Policy", "Requests", "Local", "Proxy", "Remote", "Miss", "False index hits", "LAN bytes")
 	policies := []cache.Policy{cache.LRU, cache.FIFO, cache.LFU, cache.SIZE, cache.GDSF}
@@ -579,7 +644,7 @@ func MetricsReport(o Options, profile string, dump io.Writer) (*Table, error) {
 		cfg := figureConfig(sim.SizingAverage)
 		cfg.ProxyPolicy, cfg.BrowserPolicy = pol, pol
 		cfg.Metrics = reg
-		res, err := rn.Run(tr, &st, cfg)
+		res, err := rn.Run(tr, st, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("metrics %s: %w", pol, err)
 		}
@@ -625,11 +690,10 @@ func MetricsReport(o Options, profile string, dump io.Writer) (*Table, error) {
 // harvesting the browser caches clients already own instead of adding proxy
 // machinery.
 func CooperativeReport(o Options, profile string, siblings []int) (*Table, error) {
-	tr, err := o.trace(profile)
+	tr, st, err := o.traceStats(profile)
 	if err != nil {
 		return nil, err
 	}
-	st := trace.Compute(tr)
 	cfg := figureConfig(sim.SizingAverage)
 	proxyCap := int64(cfg.RelativeSize * float64(st.InfiniteCacheBytes))
 	browserCap := int64(cfg.RelativeSize * float64(st.AvgClientInfiniteBytes()))
@@ -641,7 +705,7 @@ func CooperativeReport(o Options, profile string, siblings []int) (*Table, error
 	t := stats.NewTable(fmt.Sprintf("Browsers-aware vs Summary-Cache cooperative proxies (%s, equal hardware)", profile),
 		"System", "Hit ratio", "Byte hit ratio", "P2P/sibling hits", "Wasted probes", "Extra state")
 
-	bres, err := sim.Run(tr, &st, cfg)
+	bres, err := sim.Run(tr, st, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -684,19 +748,19 @@ func CooperativeReport(o Options, profile string, siblings []int) (*Table, error
 // (answer: all of the hit-ratio gain — the parent only intercepts traffic
 // both schemes already missed — while total service time drops for both).
 func HierarchyReport(o Options, profile string) (*Table, error) {
-	tr, err := o.trace(profile)
+	tr, st, err := o.traceStats(profile)
 	if err != nil {
 		return nil, err
 	}
-	st := trace.Compute(tr)
 	t := stats.NewTable(fmt.Sprintf("Hierarchy extension (%s, 10%% proxy, average browser caches)", profile),
 		"Scheme", "Parent size", "Hit ratio", "Origin fetches", "Parent hits", "Total service (s)")
+	var rn sim.Runner // pooled across the parent-size × organization grid
 	for _, parent := range []float64{0, 0.25, 0.50} {
 		for _, org := range []core.Organization{core.BrowsersAware, core.ProxyAndLocalBrowser} {
 			cfg := figureConfig(sim.SizingAverage)
 			cfg.Organization = org
 			cfg.ParentRelativeSize = parent
-			res, err := sim.Run(tr, &st, cfg)
+			res, err := rn.Run(tr, st, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -719,17 +783,17 @@ func HierarchyReport(o Options, profile string) (*Table, error) {
 // and tail latency under the §4.2/§5 timing model) the paper's aggregate
 // metrics imply but never show.
 func LatencyReport(o Options, profile string) (*Table, error) {
-	tr, err := o.trace(profile)
+	tr, st, err := o.traceStats(profile)
 	if err != nil {
 		return nil, err
 	}
-	st := trace.Compute(tr)
 	t := stats.NewTable(fmt.Sprintf("Service-time distribution (%s, 10%% relative size, average browser caches)", profile),
 		"Organization", "Hit ratio", "Mean (s)", "p50 (s)", "p95 (s)", "p99 (s)", "Max (s)")
+	var rn sim.Runner // pooled across the organization runs
 	for _, org := range core.Organizations() {
 		cfg := figureConfig(sim.SizingAverage)
 		cfg.Organization = org
-		res, err := sim.Run(tr, &st, cfg)
+		res, err := rn.Run(tr, st, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -763,6 +827,7 @@ func ReplicationReport(o Options, seeds int) (*Table, error) {
 	if scale == 0 {
 		scale = 1
 	}
+	var rn sim.Runner // pooled across all profile × seed × organization runs
 	for _, p := range synth.Profiles() {
 		var hrGains, bhrGains []float64
 		for s := 0; s < seeds; s++ {
@@ -774,12 +839,12 @@ func ReplicationReport(o Options, seeds int) (*Table, error) {
 			}
 			st := trace.Compute(tr)
 			cfg := figureConfig(sim.SizingAverage)
-			bres, err := sim.Run(tr, &st, cfg)
+			bres, err := rn.Run(tr, &st, cfg)
 			if err != nil {
 				return nil, err
 			}
 			cfg.Organization = core.ProxyAndLocalBrowser
-			pres, err := sim.Run(tr, &st, cfg)
+			pres, err := rn.Run(tr, &st, cfg)
 			if err != nil {
 				return nil, err
 			}

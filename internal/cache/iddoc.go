@@ -24,6 +24,16 @@ type IDOptions struct {
 	// OnEvict, if non-nil, is invoked for every document evicted to make
 	// room (not for Remove or for replaced versions of the same ID).
 	OnEvict IDEvictFunc
+
+	// Sparse selects a hash-based docID→slot table instead of the dense
+	// per-instance slice, trading a few ns per probe for memory that
+	// scales with resident documents rather than the document-ID space.
+	// Replacement behavior is identical. Meant for deployments with very
+	// many cache instances (one per simulated browser at 10^6-client
+	// scale); LRU/FIFO only — heap-backed policies ignore it (their
+	// footprint is already resident-bounded except for the shared slot
+	// slice, and they are not used at that scale).
+	Sparse bool
 }
 
 // IDCache is the interned-ID counterpart of Cache. Semantics match Cache

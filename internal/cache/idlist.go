@@ -15,12 +15,16 @@ type idListCache struct {
 
 	// slot[doc] is the node index for doc, or 0 when not resident (node 0
 	// is the sentinel, never a real entry). The slice grows to the largest
-	// doc ID seen.
-	slot  []int32
-	nodes []idListNode // nodes[0] is the sentinel of the circular list
-	free  []int32      // recycled node indices
-	count int
-	evBuf []IDDoc // reused eviction buffer returned by Put
+	// doc ID seen. In sparse mode slotMap replaces it: memory scales with
+	// resident documents instead of the ID space, which is what lets 10^6
+	// browser caches coexist over a multi-million document ID space.
+	sparse  bool
+	slot    []int32
+	slotMap docSlot
+	nodes   []idListNode // nodes[0] is the sentinel of the circular list
+	free    []int32      // recycled node indices
+	count   int
+	evBuf   []IDDoc // reused eviction buffer returned by Put
 }
 
 type idListNode struct {
@@ -33,16 +37,47 @@ func newIDListCache(capacity int64, promote bool, o IDOptions) *idListCache {
 		capacity: capacity,
 		promote:  promote,
 		onEvict:  o.OnEvict,
-		nodes:    make([]idListNode, 1, 64),
+		sparse:   o.Sparse,
+	}
+	if o.Sparse {
+		// Million-instance deployments: no speculative node preallocation.
+		c.nodes = make([]idListNode, 1, 1)
+	} else {
+		c.nodes = make([]idListNode, 1, 64)
 	}
 	return c
 }
 
 func (c *idListCache) lookup(id intern.ID) int32 {
+	if c.sparse {
+		if id < 0 {
+			return 0
+		}
+		return c.slotMap.get(id)
+	}
 	if id < 0 || int(id) >= len(c.slot) {
 		return 0
 	}
 	return c.slot[id]
+}
+
+// setSlot records the node index for a resident document.
+func (c *idListCache) setSlot(id intern.ID, n int32) {
+	if c.sparse {
+		c.slotMap.set(id, n)
+		return
+	}
+	c.ensureSlot(id)
+	c.slot[id] = n
+}
+
+// clearSlot forgets a document's node index.
+func (c *idListCache) clearSlot(id intern.ID) {
+	if c.sparse {
+		c.slotMap.del(id)
+		return
+	}
+	c.slot[id] = 0
 }
 
 func (c *idListCache) ensureSlot(id intern.ID) {
@@ -109,7 +144,6 @@ func (c *idListCache) Put(doc IDDoc) ([]IDDoc, bool) {
 		}
 		return c.shrink(doc.ID), true
 	}
-	c.ensureSlot(doc.ID)
 	var n int32
 	if ln := len(c.free); ln > 0 {
 		n = c.free[ln-1]
@@ -119,7 +153,7 @@ func (c *idListCache) Put(doc IDDoc) ([]IDDoc, bool) {
 		c.nodes = append(c.nodes, idListNode{doc: doc})
 		n = int32(len(c.nodes) - 1)
 	}
-	c.slot[doc.ID] = n
+	c.setSlot(doc.ID, n)
 	c.pushBack(n)
 	c.used += doc.Size
 	c.count++
@@ -158,7 +192,7 @@ func (c *idListCache) shrink(keep intern.ID) []IDDoc {
 
 func (c *idListCache) removeNode(n int32) {
 	c.unlink(n)
-	c.slot[c.nodes[n].doc.ID] = 0
+	c.clearSlot(c.nodes[n].doc.ID)
 	c.used -= c.nodes[n].doc.Size
 	c.nodes[n] = idListNode{}
 	c.free = append(c.free, n)
@@ -199,6 +233,7 @@ func (c *idListCache) Reset(capacity int64) {
 	for i := range c.slot {
 		c.slot[i] = 0
 	}
+	c.slotMap.reset()
 	c.nodes = c.nodes[:1]
 	c.nodes[0] = idListNode{}
 	c.free = c.free[:0]

@@ -1,0 +1,146 @@
+package cache
+
+import "baps/internal/intern"
+
+// docSlot is a compact open-addressing map from document ID to list-node
+// index, the sparse alternative to idListCache's dense slot slice. The dense
+// slice costs 4 bytes per ID in [0, maxDocID-touched] per cache instance —
+// fine for one proxy, ruinous for 10^6 browser caches over a multi-million
+// document ID space. docSlot costs ~8 bytes per *resident* document plus
+// load-factor slack, independent of the ID space.
+//
+// Keys are stored as docID+1 so the zero word means "empty"; values are node
+// indices (always non-zero — node 0 is the list sentinel). Deletion uses
+// backward-shift compaction, so no tombstones accumulate. The zero value is
+// ready to use.
+type docSlot struct {
+	keys []int32 // docID+1; 0 = empty
+	vals []int32 // node index
+	n    int
+}
+
+func docSlotHash(k int32) uint32 {
+	x := uint32(k)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// get returns the node index for id, or 0 when absent.
+func (m *docSlot) get(id intern.ID) int32 {
+	if len(m.keys) == 0 {
+		return 0
+	}
+	k := int32(id) + 1
+	mask := uint32(len(m.keys) - 1)
+	i := docSlotHash(k) & mask
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			return m.vals[i]
+		}
+		if kk == 0 {
+			return 0
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// set stores node index n under id (n must be non-zero).
+func (m *docSlot) set(id intern.ID, n int32) {
+	if m.n >= len(m.keys)-len(m.keys)/4 { // load factor 0.75
+		m.grow()
+	}
+	k := int32(id) + 1
+	mask := uint32(len(m.keys) - 1)
+	i := docSlotHash(k) & mask
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			m.vals[i] = n
+			return
+		}
+		if kk == 0 {
+			m.keys[i] = k
+			m.vals[i] = n
+			m.n++
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// del removes id, compacting the probe chain behind it.
+func (m *docSlot) del(id intern.ID) {
+	if len(m.keys) == 0 {
+		return
+	}
+	k := int32(id) + 1
+	mask := uint32(len(m.keys) - 1)
+	i := docSlotHash(k) & mask
+	for {
+		kk := m.keys[i]
+		if kk == 0 {
+			return
+		}
+		if kk == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	m.n--
+	// Backward-shift: walk the chain after i, moving back any entry whose
+	// home position means it is reachable through slot i.
+	j := i
+	for {
+		j = (j + 1) & mask
+		kk := m.keys[j]
+		if kk == 0 {
+			break
+		}
+		home := docSlotHash(kk) & mask
+		// Entry at j can move to i iff i is not "between" home and j in
+		// circular probe order (standard backward-shift condition).
+		if (j-home)&mask >= (j-i)&mask {
+			m.keys[i] = kk
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	m.keys[i] = 0
+	m.vals[i] = 0
+}
+
+// reset drops all entries, keeping the slots for reuse.
+func (m *docSlot) reset() {
+	for i := range m.keys {
+		m.keys[i] = 0
+		m.vals[i] = 0
+	}
+	m.n = 0
+}
+
+func (m *docSlot) grow() {
+	newSize := 16
+	if len(m.keys) > 0 {
+		newSize = len(m.keys) * 2
+	}
+	oldKeys, oldVals := m.keys, m.vals
+	m.keys = make([]int32, newSize)
+	m.vals = make([]int32, newSize)
+	mask := uint32(newSize - 1)
+	for idx, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := docSlotHash(k) & mask
+		for m.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		m.keys[i] = k
+		m.vals[i] = oldVals[idx]
+	}
+}

@@ -8,7 +8,7 @@ import "baps/internal/intern"
 // TwoTier exactly.
 type IDTwoTier struct {
 	inner IDCache
-	mem   *idListCache
+	mem   memTier
 }
 
 // NewIDTwoTier builds a two-tier ID-keyed cache with the given overall
@@ -21,9 +21,20 @@ func NewIDTwoTier(policy Policy, capacity, memCapacity int64, opts ...IDOptions)
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	t := &IDTwoTier{mem: newIDListCache(memCapacity, true, IDOptions{})}
+	t := &IDTwoTier{}
+	if o.Sparse {
+		// A sparse browser's memory portion holds a handful of docs; the
+		// slice LRU costs ~40 B instead of the list cache's ~0.5 KB of
+		// fixed furniture, which matters times 10^6 instances.
+		t.mem = &idVecCache{capacity: memCapacity}
+	} else {
+		t.mem = newIDListCache(memCapacity, true, IDOptions{})
+	}
 	user := o.OnEvict
-	inner, err := NewID(policy, capacity, IDOptions{OnEvict: func(d IDDoc) {
+	// Sparse must reach the inner tier too: it is the tier that holds every
+	// resident document, so a dense slot table here is the full 4 B ×
+	// doc-ID-space cost per browser the option exists to avoid.
+	inner, err := NewID(policy, capacity, IDOptions{Sparse: o.Sparse, OnEvict: func(d IDDoc) {
 		t.mem.Remove(d.ID)
 		if user != nil {
 			user(d)

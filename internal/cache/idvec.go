@@ -1,0 +1,91 @@
+package cache
+
+import "baps/internal/intern"
+
+// memTier is the surface IDTwoTier needs from its memory portion.
+// idListCache satisfies it directly; idVecCache is the compact variant.
+type memTier interface {
+	Put(IDDoc) ([]IDDoc, bool)
+	Peek(intern.ID) (IDDoc, bool)
+	Remove(intern.ID) bool
+	Reset(capacity int64)
+	Capacity() int64
+	Used() int64
+}
+
+// idVecCache is an LRU over a bare IDDoc slice, for memory tiers that hold
+// only a handful of documents. A sparse browser's memory portion is a few
+// KB — one or two resident docs — so the list cache's fixed furniture
+// (sentinel nodes, slot table, free list, eviction buffer: ~0.5 KB) costs
+// more than the documents it tracks; across 10^6 browsers that furniture
+// alone is half a GiB. Linear scans are cheaper than a hash probe at these
+// lengths. Eviction order matches idListCache(promote=true) exactly:
+// docs[0] is the victim, the back is most recently referenced.
+type idVecCache struct {
+	capacity int64
+	used     int64
+	docs     []IDDoc
+}
+
+func (c *idVecCache) find(id intern.ID) int {
+	for i := range c.docs {
+		if c.docs[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Put admits or refreshes doc, promoting it to most-recent and silently
+// evicting LRU victims; the signature matches idListCache but demoted
+// documents are not reported (the memory tier never needs them).
+func (c *idVecCache) Put(doc IDDoc) ([]IDDoc, bool) {
+	if doc.Size > c.capacity {
+		return nil, false
+	}
+	if i := c.find(doc.ID); i >= 0 {
+		c.used += doc.Size - c.docs[i].Size
+		copy(c.docs[i:], c.docs[i+1:])
+		c.docs[len(c.docs)-1] = doc
+	} else {
+		c.docs = append(c.docs, doc)
+		c.used += doc.Size
+	}
+	for i := 0; c.used > c.capacity && i < len(c.docs); {
+		if c.docs[i].ID == doc.ID {
+			i++ // never evict the document just referenced
+			continue
+		}
+		c.used -= c.docs[i].Size
+		copy(c.docs[i:], c.docs[i+1:])
+		c.docs = c.docs[:len(c.docs)-1]
+	}
+	return nil, true
+}
+
+func (c *idVecCache) Peek(id intern.ID) (IDDoc, bool) {
+	if i := c.find(id); i >= 0 {
+		return c.docs[i], true
+	}
+	return IDDoc{}, false
+}
+
+func (c *idVecCache) Remove(id intern.ID) bool {
+	i := c.find(id)
+	if i < 0 {
+		return false
+	}
+	c.used -= c.docs[i].Size
+	copy(c.docs[i:], c.docs[i+1:])
+	c.docs = c.docs[:len(c.docs)-1]
+	return true
+}
+
+func (c *idVecCache) Reset(capacity int64) {
+	c.docs = c.docs[:0]
+	c.used = 0
+	c.capacity = capacity
+}
+
+func (c *idVecCache) Capacity() int64 { return c.capacity }
+func (c *idVecCache) Used() int64     { return c.used }

@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"baps/internal/intern"
+)
+
+// The vec-backed memory tier must behave exactly like the list cache it
+// replaces (LRU promote, silent demotions): same membership, same used
+// bytes, same Peek results after any operation sequence.
+func TestIDVecCacheMatchesListCache(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int64(rng.Intn(5000) + 500)
+		vec := &idVecCache{capacity: capacity}
+		list := newIDListCache(capacity, true, IDOptions{})
+		ids := rng.Intn(30) + 5
+		for op := 0; op < 3000; op++ {
+			id := intern.ID(rng.Intn(ids))
+			switch rng.Intn(4) {
+			case 0, 1:
+				doc := IDDoc{ID: id, Size: int64(rng.Intn(2000) + 1), Version: int64(op)}
+				_, va := vec.Put(doc)
+				_, la := list.Put(doc)
+				if va != la {
+					t.Fatalf("seed %d op %d: Put(%d) admitted vec=%v list=%v", seed, op, id, va, la)
+				}
+			case 2:
+				if vec.Remove(id) != list.Remove(id) {
+					t.Fatalf("seed %d op %d: Remove(%d) disagreed", seed, op, id)
+				}
+			case 3:
+				vd, vok := vec.Peek(id)
+				ld, lok := list.Peek(id)
+				if vok != lok || vd != ld {
+					t.Fatalf("seed %d op %d: Peek(%d) vec=(%v,%v) list=(%v,%v)", seed, op, id, vd, vok, ld, lok)
+				}
+			}
+			if vec.Used() != list.Used() {
+				t.Fatalf("seed %d op %d: used vec=%d list=%d", seed, op, vec.Used(), list.Used())
+			}
+			for probe := 0; probe < ids; probe++ {
+				_, vok := vec.Peek(intern.ID(probe))
+				_, lok := list.Peek(intern.ID(probe))
+				if vok != lok {
+					t.Fatalf("seed %d op %d: membership of %d vec=%v list=%v", seed, op, probe, vok, lok)
+				}
+			}
+		}
+		vec.Reset(capacity / 2)
+		list.Reset(capacity / 2)
+		if vec.Used() != 0 || vec.Capacity() != capacity/2 {
+			t.Fatalf("seed %d: Reset left used=%d cap=%d", seed, vec.Used(), vec.Capacity())
+		}
+	}
+}
+
+// Eviction order must match too: fill past capacity and compare the exact
+// eviction victims via a doomed-then-probed sequence through IDTwoTier,
+// which is the only consumer of the memory tier.
+func TestIDTwoTierSparseMatchesDenseMemoryTier(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		capacity := int64(rng.Intn(8000) + 2000)
+		memCap := capacity / 2
+		sparse, err := NewIDTwoTier(LRU, capacity, memCap, IDOptions{Sparse: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := NewIDTwoTier(LRU, capacity, memCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := rng.Intn(40) + 10
+		for op := 0; op < 4000; op++ {
+			id := intern.ID(rng.Intn(ids))
+			switch rng.Intn(5) {
+			case 0, 1:
+				doc := IDDoc{ID: id, Size: int64(rng.Intn(1500) + 1), Version: int64(op)}
+				sev, sad := sparse.Put(doc)
+				dev, dad := dense.Put(doc)
+				if sad != dad || len(sev) != len(dev) {
+					t.Fatalf("seed %d op %d: Put(%d) sparse=(%d,%v) dense=(%d,%v)",
+						seed, op, id, len(sev), sad, len(dev), dad)
+				}
+			case 2:
+				sd, st, sok := sparse.GetTier(id)
+				dd, dt, dok := dense.GetTier(id)
+				if sok != dok || st != dt || sd != dd {
+					t.Fatalf("seed %d op %d: GetTier(%d) sparse=(%v,%v,%v) dense=(%v,%v,%v)",
+						seed, op, id, sd, st, sok, dd, dt, dok)
+				}
+			case 3:
+				if sparse.Remove(id) != dense.Remove(id) {
+					t.Fatalf("seed %d op %d: Remove(%d) disagreed", seed, op, id)
+				}
+			case 4:
+				if sparse.InMemory(id) != dense.InMemory(id) {
+					t.Fatalf("seed %d op %d: InMemory(%d) disagreed", seed, op, id)
+				}
+			}
+			if sparse.MemoryUsed() != dense.MemoryUsed() || sparse.Used() != dense.Used() {
+				t.Fatalf("seed %d op %d: used sparse=(%d,%d) dense=(%d,%d)", seed, op,
+					sparse.Used(), sparse.MemoryUsed(), dense.Used(), dense.MemoryUsed())
+			}
+		}
+	}
+}

@@ -53,6 +53,21 @@ func (t *Table) Intern(s string) ID {
 	return id
 }
 
+// InternBytes is Intern for a byte slice. The map probe compiles without
+// allocating (the `map[string(b)]` lookup idiom); a string copy is made only
+// when b is a first sight, so a streaming text decoder pays one URL
+// allocation per unique document instead of one per trace line.
+func (t *Table) InternBytes(b []byte) ID {
+	if id, ok := t.ids[string(b)]; ok {
+		return id
+	}
+	s := string(b)
+	id := ID(len(t.strs))
+	t.ids[s] = id
+	t.strs = append(t.strs, s)
+	return id
+}
+
 // Lookup returns the ID for s without interning; ok is false when s has
 // never been seen.
 func (t *Table) Lookup(s string) (ID, bool) {

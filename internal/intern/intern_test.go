@@ -1,0 +1,135 @@
+package intern
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestTableInternBytes(t *testing.T) {
+	tb := NewTable(0)
+	a := tb.Intern("http://a.example/1")
+	b := tb.InternBytes([]byte("http://b.example/2"))
+	if tb.InternBytes([]byte("http://a.example/1")) != a {
+		t.Fatalf("InternBytes did not find string-interned entry")
+	}
+	if tb.Intern("http://b.example/2") != b {
+		t.Fatalf("Intern did not find bytes-interned entry")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+	// The stored string must be a copy, not aliasing the caller's buffer.
+	buf := []byte("http://c.example/3")
+	c := tb.InternBytes(buf)
+	buf[0] = 'X'
+	if got := tb.String(c); got != "http://c.example/3" {
+		t.Fatalf("stored string aliases caller buffer: %q", got)
+	}
+}
+
+func TestU64MapBasic(t *testing.T) {
+	var m U64Map
+	if _, ok := m.Get(42); ok {
+		t.Fatal("empty map reported a key")
+	}
+	m.Put(42, 7)
+	if v, ok := m.Get(42); !ok || v != 7 {
+		t.Fatalf("Get(42) = %d,%v want 7,true", v, ok)
+	}
+	m.Put(42, 9)
+	if v, _ := m.Get(42); v != 9 {
+		t.Fatalf("overwrite failed: %d", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d want 1", m.Len())
+	}
+
+	// Zero key is legal.
+	m.Put(0, -5)
+	if v, ok := m.Get(0); !ok || v != -5 {
+		t.Fatalf("Get(0) = %d,%v want -5,true", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d want 2", m.Len())
+	}
+}
+
+func TestU64MapPutIfAbsent(t *testing.T) {
+	var m U64Map
+	if v, present := m.PutIfAbsent(10, 1); present || v != 1 {
+		t.Fatalf("first PutIfAbsent = %d,%v", v, present)
+	}
+	if v, present := m.PutIfAbsent(10, 2); !present || v != 1 {
+		t.Fatalf("second PutIfAbsent = %d,%v want 1,true", v, present)
+	}
+	if v, present := m.PutIfAbsent(0, 3); present || v != 3 {
+		t.Fatalf("zero-key PutIfAbsent = %d,%v", v, present)
+	}
+	if v, present := m.PutIfAbsent(0, 4); !present || v != 3 {
+		t.Fatalf("zero-key repeat PutIfAbsent = %d,%v want 3,true", v, present)
+	}
+}
+
+func TestU64MapAgainstBuiltin(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var m U64Map
+	ref := map[uint64]int64{}
+	for i := 0; i < 200000; i++ {
+		k := uint64(rng.Int63n(50000)) // force collisions and overwrites
+		v := rng.Int63()
+		switch rng.Intn(3) {
+		case 0:
+			m.Put(k, v)
+			ref[k] = v
+		case 1:
+			got, present := m.PutIfAbsent(k, v)
+			want, ok := ref[k]
+			if !ok {
+				ref[k] = v
+				want = v
+			}
+			if present != ok || got != want {
+				t.Fatalf("PutIfAbsent(%d) = %d,%v want %d,%v", k, got, present, want, ok)
+			}
+		default:
+			got, present := m.Get(k)
+			want, ok := ref[k]
+			if present != ok || (ok && got != want) {
+				t.Fatalf("Get(%d) = %d,%v want %d,%v", k, got, present, want, ok)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d want %d", m.Len(), len(ref))
+	}
+	for k, want := range ref {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("final Get(%d) = %d,%v want %d,true", k, got, ok, want)
+		}
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	for k := range ref {
+		if _, ok := m.Get(k); ok {
+			t.Fatalf("key %d survived Reset", k)
+		}
+	}
+}
+
+func BenchmarkU64MapPutIfAbsent(b *testing.B) {
+	var m U64Map
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.PutIfAbsent(uint64(i)&0xfffff, int64(i))
+	}
+}
+
+func ExampleTable_InternBytes() {
+	tb := NewTable(0)
+	id := tb.InternBytes([]byte("http://x.example/doc"))
+	fmt.Println(id == tb.Intern("http://x.example/doc"))
+	// Output: true
+}

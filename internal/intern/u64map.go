@@ -1,0 +1,162 @@
+package intern
+
+import "math/bits"
+
+// U64Map is a compact open-addressing hash map from uint64 keys to int64
+// values, built for the out-of-core simulation paths where Go's built-in
+// map overhead (~50 B/entry) dominates resident memory at 10^6-client
+// scale: the streaming Stats pass tracks one (client, doc) pair per first
+// sight, and the streaming synthetic generator interns integer document
+// keys. Entries cost 16 B plus load-factor slack (~24 B/entry at the 0.75
+// max load), with no per-entry pointers for the GC to trace.
+//
+// The zero key is reserved internally; callers may still use key 0 — it is
+// remapped to a sentinel slot. The zero value of U64Map is ready to use.
+// Not safe for concurrent use.
+type U64Map struct {
+	keys []uint64
+	vals []int64
+	n    int // live entries, excluding the zero-key slot
+
+	zeroSet bool
+	zeroVal int64
+}
+
+// u64Hash is a strong 64-bit mixer (splitmix64 finalizer).
+func u64Hash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len reports the number of stored keys.
+func (m *U64Map) Len() int {
+	n := m.n
+	if m.zeroSet {
+		n++
+	}
+	return n
+}
+
+// Get returns the value for key and whether it is present.
+func (m *U64Map) Get(key uint64) (int64, bool) {
+	if key == 0 {
+		return m.zeroVal, m.zeroSet
+	}
+	if len(m.keys) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := u64Hash(key) & mask
+	for {
+		k := m.keys[i]
+		if k == key {
+			return m.vals[i], true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Put stores value under key, replacing any previous value.
+func (m *U64Map) Put(key uint64, val int64) {
+	if key == 0 {
+		m.zeroSet = true
+		m.zeroVal = val
+		return
+	}
+	if m.n >= len(m.keys)-len(m.keys)/4 { // load factor 0.75
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := u64Hash(key) & mask
+	for {
+		k := m.keys[i]
+		if k == key {
+			m.vals[i] = val
+			return
+		}
+		if k == 0 {
+			m.keys[i] = key
+			m.vals[i] = val
+			m.n++
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// PutIfAbsent stores value under key unless the key is already present.
+// It returns the resident value and whether the key was already present —
+// the one-probe idiom the streaming Stats pass uses for first-sight
+// (client, doc) tracking.
+func (m *U64Map) PutIfAbsent(key uint64, val int64) (int64, bool) {
+	if key == 0 {
+		if m.zeroSet {
+			return m.zeroVal, true
+		}
+		m.zeroSet = true
+		m.zeroVal = val
+		return val, false
+	}
+	if m.n >= len(m.keys)-len(m.keys)/4 {
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := u64Hash(key) & mask
+	for {
+		k := m.keys[i]
+		if k == key {
+			return m.vals[i], true
+		}
+		if k == 0 {
+			m.keys[i] = key
+			m.vals[i] = val
+			m.n++
+			return val, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Reset drops all entries but keeps the allocated slots for reuse.
+func (m *U64Map) Reset() {
+	for i := range m.keys {
+		m.keys[i] = 0
+	}
+	m.n = 0
+	m.zeroSet = false
+	m.zeroVal = 0
+}
+
+// grow doubles the table (minimum 16 slots) and rehashes.
+func (m *U64Map) grow() {
+	newSize := 16
+	if len(m.keys) > 0 {
+		newSize = len(m.keys) * 2
+	}
+	// Guard against a non-power-of-two slice sneaking in.
+	if bits.OnesCount(uint(newSize)) != 1 {
+		newSize = 1 << bits.Len(uint(newSize))
+	}
+	oldKeys, oldVals := m.keys, m.vals
+	m.keys = make([]uint64, newSize)
+	m.vals = make([]int64, newSize)
+	mask := uint64(newSize - 1)
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := u64Hash(k) & mask
+		for m.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		m.keys[i] = k
+		m.vals[i] = oldVals[j]
+	}
+}

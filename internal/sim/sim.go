@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 
 	"baps/internal/cache"
 	"baps/internal/core"
@@ -252,6 +253,15 @@ func Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error) {
 	return rn.Run(tr, st, c)
 }
 
+// RunStream is Run for an out-of-core source: it replays a trace.Stream
+// (binary or text) without the trace ever being resident. st must come from
+// a prior stats pass over the same source (trace.StreamStats); on an
+// in-memory trace the result is bit-identical to Run.
+func RunStream(s trace.Stream, st *trace.Stats, c Config) (Result, error) {
+	var rn Runner
+	return rn.RunStream(s, st, c)
+}
+
 // Run is like the package-level Run but reuses the Runner's pooled system,
 // bus, and histogram when the previous run's shape allows it.
 func (rn *Runner) Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error) {
@@ -262,6 +272,20 @@ func (rn *Runner) Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error
 		s := trace.Compute(tr)
 		st = &s
 	}
+	return rn.runStream(trace.NewSliceStream(tr), st, len(tr.Requests), c)
+}
+
+// RunStream is the pooled-state counterpart of the package-level RunStream.
+func (rn *Runner) RunStream(s trace.Stream, st *trace.Stats, c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	return rn.runStream(s, st, st.NumRequests, c)
+}
+
+// runStream builds (or reuses) the simulated system and drives the replay
+// engine over the stream. totalRequests anchors the warm-up cutoff.
+func (rn *Runner) runStream(s trace.Stream, st *trace.Stats, totalRequests int, c Config) (Result, error) {
 	ccfg := buildCoreConfig(st, c)
 	if c.Metrics != nil {
 		ccfg.Metrics = core.NewAccessMetrics(c.Metrics)
@@ -296,122 +320,27 @@ func (rn *Runner) Run(tr *trace.Trace, st *trace.Stats, c Config) (Result, error
 		bus.SetObserver(nil)
 	}
 	rn.hist.Reset()
-	res := Result{
-		Trace:        tr.Name,
-		Organization: c.Organization,
-		RelativeSize: c.RelativeSize,
-		Sizing:       c.Sizing,
-		ProxyCap:     ccfg.ProxyCapacity,
-	}
+	warmup := int(c.WarmupFraction * float64(totalRequests))
+	rp := newReplay(sys, bus, &rn.hist, c, warmup)
+	rp.res.Trace = s.Name()
+	rp.res.ProxyCap = ccfg.ProxyCapacity
 	for _, cap := range ccfg.BrowserCapacity {
-		res.BrowserCapTotal += cap
+		rp.res.BrowserCapTotal += cap
 	}
-	m := c.Latency
-	warmup := int(c.WarmupFraction * float64(len(tr.Requests)))
-	var warmTransferSec, warmContentionSec float64
-	var warmTransfers, warmBytes int64
-	hist := &rn.hist
-	for i := range tr.Requests {
-		if i == warmup {
-			// Metrics start here; remote-bus totals accumulated
-			// during warm-up are excluded below.
-			warmTransferSec = bus.TransferSec
-			warmContentionSec = bus.ContentionSec
-			warmTransfers = bus.Transfers
-			warmBytes = bus.Bytes
+	buf := make([]trace.Request, trace.StreamBatchSize)
+	for {
+		n, err := s.Next(buf)
+		if err == io.EOF {
+			break
 		}
-		r := tr.Requests[i]
-		out := sys.Access(r)
-		counted := i >= warmup
-
-		var lat float64
-		var remoteHops int64
-		switch out.Class {
-		case core.HitLocalBrowser:
-			lat = readTime(m, out.Tier, r.Size)
-		case core.HitProxy:
-			lat = readTime(m, out.Tier, r.Size) + m.LANTransfer(r.Size)
-		case core.HitRemoteBrowser:
-			lat = readTime(m, out.Tier, r.Size)
-			// Browser→proxy→browser under fetch-forward (two LAN
-			// legs), browser→browser under direct-forward (one).
-			hops := 1
-			if c.ForwardMode == core.FetchForward {
-				hops = 2
-			}
-			at := r.Time
-			for h := 0; h < hops; h++ {
-				wait, dur := bus.Transfer(at, r.Size)
-				at += wait + dur
-				lat += wait + dur
-			}
-			remoteHops = int64(hops)
-		case core.HitParent:
-			// The parent sits partway up the WAN path.
-			lat = readTime(m, out.Tier, r.Size) +
-				m.ParentCostFactor*m.UpstreamFetch(r.Size) + m.LANTransfer(r.Size)
-		case core.Miss:
-			lat = m.UpstreamFetch(r.Size) + m.LANTransfer(r.Size)
+		if err != nil {
+			return Result{}, err
 		}
-		// A wasted contact with a stale index holder costs one LAN
-		// connection setup each way.
-		lat += 2 * m.ConnSetupSec * float64(out.FalseIndexHits)
-		if !counted {
-			continue
+		for i := 0; i < n; i++ {
+			rp.step(buf[i])
 		}
-		res.Requests++
-		res.TotalBytes += r.Size
-		switch out.Class {
-		case core.HitLocalBrowser:
-			res.LocalHits++
-			res.LocalBytes += r.Size
-		case core.HitProxy:
-			res.ProxyHits++
-			res.ProxyBytes += r.Size
-		case core.HitRemoteBrowser:
-			res.RemoteHits++
-			res.RemoteBytes += r.Size
-			res.RemoteConnections += remoteHops
-		case core.HitParent:
-			res.ParentHits++
-			res.ParentBytes += r.Size
-		case core.Miss:
-			res.Misses++
-		}
-		// Parent hits are upstream traffic in the paper's metrics: only
-		// browser/proxy/remote-browser hits count as cache hits.
-		if out.Class != core.Miss && out.Class != core.HitParent {
-			res.HitLatencySec += lat
-			if out.Tier == cache.TierMemory {
-				res.MemoryHitBytes += r.Size
-			}
-		}
-		res.FalseIndexHits += int64(out.FalseIndexHits)
-		if out.StaleLocal {
-			res.StaleLocal++
-		}
-		if out.StaleProxy {
-			res.StaleProxy++
-		}
-		if out.Revalidated {
-			res.Revalidations++
-		}
-		if out.PrefetchPushed {
-			res.PrefetchPushes++
-		}
-		res.TotalServiceSec += lat
-		hist.Add(lat)
 	}
-	res.IndexMessages, res.IndexEntriesShipped = sys.IndexMessageStats()
-	res.RemoteTransferSec = bus.TransferSec - warmTransferSec
-	res.RemoteContentionSec = bus.ContentionSec - warmContentionSec
-	res.RemoteBytesOnWire = bus.Bytes - warmBytes
-	res.RemoteConnectionsOnWire = bus.Transfers - warmTransfers
-	res.ServiceP50 = hist.Quantile(0.50)
-	res.ServiceP95 = hist.Quantile(0.95)
-	res.ServiceP99 = hist.Quantile(0.99)
-	res.ServiceMax = hist.Max()
-	return res, nil
+	return rp.finish(), nil
 }
 
 // readTime is the storage read time at the serving cache.

@@ -166,6 +166,43 @@ func profileCAnetII() Profile {
 	}
 }
 
+// MillionClients returns the 10^6-browser scale-proof profile (DESIGN.md
+// §16): the paper's structural knobs at three orders of magnitude more
+// clients than Table 1, tuned so the touched document universe (and with it
+// the simulator's per-document state) stays in the single-digit millions.
+// The recency window is deliberately small — the generator keeps one ring
+// per client, and at this population every ring slot costs 4 MB overall.
+// It is not part of Profiles(): the figure sweeps would take hours on it;
+// it exists for tracegen -profile synth-1m and the out-of-core replay proof.
+func MillionClients() Profile {
+	return Profile{
+		Name:        "synth-1m",
+		Clients:     1_000_000,
+		Requests:    20_000_000,
+		DurationSec: 24 * 3600,
+
+		SharedDocs:  2_000_000,
+		PrivateDocs: 8,
+
+		SharedFraction:   0.80,
+		ZipfAlpha:        0.70,
+		PrivateZipfAlpha: 0.60,
+		RecencyFraction:  0.15,
+		RecencyWindow:    8,
+		RecencyGeomP:     0.30,
+
+		MeanDocKB:    9,
+		SizeSigma:    1.4,
+		MinDocBytes:  128,
+		MaxDocBytes:  8 << 20,
+		ModifyRate:   0.01,
+		SizeRankBias: 1.2,
+
+		ClientZipfAlpha: 0.6,
+		Seed:            0x5EED1000,
+	}
+}
+
 // Profiles returns the five calibrated paper-trace profiles in Table 1 order.
 func Profiles() []Profile {
 	return []Profile{
@@ -188,8 +225,12 @@ func ProfileNames() []string {
 	return names
 }
 
-// ByName looks up a profile by name.
+// ByName looks up a profile by name. The synth-1m scale profile resolves
+// here too, though Profiles() excludes it from the sweep set.
 func ByName(name string) (Profile, error) {
+	if m := MillionClients(); name == m.Name {
+		return m, nil
+	}
 	for _, p := range Profiles() {
 		if p.Name == name {
 			return p, nil

@@ -1,0 +1,418 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"baps/internal/intern"
+)
+
+// The compact binary trace format (".btr"). Everything is little-endian.
+//
+//	header:
+//	  [8]byte  magic "BAPSBTR1"
+//	  u32      flags (reserved, zero)
+//	  i64      numClients
+//	  i64      numDocs
+//	  i64      numRequests
+//	  i64      symtabOff   (byte offset of the symbol table; 0 = absent)
+//	  u32      nameLen, then nameLen bytes of trace name
+//	records (numRequests × 24 bytes, immediately after the header):
+//	  f64 time | u32 client | u32 doc | i64 size
+//	symbol table (at symtabOff, directly after the records when present):
+//	  numDocs × { u32 urlLen, urlLen bytes } in document-ID order
+//
+// Records carry interned document IDs, not URLs, so a replay streams
+// fixed-width records without ever materializing strings; the URL symbol
+// table sits at the tail where only consumers that need URLs (ReadBTR,
+// format conversion) reach it. The layout is sequential-read friendly —
+// header, then records, then symbols — and the tail position lets a
+// streaming writer with unknown counts back-patch the header through one
+// Seek instead of buffering the record stream.
+
+// btrMagic identifies version 1 of the binary format.
+var btrMagic = [8]byte{'B', 'A', 'P', 'S', 'B', 'T', 'R', '1'}
+
+// btrRecordSize is the fixed on-disk size of one request record.
+const btrRecordSize = 8 + 4 + 4 + 8
+
+// btrFixedHeaderSize is the header size up to (not including) the name.
+const btrFixedHeaderSize = 8 + 4 + 8 + 8 + 8 + 8 + 4
+
+// btrMaxNameLen caps the trace-name field against corrupt headers.
+const btrMaxNameLen = 1 << 16
+
+// btrMaxURLLen caps one symbol-table entry against corrupt tables.
+const btrMaxURLLen = maxLineBytes
+
+// ErrBadMagic reports a stream that is not a version-1 binary trace.
+var ErrBadMagic = errors.New("trace: not a baps binary trace (bad magic)")
+
+type btrHeader struct {
+	numClients  int64
+	numDocs     int64
+	numRequests int64
+	symtabOff   int64
+	name        string
+}
+
+func (h *btrHeader) size() int64 { return int64(btrFixedHeaderSize + len(h.name)) }
+
+func (h *btrHeader) marshal() []byte {
+	buf := make([]byte, h.size())
+	copy(buf, btrMagic[:])
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:], 0) // flags
+	le.PutUint64(buf[12:], uint64(h.numClients))
+	le.PutUint64(buf[20:], uint64(h.numDocs))
+	le.PutUint64(buf[28:], uint64(h.numRequests))
+	le.PutUint64(buf[36:], uint64(h.symtabOff))
+	le.PutUint32(buf[44:], uint32(len(h.name)))
+	copy(buf[btrFixedHeaderSize:], h.name)
+	return buf
+}
+
+func readBTRHeader(r io.Reader) (btrHeader, error) {
+	var fixed [btrFixedHeaderSize]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return btrHeader{}, fmt.Errorf("trace: truncated btr header: %w", err)
+	}
+	if [8]byte(fixed[:8]) != btrMagic {
+		return btrHeader{}, ErrBadMagic
+	}
+	le := binary.LittleEndian
+	h := btrHeader{
+		numClients:  int64(le.Uint64(fixed[12:])),
+		numDocs:     int64(le.Uint64(fixed[20:])),
+		numRequests: int64(le.Uint64(fixed[28:])),
+		symtabOff:   int64(le.Uint64(fixed[36:])),
+	}
+	nameLen := le.Uint32(fixed[44:])
+	if nameLen > btrMaxNameLen {
+		return btrHeader{}, fmt.Errorf("trace: btr header name length %d exceeds cap %d", nameLen, btrMaxNameLen)
+	}
+	if h.numClients < 0 || h.numDocs < 0 || h.numRequests < 0 || h.symtabOff < 0 {
+		return btrHeader{}, fmt.Errorf("trace: btr header has negative counts")
+	}
+	if h.numClients > math.MaxUint32+1 || h.numDocs > math.MaxInt32 {
+		return btrHeader{}, fmt.Errorf("trace: btr header counts exceed ID space (clients=%d docs=%d)", h.numClients, h.numDocs)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return btrHeader{}, fmt.Errorf("trace: truncated btr header name: %w", err)
+	}
+	h.name = string(name)
+	return h, nil
+}
+
+// BTRWriter streams requests into the binary format with counts unknown up
+// front: a placeholder header goes out first and Finish back-patches it, so
+// the writer needs an io.WriteSeeker (an *os.File) but never holds more
+// than one buffered write of state. Use WriteBTR for an in-memory Trace.
+type BTRWriter struct {
+	ws       io.WriteSeeker
+	bw       *bufio.Writer
+	hdr      btrHeader
+	prevTime float64
+	maxDoc   intern.ID
+	closed   bool
+}
+
+// NewBTRWriter writes the placeholder header and returns a streaming writer.
+func NewBTRWriter(ws io.WriteSeeker, name string) (*BTRWriter, error) {
+	w := &BTRWriter{ws: ws, bw: bufio.NewWriterSize(ws, 256*1024), hdr: btrHeader{name: name}, maxDoc: intern.None}
+	if _, err := w.bw.Write(w.hdr.marshal()); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteRequest appends one record. Requests must arrive in non-decreasing
+// time order with interned Doc IDs and positive sizes; URL is ignored (the
+// symbol table is supplied to Finish).
+func (w *BTRWriter) WriteRequest(r Request) error {
+	if r.Doc < 0 {
+		return fmt.Errorf("trace: btr write: request has no interned doc ID (URL %q)", r.URL)
+	}
+	if r.Client < 0 || int64(r.Client) > math.MaxUint32 {
+		return fmt.Errorf("trace: btr write: client %d out of range", r.Client)
+	}
+	if r.Size <= 0 {
+		return fmt.Errorf("trace: btr write: non-positive size %d", r.Size)
+	}
+	if w.hdr.numRequests > 0 && r.Time < w.prevTime {
+		return fmt.Errorf("trace: btr write: time %g decreases below %g", r.Time, w.prevTime)
+	}
+	var rec [btrRecordSize]byte
+	le := binary.LittleEndian
+	le.PutUint64(rec[0:], math.Float64bits(r.Time))
+	le.PutUint32(rec[8:], uint32(r.Client))
+	le.PutUint32(rec[12:], uint32(r.Doc))
+	le.PutUint64(rec[16:], uint64(r.Size))
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		return err
+	}
+	w.prevTime = r.Time
+	if r.Doc > w.maxDoc {
+		w.maxDoc = r.Doc
+	}
+	w.hdr.numRequests++
+	return nil
+}
+
+// Finish writes the symbol table and back-patches the header. numClients is
+// the client-ID space; urlAt returns the URL for document ID i (pass nil to
+// omit the symbol table — replay does not need it). urlAt is called once per
+// ID in order, so a constant-memory generator can re-derive URLs instead of
+// holding them.
+func (w *BTRWriter) Finish(numClients, numDocs int, urlAt func(i int) string) error {
+	if w.closed {
+		return errors.New("trace: btr writer already finished")
+	}
+	w.closed = true
+	if numDocs <= int(w.maxDoc) {
+		return fmt.Errorf("trace: btr finish: numDocs %d does not cover max doc ID %d", numDocs, w.maxDoc)
+	}
+	if numClients < 0 || int64(numClients) > math.MaxUint32+1 {
+		return fmt.Errorf("trace: btr finish: numClients %d out of range", numClients)
+	}
+	w.hdr.numClients = int64(numClients)
+	w.hdr.numDocs = int64(numDocs)
+	if urlAt != nil {
+		w.hdr.symtabOff = w.hdr.size() + w.hdr.numRequests*btrRecordSize
+		var lenBuf [4]byte
+		for i := 0; i < numDocs; i++ {
+			url := urlAt(i)
+			binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(url)))
+			if _, err := w.bw.Write(lenBuf[:]); err != nil {
+				return err
+			}
+			if _, err := w.bw.WriteString(url); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := w.ws.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: btr finish: header patch seek: %w", err)
+	}
+	if _, err := w.ws.Write(w.hdr.marshal()); err != nil {
+		return fmt.Errorf("trace: btr finish: header patch: %w", err)
+	}
+	if _, err := w.ws.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteBTR serializes an in-memory trace (counts known up front, no seeking
+// or back-patch needed — any io.Writer works).
+func WriteBTR(w io.Writer, t *Trace) error {
+	syms := t.Intern()
+	hdr := btrHeader{
+		numClients:  int64(t.NumClients),
+		numDocs:     int64(syms.Len()),
+		numRequests: int64(len(t.Requests)),
+		name:        t.Name,
+	}
+	hdr.symtabOff = hdr.size() + hdr.numRequests*btrRecordSize
+	bw := bufio.NewWriterSize(w, 256*1024)
+	if _, err := bw.Write(hdr.marshal()); err != nil {
+		return err
+	}
+	var rec [btrRecordSize]byte
+	le := binary.LittleEndian
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		if r.Client < 0 || int64(r.Client) > math.MaxUint32 {
+			return fmt.Errorf("trace: btr write: request %d: client %d out of range", i, r.Client)
+		}
+		if r.Size <= 0 {
+			return fmt.Errorf("trace: btr write: request %d: non-positive size %d", i, r.Size)
+		}
+		le.PutUint64(rec[0:], math.Float64bits(r.Time))
+		le.PutUint32(rec[8:], uint32(r.Client))
+		le.PutUint32(rec[12:], uint32(r.Doc))
+		le.PutUint64(rec[16:], uint64(r.Size))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	var lenBuf [4]byte
+	for i := 0; i < syms.Len(); i++ {
+		url := syms.String(intern.ID(i))
+		le.PutUint32(lenBuf[:], uint32(len(url)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(url); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// BTRReader streams records from the binary format. Counts come from the
+// header, so NumClients/NumDocs are exact before the first Next call, and
+// every record is validated as it streams: doc and client IDs in range,
+// positive size, non-decreasing time. URLs are NOT materialized — Request.URL
+// stays empty; call ReadSymbols after draining if the strings are needed.
+type BTRReader struct {
+	br       *bufio.Reader
+	hdr      btrHeader
+	read     int64 // records consumed
+	prevTime float64
+	eof      bool
+}
+
+// OpenBTR reads the header and positions the stream at the first record.
+func OpenBTR(r io.Reader) (*BTRReader, error) {
+	br := bufio.NewReaderSize(r, 256*1024)
+	hdr, err := readBTRHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	return &BTRReader{br: br, hdr: hdr}, nil
+}
+
+// Name reports the trace name from the header.
+func (r *BTRReader) Name() string { return r.hdr.name }
+
+// NumClients reports the header's client-ID space.
+func (r *BTRReader) NumClients() int { return int(r.hdr.numClients) }
+
+// NumDocs reports the header's document-ID space.
+func (r *BTRReader) NumDocs() int { return int(r.hdr.numDocs) }
+
+// NumRequests reports the header's record count.
+func (r *BTRReader) NumRequests() int64 { return r.hdr.numRequests }
+
+// Close is a no-op; the caller owns the underlying reader.
+func (r *BTRReader) Close() error { return nil }
+
+// Next decodes up to len(buf) records. See Stream.
+func (r *BTRReader) Next(buf []Request) (int, error) {
+	if r.eof || r.read >= r.hdr.numRequests {
+		r.eof = true
+		return 0, io.EOF
+	}
+	n := 0
+	var rec [btrRecordSize]byte
+	le := binary.LittleEndian
+	for n < len(buf) && r.read < r.hdr.numRequests {
+		if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+			return 0, fmt.Errorf("trace: btr record %d/%d truncated: %w", r.read, r.hdr.numRequests, err)
+		}
+		req := Request{
+			Time:   math.Float64frombits(le.Uint64(rec[0:])),
+			Client: int(le.Uint32(rec[8:])),
+			Doc:    intern.ID(int32(le.Uint32(rec[12:]))),
+			Size:   int64(le.Uint64(rec[16:])),
+		}
+		if int64(req.Doc) < 0 || int64(req.Doc) >= r.hdr.numDocs {
+			return 0, fmt.Errorf("trace: btr record %d: symbol-table index %d out of range [0,%d)", r.read, int32(req.Doc), r.hdr.numDocs)
+		}
+		if int64(req.Client) >= r.hdr.numClients {
+			return 0, fmt.Errorf("trace: btr record %d: client %d out of range [0,%d)", r.read, req.Client, r.hdr.numClients)
+		}
+		if req.Size <= 0 {
+			return 0, fmt.Errorf("trace: btr record %d: non-positive size %d", r.read, req.Size)
+		}
+		if math.IsNaN(req.Time) || math.IsInf(req.Time, 0) || (r.read > 0 && req.Time < r.prevTime) {
+			return 0, fmt.Errorf("trace: btr record %d: time %g not monotone (prev %g)", r.read, req.Time, r.prevTime)
+		}
+		r.prevTime = req.Time
+		buf[n] = req
+		n++
+		r.read++
+	}
+	return n, nil
+}
+
+// ReadSymbols reads the URL symbol table that follows the records into a
+// fresh interning table (IDs match record Doc IDs). It must be called after
+// Next has returned io.EOF; traces written without a symbol table return an
+// error.
+func (r *BTRReader) ReadSymbols() (*intern.Table, error) {
+	if r.read < r.hdr.numRequests {
+		return nil, fmt.Errorf("trace: btr symbols requested with %d/%d records unread", r.hdr.numRequests-r.read, r.hdr.numRequests)
+	}
+	if r.hdr.symtabOff == 0 {
+		return nil, errors.New("trace: btr file carries no symbol table")
+	}
+	sizeHint := int(r.hdr.numDocs)
+	if sizeHint > 1<<20 { // corrupt headers must not drive allocation
+		sizeHint = 1 << 20
+	}
+	syms := intern.NewTable(sizeHint)
+	var lenBuf [4]byte
+	url := make([]byte, 0, 256)
+	for i := int64(0); i < r.hdr.numDocs; i++ {
+		if _, err := io.ReadFull(r.br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("trace: btr symbol %d/%d truncated: %w", i, r.hdr.numDocs, err)
+		}
+		urlLen := binary.LittleEndian.Uint32(lenBuf[:])
+		if urlLen == 0 || urlLen > btrMaxURLLen {
+			return nil, fmt.Errorf("trace: btr symbol %d: URL length %d out of range (0,%d]", i, urlLen, btrMaxURLLen)
+		}
+		if cap(url) < int(urlLen) {
+			url = make([]byte, urlLen)
+		}
+		url = url[:urlLen]
+		if _, err := io.ReadFull(r.br, url); err != nil {
+			return nil, fmt.Errorf("trace: btr symbol %d/%d truncated: %w", i, r.hdr.numDocs, err)
+		}
+		if id := syms.InternBytes(url); int64(id) != i {
+			return nil, fmt.Errorf("trace: btr symbol %d duplicates symbol %d (%q)", i, id, url)
+		}
+	}
+	return syms, nil
+}
+
+// ReadBTR materializes a full Trace — records, URLs, symbol table — from the
+// binary format. The streaming API (OpenBTR) is the out-of-core path; this
+// is the convenience for tools and tests.
+func ReadBTR(rd io.Reader) (*Trace, error) {
+	r, err := OpenBTR(rd)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: r.Name(), NumClients: r.NumClients()}
+	if n := r.NumRequests(); n > 0 {
+		// Cap the preallocation: a corrupt header may claim absurd counts
+		// that the record stream (validated incrementally) cannot back.
+		if n > 1<<20 {
+			n = 1 << 20
+		}
+		t.Requests = make([]Request, 0, n)
+	}
+	buf := make([]Request, StreamBatchSize)
+	for {
+		n, err := r.Next(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Requests = append(t.Requests, buf[:n]...)
+	}
+	syms, err := r.ReadSymbols()
+	if err != nil {
+		return nil, err
+	}
+	t.Syms = syms
+	for i := range t.Requests {
+		t.Requests[i].URL = syms.String(t.Requests[i].Doc)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

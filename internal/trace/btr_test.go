@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"baps/internal/intern"
+)
+
+// randomTrace builds a valid interned trace for round-trip tests.
+func randomTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	nc := rng.Intn(8) + 1
+	tr := &Trace{Name: "rnd", NumClients: nc}
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		tm += rng.Float64()
+		tr.Requests = append(tr.Requests, Request{
+			Time:   tm,
+			Client: rng.Intn(nc),
+			URL:    "http://h/" + strings.Repeat("x", rng.Intn(20)+1),
+			Size:   int64(rng.Intn(1<<16) + 1),
+		})
+	}
+	tr.Intern()
+	return tr
+}
+
+func TestBTRRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "btr-round", NumClients: 3, Requests: []Request{
+		req(0, 0, "http://a/x", 100),
+		req(0.5, 2, "http://b/y", 2048),
+		req(1.25, 1, "http://a/x", 100),
+	}}
+	tr.Intern()
+	var buf bytes.Buffer
+	if err := WriteBTR(&buf, tr); err != nil {
+		t.Fatalf("WriteBTR: %v", err)
+	}
+	got, err := ReadBTR(&buf)
+	if err != nil {
+		t.Fatalf("ReadBTR: %v", err)
+	}
+	if got.Name != "btr-round" || got.NumClients != 3 {
+		t.Fatalf("header mismatch: %q/%d", got.Name, got.NumClients)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Fatalf("Requests = %+v, want %+v", got.Requests, tr.Requests)
+	}
+	if got.NumDocs() != tr.NumDocs() {
+		t.Fatalf("NumDocs = %d, want %d", got.NumDocs(), tr.NumDocs())
+	}
+}
+
+// The binary format preserves exact float64 times — unlike the text format's
+// millisecond quantization.
+func TestBTRRoundTripExactTimes(t *testing.T) {
+	tr := &Trace{Name: "t", NumClients: 1, Requests: []Request{
+		req(0.1+0.2, 0, "http://a/x", 1), // 0.30000000000000004
+		req(1.0/3.0+1, 0, "http://a/x", 1),
+	}}
+	tr.Intern()
+	var buf bytes.Buffer
+	if err := WriteBTR(&buf, tr); err != nil {
+		t.Fatalf("WriteBTR: %v", err)
+	}
+	got, err := ReadBTR(&buf)
+	if err != nil {
+		t.Fatalf("ReadBTR: %v", err)
+	}
+	for i := range got.Requests {
+		if got.Requests[i].Time != tr.Requests[i].Time {
+			t.Fatalf("time %d: %v != %v", i, got.Requests[i].Time, tr.Requests[i].Time)
+		}
+	}
+}
+
+func TestBTRStreamingWriterRoundTrip(t *testing.T) {
+	tr := randomTrace(7, 500)
+	path := filepath.Join(t.TempDir(), "t.btr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewBTRWriter(f, tr.Name)
+	if err != nil {
+		t.Fatalf("NewBTRWriter: %v", err)
+	}
+	for _, r := range tr.Requests {
+		if err := w.WriteRequest(r); err != nil {
+			t.Fatalf("WriteRequest: %v", err)
+		}
+	}
+	if err := w.Finish(tr.NumClients, tr.NumDocs(), func(i int) string { return tr.Syms.String(intern.ID(i)) }); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The streaming writer's output must be byte-identical to WriteBTR's.
+	var want bytes.Buffer
+	if err := WriteBTR(&want, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("streaming writer output differs from WriteBTR (%d vs %d bytes)", len(got), want.Len())
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	back, err := ReadBTR(rf)
+	if err != nil {
+		t.Fatalf("ReadBTR: %v", err)
+	}
+	if !reflect.DeepEqual(back.Requests, tr.Requests) {
+		t.Fatal("streaming round trip changed requests")
+	}
+}
+
+func TestBTRStreamWithoutSymbols(t *testing.T) {
+	tr := randomTrace(3, 100)
+	path := filepath.Join(t.TempDir(), "nosym.btr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewBTRWriter(f, tr.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Requests {
+		if err := w.WriteRequest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(tr.NumClients, tr.NumDocs(), nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	r, err := OpenBTR(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	buf := make([]Request, 33)
+	for {
+		k, err := r.Next(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		for i := 0; i < k; i++ {
+			want := tr.Requests[n]
+			got := buf[i]
+			if got.Time != want.Time || got.Client != want.Client || got.Doc != want.Doc || got.Size != want.Size {
+				t.Fatalf("record %d = %+v, want %+v", n, got, want)
+			}
+			if got.URL != "" {
+				t.Fatalf("record %d carries a URL (%q); records must stream without strings", n, got.URL)
+			}
+			n++
+		}
+	}
+	if n != len(tr.Requests) {
+		t.Fatalf("streamed %d records, want %d", n, len(tr.Requests))
+	}
+	if _, err := r.ReadSymbols(); err == nil {
+		t.Fatal("ReadSymbols succeeded on a symbol-free file")
+	}
+}
+
+func validBTR(t *testing.T) []byte {
+	t.Helper()
+	tr := &Trace{Name: "c", NumClients: 2, Requests: []Request{
+		req(0, 0, "http://a/x", 10),
+		req(1, 1, "http://b/y", 20),
+	}}
+	tr.Intern()
+	var buf bytes.Buffer
+	if err := WriteBTR(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBTRCorruption(t *testing.T) {
+	valid := validBTR(t)
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] ^= 0xff
+		if _, err := ReadBTR(bytes.NewReader(b)); err == nil {
+			t.Fatal("accepted bad magic")
+		} else if !strings.Contains(err.Error(), "bad magic") {
+			t.Fatalf("wrong error: %v", err)
+		}
+	})
+
+	t.Run("truncated header", func(t *testing.T) {
+		for cut := 0; cut < btrFixedHeaderSize+1; cut += 7 {
+			if _, err := ReadBTR(bytes.NewReader(valid[:cut])); err == nil {
+				t.Fatalf("accepted header truncated at %d", cut)
+			}
+		}
+	})
+
+	t.Run("truncated record tail", func(t *testing.T) {
+		hdrEnd := btrFixedHeaderSize + 1 // name "c"
+		cut := hdrEnd + btrRecordSize + 5
+		_, err := ReadBTR(bytes.NewReader(valid[:cut]))
+		if err == nil {
+			t.Fatal("accepted truncated record tail")
+		}
+		if !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("wrong error: %v", err)
+		}
+	})
+
+	t.Run("symbol-table index out of range", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		// Record 0's doc field sits at header + 12.
+		off := btrFixedHeaderSize + 1 + 12
+		b[off] = 0xff
+		b[off+1] = 0xff
+		_, err := ReadBTR(bytes.NewReader(b))
+		if err == nil {
+			t.Fatal("accepted out-of-range doc ID")
+		}
+		if !strings.Contains(err.Error(), "symbol-table index") {
+			t.Fatalf("wrong error: %v", err)
+		}
+	})
+
+	t.Run("client out of range", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		off := btrFixedHeaderSize + 1 + 8
+		b[off] = 0xff
+		if _, err := ReadBTR(bytes.NewReader(b)); err == nil {
+			t.Fatal("accepted out-of-range client")
+		}
+	})
+
+	t.Run("truncated symbol table", func(t *testing.T) {
+		if _, err := ReadBTR(bytes.NewReader(valid[:len(valid)-3])); err == nil {
+			t.Fatal("accepted truncated symbol table")
+		}
+	})
+
+	t.Run("time regression", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		// Swap the two records.
+		start := btrFixedHeaderSize + 1
+		r0 := append([]byte(nil), b[start:start+btrRecordSize]...)
+		copy(b[start:], b[start+btrRecordSize:start+2*btrRecordSize])
+		copy(b[start+btrRecordSize:], r0)
+		if _, err := ReadBTR(bytes.NewReader(b)); err == nil {
+			t.Fatal("accepted decreasing time")
+		}
+	})
+}
+
+// FuzzBTR: arbitrary bytes through the binary reader must never panic, and
+// whatever parses must validate.
+func FuzzBTR(f *testing.F) {
+	f.Add(validBTRSeed())
+	f.Add([]byte{})
+	f.Add([]byte("BAPSBTR1"))
+	seed := validBTRSeed()
+	f.Add(seed[:len(seed)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBTR(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted invalid trace: %v", verr)
+		}
+	})
+}
+
+func validBTRSeed() []byte {
+	tr := &Trace{Name: "c", NumClients: 2, Requests: []Request{
+		req(0, 0, "http://a/x", 10),
+		req(1, 1, "http://b/y", 20),
+	}}
+	tr.Intern()
+	var buf bytes.Buffer
+	if err := WriteBTR(&buf, tr); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}

@@ -30,52 +30,25 @@ func Write(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Read parses the native format. The trace name is taken from the header
-// comment when present, else name is used.
+// Read parses the native format by draining a TextStream. The trace name is
+// taken from the header comment when present, else name is used. Oversized
+// lines surface as ErrLineTooLong with the line number.
 func Read(r io.Reader, name string) (*Trace, error) {
-	t := &Trace{Name: name}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	lineNo := 0
-	maxClient := -1
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	ts := NewTextStream(r, name)
+	t := &Trace{Name: name, Syms: ts.Syms()}
+	buf := make([]Request, StreamBatchSize)
+	for {
+		n, err := ts.Next(buf)
+		if err == io.EOF {
+			break
 		}
-		if strings.HasPrefix(line, "#") {
-			if f := strings.Fields(line); len(f) >= 3 && f[1] == "baps" && f[2] == "trace" && len(f) >= 4 {
-				t.Name = f[3]
-			}
-			continue
-		}
-		f := strings.Fields(line)
-		if len(f) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(f))
-		}
-		tm, err := strconv.ParseFloat(f[0], 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad time %q: %v", lineNo, f[0], err)
+			return nil, err
 		}
-		client, err := strconv.Atoi(f[1])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad client %q: %v", lineNo, f[1], err)
-		}
-		size, err := strconv.ParseInt(f[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad size %q: %v", lineNo, f[2], err)
-		}
-		t.Requests = append(t.Requests, Request{Time: tm, Client: client, Size: size, URL: f[3]})
-		if client > maxClient {
-			maxClient = client
-		}
+		t.Requests = append(t.Requests, buf[:n]...)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	t.NumClients = maxClient + 1
-	t.Intern()
+	t.Name = ts.Name()
+	t.NumClients = ts.NumClients()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"baps/internal/intern"
+)
+
+// ErrLineTooLong reports an input line exceeding the scanner cap. The text
+// formats have no legitimate multi-megabyte lines; hitting the cap means a
+// corrupt or binary input, and the error carries the offending line number
+// instead of bufio's generic token-too-long failure.
+var ErrLineTooLong = errors.New("line exceeds maximum length")
+
+// maxLineBytes caps a single text-format line (URLs included).
+const maxLineBytes = 4 * 1024 * 1024
+
+// TextStream decodes the native text format incrementally behind the Stream
+// interface: one buffered scanner, zero allocations per line (fields are
+// sliced out of the scan buffer; the URL string is allocated only on the
+// first sight of each document, by Table.InternBytes), and no materialized
+// []Request.
+//
+// NumClients and NumDocs grow as lines are decoded and are final only after
+// Next returns io.EOF; the simulator's streaming paths take both from a
+// prior Stats pass instead.
+type TextStream struct {
+	sc        *bufio.Scanner
+	name      string
+	syms      *intern.Table
+	lineNo    int
+	maxClient int
+	eof       bool
+}
+
+// NewTextStream starts decoding the native format from r. The trace name is
+// taken from the header comment when present, else name is used.
+func NewTextStream(r io.Reader, name string) *TextStream {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return &TextStream{sc: sc, name: name, syms: intern.NewTable(0), maxClient: -1}
+}
+
+// Syms exposes the symbol table the stream interns into; IDs are dense in
+// first-appearance order, matching (*Trace).Intern.
+func (ts *TextStream) Syms() *intern.Table { return ts.syms }
+
+// Name reports the trace name (header comment wins once seen).
+func (ts *TextStream) Name() string { return ts.name }
+
+// NumClients reports the client-ID space decoded so far.
+func (ts *TextStream) NumClients() int { return ts.maxClient + 1 }
+
+// NumDocs reports the document-ID space decoded so far.
+func (ts *TextStream) NumDocs() int { return ts.syms.Len() }
+
+// Close is a no-op; the caller owns the underlying reader.
+func (ts *TextStream) Close() error { return nil }
+
+// Next decodes up to len(buf) requests. See Stream.
+func (ts *TextStream) Next(buf []Request) (int, error) {
+	if ts.eof {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(buf) {
+		if !ts.sc.Scan() {
+			if err := ts.sc.Err(); err != nil {
+				if errors.Is(err, bufio.ErrTooLong) {
+					return 0, fmt.Errorf("trace: line %d: %w (cap %d bytes)", ts.lineNo+1, ErrLineTooLong, maxLineBytes)
+				}
+				return 0, err
+			}
+			ts.eof = true
+			if n == 0 {
+				return 0, io.EOF
+			}
+			return n, nil
+		}
+		ts.lineNo++
+		line := trimASCIISpace(ts.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '#' {
+			// Header comment: "# baps trace <name> ..." sets the name.
+			if f := bytes.Fields(line); len(f) >= 4 && string(f[1]) == "baps" && string(f[2]) == "trace" {
+				ts.name = string(f[3])
+			}
+			continue
+		}
+		r, err := ts.parseLine(line)
+		if err != nil {
+			return 0, err
+		}
+		buf[n] = r
+		n++
+	}
+	return n, nil
+}
+
+// parseLine decodes "<time> <client> <size> <url>" from a trimmed line.
+func (ts *TextStream) parseLine(line []byte) (Request, error) {
+	var f [4][]byte
+	nf := 0
+	for i := 0; i < len(line); {
+		for i < len(line) && isASCIISpace(line[i]) {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		for i < len(line) && !isASCIISpace(line[i]) {
+			i++
+		}
+		if nf == 4 {
+			return Request{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", ts.lineNo, 5+countFields(line[i:]))
+		}
+		f[nf] = line[start:i]
+		nf++
+	}
+	if nf != 4 {
+		return Request{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", ts.lineNo, nf)
+	}
+	tm, err := parseFloatBytes(f[0])
+	if err != nil {
+		return Request{}, fmt.Errorf("trace: line %d: bad time %q: %v", ts.lineNo, f[0], err)
+	}
+	client, err := parseIntBytes(f[1])
+	if err != nil {
+		return Request{}, fmt.Errorf("trace: line %d: bad client %q: %v", ts.lineNo, f[1], err)
+	}
+	size, err := parseInt64Bytes(f[2])
+	if err != nil {
+		return Request{}, fmt.Errorf("trace: line %d: bad size %q: %v", ts.lineNo, f[2], err)
+	}
+	if client > ts.maxClient {
+		ts.maxClient = client
+	}
+	doc := ts.syms.InternBytes(f[3])
+	return Request{Time: tm, Client: client, URL: ts.syms.String(doc), Doc: doc, Size: size}, nil
+}
+
+func isASCIISpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f'
+}
+
+func trimASCIISpace(b []byte) []byte {
+	for len(b) > 0 && isASCIISpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isASCIISpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func countFields(b []byte) int {
+	n := 0
+	inField := false
+	for _, c := range b {
+		if isASCIISpace(c) {
+			inField = false
+		} else if !inField {
+			inField = true
+			n++
+		}
+	}
+	return n
+}
+
+// pow10tab holds the exactly-representable powers of ten (10^0..10^22).
+var pow10tab = [23]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseFloatBytes parses a decimal float without allocating. The fast path
+// covers plain decimals with <= 19 digits and a mantissa below 2^53: the
+// value m/10^f divides two exactly-representable floats, so IEEE division
+// yields the correctly rounded result — bit-identical to strconv.ParseFloat.
+// Everything else (exponents, huge mantissas, inf/nan) falls back to strconv
+// with a one-off string allocation.
+func parseFloatBytes(b []byte) (float64, error) {
+	if v, ok := fastFloat(b); ok {
+		return v, nil
+	}
+	return strconv.ParseFloat(string(b), 64)
+}
+
+func fastFloat(b []byte) (float64, bool) {
+	i := 0
+	neg := false
+	if i < len(b) && (b[i] == '+' || b[i] == '-') {
+		neg = b[i] == '-'
+		i++
+	}
+	var m uint64
+	digits := 0
+	frac := -1
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c == '.' {
+			if frac >= 0 {
+				return 0, false
+			}
+			frac = 0
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if digits >= 19 {
+			return 0, false
+		}
+		m = m*10 + uint64(c-'0')
+		digits++
+		if frac >= 0 {
+			frac++
+		}
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	if m >= 1<<53 {
+		return 0, false
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	v := float64(m) / pow10tab[frac]
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// parseIntBytes parses a decimal int without allocating; out-of-fast-path
+// inputs fall back to strconv for exact error text and overflow handling.
+func parseIntBytes(b []byte) (int, error) {
+	if v, ok := fastInt(b); ok {
+		return int(v), nil
+	}
+	return strconv.Atoi(string(b))
+}
+
+// parseInt64Bytes is parseIntBytes for int64.
+func parseInt64Bytes(b []byte) (int64, error) {
+	if v, ok := fastInt(b); ok {
+		return v, nil
+	}
+	return strconv.ParseInt(string(b), 10, 64)
+}
+
+func fastInt(b []byte) (int64, bool) {
+	i := 0
+	neg := false
+	if i < len(b) && (b[i] == '+' || b[i] == '-') {
+		neg = b[i] == '-'
+		i++
+	}
+	if i >= len(b) || len(b)-i > 18 { // > 18 digits could overflow; punt
+		return 0, false
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}

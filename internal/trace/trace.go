@@ -135,6 +135,11 @@ type Stats struct {
 	// bytes needed to store every unique document that client requested.
 	ClientInfiniteBytes []int64
 
+	// ClientRequests[i] is the number of requests issued by client i. The
+	// sharded replay uses these to derive per-shard warm-up cutoffs without
+	// materializing the trace.
+	ClientRequests []int64
+
 	// MaxHitRatio is the hit ratio of an unbounded shared cache: a
 	// request hits if the URL was requested before (by any client) and
 	// its size is unchanged since the previous delivery.
@@ -173,6 +178,7 @@ func Compute(t *Trace) Stats {
 		NumRequests:         len(t.Requests),
 		NumClients:          t.NumClients,
 		ClientInfiniteBytes: make([]int64, t.NumClients),
+		ClientRequests:      make([]int64, t.NumClients),
 	}
 	type docState struct {
 		size       int64
@@ -186,6 +192,7 @@ func Compute(t *Trace) Stats {
 	for i := range t.Requests {
 		r := &t.Requests[i]
 		s.TotalBytes += r.Size
+		s.ClientRequests[r.Client]++
 		d := &docs[r.Doc]
 		if d.seen && d.size == r.Size {
 			hits++
